@@ -1,0 +1,55 @@
+//! E1 — one-use bit implementations (paper §3, §5).
+//!
+//! Measures one write+read conversation per implementation: the native
+//! atomic bit, witness-derived bits over various substrate types
+//! (§5.1–5.2), and the consensus-derived bit (§5.3). Derived bits pay
+//! one shared-object invocation per `write` and `k` per `read`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfc_core::{atomic_one_use_bit, one_use_from_consensus, OneUseRead, OneUseRecipe, OneUseWrite};
+use wfc_spec::canonical;
+
+fn bench_one_use(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_one_use_bit");
+
+    g.bench_function("atomic/write+read", |b| {
+        b.iter(|| {
+            let (w, r) = atomic_one_use_bit();
+            w.write();
+            black_box(r.read())
+        })
+    });
+
+    for ty in [
+        canonical::test_and_set(2),
+        canonical::boolean_register(2),
+        canonical::queue(1, 1, 2),
+        canonical::marked_ring(4),
+    ] {
+        let ty = Arc::new(ty);
+        let recipe = OneUseRecipe::from_type(&ty).expect("non-trivial");
+        g.bench_function(format!("derived/{}/write+read", ty.name()), |b| {
+            b.iter(|| {
+                let (w, r) = recipe.instantiate();
+                w.write();
+                black_box(r.read())
+            })
+        });
+    }
+
+    g.bench_function("consensus/tas2/write+read", |b| {
+        b.iter(|| {
+            let (w, r) = one_use_from_consensus(wfc_consensus::tas_consensus_2());
+            w.write();
+            black_box(r.read())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_one_use);
+criterion_main!(benches);

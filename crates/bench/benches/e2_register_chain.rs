@@ -1,0 +1,85 @@
+//! E2 — the register construction chain (paper §4.1).
+//!
+//! Per-layer read and write latency, bottom to top: base SRSW atomic
+//! cell, Lamport MRSW regular bit, unary multi-value regular register,
+//! MRSW atomic (helping matrix), MRMW atomic (Vitányi–Awerbuch), and the
+//! assembled `Register` façade. The expected shape: cost grows with the
+//! layer's fan-out (number of base cells touched per operation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfc_registers::{
+    atomic_bit, atomic_reg, mrsw_atomic_register, mrsw_regular_bit, unary_regular_register,
+    BitReader, BitWriter, Register, RegReader, RegWriter, Stamped,
+};
+
+const READERS: usize = 4;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_register_chain");
+
+    let (mut w, mut r) = atomic_bit(false);
+    g.bench_function("L0_srsw_atomic_bit/write+read", |b| {
+        b.iter(|| {
+            w.write(true);
+            black_box(r.read())
+        })
+    });
+
+    let (mut w, mut rs) = mrsw_regular_bit(false, READERS, |init| {
+        let (w, r) = atomic_bit(init);
+        (Box::new(w) as Box<dyn BitWriter>, Box::new(r) as Box<dyn BitReader>)
+    });
+    g.bench_function("L1_mrsw_regular_bit/write+read", |b| {
+        b.iter(|| {
+            w.write(true);
+            black_box(rs[0].read())
+        })
+    });
+
+    let (mut w, mut rs) = unary_regular_register(0, 8, READERS, |init, n| {
+        mrsw_regular_bit(init, n, |i| {
+            let (w, r) = atomic_bit(i);
+            (Box::new(w) as Box<dyn BitWriter>, Box::new(r) as Box<dyn BitReader>)
+        })
+    });
+    g.bench_function("L2_unary_regular_8val/write+read", |b| {
+        let mut v = 0usize;
+        b.iter(|| {
+            v = (v + 1) % 8;
+            w.write(v);
+            black_box(rs[0].read())
+        })
+    });
+
+    let (mut w, mut rs) = mrsw_atomic_register(0u64, READERS, |init| {
+        let (w, r) = atomic_reg(init);
+        (
+            Box::new(w) as Box<dyn RegWriter<Stamped<u64>>>,
+            Box::new(r) as Box<dyn RegReader<Stamped<u64>>>,
+        )
+    });
+    g.bench_function("L3_mrsw_atomic/write+read", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            w.write(v);
+            black_box(rs[0].read())
+        })
+    });
+
+    let (mut ws, mut rs) = Register::new(0u64, 2, READERS);
+    g.bench_function("L4_mrmw_register/write+read", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            ws[0].write(v);
+            black_box(rs[0].read())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

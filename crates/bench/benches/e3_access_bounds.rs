@@ -1,0 +1,39 @@
+//! E3 — computing the §4.2 access bounds by exhaustive exploration.
+//!
+//! Measures the cost of building all `2^n` execution trees and
+//! extracting `D`, `r_b`, `w_b` — per protocol, and for the register-free
+//! CAS protocol as `n` grows (the state space, and hence the time, grows
+//! with the number of processes: the paper's finiteness is qualitative,
+//! the constant is exponential).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfc_bench::register_protocols;
+use wfc_core::access_bounds;
+use wfc_explorer::ExploreOptions;
+
+fn bench_access_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_access_bounds");
+    let opts = ExploreOptions::default();
+
+    for (label, build) in register_protocols() {
+        g.bench_function(format!("{label}/n=2"), |b| {
+            b.iter(|| black_box(access_bounds(2, build, &opts).unwrap()))
+        });
+    }
+
+    for n in 2..=4 {
+        g.bench_function(format!("cas/n={n}"), |b| {
+            b.iter(|| {
+                black_box(
+                    access_bounds(n, wfc_consensus::cas_consensus_system, &opts).unwrap(),
+                )
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_bounds);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E4 — the bounded bit from one-use bits (paper §4.3).
+//!
+//! Measures a full conversation (w alternating writes, r reads) on the
+//! `r·(w+1)` one-use-bit array versus a plain `AtomicBool` baseline, for
+//! a grid of budgets. Expected shape: write cost scales with `r` (a row
+//! flip touches `r` bits); read cost is amortised-constant (each read
+//! walks past each row at most once across the bit's lifetime); the
+//! baseline is flat.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wfc_core::bounded_bit;
+
+fn conversation(reads: usize, writes: usize) {
+    let (mut w, mut r) = bounded_bit(false, reads, writes);
+    let mut v = false;
+    let mut written = 0;
+    for k in 0..reads {
+        if written < writes && k % 2 == 0 {
+            v = !v;
+            w.write(v).unwrap();
+            written += 1;
+        }
+        black_box(r.read().unwrap());
+    }
+}
+
+fn baseline(reads: usize, writes: usize) {
+    let bit = AtomicBool::new(false);
+    let mut v = false;
+    let mut written = 0;
+    for k in 0..reads {
+        if written < writes && k % 2 == 0 {
+            v = !v;
+            bit.store(v, Ordering::Release);
+            written += 1;
+        }
+        black_box(bit.load(Ordering::Acquire));
+    }
+}
+
+fn bench_bounded_bit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_bounded_bit");
+    for (reads, writes) in [(4, 2), (16, 8), (64, 32), (256, 128)] {
+        g.throughput(Throughput::Elements(reads as u64));
+        g.bench_with_input(
+            BenchmarkId::new("one_use_array", format!("r{reads}_w{writes}")),
+            &(reads, writes),
+            |b, &(r, w)| b.iter(|| conversation(r, w)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("atomic_bool_baseline", format!("r{reads}_w{writes}")),
+            &(reads, writes),
+            |b, &(r, w)| b.iter(|| baseline(r, w)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounded_bit);
+criterion_main!(benches);

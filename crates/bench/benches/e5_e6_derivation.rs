@@ -1,0 +1,56 @@
+//! E5/E6 — witness search over non-trivial types (paper §5.1–5.2).
+//!
+//! E5: the oblivious single-step search on the zoo. E6: the general
+//! minimal non-trivial pair search (BFS over state pairs), scaled by the
+//! `marked_ring(m)` family whose minimal `k` equals `m`. Expected shape:
+//! oblivious search is near-constant on small types; the general search
+//! grows with `|Q|²·|I|` and the witness length grows linearly in `m`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfc_spec::triviality::oblivious_witness;
+use wfc_spec::witness::find_witness;
+use wfc_spec::{canonical, triviality};
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_oblivious_witness");
+    for ty in canonical::deterministic_zoo(2) {
+        if matches!(ty.name(), "mute" | "constant_responder") || !ty.is_oblivious() {
+            continue;
+        }
+        let ty = Arc::new(ty);
+        g.bench_with_input(BenchmarkId::from_parameter(ty.name()), &ty, |b, ty| {
+            b.iter(|| black_box(oblivious_witness(ty).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_general_witness");
+    for m in [2usize, 4, 8, 16, 32] {
+        let ty = Arc::new(canonical::marked_ring(m));
+        g.bench_with_input(BenchmarkId::new("marked_ring", m), &ty, |b, ty| {
+            b.iter(|| black_box(find_witness(ty).unwrap()))
+        });
+    }
+    for ty in [canonical::compare_and_swap(3, 2), canonical::queue(2, 2, 2)] {
+        let ty = Arc::new(ty);
+        g.bench_with_input(BenchmarkId::new("zoo", ty.name()), &ty, |b, ty| {
+            b.iter(|| black_box(find_witness(ty).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_triviality_decider");
+    for m in [2usize, 4, 8, 16] {
+        let ty = Arc::new(canonical::marked_ring(m));
+        g.bench_with_input(BenchmarkId::new("closure", m), &ty, |b, ty| {
+            b.iter(|| black_box(triviality::is_trivial(ty).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_derivation);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E7 — consensus protocols and §5.3 derivations, at runtime.
+//!
+//! Two-thread propose latency per protocol family (CAS, TAS+registers,
+//! queue+registers, fetch&add+registers, sticky), plus the §5.3
+//! consensus-derived one-use bit and a universal-construction operation.
+//! Expected shape: raw CAS is cheapest; register-assisted protocols pay
+//! the announce round-trip; universal-construction operations pay log
+//! replay.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfc_consensus::{
+    cas_consensus, fetch_add_consensus_2, queue_consensus_2, sticky_consensus, tas_consensus_2,
+    Proposer, UniversalObject,
+};
+use wfc_core::{one_use_from_consensus, OneUseRead, OneUseWrite};
+use wfc_runtime::run_threads;
+use wfc_spec::canonical;
+
+fn race2<P: Proposer + 'static>(mk: impl Fn() -> [P; 2]) -> u64 {
+    let [a, b] = mk();
+    let decisions = run_threads(vec![
+        Box::new(move || a.propose(0)) as Box<dyn FnOnce() -> u64 + Send>,
+        Box::new(move || b.propose(1)),
+    ]);
+    decisions[0]
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_consensus_2thread");
+    g.bench_function("cas", |b| {
+        b.iter(|| {
+            let mut hs = cas_consensus(2);
+            let h1 = hs.pop().unwrap();
+            let h0 = hs.pop().unwrap();
+            let decisions = run_threads(vec![
+                Box::new(move || h0.propose(0)) as Box<dyn FnOnce() -> u64 + Send>,
+                Box::new(move || h1.propose(1)),
+            ]);
+            black_box(decisions[0])
+        })
+    });
+    g.bench_function("tas+registers", |b| {
+        b.iter(|| black_box(race2(tas_consensus_2)))
+    });
+    g.bench_function("queue+registers", |b| {
+        b.iter(|| black_box(race2(queue_consensus_2)))
+    });
+    g.bench_function("fetch_add+registers", |b| {
+        b.iter(|| black_box(race2(fetch_add_consensus_2)))
+    });
+    g.bench_function("sticky", |b| {
+        b.iter(|| {
+            let mut hs = sticky_consensus(2);
+            let h1 = hs.pop().unwrap();
+            let h0 = hs.pop().unwrap();
+            let decisions = run_threads(vec![
+                Box::new(move || h0.propose(0)) as Box<dyn FnOnce() -> u64 + Send>,
+                Box::new(move || h1.propose(1)),
+            ]);
+            black_box(decisions[0])
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("e7_derived_one_use");
+    g.bench_function("from_tas_consensus/write+read", |b| {
+        b.iter(|| {
+            let (w, r) = one_use_from_consensus(tas_consensus_2());
+            w.write();
+            black_box(r.read())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("e7_universal");
+    let ty = Arc::new(canonical::fetch_and_add(64, 2));
+    let init = ty.state_id("0").unwrap();
+    let fadd = ty.invocation_id("fetch_add").unwrap();
+    g.bench_function("fetch_add_op_seq", |b| {
+        b.iter_batched(
+            || UniversalObject::new(Arc::clone(&ty), init, 64).ports(),
+            |mut hs| {
+                for _ in 0..8 {
+                    black_box(hs[0].invoke(fadd));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E8 — the Theorem 5 register-elimination compiler.
+//!
+//! Measures (a) the pure rewrite (`eliminate_registers`) and (b) the
+//! full certified pipeline (`check_theorem5`: bounds + rewrite + re-model
+//! checking over all input vectors), per protocol × substrate. Expected
+//! shape: the rewrite is microseconds; re-verification dominates and
+//! grows with the eliminated system's state space (recipe substrates
+//! with longer reader sequences cost more than native `T_1u` bits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfc_bench::{register_protocols, substrates};
+use wfc_core::{access_bounds, check_theorem5, eliminate_registers};
+use wfc_explorer::ExploreOptions;
+
+fn bench_transform(c: &mut Criterion) {
+    let opts = ExploreOptions::default();
+
+    let mut g = c.benchmark_group("e8_rewrite_only");
+    for (plabel, build) in register_protocols() {
+        let bounds = access_bounds(2, build, &opts).unwrap();
+        let cs = build(&[true, false]);
+        for (slabel, source) in substrates() {
+            g.bench_with_input(
+                BenchmarkId::new(plabel, &slabel),
+                &source,
+                |b, source| {
+                    b.iter(|| {
+                        black_box(eliminate_registers(&cs, &bounds.registers, source).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e8_full_pipeline");
+    g.sample_size(10);
+    for (plabel, build) in register_protocols() {
+        for (slabel, source) in substrates() {
+            g.bench_with_input(
+                BenchmarkId::new(plabel, &slabel),
+                &source,
+                |b, source| {
+                    b.iter(|| black_box(check_theorem5(2, build, source, &opts).unwrap()))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E9 — re-verifying the hierarchy catalog.
+//!
+//! Measures `verify_entry` per catalog row: the cheap rows (definitional
+//! or cited) versus the heavyweight ones whose `h_m` lower bound reruns
+//! the whole Theorem 5 pipeline. Expected shape: orders of magnitude
+//! between a triviality check and a full register-elimination proof.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfc_hierarchy::{catalog, verify_entry};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_verify_entry");
+    g.sample_size(10);
+    for entry in catalog() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(entry.ty.name().to_owned()),
+            &entry,
+            |b, e| b.iter(|| black_box(verify_entry(e))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

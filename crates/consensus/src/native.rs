@@ -1,0 +1,358 @@
+//! Native wait-free consensus protocols over real shared objects.
+//!
+//! One protocol per classical base object, each packaged as a set of
+//! per-process [`Proposer`] handles:
+//!
+//! * [`cas_consensus`] — from compare-and-swap; any number of processes
+//!   (consensus number ∞, Herlihy \[7\]).
+//! * [`tas_consensus_2`] — from one test-and-set plus two SRSW announce
+//!   registers; two processes (consensus number 2).
+//! * [`fetch_add_consensus_2`] — from one fetch-and-add plus announce
+//!   registers; two processes.
+//! * [`queue_consensus_2`] — from one pre-filled FIFO queue plus announce
+//!   registers; two processes (Herlihy \[7\]).
+//! * [`sticky_consensus`] — from one sticky bit; any number of processes,
+//!   binary values (Plotkin \[19\]).
+//!
+//! The announce registers are deliberately taken from `wfc-registers`'
+//! single-reader single-writer atomic cells: these are precisely the
+//! "registers" whose dispensability the paper proves (Theorem 5), and the
+//! spec-level twins of these protocols in [`crate::spec_protocols`] are
+//! what the register-elimination compiler of `wfc-core` transforms.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+use wfc_registers::{atomic_reg, AtomicRegReader, AtomicRegWriter, RegReader, RegWriter};
+
+/// A per-process handle on a single-shot consensus object.
+///
+/// Consuming `self` enforces the one-shot discipline: a process proposes
+/// at most once (later invocations of the paper's consensus type return
+/// the same value anyway, so the caller can cache the result).
+pub trait Proposer: Send {
+    /// Proposes `value`; returns the consensus value all processes agree
+    /// on. Wait-free: completes in a bounded number of the caller's steps.
+    fn propose(self, value: u64) -> u64;
+}
+
+/// Consensus for `n` processes from a single compare-and-swap cell.
+///
+/// The first successful CAS installs its proposer's value; everyone reads
+/// the installed value. Returns one handle per process.
+///
+/// # Examples
+///
+/// ```
+/// use wfc_consensus::{cas_consensus, Proposer};
+/// use wfc_runtime::run_threads;
+///
+/// let handles = cas_consensus(4);
+/// let decisions = run_threads(
+///     handles
+///         .into_iter()
+///         .enumerate()
+///         .map(|(k, h)| move || h.propose(k as u64))
+///         .collect::<Vec<_>>(),
+/// );
+/// assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+/// ```
+pub fn cas_consensus(n: usize) -> Vec<CasProposer> {
+    // 0 encodes "empty"; proposals are stored as value + 1.
+    let cell = Arc::new(AtomicU64::new(0));
+    (0..n)
+        .map(|_| CasProposer {
+            cell: Arc::clone(&cell),
+        })
+        .collect()
+}
+
+/// Handle of [`cas_consensus`].
+#[derive(Debug)]
+pub struct CasProposer {
+    cell: Arc<AtomicU64>,
+}
+
+impl Proposer for CasProposer {
+    fn propose(self, value: u64) -> u64 {
+        assert!(value < u64::MAX, "value too large to encode");
+        let _ = self
+            .cell
+            .compare_exchange(0, value + 1, Ordering::AcqRel, Ordering::Acquire);
+        self.cell.load(Ordering::Acquire) - 1
+    }
+}
+
+/// Two-process consensus from one test-and-set bit and two single-reader
+/// single-writer announce registers.
+///
+/// Each process announces its value, then races on the test-and-set; the
+/// winner decides its own value, the loser reads the winner's
+/// announcement. The winner's announcement necessarily precedes its
+/// test-and-set, so the loser's read observes it.
+pub fn tas_consensus_2() -> [TasProposer; 2] {
+    let tas = Arc::new(AtomicBool::new(false));
+    // announce[p] is written by p and read only by 1 - p: SRSW.
+    let (w0, r0) = atomic_reg(0u64);
+    let (w1, r1) = atomic_reg(0u64);
+    [
+        TasProposer {
+            tas: Arc::clone(&tas),
+            announce: w0,
+            peer: r1,
+        },
+        TasProposer {
+            tas,
+            announce: w1,
+            peer: r0,
+        },
+    ]
+}
+
+/// Handle of [`tas_consensus_2`].
+#[derive(Debug)]
+pub struct TasProposer {
+    tas: Arc<AtomicBool>,
+    announce: AtomicRegWriter<u64>,
+    peer: AtomicRegReader<u64>,
+}
+
+impl Proposer for TasProposer {
+    fn propose(mut self, value: u64) -> u64 {
+        self.announce.write(value);
+        let lost = self.tas.swap(true, Ordering::AcqRel);
+        if lost {
+            self.peer.read()
+        } else {
+            value
+        }
+    }
+}
+
+/// Two-process consensus from one fetch-and-add counter and announce
+/// registers: the process that increments first (sees 0) wins.
+pub fn fetch_add_consensus_2() -> [FetchAddProposer; 2] {
+    let counter = Arc::new(AtomicU64::new(0));
+    let (w0, r0) = atomic_reg(0u64);
+    let (w1, r1) = atomic_reg(0u64);
+    [
+        FetchAddProposer {
+            counter: Arc::clone(&counter),
+            announce: w0,
+            peer: r1,
+        },
+        FetchAddProposer {
+            counter,
+            announce: w1,
+            peer: r0,
+        },
+    ]
+}
+
+/// Handle of [`fetch_add_consensus_2`].
+#[derive(Debug)]
+pub struct FetchAddProposer {
+    counter: Arc<AtomicU64>,
+    announce: AtomicRegWriter<u64>,
+    peer: AtomicRegReader<u64>,
+}
+
+impl Proposer for FetchAddProposer {
+    fn propose(mut self, value: u64) -> u64 {
+        self.announce.write(value);
+        if self.counter.fetch_add(1, Ordering::AcqRel) == 0 {
+            value
+        } else {
+            self.peer.read()
+        }
+    }
+}
+
+/// Two-process consensus from a FIFO queue pre-filled with a single
+/// "winner" token, plus announce registers (Herlihy \[7\]).
+///
+/// Both processes dequeue once; exactly one gets the token.
+pub fn queue_consensus_2() -> [QueueProposer; 2] {
+    let queue = Arc::new(ArrayQueue::new(1));
+    queue.push(()).expect("fresh queue has capacity");
+    let (w0, r0) = atomic_reg(0u64);
+    let (w1, r1) = atomic_reg(0u64);
+    [
+        QueueProposer {
+            queue: Arc::clone(&queue),
+            announce: w0,
+            peer: r1,
+        },
+        QueueProposer {
+            queue,
+            announce: w1,
+            peer: r0,
+        },
+    ]
+}
+
+/// Handle of [`queue_consensus_2`].
+#[derive(Debug)]
+pub struct QueueProposer {
+    queue: Arc<ArrayQueue<()>>,
+    announce: AtomicRegWriter<u64>,
+    peer: AtomicRegReader<u64>,
+}
+
+impl Proposer for QueueProposer {
+    fn propose(mut self, value: u64) -> u64 {
+        self.announce.write(value);
+        if self.queue.pop().is_some() {
+            value
+        } else {
+            self.peer.read()
+        }
+    }
+}
+
+/// Binary consensus for `n` processes from a single sticky bit
+/// (Plotkin \[19\]): the first write sticks and every write reports the
+/// stuck value, so a write *is* a proposal. No registers needed.
+///
+/// # Panics
+///
+/// [`Proposer::propose`] panics if `value` is not 0 or 1.
+pub fn sticky_consensus(n: usize) -> Vec<StickyProposer> {
+    // 0 = unwritten; v + 1 = stuck at v.
+    let bit = Arc::new(AtomicU64::new(0));
+    (0..n)
+        .map(|_| StickyProposer {
+            bit: Arc::clone(&bit),
+        })
+        .collect()
+}
+
+/// Handle of [`sticky_consensus`].
+#[derive(Debug)]
+pub struct StickyProposer {
+    bit: Arc<AtomicU64>,
+}
+
+impl Proposer for StickyProposer {
+    fn propose(self, value: u64) -> u64 {
+        assert!(value <= 1, "sticky-bit consensus is binary");
+        let _ = self
+            .bit
+            .compare_exchange(0, value + 1, Ordering::AcqRel, Ordering::Acquire);
+        self.bit.load(Ordering::Acquire) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfc_runtime::run_threads;
+
+    fn check_agreement_validity(decisions: &[u64], proposals: &[u64]) {
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "agreement violated: {decisions:?}"
+        );
+        assert!(
+            proposals.contains(&decisions[0]),
+            "validity violated: decided {} not in {proposals:?}",
+            decisions[0]
+        );
+    }
+
+    #[test]
+    fn cas_consensus_agrees_under_contention() {
+        for _ in 0..50 {
+            let handles = cas_consensus(4);
+            let proposals: Vec<u64> = (0..4).map(|k| k + 10).collect();
+            let ps = proposals.clone();
+            let decisions = run_threads(
+                handles
+                    .into_iter()
+                    .zip(ps)
+                    .map(|(h, v)| move || h.propose(v))
+                    .collect::<Vec<_>>(),
+            );
+            check_agreement_validity(&decisions, &proposals);
+        }
+    }
+
+    #[test]
+    fn tas_consensus_2_agrees_under_contention() {
+        for round in 0..100 {
+            let [a, b] = tas_consensus_2();
+            let proposals = [round % 2, 1 - round % 2];
+            let decisions = run_threads(vec![
+                Box::new(move || a.propose(proposals[0])) as Box<dyn FnOnce() -> u64 + Send>,
+                Box::new(move || b.propose(proposals[1])),
+            ]);
+            check_agreement_validity(&decisions, &proposals);
+        }
+    }
+
+    #[test]
+    fn fetch_add_consensus_2_agrees_under_contention() {
+        for round in 0..100u64 {
+            let [a, b] = fetch_add_consensus_2();
+            let proposals = [round, round + 1];
+            let decisions = run_threads(vec![
+                Box::new(move || a.propose(proposals[0])) as Box<dyn FnOnce() -> u64 + Send>,
+                Box::new(move || b.propose(proposals[1])),
+            ]);
+            check_agreement_validity(&decisions, &proposals);
+        }
+    }
+
+    #[test]
+    fn queue_consensus_2_agrees_under_contention() {
+        for round in 0..100u64 {
+            let [a, b] = queue_consensus_2();
+            let proposals = [2 * round, 2 * round + 1];
+            let decisions = run_threads(vec![
+                Box::new(move || a.propose(proposals[0])) as Box<dyn FnOnce() -> u64 + Send>,
+                Box::new(move || b.propose(proposals[1])),
+            ]);
+            check_agreement_validity(&decisions, &proposals);
+        }
+    }
+
+    #[test]
+    fn sticky_consensus_agrees_for_many_processes() {
+        for _ in 0..50 {
+            let n = 6;
+            let handles = sticky_consensus(n);
+            let proposals: Vec<u64> = (0..n as u64).map(|k| k % 2).collect();
+            let ps = proposals.clone();
+            let decisions = run_threads(
+                handles
+                    .into_iter()
+                    .zip(ps)
+                    .map(|(h, v)| move || h.propose(v))
+                    .collect::<Vec<_>>(),
+            );
+            check_agreement_validity(&decisions, &proposals);
+        }
+    }
+
+    #[test]
+    fn solo_proposals_decide_own_value() {
+        let handles = cas_consensus(1);
+        assert_eq!(handles.into_iter().next().unwrap().propose(9), 9);
+        let [a, _b] = tas_consensus_2();
+        assert_eq!(a.propose(3), 3);
+        let [a, _b] = queue_consensus_2();
+        assert_eq!(a.propose(5), 5);
+        let [a, _b] = fetch_add_consensus_2();
+        assert_eq!(a.propose(7), 7);
+        let handles = sticky_consensus(3);
+        assert_eq!(handles.into_iter().next().unwrap().propose(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn sticky_rejects_non_binary() {
+        let handles = sticky_consensus(1);
+        let _ = handles.into_iter().next().unwrap().propose(2);
+    }
+}

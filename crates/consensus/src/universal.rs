@@ -1,0 +1,277 @@
+//! Herlihy's universal construction (paper, Section 2.3; Herlihy \[7\]).
+//!
+//! Consensus is *universal*: consensus objects plus registers wait-free
+//! implement any type. This module realises the classical construction
+//! for `wfc-spec` finite types: operations are agreed into a shared log,
+//! one consensus object per log slot, and every process deterministically
+//! replays the log to compute responses.
+//!
+//! Wait-freedom comes from *helping*: each process announces its pending
+//! operation in a register, and the convention that slot `k` prefers the
+//! announced operation of process `k mod n` guarantees that an announced
+//! operation is adopted within `n` slot decisions.
+//!
+//! The consensus objects here are CAS cells (consensus number ∞) and the
+//! announce array is a register — exactly the "consensus + registers"
+//! recipe of the cited theorem. The log is pre-allocated with a fixed
+//! capacity; a real system would grow it, but unbounded allocation is
+//! outside the paper's model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wfc_spec::{FiniteType, InvId, PortId, RespId, StateId};
+
+/// Encodes (process, invocation, sequence) into a nonzero u64 log entry.
+fn encode(process: usize, inv: InvId, seq: u32) -> u64 {
+    1 + ((process as u64) << 48 | (inv.index() as u64) << 32 | seq as u64)
+}
+
+fn decode(entry: u64) -> (usize, InvId, u32) {
+    let e = entry - 1;
+    (
+        (e >> 48) as usize,
+        InvId::new(((e >> 32) & 0xFFFF) as usize),
+        (e & 0xFFFF_FFFF) as u32,
+    )
+}
+
+#[derive(Debug)]
+struct Shared {
+    ty: Arc<FiniteType>,
+    init: StateId,
+    /// Log slots: 0 = undecided, otherwise an encoded operation. Each slot
+    /// is a one-shot CAS consensus object.
+    log: Vec<AtomicU64>,
+    /// announce[p]: p's pending encoded operation (0 = none).
+    announce: Vec<AtomicU64>,
+}
+
+/// A wait-free linearizable object of an arbitrary finite type, built
+/// from consensus objects and registers.
+#[derive(Debug)]
+pub struct UniversalObject {
+    shared: Arc<Shared>,
+}
+
+impl UniversalObject {
+    /// Creates a universal implementation of `ty` starting at `init`,
+    /// capable of `capacity` total operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is out of range.
+    pub fn new(ty: Arc<FiniteType>, init: StateId, capacity: usize) -> Self {
+        assert!(init.index() < ty.state_count(), "initial state out of range");
+        let n = ty.ports();
+        UniversalObject {
+            shared: Arc::new(Shared {
+                init,
+                log: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+                announce: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                ty,
+            }),
+        }
+    }
+
+    /// Consumes the object, returning one handle per port.
+    pub fn ports(self) -> Vec<UniversalHandle> {
+        (0..self.shared.ty.ports())
+            .map(|p| UniversalHandle {
+                shared: Arc::clone(&self.shared),
+                port: PortId::new(p),
+                seq: 0,
+            })
+            .collect()
+    }
+}
+
+/// Per-process handle on a [`UniversalObject`].
+#[derive(Debug)]
+pub struct UniversalHandle {
+    shared: Arc<Shared>,
+    port: PortId,
+    seq: u32,
+}
+
+impl UniversalHandle {
+    /// The port this handle owns.
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// Applies `inv` to the shared object and returns its response.
+    ///
+    /// Wait-free: completes within `O(n + log length)` steps of the
+    /// caller thanks to the helping rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pre-allocated log capacity is exhausted or `inv` is
+    /// out of range. For nondeterministic types the replay resolves each
+    /// outcome set to its first element so that all processes agree on
+    /// the replayed state.
+    pub fn invoke(&mut self, inv: InvId) -> RespId {
+        let me = self.port.index();
+        let n = self.shared.announce.len();
+        self.seq += 1;
+        let my_op = encode(me, inv, self.seq);
+        self.shared.announce[me].store(my_op, Ordering::SeqCst);
+        // Find the first undecided slot we could possibly land in.
+        let mut k = 0;
+        loop {
+            assert!(k < self.shared.log.len(), "universal log capacity exhausted");
+            let slot = &self.shared.log[k];
+            let current = slot.load(Ordering::SeqCst);
+            if current == 0 {
+                // Helping rule: slot k belongs first to process k mod n's
+                // announced operation, if it has one still pending.
+                let preferred_owner = k % n;
+                let announced = self.shared.announce[preferred_owner].load(Ordering::SeqCst);
+                let candidate = if announced != 0 && !self.applied_before(announced, k) {
+                    announced
+                } else {
+                    my_op
+                };
+                let _ = slot.compare_exchange(0, candidate, Ordering::SeqCst, Ordering::SeqCst);
+                // Re-read; someone (possibly us) decided the slot.
+            }
+            let decided = slot.load(Ordering::SeqCst);
+            debug_assert_ne!(decided, 0);
+            if decided == my_op {
+                self.shared.announce[me].store(0, Ordering::SeqCst);
+                return self.replay_response(k);
+            }
+            k += 1;
+        }
+    }
+
+    /// Convenience: invoke by name, returning the response name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inv` is not an invocation of the type.
+    pub fn invoke_named(&mut self, inv: &str) -> String {
+        let ty = Arc::clone(&self.shared.ty);
+        let inv = ty
+            .invocation_id(inv)
+            .unwrap_or_else(|| panic!("no invocation `{inv}` on {}", ty.name()));
+        ty.response_name(self.invoke(inv)).to_owned()
+    }
+
+    /// Has `op` already been installed in log slots `0..limit`?
+    fn applied_before(&self, op: u64, limit: usize) -> bool {
+        self.shared.log[..limit]
+            .iter()
+            .any(|slot| slot.load(Ordering::SeqCst) == op)
+    }
+
+    /// Replays the log through slot `upto` and returns the response of
+    /// the operation decided there.
+    fn replay_response(&self, upto: usize) -> RespId {
+        let ty = &self.shared.ty;
+        let mut state = self.shared.init;
+        let mut resp = None;
+        for slot in &self.shared.log[..=upto] {
+            let entry = slot.load(Ordering::SeqCst);
+            debug_assert_ne!(entry, 0, "prefix of a decided slot is decided");
+            let (proc, inv, _seq) = decode(entry);
+            // Deterministic replay: resolve nondeterminism to the first
+            // outcome so all processes compute identical states.
+            let out = ty.outcomes(state, PortId::new(proc), inv)[0];
+            state = out.next;
+            resp = Some(out.resp);
+        }
+        resp.expect("replay covered at least one slot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfc_runtime::run_threads;
+    use wfc_spec::canonical;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let e = encode(3, InvId::new(7), 42);
+        assert_eq!(decode(e), (3, InvId::new(7), 42));
+        assert_ne!(e, 0);
+    }
+
+    #[test]
+    fn sequential_queue_behaviour() {
+        let ty = Arc::new(canonical::queue(2, 2, 2));
+        let init = ty.state_id("⟨⟩").unwrap();
+        let obj = UniversalObject::new(Arc::clone(&ty), init, 64);
+        let mut hs = obj.ports();
+        assert_eq!(hs[0].invoke_named("enq1"), "ok");
+        assert_eq!(hs[1].invoke_named("enq0"), "ok");
+        assert_eq!(hs[0].invoke_named("deq"), "1", "FIFO order");
+        assert_eq!(hs[1].invoke_named("deq"), "0");
+        assert_eq!(hs[0].invoke_named("deq"), "empty");
+    }
+
+    #[test]
+    fn concurrent_tas_has_one_winner() {
+        for _ in 0..20 {
+            let ty = Arc::new(canonical::test_and_set(4));
+            let init = ty.state_id("unset").unwrap();
+            let obj = UniversalObject::new(Arc::clone(&ty), init, 64);
+            let results = run_threads(
+                obj.ports()
+                    .into_iter()
+                    .map(|mut h| move || h.invoke_named("test_and_set"))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                results.iter().filter(|r| r.as_str() == "0").count(),
+                1,
+                "exactly one winner: {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_history_linearizes_against_the_type() {
+        use wfc_explorer::linearizability::is_linearizable;
+        use wfc_runtime::EventLog;
+
+        let ty = Arc::new(canonical::fetch_and_add(8, 3));
+        let init = ty.state_id("0").unwrap();
+        for _ in 0..10 {
+            let obj = UniversalObject::new(Arc::clone(&ty), init, 64);
+            let log = EventLog::new();
+            let fadd = ty.invocation_id("fetch_add").unwrap();
+            run_threads(
+                obj.ports()
+                    .into_iter()
+                    .map(|mut h| {
+                        let log = &log;
+                        move || {
+                            for _ in 0..2 {
+                                let t0 = log.stamp();
+                                let resp = h.invoke(fadd);
+                                let t1 = log.stamp();
+                                log.record(h.port(), fadd, resp, t0, t1);
+                            }
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            let h = log.take_history();
+            assert!(is_linearizable(&ty, init, &h), "history: {h:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn capacity_exhaustion_is_loud() {
+        let ty = Arc::new(canonical::test_and_set(2));
+        let init = ty.state_id("unset").unwrap();
+        let obj = UniversalObject::new(Arc::clone(&ty), init, 1);
+        let mut hs = obj.ports();
+        let _ = hs[0].invoke_named("read");
+        let _ = hs[0].invoke_named("read"); // second op overflows the log
+    }
+}

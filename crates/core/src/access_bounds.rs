@@ -1,0 +1,180 @@
+//! Access bounds in wait-free consensus (paper, Section 4.2).
+//!
+//! The paper's argument: model all executions of a wait-free consensus
+//! implementation as `2^n` trees (one per input vector); wait-freedom
+//! plus König's Lemma make every tree finite; hence there is a depth
+//! bound `D`, and no object is accessed more than `D` times — in
+//! particular every register bit `b` has finite read/write bounds
+//! `r_b, w_b`.
+//!
+//! [`access_bounds`] computes all of this *exactly* for a concrete
+//! protocol: per-tree depths, `D`, and per-register `(r_b, w_b)` maxima
+//! over every execution of every tree. These bounds are what sizes the
+//! one-use-bit arrays in the Theorem 5 compiler ([`crate::transform`]).
+
+use wfc_consensus::{binary_input_vectors, ConsensusSystem};
+use wfc_explorer::{explore, ExploreOptions, ExplorerError};
+
+/// Read/write bounds for one register across all execution trees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegisterBounds {
+    /// The register's object index (within each per-vector system).
+    pub obj: usize,
+    /// `r_b`: the maximum number of reads in any execution.
+    pub reads: u32,
+    /// `w_b`: the maximum number of writes in any execution.
+    pub writes: u32,
+}
+
+/// The Section 4.2 analysis result for one consensus implementation.
+#[derive(Clone, Debug)]
+pub struct AccessBounds {
+    /// Depth `d` of each of the `2^n` execution trees, in
+    /// lexicographic input order.
+    pub depth_per_tree: Vec<usize>,
+    /// The paper's `D`: the maximum depth over all trees.
+    pub d_max: usize,
+    /// Per-register read/write bounds, maxima over all trees.
+    pub registers: Vec<RegisterBounds>,
+    /// Total distinct configurations explored across all trees.
+    pub total_configs: usize,
+}
+
+impl AccessBounds {
+    /// The total number of one-use bits the Section 4.3 replacement will
+    /// allocate: `Σ_b r_b · (w_b + 1)`.
+    pub fn one_use_bits_required(&self) -> usize {
+        self.registers
+            .iter()
+            .map(|r| crate::bounded_bit::cost(r.reads as usize, r.writes as usize))
+            .sum()
+    }
+
+    /// The paper's generic sizing: it proves only `r_b = w_b = D` and
+    /// sizes every array uniformly (Section 4.2 closes with exactly this
+    /// choice). Returns bounds with every register widened to `(D, D)` —
+    /// the ablation baseline against the exact per-register bounds this
+    /// analysis computes. Oversized arrays stay correct; they only waste
+    /// one-use bits (`D·(D+1)` per register instead of `r_b·(w_b+1)`).
+    pub fn paper_uniform(&self) -> Vec<RegisterBounds> {
+        let d = self.d_max as u32;
+        self.registers
+            .iter()
+            .map(|r| RegisterBounds {
+                obj: r.obj,
+                reads: d,
+                writes: d,
+            })
+            .collect()
+    }
+}
+
+/// Computes the paper's Section 4.2 quantities for a consensus protocol
+/// given as a per-input-vector builder.
+///
+/// Wait-freedom is verified as a side effect (a non-wait-free protocol
+/// has no access bounds; the paper's König argument is exactly this
+/// dichotomy).
+///
+/// # Errors
+///
+/// Propagates exploration failures, notably
+/// [`ExplorerError::NotWaitFree`].
+pub fn access_bounds(
+    n: usize,
+    build: impl Fn(&[bool]) -> ConsensusSystem,
+    opts: &ExploreOptions,
+) -> Result<AccessBounds, ExplorerError> {
+    let mut depth_per_tree = Vec::new();
+    let mut total_configs = 0usize;
+    let mut registers: Vec<RegisterBounds> = Vec::new();
+    for inputs in binary_input_vectors(n) {
+        let cs = build(&inputs);
+        let e = explore(&cs.system, opts)?;
+        depth_per_tree.push(e.depth);
+        total_configs += e.configs;
+        for (k, info) in cs.registers.iter().enumerate() {
+            let ty = cs.system.objects()[info.obj].ty();
+            let read_ix = ty
+                .invocation_id("read")
+                .expect("register type has a read")
+                .index();
+            let reads = e.access.max_for(info.obj, read_ix);
+            // Writes: sum the per-value write maxima — a safe upper bound
+            // on writes along any single execution.
+            let writes: u32 = ty
+                .invocations()
+                .filter(|&i| ty.invocation_name(i).starts_with("write"))
+                .map(|i| e.access.max_for(info.obj, i.index()))
+                .sum();
+            match registers.get_mut(k) {
+                Some(slot) => {
+                    debug_assert_eq!(slot.obj, info.obj, "builder must be shape-stable");
+                    slot.reads = slot.reads.max(reads);
+                    slot.writes = slot.writes.max(writes);
+                }
+                None => registers.push(RegisterBounds {
+                    obj: info.obj,
+                    reads,
+                    writes,
+                }),
+            }
+        }
+    }
+    Ok(AccessBounds {
+        d_max: depth_per_tree.iter().copied().max().unwrap_or(0),
+        depth_per_tree,
+        registers,
+        total_configs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfc_consensus::{cas_consensus_system, tas_consensus_system};
+
+    #[test]
+    fn tas_bounds_match_hand_analysis() {
+        let b = access_bounds(
+            2,
+            |i| tas_consensus_system([i[0], i[1]]),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        // Every tree: winner takes 2 steps, loser 3 → d = 5 in all four.
+        assert_eq!(b.depth_per_tree, vec![5, 5, 5, 5]);
+        assert_eq!(b.d_max, 5);
+        // Each announce register: written once by its owner, read at most
+        // once by the loser.
+        assert_eq!(b.registers.len(), 2);
+        for r in &b.registers {
+            assert_eq!((r.reads, r.writes), (1, 1));
+        }
+        // Replacement cost: 2 registers × r·(w+1) = 2 × 2 = 4 one-use bits.
+        assert_eq!(b.one_use_bits_required(), 4);
+    }
+
+    #[test]
+    fn register_free_protocols_have_no_register_bounds() {
+        let b = access_bounds(
+            2,
+            cas_consensus_system,
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(b.registers.is_empty());
+        assert_eq!(b.one_use_bits_required(), 0);
+        assert_eq!(b.d_max, 2);
+    }
+
+    #[test]
+    fn depth_grows_with_process_count() {
+        let b2 = access_bounds(2, cas_consensus_system, &ExploreOptions::default())
+            .unwrap();
+        let b3 = access_bounds(3, cas_consensus_system, &ExploreOptions::default())
+            .unwrap();
+        assert!(b3.d_max > b2.d_max);
+        assert_eq!(b3.depth_per_tree.len(), 8, "2^3 trees");
+    }
+}

@@ -1,0 +1,320 @@
+//! A bounded-use SRSW bit from one-use bits (paper, Section 4.3).
+//!
+//! The paper's central construction: a single-reader single-writer bit
+//! `b`, initialised to `v`, read at most `r_b` times and written at most
+//! `w_b` times (counting only value-*changing* writes), is implemented
+//! from `r_b · (w_b + 1)` one-use bits arranged as a `(w_b + 1) × r_b`
+//! array:
+//!
+//! * each **write** flips every bit of the next row;
+//! * each **read** walks down a fresh **column**, counting fully-flipped
+//!   rows; the parity of that count against the initial value is the
+//!   bit's value.
+//!
+//! Using a fresh column per read guarantees no one-use bit is read twice;
+//! each row is flipped at most once. The extra `(w_b + 1)`-th row is never
+//! written — it only lets the reader's walk terminate uniformly (the
+//! paper makes the same remark).
+//!
+//! [`cost`] is the exact object count `r_b · (w_b + 1)`, the quantity
+//! experiment E4 measures against the paper's formula.
+
+use crate::error::BoundedBitError;
+use crate::one_use::{atomic_one_use_bit, AtomicOneUseReader, AtomicOneUseWriter, OneUseRead, OneUseWrite};
+
+/// The number of one-use bits consumed by the construction:
+/// `reads · (writes + 1)` (paper, Section 4.3).
+pub const fn cost(reads: usize, writes: usize) -> usize {
+    reads * (writes + 1)
+}
+
+/// Builds a bounded SRSW bit over one-use bits supplied by `alloc`,
+/// returning the writer and reader ends.
+///
+/// `init` is the bit's initial value; the budgets are `reads` (`r_b`) and
+/// `writes` (`w_b`, value-changing writes only).
+pub fn bounded_bit_with<W, R>(
+    init: bool,
+    reads: usize,
+    writes: usize,
+    mut alloc: impl FnMut() -> (W, R),
+) -> (BoundedBitWriter<W>, BoundedBitReader<R>)
+where
+    W: OneUseWrite,
+    R: OneUseRead,
+{
+    // bits[i][j]: row i (0 ..= writes), column j (0 .. reads).
+    let mut write_rows = Vec::with_capacity(writes + 1);
+    let mut read_rows = Vec::with_capacity(writes + 1);
+    for _ in 0..=writes {
+        let (ws, rs): (Vec<W>, Vec<R>) = (0..reads).map(|_| alloc()).unzip();
+        write_rows.push(ws.into_iter().map(Some).collect());
+        read_rows.push(rs.into_iter().map(Some).collect());
+    }
+    (
+        BoundedBitWriter {
+            rows: write_rows,
+            i_w: 0,
+            current: init,
+            budget: writes,
+        },
+        BoundedBitReader {
+            rows: read_rows,
+            i_r: 0,
+            j_r: 0,
+            init,
+            budget: reads,
+        },
+    )
+}
+
+/// Builds a bounded SRSW bit over [`atomic_one_use_bit`]s.
+///
+/// # Examples
+///
+/// ```
+/// use wfc_core::bounded_bit;
+///
+/// let (mut w, mut r) = bounded_bit(false, 3, 2);
+/// assert_eq!(r.read()?, false);
+/// w.write(true)?;
+/// assert_eq!(r.read()?, true);
+/// w.write(false)?;
+/// assert_eq!(r.read()?, false);
+/// # Ok::<(), wfc_core::BoundedBitError>(())
+/// ```
+pub fn bounded_bit(
+    init: bool,
+    reads: usize,
+    writes: usize,
+) -> (
+    BoundedBitWriter<AtomicOneUseWriter>,
+    BoundedBitReader<AtomicOneUseReader>,
+) {
+    bounded_bit_with(init, reads, writes, atomic_one_use_bit)
+}
+
+/// Writer end of a bounded bit: flips one row per value-changing write.
+#[derive(Debug)]
+pub struct BoundedBitWriter<W> {
+    rows: Vec<Vec<Option<W>>>,
+    i_w: usize,
+    current: bool,
+    budget: usize,
+}
+
+impl<W: OneUseWrite> BoundedBitWriter<W> {
+    /// Writes `v`. Writing the bit's current value is a no-op and does not
+    /// consume write budget (the paper assumes the writer "only writes
+    /// when its value is being changed"; we enforce the assumption).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundedBitError::WriteBudgetExhausted`] when more than
+    /// `w_b` value-changing writes are attempted.
+    pub fn write(&mut self, v: bool) -> Result<(), BoundedBitError> {
+        if v == self.current {
+            return Ok(());
+        }
+        if self.i_w >= self.budget {
+            return Err(BoundedBitError::WriteBudgetExhausted {
+                budget: self.budget,
+            });
+        }
+        for cell in &mut self.rows[self.i_w] {
+            cell.take().expect("row flipped at most once").write();
+        }
+        self.i_w += 1;
+        self.current = v;
+        Ok(())
+    }
+
+    /// The number of value-changing writes performed so far.
+    pub fn writes_used(&self) -> usize {
+        self.i_w
+    }
+}
+
+/// Reader end of a bounded bit: walks a fresh column per read.
+#[derive(Debug)]
+pub struct BoundedBitReader<R> {
+    rows: Vec<Vec<Option<R>>>,
+    i_r: usize,
+    j_r: usize,
+    init: bool,
+    budget: usize,
+}
+
+impl<R: OneUseRead> BoundedBitReader<R> {
+    /// Reads the bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundedBitError::ReadBudgetExhausted`] when more than
+    /// `r_b` reads are attempted.
+    pub fn read(&mut self) -> Result<bool, BoundedBitError> {
+        if self.j_r >= self.budget {
+            return Err(BoundedBitError::ReadBudgetExhausted {
+                budget: self.budget,
+            });
+        }
+        // Walk down column j_r: count fully flipped rows. The final row
+        // (index = writes budget) is never written, so the walk stops.
+        while self.rows[self.i_r][self.j_r]
+            .take()
+            .expect("each one-use bit read at most once")
+            .read()
+        {
+            self.i_r += 1;
+        }
+        self.j_r += 1;
+        // i_r rows have been completely flipped: the value changed i_r
+        // times from `init`.
+        Ok(self.init ^ (self.i_r % 2 == 1))
+    }
+
+    /// The number of reads performed so far.
+    pub fn reads_used(&self) -> usize {
+        self.j_r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_matches_the_paper_formula() {
+        assert_eq!(cost(1, 1), 2);
+        assert_eq!(cost(3, 2), 9);
+        assert_eq!(cost(10, 0), 10);
+    }
+
+    #[test]
+    fn sequential_alternation_tracks_writes() {
+        let (mut w, mut r) = bounded_bit(true, 5, 4);
+        assert!(r.read().unwrap());
+        w.write(false).unwrap();
+        assert!(!r.read().unwrap());
+        w.write(true).unwrap();
+        w.write(false).unwrap();
+        assert!(!r.read().unwrap());
+        w.write(true).unwrap();
+        assert!(r.read().unwrap());
+        assert_eq!(w.writes_used(), 4);
+        assert_eq!(r.reads_used(), 4);
+    }
+
+    #[test]
+    fn same_value_writes_are_free() {
+        let (mut w, mut r) = bounded_bit(false, 2, 1);
+        w.write(false).unwrap();
+        w.write(false).unwrap();
+        assert_eq!(w.writes_used(), 0);
+        w.write(true).unwrap();
+        assert!(r.read().unwrap());
+    }
+
+    #[test]
+    fn read_budget_is_enforced() {
+        let (_w, mut r) = bounded_bit(false, 1, 1);
+        let _ = r.read().unwrap();
+        assert_eq!(
+            r.read().unwrap_err(),
+            BoundedBitError::ReadBudgetExhausted { budget: 1 }
+        );
+    }
+
+    #[test]
+    fn write_budget_is_enforced() {
+        let (mut w, _r) = bounded_bit(false, 1, 1);
+        w.write(true).unwrap();
+        assert_eq!(
+            w.write(false).unwrap_err(),
+            BoundedBitError::WriteBudgetExhausted { budget: 1 }
+        );
+    }
+
+    #[test]
+    fn multiple_reads_between_writes_are_consistent() {
+        let (mut w, mut r) = bounded_bit(false, 6, 2);
+        assert!(!r.read().unwrap());
+        assert!(!r.read().unwrap());
+        w.write(true).unwrap();
+        assert!(r.read().unwrap());
+        assert!(r.read().unwrap());
+        w.write(false).unwrap();
+        assert!(!r.read().unwrap());
+        assert!(!r.read().unwrap());
+    }
+
+    /// Differential test against a reference bit over random schedules of
+    /// a *sequential* interleaving (reads and writes alternating in all
+    /// orders): the construction must agree with a plain bool whenever
+    /// operations do not overlap.
+    #[test]
+    fn differential_against_reference_bit() {
+        // Enumerate all interleavings of 3 writes (toggle) and 4 reads as
+        // bitmasks: bit k = 1 means step k is a write.
+        for mask in 0u32..(1 << 7) {
+            let writes = (0..7).filter(|k| mask & (1 << k) != 0).count();
+            let reads = 7 - writes;
+            if writes > 3 || reads > 4 {
+                continue;
+            }
+            let (mut w, mut r) = bounded_bit(false, 4.max(reads), 3.max(writes));
+            let mut reference = false;
+            for k in 0..7 {
+                if mask & (1 << k) != 0 {
+                    reference = !reference;
+                    w.write(reference).unwrap();
+                } else {
+                    assert_eq!(r.read().unwrap(), reference, "mask {mask:#b} step {k}");
+                }
+            }
+        }
+    }
+
+    /// Concurrent stress: one writer, one reader, overlapping; the
+    /// recorded history must linearize against the boolean register type.
+    #[test]
+    fn concurrent_history_linearizes() {
+        use wfc_explorer::linearizability::is_linearizable;
+        use wfc_runtime::{run_threads, EventLog};
+        use wfc_spec::{canonical, PortId};
+
+        let ty = canonical::boolean_register(2);
+        let v0 = ty.state_id("v0").unwrap();
+        let read_inv = ty.invocation_id("read").unwrap();
+        let ok = ty.response_id("ok").unwrap();
+        for _ in 0..50 {
+            let (mut w, mut r) = bounded_bit(false, 8, 8);
+            let log = EventLog::new();
+            run_threads(vec![
+                Box::new(|| {
+                    for k in 0..8 {
+                        let v = k % 2 == 0;
+                        let inv = ty
+                            .invocation_id(if v { "write1" } else { "write0" })
+                            .unwrap();
+                        let t0 = log.stamp();
+                        w.write(v).unwrap();
+                        let t1 = log.stamp();
+                        log.record(PortId::new(0), inv, ok, t0, t1);
+                    }
+                }) as Box<dyn FnOnce() + Send>,
+                Box::new(|| {
+                    for _ in 0..8 {
+                        let t0 = log.stamp();
+                        let v = r.read().unwrap();
+                        let t1 = log.stamp();
+                        let resp = ty.response_id(if v { "1" } else { "0" }).unwrap();
+                        log.record(PortId::new(1), read_inv, resp, t0, t1);
+                    }
+                }),
+            ]);
+            let h = log.take_history();
+            assert!(is_linearizable(&ty, v0, &h), "history: {h:?}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Error types for the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from the bounded-bit construction (Section 4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundedBitError {
+    /// The reader exceeded its declared read budget `r_b`.
+    ReadBudgetExhausted {
+        /// The declared budget.
+        budget: usize,
+    },
+    /// The writer exceeded its declared write budget `w_b` (counting only
+    /// value-changing writes, per the paper's convention).
+    WriteBudgetExhausted {
+        /// The declared budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for BoundedBitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundedBitError::ReadBudgetExhausted { budget } => {
+                write!(f, "read budget r_b = {budget} exhausted")
+            }
+            BoundedBitError::WriteBudgetExhausted { budget } => {
+                write!(f, "write budget w_b = {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl Error for BoundedBitError {}
+
+/// An error from deriving a one-use bit out of a type (Section 5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeriveError {
+    /// The type is trivial: no information can be extracted from it, so
+    /// no one-use bit exists. The paper shows such types have
+    /// `h_m^r = h_m = 1` (Theorem 5, first case).
+    Trivial {
+        /// Name of the trivial type.
+        type_name: String,
+    },
+    /// The underlying spec analysis failed (nondeterministic type,
+    /// too few ports, …).
+    Analysis(wfc_spec::AnalysisError),
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::Trivial { type_name } => {
+                write!(f, "type `{type_name}` is trivial; no one-use bit can be derived")
+            }
+            DeriveError::Analysis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for DeriveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeriveError::Analysis(e) => Some(e),
+            DeriveError::Trivial { .. } => None,
+        }
+    }
+}
+
+impl From<wfc_spec::AnalysisError> for DeriveError {
+    fn from(e: wfc_spec::AnalysisError) -> Self {
+        DeriveError::Analysis(e)
+    }
+}
+
+/// An error from the register-elimination compiler (Theorem 5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// A program addresses objects through a computed operand; the
+    /// compiler requires constant object indices to re-map them.
+    DynamicObjectIndex {
+        /// The offending process.
+        process: usize,
+        /// The offending instruction index.
+        at: usize,
+    },
+    /// A process other than the annotated reader/writer accesses a
+    /// register, violating the SRSW discipline the compiler assumes.
+    NotSrsw {
+        /// The register's object index.
+        obj: usize,
+        /// The offending process.
+        process: usize,
+    },
+    /// The annotated writer reads (or the reader writes) the register.
+    WrongRole {
+        /// The register's object index.
+        obj: usize,
+        /// The offending process.
+        process: usize,
+        /// The invocation it performed.
+        inv: String,
+    },
+    /// Access-bound analysis failed (e.g. the input is not wait-free).
+    Explore(wfc_explorer::ExplorerError),
+    /// One-use bits could not be derived from the target type.
+    Derive(DeriveError),
+    /// A rewritten program failed to assemble.
+    Program(wfc_explorer::ProgramError),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::DynamicObjectIndex { process, at } => write!(
+                f,
+                "process {process}, instruction {at}: computed object index not supported"
+            ),
+            TransformError::NotSrsw { obj, process } => write!(
+                f,
+                "register object {obj} accessed by process {process}, violating SRSW annotation"
+            ),
+            TransformError::WrongRole { obj, process, inv } => write!(
+                f,
+                "process {process} performed `{inv}` on register {obj} against its annotated role"
+            ),
+            TransformError::Explore(e) => write!(f, "{e}"),
+            TransformError::Derive(e) => write!(f, "{e}"),
+            TransformError::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for TransformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransformError::Explore(e) => Some(e),
+            TransformError::Derive(e) => Some(e),
+            TransformError::Program(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wfc_explorer::ExplorerError> for TransformError {
+    fn from(e: wfc_explorer::ExplorerError) -> Self {
+        TransformError::Explore(e)
+    }
+}
+
+impl From<DeriveError> for TransformError {
+    fn from(e: DeriveError) -> Self {
+        TransformError::Derive(e)
+    }
+}
+
+impl From<wfc_explorer::ProgramError> for TransformError {
+    fn from(e: wfc_explorer::ProgramError) -> Self {
+        TransformError::Program(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_std_errors_with_sources() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<BoundedBitError>();
+        assert_err::<DeriveError>();
+        assert_err::<TransformError>();
+        let e = TransformError::Derive(DeriveError::Trivial {
+            type_name: "mute".into(),
+        });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("mute"));
+    }
+}

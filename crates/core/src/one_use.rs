@@ -1,0 +1,106 @@
+//! The one-use bit `T_{1u}` at runtime (paper, Section 3).
+//!
+//! A one-use bit is a bit, initially 0, that can be *read at most once*
+//! and *set at most once*. The spec-level type lives in
+//! [`wfc_spec::canonical::one_use_bit`]; this module provides runtime
+//! instances whose use-at-most-once discipline is enforced by the type
+//! system: [`OneUseRead::read`] and [`OneUseWrite::write`] consume their
+//! handle, so a second use is a compile error — the runtime analogue of
+//! the spec's `DEAD` state is simply that no handle remains.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The consuming read capability of a one-use bit.
+pub trait OneUseRead: Send + Sized {
+    /// Reads the bit, consuming the capability.
+    fn read(self) -> bool;
+}
+
+/// The consuming write capability of a one-use bit.
+pub trait OneUseWrite: Send + Sized {
+    /// Sets the bit to 1, consuming the capability.
+    fn write(self);
+}
+
+/// Creates an atomic one-use bit (initially 0), returning its write and
+/// read capabilities.
+///
+/// # Examples
+///
+/// ```
+/// use wfc_core::{atomic_one_use_bit, OneUseRead, OneUseWrite};
+///
+/// let (w, r) = atomic_one_use_bit();
+/// w.write();
+/// assert!(r.read());
+/// // `w.write()` or `r.read()` again would not compile: moved values.
+/// ```
+pub fn atomic_one_use_bit() -> (AtomicOneUseWriter, AtomicOneUseReader) {
+    let cell = Arc::new(AtomicBool::new(false));
+    (
+        AtomicOneUseWriter {
+            cell: Arc::clone(&cell),
+        },
+        AtomicOneUseReader { cell },
+    )
+}
+
+/// Write capability of an [`atomic_one_use_bit`].
+#[derive(Debug)]
+pub struct AtomicOneUseWriter {
+    cell: Arc<AtomicBool>,
+}
+
+/// Read capability of an [`atomic_one_use_bit`].
+#[derive(Debug)]
+pub struct AtomicOneUseReader {
+    cell: Arc<AtomicBool>,
+}
+
+impl OneUseWrite for AtomicOneUseWriter {
+    fn write(self) {
+        self.cell.store(true, Ordering::Release);
+    }
+}
+
+impl OneUseRead for AtomicOneUseReader {
+    fn read(self) -> bool {
+        self.cell.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_bit_reads_zero() {
+        let (_w, r) = atomic_one_use_bit();
+        assert!(!r.read());
+    }
+
+    #[test]
+    fn written_bit_reads_one() {
+        let (w, r) = atomic_one_use_bit();
+        w.write();
+        assert!(r.read());
+    }
+
+    #[test]
+    fn concurrent_read_write_returns_some_bit() {
+        // Overlapping read and write linearize either way; the read may
+        // return 0 or 1 but must not crash or hang.
+        for _ in 0..100 {
+            let (w, r) = atomic_one_use_bit();
+            let results = wfc_runtime::run_threads(vec![
+                Box::new(move || {
+                    w.write();
+                    true
+                }) as Box<dyn FnOnce() -> bool + Send>,
+                Box::new(move || r.read()),
+            ]);
+            assert!(results[0]);
+        }
+    }
+}

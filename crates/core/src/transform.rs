@@ -1,0 +1,381 @@
+//! The register-elimination compiler (paper, Theorem 5).
+//!
+//! Input: a wait-free consensus implementation that uses objects of some
+//! type `T` *plus* single-reader single-writer boolean registers (a
+//! [`ConsensusSystem`] with its registers annotated). Output: an
+//! equivalent implementation that uses **no registers**, assembled from
+//! the paper's ingredients:
+//!
+//! 1. **Section 4.2** — compute exact access bounds `r_b`, `w_b` for each
+//!    register over all executions ([`crate::access_bounds`]).
+//! 2. **Section 4.3** — replace each register with a
+//!    `(w_b + 1) × r_b` array of one-use bits, inlining the row-flipping
+//!    write and column-walking read subroutines into the programs.
+//! 3. **Section 5** — optionally instantiate each one-use bit as one
+//!    object of a non-trivial deterministic type `T`, inlining the
+//!    witness-derived reader/writer sequences ([`OneUseRecipe`]).
+//!
+//! The output is re-model-checked by the caller (see
+//! [`crate::theorem5`]): wait-freedom, agreement and validity must
+//! survive the transformation — that is the computational content of
+//! `h_m^r(T) ≤ h_m(T)`.
+
+use std::sync::Arc;
+
+use wfc_consensus::{ConsensusSystem, SrswRegisterInfo};
+use wfc_explorer::program::{BinOp, Instr, Operand, Program, ProgramBuilder, Var};
+use wfc_explorer::{ObjectInstance, System};
+use wfc_spec::{canonical, PortId};
+
+use crate::access_bounds::RegisterBounds;
+use crate::error::TransformError;
+use crate::recipe::OneUseRecipe;
+
+/// How the compiler realises the one-use bits of step 2.
+#[derive(Clone, Debug)]
+pub enum OneUseSource {
+    /// Use native one-use-bit objects (`T_{1u}` itself): the Section 4.3
+    /// replacement in isolation.
+    OneUseBits,
+    /// Implement each one-use bit from one object of a non-trivial
+    /// deterministic type via the given recipe (Sections 5.1–5.2): the
+    /// full Theorem 5 pipeline.
+    Recipe(OneUseRecipe),
+}
+
+/// The result of register elimination.
+#[derive(Clone, Debug)]
+pub struct EliminatedSystem {
+    /// The register-free implementation.
+    pub system: System,
+    /// Number of one-use bits allocated (`Σ_b r_b · (w_b + 1)`).
+    pub one_use_bits: usize,
+    /// The per-register bounds that sized the arrays.
+    pub register_bounds: Vec<RegisterBounds>,
+}
+
+struct RegisterPlan {
+    info: SrswRegisterInfo,
+    bounds: RegisterBounds,
+    /// Index of the first bit object for this register in the output
+    /// system's object list.
+    base: usize,
+}
+
+/// Rewrites `cs` into a register-free system, sizing the one-use-bit
+/// arrays by `bounds` (obtain them from [`crate::access_bounds`], maxima
+/// over all input vectors, so the same sizes work for every tree).
+///
+/// # Errors
+///
+/// Returns [`TransformError`] when programs address objects dynamically,
+/// when register accesses violate the annotated SRSW roles, or when a
+/// rewritten program fails to assemble.
+pub fn eliminate_registers(
+    cs: &ConsensusSystem,
+    bounds: &[RegisterBounds],
+    source: &OneUseSource,
+) -> Result<EliminatedSystem, TransformError> {
+    let objects = cs.system.objects();
+    let is_register: Vec<bool> = {
+        let mut v = vec![false; objects.len()];
+        for info in &cs.registers {
+            v[info.obj] = true;
+        }
+        v
+    };
+
+    // Survivor remap: old object index → new object index.
+    let mut remap: Vec<Option<usize>> = vec![None; objects.len()];
+    let mut new_objects: Vec<ObjectInstance> = Vec::new();
+    for (k, obj) in objects.iter().enumerate() {
+        if !is_register[k] {
+            remap[k] = Some(new_objects.len());
+            new_objects.push(obj.clone());
+        }
+    }
+
+    // Bit-object template per the source.
+    let one_use_ty = Arc::new(canonical::one_use_bit());
+    let (bit_ty, bit_init, bit_writer_port, bit_reader_port) = match source {
+        OneUseSource::OneUseBits => {
+            let init = one_use_ty.state_id("UNSET").expect("T_1u has UNSET");
+            (Arc::clone(&one_use_ty), init, PortId::new(0), PortId::new(1))
+        }
+        OneUseSource::Recipe(r) => (
+            Arc::clone(r.ty()),
+            r.init(),
+            r.writer_port(),
+            r.reader_port(),
+        ),
+    };
+
+    // Allocate bit arrays.
+    let processes = cs.system.processes();
+    let mut plans: Vec<RegisterPlan> = Vec::new();
+    let mut one_use_bits = 0usize;
+    for info in &cs.registers {
+        let b = bounds
+            .iter()
+            .find(|b| b.obj == info.obj)
+            .copied()
+            .unwrap_or(RegisterBounds {
+                obj: info.obj,
+                reads: 0,
+                writes: 0,
+            });
+        let base = new_objects.len();
+        let count = (b.writes as usize + 1) * b.reads as usize;
+        for _ in 0..count {
+            let mut ports = vec![None; processes];
+            ports[info.writer_process] = Some(bit_writer_port);
+            ports[info.reader_process] = Some(bit_reader_port);
+            new_objects.push(ObjectInstance::new(Arc::clone(&bit_ty), bit_init, ports));
+        }
+        one_use_bits += count;
+        plans.push(RegisterPlan {
+            info: *info,
+            bounds: b,
+            base,
+        });
+    }
+
+    // Rewrite each program.
+    let mut new_programs = Vec::with_capacity(processes);
+    for (p, program) in cs.system.programs().iter().enumerate() {
+        new_programs.push(rewrite_program(
+            p, program, objects, &is_register, &remap, &plans, source,
+        )?);
+    }
+
+    Ok(EliminatedSystem {
+        system: System::new(new_objects, new_programs),
+        one_use_bits,
+        register_bounds: plans.iter().map(|p| p.bounds).collect(),
+    })
+}
+
+/// Rewrites process `p`'s program, inlining register accesses.
+#[allow(clippy::too_many_arguments)]
+fn rewrite_program(
+    p: usize,
+    program: &Program,
+    objects: &[ObjectInstance],
+    is_register: &[bool],
+    remap: &[Option<usize>],
+    plans: &[RegisterPlan],
+    source: &OneUseSource,
+) -> Result<Program, TransformError> {
+    let mut b = ProgramBuilder::new();
+    // Recreate original variables first so operand indices carry over.
+    for (k, &init) in program.init_vars().iter().enumerate() {
+        let v = b.var_init(&format!("v{k}"), init);
+        debug_assert_eq!(v, Var(k));
+    }
+    // Persistent per-register state for this process.
+    let reg_vars: Vec<RegVars> = plans
+        .iter()
+        .enumerate()
+        .map(|(k, plan)| RegVars {
+            i_w: b.var(&format!("reg{k}_i_w")),
+            cur: b.var_init(&format!("reg{k}_cur"), i64::from(plan.info.init)),
+            wj: b.var(&format!("reg{k}_wj")),
+            i_r: b.var(&format!("reg{k}_i_r")),
+            j_r: b.var(&format!("reg{k}_j_r")),
+            t: b.var(&format!("reg{k}_t")),
+            tmp: b.var(&format!("reg{k}_tmp")),
+        })
+        .collect();
+
+    // One label per original instruction boundary (targets of jumps).
+    let labels: Vec<_> = (0..=program.code().len())
+        .map(|_| b.fresh_label())
+        .collect();
+
+    for (at, instr) in program.code().iter().enumerate() {
+        b.bind(labels[at]);
+        match *instr {
+            Instr::Compute { dst, lhs, op, rhs } => b.compute(dst, lhs, op, rhs),
+            Instr::Copy { dst, src } => b.copy(dst, src),
+            Instr::JumpIfZero { cond, target } => b.jump_if_zero(cond, labels[target]),
+            Instr::Jump { target } => b.jump(labels[target]),
+            Instr::Return { value } => b.ret(value),
+            Instr::Invoke { obj, inv, store } => {
+                let Operand::Const(obj_ix) = obj else {
+                    return Err(TransformError::DynamicObjectIndex { process: p, at });
+                };
+                let obj_ix = usize::try_from(obj_ix).map_err(|_| {
+                    TransformError::DynamicObjectIndex { process: p, at }
+                })?;
+                if !is_register.get(obj_ix).copied().unwrap_or(false) {
+                    let new_ix = remap[obj_ix].expect("survivor remapped") as i64;
+                    b.invoke(new_ix, inv, store);
+                    continue;
+                }
+                // A register access: resolve the plan and the role.
+                let (k, plan) = plans
+                    .iter()
+                    .enumerate()
+                    .find(|(_, pl)| pl.info.obj == obj_ix)
+                    .expect("annotated register has a plan");
+                let Operand::Const(inv_ix) = inv else {
+                    return Err(TransformError::DynamicObjectIndex { process: p, at });
+                };
+                let reg_ty = objects[obj_ix].ty();
+                let inv_name = reg_ty
+                    .invocation_name(wfc_spec::InvId::new(inv_ix as usize))
+                    .to_owned();
+                let vars = &reg_vars[k];
+                match inv_name.as_str() {
+                    "read" => {
+                        if p != plan.info.reader_process {
+                            return Err(TransformError::WrongRole {
+                                obj: obj_ix,
+                                process: p,
+                                inv: inv_name,
+                            });
+                        }
+                        emit_read(&mut b, plan, vars, store, source, reg_ty);
+                    }
+                    "write0" | "write1" => {
+                        if p != plan.info.writer_process {
+                            return Err(TransformError::WrongRole {
+                                obj: obj_ix,
+                                process: p,
+                                inv: inv_name,
+                            });
+                        }
+                        let value = i64::from(inv_name == "write1");
+                        emit_write(&mut b, plan, vars, value, store, source, reg_ty);
+                    }
+                    other => {
+                        return Err(TransformError::WrongRole {
+                            obj: obj_ix,
+                            process: p,
+                            inv: other.to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    b.bind(labels[program.code().len()]);
+    b.build().map_err(TransformError::Program)
+}
+
+/// Emits one one-use-bit **write** (set to 1) at the object index held in
+/// `vars.tmp`.
+fn emit_bit_write(b: &mut ProgramBuilder, vars_tmp: Var, source: &OneUseSource) {
+    match source {
+        OneUseSource::OneUseBits => {
+            // T_1u: invocation "write" has index 1 ("read" is 0).
+            b.invoke(vars_tmp, 1_i64, None);
+        }
+        OneUseSource::Recipe(r) => {
+            b.invoke(vars_tmp, r.writer_inv().index() as i64, None);
+        }
+    }
+}
+
+/// Emits one one-use-bit **read** at the object index in `vars.tmp`,
+/// leaving the bit value (0/1) in `vars.t`.
+fn emit_bit_read(b: &mut ProgramBuilder, vars: (Var, Var), source: &OneUseSource) {
+    let (tmp, t) = vars;
+    match source {
+        OneUseSource::OneUseBits => {
+            // T_1u responses: "0" → 0, "1" → 1, so the response *is* the bit.
+            b.invoke(tmp, 0_i64, Some(t));
+        }
+        OneUseSource::Recipe(r) => {
+            for &inv in r.reader_seq() {
+                b.invoke(tmp, inv.index() as i64, Some(t));
+            }
+            // Bit = (last response ≠ H₁'s return value).
+            b.compute(t, t, BinOp::Eq, r.unwritten_last().index() as i64);
+            b.compute(t, 1_i64, BinOp::Sub, t);
+        }
+    }
+}
+
+/// Inlines the Section 4.3 write: flip row `i_w` if the value changes.
+#[allow(clippy::too_many_arguments)]
+fn emit_write(
+    b: &mut ProgramBuilder,
+    plan: &RegisterPlan,
+    vars: &RegVars,
+    value: i64,
+    store: Option<Var>,
+    source: &OneUseSource,
+    reg_ty: &Arc<wfc_spec::FiniteType>,
+) {
+    let r_b = plan.bounds.reads as i64;
+    let skip = b.fresh_label();
+    let loop_top = b.fresh_label();
+    let loop_end = b.fresh_label();
+    // diff = cur - value; if zero, the write is a no-op.
+    b.compute(vars.tmp, vars.cur, BinOp::Sub, value);
+    b.jump_if_zero(vars.tmp, skip);
+    // Flip row i_w: columns 0 .. r_b.
+    b.copy(vars.wj, 0_i64);
+    b.bind(loop_top);
+    b.compute(vars.t, vars.wj, BinOp::Lt, r_b);
+    b.jump_if_zero(vars.t, loop_end);
+    // tmp = base + i_w * r_b + wj.
+    b.compute(vars.tmp, vars.i_w, BinOp::Mul, r_b);
+    b.compute(vars.tmp, vars.tmp, BinOp::Add, vars.wj);
+    b.compute(vars.tmp, vars.tmp, BinOp::Add, plan.base as i64);
+    emit_bit_write(b, vars.tmp, source);
+    b.compute(vars.wj, vars.wj, BinOp::Add, 1_i64);
+    b.jump(loop_top);
+    b.bind(loop_end);
+    b.compute(vars.i_w, vars.i_w, BinOp::Add, 1_i64);
+    b.copy(vars.cur, value);
+    b.bind(skip);
+    if let Some(dst) = store {
+        let ok = reg_ty.response_id("ok").expect("register has ok").index() as i64;
+        b.copy(dst, ok);
+    }
+}
+
+/// Inlines the Section 4.3 read: walk down column `j_r`.
+fn emit_read(
+    b: &mut ProgramBuilder,
+    plan: &RegisterPlan,
+    vars: &RegVars,
+    store: Option<Var>,
+    source: &OneUseSource,
+    _reg_ty: &Arc<wfc_spec::FiniteType>,
+) {
+    let r_b = plan.bounds.reads as i64;
+    let read_top = b.fresh_label();
+    let read_done = b.fresh_label();
+    b.bind(read_top);
+    // tmp = base + i_r * r_b + j_r.
+    b.compute(vars.tmp, vars.i_r, BinOp::Mul, r_b);
+    b.compute(vars.tmp, vars.tmp, BinOp::Add, vars.j_r);
+    b.compute(vars.tmp, vars.tmp, BinOp::Add, plan.base as i64);
+    emit_bit_read(b, (vars.tmp, vars.t), source);
+    b.jump_if_zero(vars.t, read_done);
+    b.compute(vars.i_r, vars.i_r, BinOp::Add, 1_i64);
+    b.jump(read_top);
+    b.bind(read_done);
+    b.compute(vars.j_r, vars.j_r, BinOp::Add, 1_i64);
+    if let Some(dst) = store {
+        // value = (init + i_r) mod 2 — and the register type's responses
+        // "0"/"1" are numbered 0/1, so the value is the response index.
+        b.compute(dst, vars.i_r, BinOp::Add, i64::from(plan.info.init));
+        b.compute(dst, dst, BinOp::Mod, 2_i64);
+    }
+}
+
+/// Persistent per-register variables of one process's rewritten program.
+#[derive(Clone, Copy, Debug)]
+struct RegVars {
+    i_w: Var,
+    cur: Var,
+    wj: Var,
+    i_r: Var,
+    j_r: Var,
+    t: Var,
+    tmp: Var,
+}

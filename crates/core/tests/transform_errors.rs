@@ -1,0 +1,225 @@
+//! Error paths of the register-elimination compiler: malformed inputs
+//! must be rejected with precise diagnostics, not miscompiled.
+
+use std::sync::Arc;
+
+use wfc_consensus::{ConsensusSystem, SrswRegisterInfo};
+use wfc_core::{eliminate_registers, OneUseSource, RegisterBounds, TransformError};
+use wfc_explorer::program::{Operand, ProgramBuilder, Var};
+use wfc_explorer::{ObjectInstance, System};
+use wfc_spec::{canonical, PortId};
+
+fn reg_objects() -> (Arc<wfc_spec::FiniteType>, Vec<ObjectInstance>) {
+    let reg = Arc::new(canonical::boolean_register(2));
+    let v0 = reg.state_id("v0").unwrap();
+    let obj = ObjectInstance::new(
+        Arc::clone(&reg),
+        v0,
+        vec![Some(PortId::new(0)), Some(PortId::new(1))],
+    );
+    (reg, vec![obj])
+}
+
+fn annotation() -> Vec<SrswRegisterInfo> {
+    vec![SrswRegisterInfo {
+        obj: 0,
+        writer_process: 0,
+        reader_process: 1,
+        init: false,
+    }]
+}
+
+fn bounds() -> Vec<RegisterBounds> {
+    vec![RegisterBounds {
+        obj: 0,
+        reads: 1,
+        writes: 1,
+    }]
+}
+
+#[test]
+fn dynamic_object_index_is_rejected() {
+    let (reg, objects) = reg_objects();
+    let write1 = reg.invocation_id("write1").unwrap().index() as i64;
+    let writer = {
+        let mut b = ProgramBuilder::new();
+        let which = b.var("which"); // object index from a variable
+        b.invoke(Operand::Var(which), write1, None);
+        b.ret(0_i64);
+        b.build().unwrap()
+    };
+    let reader = {
+        let mut b = ProgramBuilder::new();
+        b.ret(0_i64);
+        b.build().unwrap()
+    };
+    let cs = ConsensusSystem {
+        system: System::new(objects, vec![writer, reader]),
+        registers: annotation(),
+        inputs: vec![false, false],
+    };
+    // The dynamic index *could* point at the register; the compiler must
+    // refuse rather than guess.
+    let err = eliminate_registers(&cs, &bounds(), &OneUseSource::OneUseBits).unwrap_err();
+    assert!(
+        matches!(err, TransformError::DynamicObjectIndex { process: 0, at: 0 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn reader_writing_the_register_is_rejected() {
+    let (reg, objects) = reg_objects();
+    let write1 = reg.invocation_id("write1").unwrap().index() as i64;
+    let writer = {
+        let mut b = ProgramBuilder::new();
+        b.ret(0_i64);
+        b.build().unwrap()
+    };
+    // The annotated *reader* performs a write: role violation.
+    let rogue_reader = {
+        let mut b = ProgramBuilder::new();
+        b.invoke(0_i64, write1, None);
+        b.ret(0_i64);
+        b.build().unwrap()
+    };
+    let cs = ConsensusSystem {
+        system: System::new(objects, vec![writer, rogue_reader]),
+        registers: annotation(),
+        inputs: vec![false, false],
+    };
+    let err = eliminate_registers(&cs, &bounds(), &OneUseSource::OneUseBits).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TransformError::WrongRole {
+                obj: 0,
+                process: 1,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn writer_reading_the_register_is_rejected() {
+    let (reg, objects) = reg_objects();
+    let read = reg.invocation_id("read").unwrap().index() as i64;
+    // The annotated *writer* reads its own register — that would make it
+    // a second reader, breaking SRSW.
+    let rogue_writer = {
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        b.invoke(0_i64, read, Some(r));
+        b.ret(r);
+        b.build().unwrap()
+    };
+    let reader = {
+        let mut b = ProgramBuilder::new();
+        b.ret(0_i64);
+        b.build().unwrap()
+    };
+    let cs = ConsensusSystem {
+        system: System::new(objects, vec![rogue_writer, reader]),
+        registers: annotation(),
+        inputs: vec![false, false],
+    };
+    let err = eliminate_registers(&cs, &bounds(), &OneUseSource::OneUseBits).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TransformError::WrongRole {
+                obj: 0,
+                process: 0,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn missing_bounds_default_to_zero_budget() {
+    // A register the analysis never saw accessed: zero reads/writes —
+    // elimination allocates no bits for it, and programs that indeed
+    // never touch it still compile and run.
+    let (_reg, objects) = reg_objects();
+    let mk = || {
+        let mut b = ProgramBuilder::new();
+        b.ret(0_i64);
+        b.build().unwrap()
+    };
+    let cs = ConsensusSystem {
+        system: System::new(objects, vec![mk(), mk()]),
+        registers: annotation(),
+        inputs: vec![false, false],
+    };
+    let out = eliminate_registers(&cs, &[], &OneUseSource::OneUseBits).unwrap();
+    assert_eq!(out.one_use_bits, 0);
+    assert_eq!(out.system.objects().len(), 0, "register removed, nothing added");
+    let e = wfc_explorer::explore(&out.system, &wfc_explorer::ExploreOptions::default()).unwrap();
+    assert!(e.decisions_agree());
+}
+
+#[test]
+fn non_wait_free_input_fails_bounds_analysis() {
+    use wfc_core::access_bounds;
+    use wfc_explorer::program::BinOp;
+    // A protocol whose reader spins on the register: no access bounds
+    // exist (König dichotomy), so the pipeline refuses at step 1.
+    let (reg, objects) = reg_objects();
+    let read = reg.invocation_id("read").unwrap().index() as i64;
+    let r1 = reg.response_id("1").unwrap().index() as i64;
+    let build = move |_inputs: &[bool]| {
+        let writer = {
+            let mut b = ProgramBuilder::new();
+            b.ret(0_i64);
+            b.build().unwrap()
+        };
+        let spinner = {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            let t = b.var("t");
+            let top = b.fresh_label();
+            b.bind(top);
+            b.invoke(0_i64, read, Some(r));
+            b.compute(t, r, BinOp::Eq, r1);
+            b.jump_if_zero(t, top);
+            b.ret(0_i64);
+            b.build().unwrap()
+        };
+        ConsensusSystem {
+            system: System::new(objects.clone(), vec![writer, spinner]),
+            registers: annotation(),
+            inputs: vec![false, false],
+        }
+    };
+    let err = access_bounds(2, build, &wfc_explorer::ExploreOptions::default()).unwrap_err();
+    assert_eq!(err, wfc_explorer::ExplorerError::NotWaitFree);
+}
+
+#[test]
+fn var_indices_survive_rewriting() {
+    // Regression guard: the rewriter recreates original variables first,
+    // so `Var(k)` operands keep their meaning. A program whose decision
+    // flows through several variables must decide identically after a
+    // no-register rewrite.
+    let (_reg, objects) = reg_objects();
+    let program = {
+        let mut b = ProgramBuilder::new();
+        let a = b.var_init("a", 5);
+        let c = b.var("c");
+        b.compute(c, a, wfc_explorer::program::BinOp::Add, 2_i64);
+        b.ret(Operand::Var(Var(1)));
+        b.build().unwrap()
+    };
+    let cs = ConsensusSystem {
+        system: System::new(objects, vec![program.clone(), program]),
+        registers: annotation(),
+        inputs: vec![false, false],
+    };
+    let out = eliminate_registers(&cs, &bounds(), &OneUseSource::OneUseBits).unwrap();
+    let e = wfc_explorer::explore(&out.system, &wfc_explorer::ExploreOptions::default()).unwrap();
+    assert_eq!(e.decisions.iter().next().unwrap(), &vec![7, 7]);
+}

@@ -1,0 +1,446 @@
+//! Exhaustive exploration of all interleavings (paper, Section 4.2).
+//!
+//! The paper analyses wait-free implementations through *execution trees*:
+//! nodes are configurations, children are the results of single low-level
+//! operations, and wait-freedom makes every tree finite (König's Lemma).
+//! [`explore`] builds the configuration graph (the tree with shared
+//! subtrees merged), detects infinite executions as cycles, and computes
+//! the quantities the paper's Section 4.2 extracts from the trees:
+//!
+//! * the **depth** `d` — the longest execution, whose maximum over the
+//!   `2^n` input vectors is the paper's bound `D`;
+//! * **per-object access bounds** — for each object and invocation, the
+//!   maximum number of times it is invoked in any execution; for a register
+//!   bit `b`, these are the paper's `r_b` and `w_b`;
+//! * the set of terminal **decision vectors**, from which consensus
+//!   agreement and validity are checked.
+
+use std::collections::BTreeSet;
+
+use crate::error::ExplorerError;
+use crate::graph::ConfigGraph;
+use crate::system::System;
+
+/// Budget knobs for [`explore`] and [`ConfigGraph::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOptions {
+    /// Maximum number of distinct configurations to visit before giving up
+    /// with [`ExplorerError::ConfigBudgetExceeded`].
+    pub max_configs: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_configs: 4_000_000,
+        }
+    }
+}
+
+/// Per-object, per-invocation access maxima over all executions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessTable {
+    /// `counts[obj][inv]` is the maximum number of times `inv` is invoked
+    /// on object `obj` along any execution.
+    counts: Vec<Vec<u32>>,
+}
+
+impl AccessTable {
+    /// Maximum invocations of `inv` on object `obj` in any execution.
+    pub fn max_for(&self, obj: usize, inv: usize) -> u32 {
+        self.counts[obj][inv]
+    }
+
+    /// An upper bound on total accesses of `obj` in any execution — the
+    /// sum of the per-invocation maxima.
+    pub fn upper_bound_for(&self, obj: usize) -> u32 {
+        self.counts[obj].iter().sum()
+    }
+
+    /// Number of objects covered.
+    pub fn objects(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// The result of exhaustively exploring a [`System`].
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Number of distinct configurations (nodes of the merged graph).
+    pub configs: usize,
+    /// Number of edges (single low-level operations).
+    pub edges: usize,
+    /// Number of distinct terminal configurations.
+    pub terminals: usize,
+    /// Length of the longest execution: the paper's tree depth `d`.
+    pub depth: usize,
+    /// `per_process_steps[p]` is the maximum number of shared-memory
+    /// steps process `p` takes in any execution — the constant behind
+    /// wait-freedom ("a finite number of its own steps", Section 1).
+    pub per_process_steps: Vec<u32>,
+    /// All decision vectors observed at terminal configurations.
+    pub decisions: BTreeSet<Vec<i64>>,
+    /// Per-object, per-invocation access bounds.
+    pub access: AccessTable,
+}
+
+impl Exploration {
+    /// `true` if every decision vector is constant: consensus *agreement*.
+    pub fn decisions_agree(&self) -> bool {
+        self.decisions
+            .iter()
+            .all(|v| v.windows(2).all(|w| w[0] == w[1]))
+    }
+
+    /// `true` if every decided value appears in `allowed`: consensus
+    /// *validity* against the set of proposed values.
+    pub fn decisions_within(&self, allowed: &[i64]) -> bool {
+        self.decisions
+            .iter()
+            .all(|v| v.iter().all(|d| allowed.contains(d)))
+    }
+}
+
+/// A concrete execution violating consensus correctness, extracted for
+/// debugging: the schedule (process indices in step order) and the
+/// decisions it leads to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The schedule, one process index per low-level step. For
+    /// nondeterministic objects the adversary's outcome choices are
+    /// implicit in the replayed run.
+    pub schedule: Vec<usize>,
+    /// The terminal decision vector.
+    pub decisions: Vec<i64>,
+    /// `true` if the vector breaks agreement, `false` if it breaks
+    /// validity.
+    pub disagreement: bool,
+}
+
+/// Searches for a single schedule on which `system` violates consensus
+/// agreement or validity (decisions outside `allowed`), returning it for
+/// inspection — the counterexample extractor behind the refutation
+/// tests.
+///
+/// Walks the execution tree path by path (unlike [`explore`], which
+/// merges), so it can reconstruct the schedule; stops at the first
+/// violation.
+///
+/// # Errors
+///
+/// Returns [`ExplorerError`] on malformed programs; the search visits at
+/// most `opts.max_configs` path prefixes.
+pub fn find_violation(
+    system: &System,
+    allowed: &[i64],
+    opts: &ExploreOptions,
+) -> Result<Option<Violation>, ExplorerError> {
+    let init = system.initial_config()?;
+    let mut visited = 0usize;
+    let mut stack = vec![(init, Vec::new())];
+    while let Some((cfg, schedule)) = stack.pop() {
+        visited += 1;
+        if visited > opts.max_configs {
+            return Err(ExplorerError::ConfigBudgetExceeded {
+                budget: opts.max_configs,
+            });
+        }
+        if cfg.is_terminal() {
+            let decisions = cfg.decisions();
+            let disagreement = decisions.windows(2).any(|w| w[0] != w[1]);
+            let invalid = decisions.iter().any(|d| !allowed.contains(d));
+            if disagreement || invalid {
+                return Ok(Some(Violation {
+                    schedule,
+                    decisions,
+                    disagreement,
+                }));
+            }
+            continue;
+        }
+        for p in 0..system.processes() {
+            for child in system.step(&cfg, p)? {
+                let mut s = schedule.clone();
+                s.push(p);
+                stack.push((child, s));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Exhaustively explores every interleaving of `system`.
+///
+/// Wait-freedom is verified as a side effect: an infinite execution exists
+/// iff the configuration graph has a cycle, in which case
+/// [`ExplorerError::NotWaitFree`] is returned — this is the contrapositive
+/// of the paper's König-Lemma argument.
+///
+/// # Errors
+///
+/// Returns [`ExplorerError`] on malformed programs, missing ports, budget
+/// exhaustion, or non-wait-freedom.
+pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, ExplorerError> {
+    let graph = ConfigGraph::build(system, opts)?;
+    if graph.has_cycle {
+        return Err(ExplorerError::NotWaitFree);
+    }
+
+    // Flattened (obj, inv) dimensions for the access table.
+    let mut obj_inv_offsets = Vec::with_capacity(system.objects().len());
+    let mut dims = 0usize;
+    for o in system.objects() {
+        obj_inv_offsets.push(dims);
+        dims += o.ty().invocation_count();
+    }
+
+    let procs = system.processes();
+    let mut depth: Vec<u32> = vec![0; graph.len()];
+    let mut access: Vec<Vec<u32>> = vec![Vec::new(); graph.len()];
+    let mut steps: Vec<Vec<u32>> = vec![Vec::new(); graph.len()];
+    let mut decisions = BTreeSet::new();
+    let mut terminals = 0usize;
+
+    // `post_order` is a reverse topological order on acyclic graphs, so
+    // children are finalized before their parents.
+    for &v in &graph.post_order {
+        let kids = &graph.children[v];
+        if kids.is_empty() {
+            debug_assert!(graph.configs[v].is_terminal(), "only terminals lack children");
+            terminals += 1;
+            decisions.insert(graph.configs[v].decisions());
+            access[v] = vec![0; dims];
+            steps[v] = vec![0; procs];
+            continue;
+        }
+        let mut d = 0u32;
+        let mut acc = vec![0u32; dims];
+        let mut st = vec![0u32; procs];
+        let cfg = &graph.configs[v];
+        for &(p, c) in kids {
+            d = d.max(depth[c] + 1);
+            let a = system
+                .pending_access(cfg, p)?
+                .expect("undecided process has a pending access");
+            let slot = obj_inv_offsets[a.obj] + a.inv.index();
+            for (k, cell) in acc.iter_mut().enumerate() {
+                let child_val = access[c][k] + u32::from(k == slot);
+                *cell = (*cell).max(child_val);
+            }
+            for (q, cell) in st.iter_mut().enumerate() {
+                let child_val = steps[c][q] + u32::from(q == p);
+                *cell = (*cell).max(child_val);
+            }
+        }
+        depth[v] = d;
+        access[v] = acc;
+        steps[v] = st;
+    }
+
+    let per_object = system
+        .objects()
+        .iter()
+        .enumerate()
+        .map(|(oi, o)| {
+            let base = obj_inv_offsets[oi];
+            (0..o.ty().invocation_count())
+                .map(|i| access[graph.root][base + i])
+                .collect()
+        })
+        .collect();
+
+    Ok(Exploration {
+        configs: graph.len(),
+        edges: graph.edges,
+        terminals,
+        depth: depth[graph.root] as usize,
+        per_process_steps: steps[graph.root].clone(),
+        decisions,
+        access: AccessTable { counts: per_object },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Operand, ProgramBuilder};
+    use crate::system::ObjectInstance;
+    use std::sync::Arc;
+    use wfc_spec::canonical;
+
+    /// Two processes each test-and-set once and decide the response.
+    fn tas_race() -> System {
+        let tas = Arc::new(canonical::test_and_set(2));
+        let init = tas.state_id("unset").unwrap();
+        let tas_inv = tas.invocation_id("test_and_set").unwrap();
+        let obj = ObjectInstance::identity_ports(tas, init, 2);
+        let mk = || {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            b.invoke(0_i64, Operand::Const(tas_inv.index() as i64), Some(r));
+            b.ret(r);
+            b.build().unwrap()
+        };
+        System::new(vec![obj], vec![mk(), mk()])
+    }
+
+    #[test]
+    fn tas_race_explores_both_orders() {
+        let e = explore(&tas_race(), &ExploreOptions::default()).unwrap();
+        assert_eq!(e.depth, 2, "each of two processes takes one step");
+        // Either process may win.
+        assert!(e.decisions.contains(&vec![0, 1]));
+        assert!(e.decisions.contains(&vec![1, 0]));
+        assert_eq!(e.decisions.len(), 2);
+        assert!(!e.decisions_agree(), "raw TAS responses disagree");
+        assert!(e.decisions_within(&[0, 1]));
+        // TAS object: invoked at most twice in any execution.
+        assert_eq!(e.access.max_for(0, 0), 2);
+        // Each process takes exactly one shared step in every execution.
+        assert_eq!(e.per_process_steps, vec![1, 1]);
+    }
+
+    /// A process spinning on a register forever: not wait-free.
+    #[test]
+    fn spin_loop_is_not_wait_free() {
+        let reg = Arc::new(canonical::boolean_register(2));
+        let init = reg.state_id("v0").unwrap();
+        let read = reg.invocation_id("read").unwrap();
+        let r1 = reg.response_id("1").unwrap();
+        let obj = ObjectInstance::identity_ports(reg, init, 1);
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        let t = b.var("t");
+        let top = b.fresh_label();
+        b.bind(top);
+        b.invoke(0_i64, Operand::Const(read.index() as i64), Some(r));
+        b.compute(t, r, crate::program::BinOp::Eq, r1.index() as i64);
+        b.jump_if_zero(t, top); // loop until the register reads 1 (never)
+        b.ret(r);
+        let sys = System::new(vec![obj], vec![b.build().unwrap()]);
+        assert_eq!(
+            explore(&sys, &ExploreOptions::default()).unwrap_err(),
+            ExplorerError::NotWaitFree
+        );
+    }
+
+    /// Nondeterministic one-use bit: DEAD reads branch.
+    #[test]
+    fn nondeterminism_multiplies_decisions() {
+        let oub = Arc::new(canonical::one_use_bit());
+        let dead = oub.state_id("DEAD").unwrap();
+        let read = oub.invocation_id("read").unwrap();
+        let obj = ObjectInstance::identity_ports(oub, dead, 1);
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        b.invoke(0_i64, Operand::Const(read.index() as i64), Some(r));
+        b.ret(r);
+        let sys = System::new(vec![obj], vec![b.build().unwrap()]);
+        let e = explore(&sys, &ExploreOptions::default()).unwrap();
+        assert_eq!(e.decisions.len(), 2, "adversary chooses the DEAD read");
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let e = explore(&tas_race(), &ExploreOptions { max_configs: 2 });
+        assert!(matches!(
+            e,
+            Err(ExplorerError::ConfigBudgetExceeded { budget: 2 })
+        ));
+    }
+
+    #[test]
+    fn no_step_system_is_terminal_at_once() {
+        // A program that decides locally without shared access.
+        let reg = Arc::new(canonical::boolean_register(2));
+        let init = reg.state_id("v0").unwrap();
+        let obj = ObjectInstance::identity_ports(reg, init, 1);
+        let mut b = ProgramBuilder::new();
+        b.ret(42_i64);
+        let sys = System::new(vec![obj], vec![b.build().unwrap()]);
+        let e = explore(&sys, &ExploreOptions::default()).unwrap();
+        assert_eq!(e.depth, 0);
+        assert_eq!(e.configs, 1);
+        assert_eq!(e.decisions.iter().next().unwrap(), &vec![42]);
+    }
+
+    #[test]
+    fn find_violation_extracts_a_schedule() {
+        // The raw TAS race "disagrees" by design; the extractor must
+        // return a 2-step schedule ending in distinct decisions.
+        let v = find_violation(&tas_race(), &[0, 1], &ExploreOptions::default())
+            .unwrap()
+            .expect("the race always disagrees");
+        assert_eq!(v.schedule.len(), 2);
+        assert!(v.disagreement);
+        assert_ne!(v.decisions[0], v.decisions[1]);
+    }
+
+    #[test]
+    fn find_violation_reports_none_for_correct_systems() {
+        // A system where both processes decide the constant 7.
+        let reg = Arc::new(canonical::boolean_register(2));
+        let init = reg.state_id("v0").unwrap();
+        let obj = ObjectInstance::identity_ports(reg, init, 2);
+        let mk = || {
+            let mut b = ProgramBuilder::new();
+            b.ret(7_i64);
+            b.build().unwrap()
+        };
+        let sys = System::new(vec![obj], vec![mk(), mk()]);
+        assert_eq!(
+            find_violation(&sys, &[7], &ExploreOptions::default()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn find_violation_flags_validity() {
+        let reg = Arc::new(canonical::boolean_register(2));
+        let init = reg.state_id("v0").unwrap();
+        let obj = ObjectInstance::identity_ports(reg, init, 1);
+        let mut b = ProgramBuilder::new();
+        b.ret(9_i64);
+        let sys = System::new(vec![obj], vec![b.build().unwrap()]);
+        let v = find_violation(&sys, &[0, 1], &ExploreOptions::default())
+            .unwrap()
+            .expect("9 is not a proposed value");
+        assert!(!v.disagreement, "single process cannot disagree");
+        assert_eq!(v.decisions, vec![9]);
+    }
+
+    /// Access bounds separate reads from writes per object.
+    #[test]
+    fn access_bounds_split_by_invocation() {
+        let reg = Arc::new(canonical::boolean_register(2));
+        let init = reg.state_id("v0").unwrap();
+        let read = reg.invocation_id("read").unwrap().index() as i64;
+        let write1 = reg.invocation_id("write1").unwrap().index() as i64;
+        let obj = ObjectInstance::identity_ports(reg.clone(), init, 2);
+        // Process 0 writes twice; process 1 reads three times.
+        let writer = {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            b.invoke(0_i64, write1, Some(r));
+            b.invoke(0_i64, write1, Some(r));
+            b.ret(0_i64);
+            b.build().unwrap()
+        };
+        let reader = {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            for _ in 0..3 {
+                b.invoke(0_i64, read, Some(r));
+            }
+            b.ret(r);
+            b.build().unwrap()
+        };
+        let sys = System::new(vec![obj], vec![writer, reader]);
+        let e = explore(&sys, &ExploreOptions::default()).unwrap();
+        let read_ix = reg.invocation_id("read").unwrap().index();
+        let w1_ix = reg.invocation_id("write1").unwrap().index();
+        assert_eq!(e.access.max_for(0, read_ix), 3);
+        assert_eq!(e.access.max_for(0, w1_ix), 2);
+        assert_eq!(e.depth, 5);
+    }
+}

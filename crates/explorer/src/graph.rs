@@ -1,0 +1,199 @@
+//! The configuration graph of a system.
+//!
+//! The paper reasons about executions as trees (Section 4.2); the
+//! [`ConfigGraph`] is the same object with identical subtrees merged:
+//! nodes are configurations, and an edge `(p, c)` from `v` means process
+//! `p`'s next low-level operation moves the system from `v` to `c`.
+//! Depth, access bounds, decision sets and valency are all computed over
+//! this graph.
+
+use std::collections::HashMap;
+
+use crate::error::ExplorerError;
+use crate::explore::ExploreOptions;
+use crate::system::{Config, System};
+
+/// The reachable configuration graph of a [`System`].
+#[derive(Clone, Debug)]
+pub struct ConfigGraph {
+    /// All distinct configurations, indexed by node id.
+    pub configs: Vec<Config>,
+    /// `children[v]` lists `(process, child)` edges out of `v`.
+    pub children: Vec<Vec<(usize, usize)>>,
+    /// The initial configuration's node id.
+    pub root: usize,
+    /// Total number of edges.
+    pub edges: usize,
+    /// `true` if the graph contains a cycle — i.e. the system admits an
+    /// infinite execution and is **not** wait-free.
+    pub has_cycle: bool,
+    /// A DFS post-order of all nodes. When `has_cycle` is `false`, this is
+    /// a reverse topological order suitable for dynamic programming.
+    pub post_order: Vec<usize>,
+}
+
+impl ConfigGraph {
+    /// Builds the reachable configuration graph of `system`.
+    ///
+    /// Cycles are recorded, not rejected; callers needing wait-freedom
+    /// should inspect [`ConfigGraph::has_cycle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExplorerError`] on malformed programs or when the number
+    /// of configurations exceeds `opts.max_configs`.
+    pub fn build(system: &System, opts: &ExploreOptions) -> Result<ConfigGraph, ExplorerError> {
+        let init = system.initial_config()?;
+        let mut ids: HashMap<Config, usize> = HashMap::new();
+        let mut configs: Vec<Config> = Vec::new();
+        let mut children: Vec<Option<Vec<(usize, usize)>>> = Vec::new();
+
+        fn intern(
+            c: Config,
+            ids: &mut HashMap<Config, usize>,
+            configs: &mut Vec<Config>,
+            children: &mut Vec<Option<Vec<(usize, usize)>>>,
+        ) -> usize {
+            if let Some(&id) = ids.get(&c) {
+                id
+            } else {
+                let id = configs.len();
+                ids.insert(c.clone(), id);
+                configs.push(c);
+                children.push(None);
+                id
+            }
+        }
+
+        let root = intern(init, &mut ids, &mut configs, &mut children);
+
+        // Iterative DFS with colours: 0 white, 1 grey, 2 black.
+        let mut colour: Vec<u8> = vec![1];
+        let mut post_order: Vec<usize> = Vec::new();
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        let mut edges = 0usize;
+        let mut has_cycle = false;
+
+        while let Some(&(v, next_child)) = stack.last() {
+            if children[v].is_none() {
+                let mut kids = Vec::new();
+                let cfg = configs[v].clone();
+                for p in 0..system.processes() {
+                    for child_cfg in system.step(&cfg, p)? {
+                        let id = intern(child_cfg, &mut ids, &mut configs, &mut children);
+                        if id >= colour.len() {
+                            colour.resize(id + 1, 0);
+                        }
+                        kids.push((p, id));
+                    }
+                }
+                if configs.len() > opts.max_configs {
+                    return Err(ExplorerError::ConfigBudgetExceeded {
+                        budget: opts.max_configs,
+                    });
+                }
+                edges += kids.len();
+                children[v] = Some(kids);
+            }
+            let kids = children[v].as_ref().expect("expanded above");
+            if next_child < kids.len() {
+                let (_, c) = kids[next_child];
+                stack.last_mut().expect("non-empty").1 += 1;
+                match colour[c] {
+                    0 => {
+                        colour[c] = 1;
+                        stack.push((c, 0));
+                    }
+                    1 => has_cycle = true,
+                    _ => {}
+                }
+            } else {
+                colour[v] = 2;
+                post_order.push(v);
+                stack.pop();
+            }
+        }
+
+        Ok(ConfigGraph {
+            configs,
+            children: children
+                .into_iter()
+                .map(|c| c.expect("all reachable nodes expanded"))
+                .collect(),
+            root,
+            edges,
+            has_cycle,
+            post_order,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` if the graph has no nodes (never: the root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Node ids of terminal configurations (all processes decided).
+    pub fn terminals(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(|&v| self.configs[v].is_terminal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Operand, ProgramBuilder};
+    use crate::system::ObjectInstance;
+    use std::sync::Arc;
+    use wfc_spec::canonical;
+
+    #[test]
+    fn graph_of_two_step_race_is_a_diamond_plus_tails() {
+        let tas = Arc::new(canonical::test_and_set(2));
+        let init = tas.state_id("unset").unwrap();
+        let tas_inv = tas.invocation_id("test_and_set").unwrap();
+        let obj = ObjectInstance::identity_ports(tas, init, 2);
+        let mk = || {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            b.invoke(0_i64, Operand::Const(tas_inv.index() as i64), Some(r));
+            b.ret(r);
+            b.build().unwrap()
+        };
+        let sys = System::new(vec![obj], vec![mk(), mk()]);
+        let g = ConfigGraph::build(&sys, &ExploreOptions::default()).unwrap();
+        assert!(!g.has_cycle);
+        // root, two intermediate, two terminals (decisions differ by winner).
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.terminals().count(), 2);
+        assert_eq!(g.post_order.len(), g.len());
+        // Post-order ends at the root.
+        assert_eq!(*g.post_order.last().unwrap(), g.root);
+    }
+
+    #[test]
+    fn cycle_is_flagged_not_fatal() {
+        let reg = Arc::new(canonical::boolean_register(2));
+        let init = reg.state_id("v0").unwrap();
+        let read = reg.invocation_id("read").unwrap();
+        let r1 = reg.response_id("1").unwrap();
+        let obj = ObjectInstance::identity_ports(reg, init, 1);
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        let t = b.var("t");
+        let top = b.fresh_label();
+        b.bind(top);
+        b.invoke(0_i64, Operand::Const(read.index() as i64), Some(r));
+        b.compute(t, r, crate::program::BinOp::Eq, r1.index() as i64);
+        b.jump_if_zero(t, top);
+        b.ret(r);
+        let sys = System::new(vec![obj], vec![b.build().unwrap()]);
+        let g = ConfigGraph::build(&sys, &ExploreOptions::default()).unwrap();
+        assert!(g.has_cycle);
+        assert_eq!(g.terminals().count(), 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Systems: shared objects plus one program per process (paper,
+//! Section 2.2).
+//!
+//! A [`System`] is an *implementation* in the paper's sense: a set of
+//! appropriately-initialised objects together with a deterministic program
+//! for each process. A [`Config`] is a node of the paper's execution trees
+//! (Section 4.2): the states of the implementing objects and the "program
+//! counters" of the processes.
+
+use std::sync::Arc;
+
+use wfc_spec::{FiniteType, InvId, PortId, StateId};
+
+use crate::error::ExplorerError;
+use crate::program::{local_run, Instr, ProcState, Program};
+
+/// A shared object instance: its type, initial state, and the port through
+/// which each process accesses it.
+#[derive(Clone, Debug)]
+pub struct ObjectInstance {
+    ty: Arc<FiniteType>,
+    init: StateId,
+    /// `port_of[p]` is the port assigned to process `p`, if any.
+    port_of: Vec<Option<PortId>>,
+}
+
+impl ObjectInstance {
+    /// Creates an instance of `ty` initialised to `init`, with
+    /// `port_of[p]` the port of process `p` (use `None` for processes that
+    /// never access the object).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` or any port is out of range for the type, or if two
+    /// processes share a port (the paper: "at most one process may use a
+    /// port").
+    pub fn new(ty: Arc<FiniteType>, init: StateId, port_of: Vec<Option<PortId>>) -> Self {
+        assert!(init.index() < ty.state_count(), "initial state out of range");
+        let mut used = vec![false; ty.ports()];
+        for port in port_of.iter().flatten() {
+            assert!(port.index() < ty.ports(), "port out of range");
+            assert!(!used[port.index()], "two processes share a port");
+            used[port.index()] = true;
+        }
+        ObjectInstance { ty, init, port_of }
+    }
+
+    /// Convenience: an instance where process `p` uses port `p` directly.
+    /// Requires `ty.ports() >= processes`.
+    pub fn identity_ports(ty: Arc<FiniteType>, init: StateId, processes: usize) -> Self {
+        assert!(ty.ports() >= processes, "type has too few ports");
+        let ports = (0..processes).map(|p| Some(PortId::new(p))).collect();
+        ObjectInstance::new(ty, init, ports)
+    }
+
+    /// The object's type.
+    pub fn ty(&self) -> &Arc<FiniteType> {
+        &self.ty
+    }
+
+    /// The initial state.
+    pub fn init(&self) -> StateId {
+        self.init
+    }
+
+    /// The port assigned to process `p`, if any.
+    pub fn port_of(&self, p: usize) -> Option<PortId> {
+        self.port_of.get(p).copied().flatten()
+    }
+}
+
+/// An implementation: objects plus one program per process.
+#[derive(Clone, Debug)]
+pub struct System {
+    objects: Vec<ObjectInstance>,
+    programs: Vec<Program>,
+}
+
+impl System {
+    /// Creates a system from objects and per-process programs.
+    pub fn new(objects: Vec<ObjectInstance>, programs: Vec<Program>) -> Self {
+        System { objects, programs }
+    }
+
+    /// The shared objects.
+    pub fn objects(&self) -> &[ObjectInstance] {
+        &self.objects
+    }
+
+    /// The per-process programs.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// The number of processes.
+    pub fn processes(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The initial configuration: object initial states and each process's
+    /// state after running its local prefix (up to its first invoke or
+    /// decision).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a local prefix diverges or is malformed.
+    pub fn initial_config(&self) -> Result<Config, ExplorerError> {
+        let mut procs = Vec::with_capacity(self.programs.len());
+        for (p, program) in self.programs.iter().enumerate() {
+            let mut st = ProcState::initial(program);
+            local_run(program, &mut st)
+                .map_err(|source| ExplorerError::Program { process: p, source })?;
+            procs.push(st);
+        }
+        Ok(Config {
+            objects: self.objects.iter().map(|o| o.init()).collect(),
+            procs,
+        })
+    }
+
+    /// The pending shared access of process `p` in `config`, or `None` if
+    /// the process has decided.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pending invocation is malformed (bad object
+    /// index, bad invocation, missing port).
+    pub fn pending_access(
+        &self,
+        config: &Config,
+        p: usize,
+    ) -> Result<Option<Access>, ExplorerError> {
+        let st = &config.procs[p];
+        if st.decided.is_some() {
+            return Ok(None);
+        }
+        let program = &self.programs[p];
+        let Some(&Instr::Invoke { obj, inv, store: _ }) = program.code().get(st.pc) else {
+            // local_run guarantees pc addresses an Invoke for undecided
+            // processes; anything else is a malformed program.
+            return Err(ExplorerError::Program {
+                process: p,
+                source: crate::error::ProgramError::PcOutOfRange { pc: st.pc },
+            });
+        };
+        let obj_ix = st.eval(obj);
+        let obj_usize: usize = obj_ix
+            .try_into()
+            .ok()
+            .filter(|&o: &usize| o < self.objects.len())
+            .ok_or(ExplorerError::NoSuchObject {
+                process: p,
+                obj: obj_ix,
+            })?;
+        let object = &self.objects[obj_usize];
+        let inv_ix = st.eval(inv);
+        let inv_id: usize = inv_ix
+            .try_into()
+            .ok()
+            .filter(|&i: &usize| i < object.ty().invocation_count())
+            .ok_or(ExplorerError::NoSuchInvocation {
+                process: p,
+                obj: obj_usize,
+                inv: inv_ix,
+            })?;
+        let port = object
+            .port_of(p)
+            .ok_or(ExplorerError::NoPortAssigned {
+                process: p,
+                obj: obj_usize,
+            })?;
+        Ok(Some(Access {
+            process: p,
+            obj: obj_usize,
+            inv: InvId::new(inv_id),
+            port,
+        }))
+    }
+
+    /// Applies one step of process `p` in `config`: performs its pending
+    /// access with each possible outcome of the (possibly nondeterministic)
+    /// object and runs the process's local continuation. Returns the
+    /// successor configurations — one per outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed accesses or divergent continuations;
+    /// returns `Ok(vec![])` if the process has already decided.
+    pub fn step(&self, config: &Config, p: usize) -> Result<Vec<Config>, ExplorerError> {
+        let Some(access) = self.pending_access(config, p)? else {
+            return Ok(Vec::new());
+        };
+        let object = &self.objects[access.obj];
+        let program = &self.programs[p];
+        let store = match program.code()[config.procs[p].pc] {
+            Instr::Invoke { store, .. } => store,
+            _ => unreachable!("pending_access verified the instruction"),
+        };
+        let state = config.objects[access.obj];
+        let outcomes = object.ty().outcomes(state, access.port, access.inv);
+        let mut result = Vec::with_capacity(outcomes.len());
+        for out in outcomes {
+            let mut next = config.clone();
+            next.objects[access.obj] = out.next;
+            let st = &mut next.procs[p];
+            if let Some(var) = store {
+                st.vars[var.0] = out.resp.index() as i64;
+            }
+            st.pc += 1;
+            local_run(program, st)
+                .map_err(|source| ExplorerError::Program { process: p, source })?;
+            result.push(next);
+        }
+        Ok(result)
+    }
+}
+
+/// A pending shared access: which process invokes what on which object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// The invoking process.
+    pub process: usize,
+    /// The object index.
+    pub obj: usize,
+    /// The invocation.
+    pub inv: InvId,
+    /// The port used.
+    pub port: PortId,
+}
+
+/// A configuration: object states plus process states — one node of the
+/// paper's execution trees (Section 4.2).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Config {
+    /// Current state of each object.
+    pub objects: Vec<StateId>,
+    /// Current state of each process.
+    pub procs: Vec<ProcState>,
+}
+
+impl Config {
+    /// `true` once every process has decided: a leaf of the execution tree.
+    pub fn is_terminal(&self) -> bool {
+        self.procs.iter().all(|p| p.decided.is_some())
+    }
+
+    /// The decision vector at a terminal configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some process has not decided.
+    pub fn decisions(&self) -> Vec<i64> {
+        self.procs
+            .iter()
+            .map(|p| p.decided.expect("terminal configuration"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Operand, ProgramBuilder};
+    use wfc_spec::canonical;
+
+    fn tas_system() -> System {
+        let tas = Arc::new(canonical::test_and_set(2));
+        let init = tas.state_id("unset").unwrap();
+        let tas_inv = tas.invocation_id("test_and_set").unwrap();
+        let obj = ObjectInstance::identity_ports(tas, init, 2);
+        let program = {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            b.invoke(0_i64, Operand::Const(tas_inv.index() as i64), Some(r));
+            b.ret(r);
+            b.build().unwrap()
+        };
+        System::new(vec![obj], vec![program.clone(), program])
+    }
+
+    #[test]
+    fn initial_config_pauses_at_invoke() {
+        let sys = tas_system();
+        let c = sys.initial_config().unwrap();
+        assert!(!c.is_terminal());
+        assert_eq!(c.procs[0].pc, 0);
+        let a = sys.pending_access(&c, 0).unwrap().unwrap();
+        assert_eq!(a.obj, 0);
+        assert_eq!(a.port, PortId::new(0));
+    }
+
+    #[test]
+    fn stepping_decides_first_wins() {
+        let sys = tas_system();
+        let c0 = sys.initial_config().unwrap();
+        let c1 = sys.step(&c0, 0).unwrap().pop().unwrap();
+        assert_eq!(c1.procs[0].decided, Some(0), "winner sees old value 0");
+        let c2 = sys.step(&c1, 1).unwrap().pop().unwrap();
+        assert_eq!(c2.procs[1].decided, Some(1), "loser sees 1");
+        assert!(c2.is_terminal());
+        assert_eq!(c2.decisions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn decided_process_has_no_steps() {
+        let sys = tas_system();
+        let c0 = sys.initial_config().unwrap();
+        let c1 = sys.step(&c0, 0).unwrap().pop().unwrap();
+        assert!(sys.step(&c1, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_object_index_is_reported() {
+        let tas = Arc::new(canonical::test_and_set(2));
+        let init = tas.state_id("unset").unwrap();
+        let obj = ObjectInstance::identity_ports(tas, init, 1);
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        b.invoke(9_i64, 0_i64, Some(r));
+        b.ret(r);
+        let sys = System::new(vec![obj], vec![b.build().unwrap()]);
+        let c = sys.initial_config().unwrap();
+        assert!(matches!(
+            sys.pending_access(&c, 0),
+            Err(ExplorerError::NoSuchObject { process: 0, obj: 9 })
+        ));
+    }
+
+    #[test]
+    fn missing_port_is_reported() {
+        let tas = Arc::new(canonical::test_and_set(2));
+        let init = tas.state_id("unset").unwrap();
+        // Process 0 has no port on the object.
+        let obj = ObjectInstance::new(tas, init, vec![None]);
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        b.invoke(0_i64, 0_i64, Some(r));
+        b.ret(r);
+        let sys = System::new(vec![obj], vec![b.build().unwrap()]);
+        let c = sys.initial_config().unwrap();
+        assert!(matches!(
+            sys.pending_access(&c, 0),
+            Err(ExplorerError::NoPortAssigned { process: 0, obj: 0 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a port")]
+    fn shared_ports_are_rejected() {
+        let tas = Arc::new(canonical::test_and_set(2));
+        let init = tas.state_id("unset").unwrap();
+        let _ = ObjectInstance::new(tas, init, vec![Some(PortId::new(0)), Some(PortId::new(0))]);
+    }
+
+    #[test]
+    fn nondeterministic_objects_branch() {
+        let oub = Arc::new(canonical::one_use_bit());
+        let dead = oub.state_id("DEAD").unwrap();
+        let read = oub.invocation_id("read").unwrap();
+        let obj = ObjectInstance::identity_ports(oub, dead, 1);
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        b.invoke(0_i64, Operand::Const(read.index() as i64), Some(r));
+        b.ret(r);
+        let sys = System::new(vec![obj], vec![b.build().unwrap()]);
+        let c = sys.initial_config().unwrap();
+        let kids = sys.step(&c, 0).unwrap();
+        assert_eq!(kids.len(), 2, "DEAD read may return 0 or 1");
+    }
+}

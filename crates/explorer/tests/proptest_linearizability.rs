@@ -1,0 +1,139 @@
+//! Property test: the Wing–Gong linearizability checker against a
+//! brute-force oracle on small random histories.
+//!
+//! The oracle enumerates every permutation of the operations, keeps the
+//! ones consistent with real-time precedence, and simulates each against
+//! the sequential specification. On histories of ≤ 6 operations the two
+//! must agree exactly.
+
+use proptest::prelude::*;
+
+use wfc_explorer::linearizability::{is_linearizable, ConcurrentHistory, OpRecord};
+use wfc_spec::{canonical, FiniteType, PortId, StateId};
+
+fn brute_force_linearizable(
+    ty: &FiniteType,
+    init: StateId,
+    ops: &[OpRecord],
+) -> bool {
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for rest in permutations(n - 1) {
+            for pos in 0..=rest.len() {
+                let mut p = rest.clone();
+                p.insert(pos, n - 1);
+                out.push(p);
+            }
+        }
+        out
+    }
+    'perm: for perm in permutations(ops.len()) {
+        // Real-time precedence must be respected.
+        for (a, &i) in perm.iter().enumerate() {
+            for &j in &perm[a + 1..] {
+                if ops[j].responded_at < ops[i].invoked_at {
+                    continue 'perm;
+                }
+            }
+        }
+        // Simulate; nondeterministic outcomes: try all via DFS.
+        fn sim(ty: &FiniteType, state: StateId, ops: &[OpRecord], perm: &[usize], k: usize) -> bool {
+            if k == perm.len() {
+                return true;
+            }
+            let op = &ops[perm[k]];
+            ty.outcomes(state, op.port, op.inv)
+                .iter()
+                .filter(|o| o.resp == op.resp)
+                .any(|o| sim(ty, o.next, ops, perm, k + 1))
+        }
+        if sim(ty, init, ops, &perm, 0) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Random small histories over a boolean register: 2 ports, reads and
+/// writes with arbitrary (but well-formed) intervals.
+fn arb_history() -> impl Strategy<Value = Vec<OpRecord>> {
+    let reg = canonical::boolean_register(2);
+    let read = reg.invocation_id("read").unwrap();
+    let w0 = reg.invocation_id("write0").unwrap();
+    let w1 = reg.invocation_id("write1").unwrap();
+    let r0 = reg.response_id("0").unwrap();
+    let r1 = reg.response_id("1").unwrap();
+    let ok = reg.response_id("ok").unwrap();
+    proptest::collection::vec(
+        (0..3usize, 0..2usize, 0..12i64, 1..6i64),
+        0..=5,
+    )
+    .prop_map(move |raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(k, (kind, port, start, dur))| {
+                let (inv, resp) = match kind {
+                    0 => (read, if k % 2 == 0 { r0 } else { r1 }),
+                    1 => (w0, ok),
+                    _ => (w1, ok),
+                };
+                OpRecord {
+                    port: PortId::new(port),
+                    inv,
+                    resp,
+                    invoked_at: start,
+                    responded_at: start + dur,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn checker_agrees_with_brute_force(ops in arb_history()) {
+        let reg = canonical::boolean_register(2);
+        let init = reg.state_id("v0").unwrap();
+        let fast = is_linearizable(&reg, init, &ConcurrentHistory::new(ops.clone()));
+        let slow = brute_force_linearizable(&reg, init, &ops);
+        prop_assert_eq!(fast, slow, "history: {:?}", ops);
+    }
+
+    /// The nondeterministic one-use bit: checker and oracle also agree
+    /// when outcome sets have more than one element.
+    #[test]
+    fn checker_agrees_on_one_use_bit(raw in proptest::collection::vec((0..2usize, 0..2usize, 0..8i64, 1..4i64, 0..2usize), 0..=4)) {
+        let ty = canonical::one_use_bit();
+        let read = ty.invocation_id("read").unwrap();
+        let write = ty.invocation_id("write").unwrap();
+        let r0 = ty.response_id("0").unwrap();
+        let r1 = ty.response_id("1").unwrap();
+        let ok = ty.response_id("ok").unwrap();
+        let ops: Vec<OpRecord> = raw
+            .into_iter()
+            .map(|(kind, port, start, dur, bit)| {
+                let (inv, resp) = if kind == 0 {
+                    (read, if bit == 0 { r0 } else { r1 })
+                } else {
+                    (write, ok)
+                };
+                OpRecord {
+                    port: PortId::new(port),
+                    inv,
+                    resp,
+                    invoked_at: start,
+                    responded_at: start + dur,
+                }
+            })
+            .collect();
+        let init = ty.state_id("UNSET").unwrap();
+        let fast = is_linearizable(&ty, init, &ConcurrentHistory::new(ops.clone()));
+        let slow = brute_force_linearizable(&ty, init, &ops);
+        prop_assert_eq!(fast, slow, "history: {:?}", ops);
+    }
+}

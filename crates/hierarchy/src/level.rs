@@ -1,0 +1,161 @@
+//! Hierarchy levels and certified values.
+//!
+//! A type's position in a wait-free hierarchy (paper, Section 2.3) is a
+//! *consensus number*: the largest `n` for which the type (under the
+//! hierarchy's resource rules) implements `n`-process consensus, or ∞.
+//! We record positions as intervals with *evidence*: lower bounds come
+//! from protocols this repository model-checks; upper bounds are either
+//! machine-checked (small cases) or cite the classical theorems.
+
+use std::fmt;
+
+/// A hierarchy level: a consensus number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Level {
+    /// Consensus for exactly `n` processes (and no more).
+    Finite(u32),
+    /// Consensus for any number of processes.
+    Infinite,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Finite(n) => write!(f, "{n}"),
+            Level::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// Why a bound is believed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Evidence {
+    /// Re-verified by this repository's model checker (the named check
+    /// runs in the crate's test suite and benches).
+    Checked {
+        /// What is executed to establish the bound.
+        check: &'static str,
+    },
+    /// A classical theorem, cited; not re-proved here.
+    Cited {
+        /// The source, in the paper's bibliography numbering where
+        /// applicable.
+        source: &'static str,
+    },
+    /// Immediate from definitions (e.g. every type has level ≥ 1:
+    /// a process may always decide its own input solo).
+    ByDefinition,
+}
+
+/// A certified hierarchy value: `lower ≤ value ≤ upper` with evidence
+/// for both ends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HierarchyValue {
+    /// Certified lower bound.
+    pub lower: Level,
+    /// Evidence for the lower bound.
+    pub lower_evidence: Evidence,
+    /// Certified upper bound.
+    pub upper: Level,
+    /// Evidence for the upper bound.
+    pub upper_evidence: Evidence,
+}
+
+impl HierarchyValue {
+    /// A pinned value with the same bound on both ends.
+    pub fn exactly(level: Level, lower_evidence: Evidence, upper_evidence: Evidence) -> Self {
+        HierarchyValue {
+            lower: level,
+            lower_evidence,
+            upper: level,
+            upper_evidence,
+        }
+    }
+
+    /// The exact level, when the interval is pinned.
+    pub fn exact(&self) -> Option<Level> {
+        (self.lower == self.upper).then_some(self.lower)
+    }
+
+    /// `true` if the interval is consistent (`lower ≤ upper`).
+    pub fn is_consistent(&self) -> bool {
+        self.lower <= self.upper
+    }
+}
+
+impl fmt::Display for HierarchyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.exact() {
+            Some(l) => write!(f, "{l}"),
+            None => write!(f, "[{}, {}]", self.lower, self.upper),
+        }
+    }
+}
+
+/// The four wait-free hierarchies of Jayanti \[9\] (paper, Section 2.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Hierarchy {
+    /// `h_1`: one object, no registers.
+    H1,
+    /// `h_1^r`: one object plus registers (Herlihy's consensus number).
+    H1R,
+    /// `h_m`: many objects, no registers.
+    HM,
+    /// `h_m^r`: many objects plus registers.
+    HMR,
+}
+
+impl Hierarchy {
+    /// All four hierarchies.
+    pub const ALL: [Hierarchy; 4] = [Hierarchy::H1, Hierarchy::H1R, Hierarchy::HM, Hierarchy::HMR];
+}
+
+impl fmt::Display for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Hierarchy::H1 => "h_1",
+            Hierarchy::H1R => "h_1^r",
+            Hierarchy::HM => "h_m",
+            Hierarchy::HMR => "h_m^r",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_with_infinity_on_top() {
+        assert!(Level::Finite(2) < Level::Finite(3));
+        assert!(Level::Finite(1_000_000) < Level::Infinite);
+        assert_eq!(Level::Infinite, Level::Infinite);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Level::Finite(2).to_string(), "2");
+        assert_eq!(Level::Infinite.to_string(), "∞");
+        assert_eq!(Hierarchy::HMR.to_string(), "h_m^r");
+        let v = HierarchyValue {
+            lower: Level::Finite(2),
+            lower_evidence: Evidence::ByDefinition,
+            upper: Level::Infinite,
+            upper_evidence: Evidence::ByDefinition,
+        };
+        assert_eq!(v.to_string(), "[2, ∞]");
+    }
+
+    #[test]
+    fn exactness() {
+        let v = HierarchyValue::exactly(
+            Level::Finite(2),
+            Evidence::Checked { check: "x" },
+            Evidence::Cited { source: "y" },
+        );
+        assert_eq!(v.exact(), Some(Level::Finite(2)));
+        assert!(v.is_consistent());
+        assert_eq!(v.to_string(), "2");
+    }
+}

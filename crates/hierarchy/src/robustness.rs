@@ -1,0 +1,149 @@
+//! Robustness of the wait-free hierarchies (paper, Sections 2.3 and 6).
+//!
+//! A hierarchy `h` is *robust* if no collection of types strictly below
+//! level `n` can implement a type at level `n` — weak types cannot be
+//! combined into a strong one. Jayanti \[9\] showed that of his four
+//! hierarchies only `h_m^r` could possibly be robust, and left its
+//! robustness open; the companion paper \[17\] proved `h_m^r` robust for
+//! deterministic types; and **this** paper's Theorem 5 (`h_m = h_m^r`
+//! for deterministic types) transfers that robustness to `h_m`.
+//!
+//! Robustness itself quantifies over all implementations and is not
+//! decidable from a finite catalog; what this module offers is the
+//! *audit*: [`check_no_weak_to_strong`] scans the certified catalog for a
+//! counterexample among the implementations this repository actually
+//! constructs — every construction must map types to targets at or below
+//! their own level.
+
+use crate::catalog::CatalogEntry;
+use crate::level::Level;
+
+/// One concrete implementation relationship this repository constructs:
+/// `target` is implemented from objects of the types named in `from`.
+#[derive(Clone, Debug)]
+pub struct ImplementationFact {
+    /// Name of the implemented type (or "consensus{n}" for a consensus
+    /// object).
+    pub target: &'static str,
+    /// The consensus level the target certifies.
+    pub target_level: Level,
+    /// The source types used.
+    pub from: Vec<&'static str>,
+    /// Where the implementation lives.
+    pub witness: &'static str,
+}
+
+/// The implementation facts established by this repository's
+/// model-checked constructions.
+pub fn implementation_facts() -> Vec<ImplementationFact> {
+    vec![
+        ImplementationFact {
+            target: "consensus2",
+            target_level: Level::Finite(2),
+            from: vec!["test_and_set"],
+            witness: "wfc-core::check_theorem5 (register-free TAS-only output)",
+        },
+        ImplementationFact {
+            target: "consensus2",
+            target_level: Level::Finite(2),
+            from: vec!["queue1x1"],
+            witness: "wfc-core::check_theorem5 (register-free queue-only output)",
+        },
+        ImplementationFact {
+            target: "consensus2",
+            target_level: Level::Finite(2),
+            from: vec!["fetch_and_add2"],
+            witness: "wfc-core::check_theorem5 (register-free fetch-and-add-only output)",
+        },
+        ImplementationFact {
+            target: "consensus2",
+            target_level: Level::Finite(2),
+            from: vec!["stack1x1"],
+            witness: "wfc-core::check_theorem5 (register-free stack-only output)",
+        },
+        ImplementationFact {
+            target: "consensus2",
+            target_level: Level::Finite(2),
+            from: vec!["swap2"],
+            witness: "wfc-core::check_theorem5 (register-free swap-only output)",
+        },
+        ImplementationFact {
+            target: "consensus3",
+            target_level: Level::Finite(3),
+            from: vec!["compare_and_swap3"],
+            witness: "wfc-consensus::cas_consensus_system, model-checked",
+        },
+        ImplementationFact {
+            target: "consensus3",
+            target_level: Level::Finite(3),
+            from: vec!["sticky_bit"],
+            witness: "wfc-consensus::sticky_consensus_system, model-checked",
+        },
+    ]
+}
+
+/// Audits the catalog against the implementation facts: returns the list
+/// of facts that would *violate* robustness of `h_m` — a target above
+/// every source type's certified `h_m` upper bound. Robustness of `h_m`
+/// for deterministic types (Theorem 5 + \[17\]) predicts the result is
+/// empty.
+pub fn check_no_weak_to_strong(
+    catalog: &[CatalogEntry],
+    facts: &[ImplementationFact],
+) -> Vec<ImplementationFact> {
+    facts
+        .iter()
+        .filter(|fact| {
+            fact.from.iter().all(|src| {
+                catalog
+                    .iter()
+                    .find(|e| e.ty.name() == *src)
+                    .is_some_and(|e| e.hm.upper < fact.target_level)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::catalog;
+
+    #[test]
+    fn no_construction_violates_robustness() {
+        let violations = check_no_weak_to_strong(&catalog(), &implementation_facts());
+        assert!(
+            violations.is_empty(),
+            "weak-to-strong constructions found: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn facts_reference_catalogued_types() {
+        let cat = catalog();
+        for f in implementation_facts() {
+            for src in &f.from {
+                assert!(
+                    cat.iter().any(|e| e.ty.name() == *src),
+                    "unknown source type {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_hypothetical_violation_is_detected() {
+        // If someone claimed to build 3-process consensus from
+        // test-and-set objects alone, the audit must flag it (TAS has
+        // h_m upper bound 2).
+        let bogus = ImplementationFact {
+            target: "consensus3",
+            target_level: Level::Finite(3),
+            from: vec!["test_and_set"],
+            witness: "bogus",
+        };
+        let violations = check_no_weak_to_strong(&catalog(), &[bogus]);
+        assert_eq!(violations.len(), 1);
+    }
+}

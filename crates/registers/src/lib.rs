@@ -1,0 +1,55 @@
+//! # `wfc-registers` — the register-construction chain of Section 4.1
+//!
+//! The paper's argument needs one classical fact (Section 4.1): general
+//! multi-reader, multi-writer, atomic, multi-value registers are wait-free
+//! implementable from single-reader single-writer bits. This crate builds
+//! that chain as real, lock-free Rust:
+//!
+//! | layer | construction | lineage |
+//! |---|---|---|
+//! | [`atomic_bit`], [`atomic_reg`] | base SRSW atomic cells (`AtomicBool`, `AtomicCell`) | hardware substitution, see DESIGN.md |
+//! | [`mrsw_regular_bit`] | one SRSW bit per reader | Lamport \[13\] |
+//! | [`unary_regular_register`] | multi-valued regular register, unary encoding | Peterson \[16\] lineage |
+//! | [`mrsw_atomic_register`] | timestamps + n×n helping matrix | Burns–Peterson \[3\] step |
+//! | [`mrmw_atomic_register`] | Vitányi–Awerbuch writer labels | Peterson–Burns \[18\] step |
+//! | [`Register`] | the assembled public façade | — |
+//!
+//! Access restrictions (single reader, single writer) are enforced by
+//! *handle ownership*: constructions hand out one handle per role and all
+//! operations take `&mut self`, so violating the access pattern is a
+//! compile error (the handle traits [`BitReader`], [`BitWriter`],
+//! [`RegReader`], [`RegWriter`]).
+//!
+//! Every layer carries unit tests, concurrent stress tests, and — via
+//! `wfc-runtime` history recording and the `wfc-explorer` checker —
+//! linearizability/regularity verification of recorded executions.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod mrmw;
+mod mrsw_atomic;
+mod mrsw_regular;
+mod register;
+mod srsw;
+mod traits;
+mod unary;
+
+pub use mrmw::{mrmw_atomic_register, Labelled, MrmwReader, MrmwWriter};
+pub use mrsw_atomic::{mrsw_atomic_register, MrswAtomicReader, MrswAtomicWriter};
+pub use mrsw_regular::{mrsw_regular_bit, MrswRegularReader, MrswRegularWriter};
+pub use register::{Register, RegisterReader, RegisterWriter};
+pub use srsw::{atomic_bit, atomic_reg, AtomicBitReader, AtomicBitWriter, AtomicRegReader, AtomicRegWriter};
+pub use traits::{BitReader, BitWriter, RegReader, RegWriter, Stamped};
+pub use unary::{unary_regular_register, UnaryReader, UnaryWriter};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::AtomicBitWriter>();
+        assert_send::<crate::RegisterWriter<u64>>();
+        assert_send::<crate::RegisterReader<u64>>();
+    }
+}

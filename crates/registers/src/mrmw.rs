@@ -1,0 +1,302 @@
+//! Multi-writer multi-reader atomic register from multi-reader
+//! single-writer atomic registers (the Peterson–Burns \[18\] step of the
+//! paper's Section 4.1, realised as the Vitányi–Awerbuch timestamp
+//! construction).
+//!
+//! Each of the `n` writers owns one MRSW atomic register readable by every
+//! process. To write, a writer scans all registers, picks a stamp larger
+//! than any it saw (breaking ties by writer id), and publishes
+//! `(stamp, id, value)` in its own register. To read, a process scans all
+//! registers and returns the value with the lexicographically largest
+//! `(stamp, id)`. Writer ids totally order concurrent writes with equal
+//! stamps, which makes the register atomic.
+
+use crate::traits::{RegReader, RegWriter};
+
+/// A value labelled with its writer's stamp and identity; the label pair
+/// is the total order on writes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Labelled<T> {
+    /// Writer-chosen sequence number.
+    pub stamp: u64,
+    /// The writer's index, breaking stamp ties.
+    pub writer: usize,
+    /// The carried value.
+    pub value: T,
+}
+
+impl<T> Labelled<T> {
+    fn label(&self) -> (u64, usize) {
+        (self.stamp, self.writer)
+    }
+}
+
+/// Creates a multi-writer multi-reader atomic register for `writers`
+/// writers and `readers` readers.
+///
+/// `alloc(init, consumers)` must return a fresh **MRSW atomic** register
+/// of [`Labelled<T>`] with `consumers` reader handles — e.g. a
+/// [`crate::mrsw_atomic_register`]. Register `k` is written by writer `k`
+/// and read by everyone: each writer holds a reader handle on every
+/// register (including its own) to compute the next stamp, and each
+/// reader holds a reader handle on every register.
+///
+/// # Panics
+///
+/// Panics if `writers == 0` or the allocator returns the wrong number of
+/// reader handles.
+pub fn mrmw_atomic_register<T, W, R>(
+    init: T,
+    writers: usize,
+    readers: usize,
+    mut alloc: impl FnMut(Labelled<T>, usize) -> (W, Vec<R>),
+) -> MrmwHandles<T, W, R>
+where
+    T: Copy,
+    W: RegWriter<Labelled<T>>,
+    R: RegReader<Labelled<T>>,
+{
+    assert!(writers > 0, "a register needs at least one writer");
+    let consumers = writers + readers;
+    let mut own_writers = Vec::with_capacity(writers);
+    // scan_rows[c][k]: consumer c's reader handle on register k;
+    // consumers 0..writers are the writers, then the readers.
+    let mut scan_rows: Vec<Vec<R>> = (0..consumers).map(|_| Vec::with_capacity(writers)).collect();
+    for _k in 0..writers {
+        let (w, rs) = alloc(
+            Labelled {
+                stamp: 0,
+                writer: 0,
+                value: init,
+            },
+            consumers,
+        );
+        assert_eq!(rs.len(), consumers, "allocator must serve every consumer");
+        own_writers.push(w);
+        for (row, r) in scan_rows.iter_mut().zip(rs) {
+            row.push(r);
+        }
+    }
+    let mut rows = scan_rows.into_iter();
+    let writer_handles = own_writers
+        .into_iter()
+        .enumerate()
+        .map(|(me, own)| MrmwWriter {
+            me,
+            own,
+            scan: rows.next().expect("row per consumer"),
+            _marker: std::marker::PhantomData,
+        })
+        .collect();
+    let reader_handles = rows
+        .map(|scan| MrmwReader {
+            scan,
+            _marker: std::marker::PhantomData,
+        })
+        .collect();
+    (writer_handles, reader_handles)
+}
+
+/// The handle set returned by [`mrmw_atomic_register`]: one writer
+/// handle per writer and one reader handle per reader.
+pub type MrmwHandles<T, W, R> = (Vec<MrmwWriter<T, W, R>>, Vec<MrmwReader<T, R>>);
+
+/// Writer handle `me` of a [`mrmw_atomic_register`]; also usable as a
+/// reader (writers legitimately read the register they co-own).
+#[derive(Debug)]
+pub struct MrmwWriter<T, W, R> {
+    me: usize,
+    own: W,
+    scan: Vec<R>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+fn scan_max<T, R>(scan: &mut [R]) -> Labelled<T>
+where
+    T: Copy,
+    R: RegReader<Labelled<T>>,
+{
+    let mut best = scan[0].read();
+    for cell in &mut scan[1..] {
+        let got = cell.read();
+        if got.label() > best.label() {
+            best = got;
+        }
+    }
+    best
+}
+
+impl<T, W, R> RegWriter<T> for MrmwWriter<T, W, R>
+where
+    T: Copy + Send,
+    W: RegWriter<Labelled<T>>,
+    R: RegReader<Labelled<T>>,
+{
+    fn write(&mut self, v: T) {
+        let max = scan_max(&mut self.scan);
+        self.own.write(Labelled {
+            stamp: max.stamp + 1,
+            writer: self.me,
+            value: v,
+        });
+    }
+}
+
+impl<T, W, R> RegReader<T> for MrmwWriter<T, W, R>
+where
+    T: Copy + Send,
+    W: RegWriter<Labelled<T>>,
+    R: RegReader<Labelled<T>>,
+{
+    fn read(&mut self) -> T {
+        scan_max(&mut self.scan).value
+    }
+}
+
+/// Reader handle of a [`mrmw_atomic_register`].
+#[derive(Debug)]
+pub struct MrmwReader<T, R> {
+    scan: Vec<R>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T, R> RegReader<T> for MrmwReader<T, R>
+where
+    T: Copy + Send,
+    R: RegReader<Labelled<T>>,
+{
+    fn read(&mut self) -> T {
+        scan_max(&mut self.scan).value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrsw_atomic::mrsw_atomic_register;
+    use crate::srsw::atomic_reg;
+    use crate::traits::Stamped;
+    use wfc_runtime::run_threads;
+
+    type W<T> = Box<dyn RegWriter<Labelled<T>>>;
+    type R<T> = Box<dyn RegReader<Labelled<T>>>;
+
+    /// Stack: MRMW over MRSW-atomic over SRSW atomic cells — the paper's
+    /// full Section 4.1 chain for stamped values.
+    #[allow(clippy::type_complexity)]
+    fn mk<T: Copy + Send + 'static>(
+        init: T,
+        writers: usize,
+        readers: usize,
+    ) -> (Vec<MrmwWriter<T, W<T>, R<T>>>, Vec<MrmwReader<T, R<T>>>) {
+        mrmw_atomic_register(init, writers, readers, |labelled, consumers| {
+            let (w, rs) = mrsw_atomic_register(labelled, consumers, |stamped| {
+                let (w, r) = atomic_reg(stamped);
+                (
+                    Box::new(w) as Box<dyn RegWriter<Stamped<Labelled<T>>>>,
+                    Box::new(r) as Box<dyn RegReader<Stamped<Labelled<T>>>>,
+                )
+            });
+            (
+                Box::new(w) as W<T>,
+                rs.into_iter().map(|r| Box::new(r) as R<T>).collect(),
+            )
+        })
+    }
+
+    #[test]
+    fn sequential_multi_writer_semantics() {
+        let (mut ws, mut rs) = mk(0u32, 3, 2);
+        ws[0].write(10);
+        ws[1].write(20);
+        assert!(rs.iter_mut().all(|r| r.read() == 20));
+        ws[2].write(30);
+        assert!(rs.iter_mut().all(|r| r.read() == 30));
+        ws[0].write(40);
+        assert!(rs.iter_mut().all(|r| r.read() == 40));
+        // Writers can read too.
+        assert_eq!(ws[1].read(), 40);
+    }
+
+    #[test]
+    fn later_write_wins_even_from_lower_id() {
+        let (mut ws, mut rs) = mk(0u32, 2, 1);
+        ws[1].write(5);
+        ws[0].write(6); // scans, sees stamp 1, uses stamp 2
+        assert_eq!(rs[0].read(), 6);
+    }
+
+    #[test]
+    fn ties_break_by_writer_id() {
+        // Both writers write "concurrently" from the initial state: both
+        // pick stamp 1; the higher id must win deterministically.
+        let (mut ws, mut rs) = mk(0u32, 2, 1);
+        // Simulate the racy schedule at the semantic level: both scan
+        // before either writes. We can't force that through the public
+        // API sequentially, so emulate: writer 0 writes with what it
+        // scanned (stamp 1), then writer 1 — having scanned *before* —
+        // would also use stamp 1. The tie rule says writer 1's value is
+        // the register's value.
+        ws[0].write(111); // (1, 0, 111)
+        // Writer 1's scan now sees stamp 1 and uses 2 — sequentially there
+        // is no tie; the tie path is exercised in the concurrent stress.
+        ws[1].write(222);
+        assert_eq!(rs[0].read(), 222);
+    }
+
+    /// Linearizability stress via history recording: concurrent writers
+    /// and readers on the full chain; the recorded history must linearize
+    /// against the multi-value register specification.
+    #[test]
+    fn concurrent_history_linearizes() {
+        use wfc_explorer::linearizability::is_linearizable;
+        use wfc_runtime::EventLog;
+        use wfc_spec::{canonical, PortId};
+
+        let values = 4usize;
+        let ty = canonical::register(values, 8);
+        let init = ty.state_id("v0").unwrap();
+        let read_inv = ty.invocation_id("read").unwrap();
+        let ok = ty.response_id("ok").unwrap();
+
+        for round in 0..20 {
+            let (ws, rs) = mk(0usize, 2, 2);
+            let log = EventLog::new();
+            let mut workers: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for (k, mut w) in ws.into_iter().enumerate() {
+                let log = &log;
+                let ty = &ty;
+                workers.push(Box::new(move || {
+                    for j in 0..3usize {
+                        let v = (round + 2 * j + k) % values;
+                        let inv = ty.invocation_id(&format!("write{v}")).unwrap();
+                        let t0 = log.stamp();
+                        w.write(v);
+                        let t1 = log.stamp();
+                        log.record(PortId::new(k), inv, ok, t0, t1);
+                    }
+                }));
+            }
+            for (k, mut r) in rs.into_iter().enumerate() {
+                let log = &log;
+                let ty = &ty;
+                workers.push(Box::new(move || {
+                    for _ in 0..3 {
+                        let t0 = log.stamp();
+                        let v = r.read();
+                        let t1 = log.stamp();
+                        let resp = ty.response_id(&v.to_string()).unwrap();
+                        log.record(PortId::new(2 + k), read_inv, resp, t0, t1);
+                    }
+                }));
+            }
+            run_threads(workers);
+            let history = log.take_history();
+            assert!(
+                is_linearizable(&ty, init, &history),
+                "round {round}: history not linearizable: {:?}",
+                history
+            );
+        }
+    }
+}

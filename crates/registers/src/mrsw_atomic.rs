@@ -1,0 +1,216 @@
+//! Multi-reader single-writer **atomic** register from single-reader
+//! single-writer atomic registers (the Burns–Peterson \[3\] /
+//! Peterson \[16\] step of the paper's Section 4.1, realised as the classic
+//! timestamp-and-helping matrix construction).
+//!
+//! Regularity's weakness is the *new/old inversion*: reader A may see a
+//! concurrent write that reader B, reading later, misses. The fix is a
+//! matrix of `n × n` SRSW atomic registers holding stamped values:
+//!
+//! * entry `(i, i)` is written by **the writer**, read by reader `i`;
+//! * entry `(i, j)`, `i ≠ j`, is written by **reader `i`** (helping),
+//!   read by reader `j`.
+//!
+//! `write(v)` stamps `v` with the writer's next sequence number and writes
+//! every diagonal entry. `read()` by reader `j` takes the stamp-maximum of
+//! column `j`, *forwards* it along row `j` so later readers cannot see an
+//! older value, and returns it. Stamps grow without bound (`u64`); the
+//! bounded alternative is Burns–Peterson's considerably more intricate
+//! protocol (see DESIGN.md substitutions).
+
+use crate::traits::{RegReader, RegWriter, Stamped};
+
+/// Creates a multi-reader single-writer atomic register for `readers`
+/// readers over base SRSW registers supplied by `alloc`.
+///
+/// `alloc(init)` must return a fresh single-reader single-writer atomic
+/// register of [`Stamped<T>`] holding `init`.
+///
+/// # Examples
+///
+/// ```
+/// use wfc_registers::{atomic_reg, mrsw_atomic_register, RegReader, RegWriter};
+///
+/// let (mut w, mut readers) = mrsw_atomic_register('a', 2, |init| {
+///     let (w, r) = atomic_reg(init);
+///     (Box::new(w) as Box<dyn RegWriter<_>>, Box::new(r) as Box<dyn RegReader<_>>)
+/// });
+/// w.write('z');
+/// assert_eq!(readers[0].read(), 'z');
+/// assert_eq!(readers[1].read(), 'z');
+/// ```
+pub fn mrsw_atomic_register<T, W, R>(
+    init: T,
+    readers: usize,
+    mut alloc: impl FnMut(Stamped<T>) -> (W, R),
+) -> MrswAtomicHandles<T, W, R>
+where
+    T: Copy,
+    W: RegWriter<Stamped<T>>,
+    R: RegReader<Stamped<T>>,
+{
+    let n = readers;
+    // matrix[i][j]: writer = (i == j ? the writer : reader i), reader = reader j.
+    // We allocate per entry and distribute the handles.
+    let mut diag_writers: Vec<Option<W>> = (0..n).map(|_| None).collect();
+    // columns[j][i] = reader handle for entry (i, j), owned by reader j.
+    let mut columns: Vec<Vec<Option<R>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    // rows[i][j] = writer handle for entry (i, j), i != j, owned by reader i.
+    let mut rows: Vec<Vec<Option<W>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for i in 0..n {
+        for j in 0..n {
+            let (w, r) = alloc(Stamped::new(0, init));
+            columns[j][i] = Some(r);
+            if i == j {
+                diag_writers[i] = Some(w);
+            } else {
+                rows[i][j] = Some(w);
+            }
+        }
+    }
+    let writer = MrswAtomicWriter {
+        diag: diag_writers.into_iter().map(|w| w.expect("filled")).collect(),
+        last_stamp: 0,
+        _marker: std::marker::PhantomData,
+    };
+    let readers = columns
+        .into_iter()
+        .zip(rows)
+        .map(|(column, row)| MrswAtomicReader {
+            column: column.into_iter().map(|r| r.expect("filled")).collect(),
+            row,
+            _marker: std::marker::PhantomData,
+        })
+        .collect();
+    (writer, readers)
+}
+
+/// The handle set returned by [`mrsw_atomic_register`]: the writer and
+/// one reader per consumer.
+pub type MrswAtomicHandles<T, W, R> =
+    (MrswAtomicWriter<T, W>, Vec<MrswAtomicReader<T, W, R>>);
+
+/// Writer handle of a [`mrsw_atomic_register`].
+#[derive(Debug)]
+pub struct MrswAtomicWriter<T, W> {
+    diag: Vec<W>,
+    last_stamp: u64,
+    // T appears only through W's trait bound at use sites.
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Reader handle of a [`mrsw_atomic_register`] (reader `j` holds column
+/// `j`'s readers and row `j`'s helping writers).
+#[derive(Debug)]
+pub struct MrswAtomicReader<T, W, R> {
+    column: Vec<R>,
+    /// `row[j]` is `None` at the reader's own index.
+    row: Vec<Option<W>>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Copy + Send, W: RegWriter<Stamped<T>>> RegWriter<T> for MrswAtomicWriter<T, W> {
+    fn write(&mut self, v: T) {
+        self.last_stamp += 1;
+        let stamped = Stamped::new(self.last_stamp, v);
+        for cell in &mut self.diag {
+            cell.write(stamped);
+        }
+    }
+}
+
+impl<T, W, R> RegReader<T> for MrswAtomicReader<T, W, R>
+where
+    T: Copy + Send,
+    W: RegWriter<Stamped<T>>,
+    R: RegReader<Stamped<T>>,
+{
+    fn read(&mut self) -> T {
+        let mut best = self.column[0].read();
+        for cell in &mut self.column[1..] {
+            best = best.max(cell.read());
+        }
+        for helper in self.row.iter_mut().flatten() {
+            helper.write(best);
+        }
+        best.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::srsw::atomic_reg;
+    use wfc_runtime::run_threads;
+
+    type BoxedW<T> = Box<dyn RegWriter<Stamped<T>>>;
+    type BoxedR<T> = Box<dyn RegReader<Stamped<T>>>;
+
+    #[allow(clippy::type_complexity)]
+    fn mk<T: Copy + Send + 'static>(
+        init: T,
+        readers: usize,
+    ) -> (
+        MrswAtomicWriter<T, BoxedW<T>>,
+        Vec<MrswAtomicReader<T, BoxedW<T>, BoxedR<T>>>,
+    ) {
+        mrsw_atomic_register(init, readers, |i| {
+            let (w, r) = atomic_reg(i);
+            (Box::new(w) as BoxedW<T>, Box::new(r) as BoxedR<T>)
+        })
+    }
+
+    #[test]
+    fn sequential_semantics() {
+        let (mut w, mut rs) = mk(0u8, 3);
+        assert!(rs.iter_mut().all(|r| r.read() == 0));
+        w.write(9);
+        assert!(rs.iter_mut().all(|r| r.read() == 9));
+        w.write(4);
+        assert!(rs.iter_mut().all(|r| r.read() == 4));
+    }
+
+    #[test]
+    fn helping_propagates_between_readers() {
+        let (mut w, mut rs) = mk(0u8, 2);
+        w.write(7);
+        // Reader 0 observes 7 and forwards it along its row.
+        assert_eq!(rs[0].read(), 7);
+        // Even if reader 1's diagonal cell were stale, the forwarded copy
+        // carries the newer stamp.
+        assert_eq!(rs[1].read(), 7);
+    }
+
+    #[test]
+    fn single_reader_degenerates_cleanly() {
+        let (mut w, mut rs) = mk('x', 1);
+        w.write('y');
+        assert_eq!(rs[0].read(), 'y');
+    }
+
+    /// Atomicity stress: no new/old inversion across readers. Writer
+    /// publishes a strictly increasing counter; each reader's observed
+    /// sequence must be non-decreasing, and a round of "reader 0 reads,
+    /// then reader 1 reads" must never see reader 1 behind reader 0.
+    #[test]
+    fn monotone_counter_has_no_inversion() {
+        let (mut w, rs) = mk(0u64, 3);
+        let mut workers: Vec<Box<dyn FnOnce() -> Vec<u64> + Send>> = Vec::new();
+        workers.push(Box::new(move || {
+            for k in 1..=500u64 {
+                w.write(k);
+            }
+            Vec::new()
+        }));
+        for mut r in rs {
+            workers.push(Box::new(move || (0..500).map(|_| r.read()).collect()));
+        }
+        let results = run_threads(workers);
+        for reads in &results[1..] {
+            assert!(
+                reads.windows(2).all(|w| w[0] <= w[1]),
+                "a single reader's view must be monotone"
+            );
+        }
+    }
+}

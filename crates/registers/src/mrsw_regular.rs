@@ -1,0 +1,134 @@
+//! Lamport's multi-reader regular bit from single-reader bits
+//! (Lamport \[13\]; paper Section 4.1, first link of the chain).
+//!
+//! The writer keeps one single-reader bit per reader and writes them all;
+//! reader `i` reads only its own copy. Because the copies are updated one
+//! at a time, two *different* readers can observe a write in opposite
+//! orders, so the construction is **regular**, not atomic: a read
+//! overlapping a write may return either the old or the new value, and no
+//! cross-reader consistency is promised. This is exactly the guarantee
+//! Lamport's construction provides and what the next links of the chain
+//! strengthen.
+
+use crate::traits::{BitReader, BitWriter};
+
+/// Creates a multi-reader regular bit served to `readers` readers, built
+/// from one single-reader bit per reader.
+///
+/// `alloc` supplies the underlying single-reader single-writer bits
+/// (e.g. [`crate::atomic_bit`] wrapped in boxes).
+///
+/// # Examples
+///
+/// ```
+/// use wfc_registers::{atomic_bit, mrsw_regular_bit, BitReader, BitWriter};
+///
+/// let (mut w, mut readers) = mrsw_regular_bit(false, 3, |init| {
+///     let (w, r) = atomic_bit(init);
+///     (
+///         Box::new(w) as Box<dyn BitWriter>,
+///         Box::new(r) as Box<dyn BitReader>,
+///     )
+/// });
+/// w.write(true);
+/// assert!(readers.iter_mut().all(|r| r.read()));
+/// ```
+pub fn mrsw_regular_bit<W, R>(
+    init: bool,
+    readers: usize,
+    mut alloc: impl FnMut(bool) -> (W, R),
+) -> (MrswRegularWriter<W>, Vec<MrswRegularReader<R>>)
+where
+    W: BitWriter,
+    R: BitReader,
+{
+    let (writers, reader_handles): (Vec<W>, Vec<R>) = (0..readers).map(|_| alloc(init)).unzip();
+    (
+        MrswRegularWriter { copies: writers },
+        reader_handles
+            .into_iter()
+            .map(|own| MrswRegularReader { own })
+            .collect(),
+    )
+}
+
+/// Writer handle of a [`mrsw_regular_bit`].
+#[derive(Debug)]
+pub struct MrswRegularWriter<W> {
+    copies: Vec<W>,
+}
+
+impl<W: BitWriter> BitWriter for MrswRegularWriter<W> {
+    fn write(&mut self, v: bool) {
+        for copy in &mut self.copies {
+            copy.write(v);
+        }
+    }
+}
+
+/// Reader handle of a [`mrsw_regular_bit`].
+#[derive(Debug)]
+pub struct MrswRegularReader<R> {
+    own: R,
+}
+
+impl<R: BitReader> BitReader for MrswRegularReader<R> {
+    fn read(&mut self) -> bool {
+        self.own.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::srsw::atomic_bit;
+
+    fn boxed(init: bool) -> (Box<dyn BitWriter>, Box<dyn BitReader>) {
+        let (w, r) = atomic_bit(init);
+        (Box::new(w), Box::new(r))
+    }
+
+    #[test]
+    fn all_readers_track_the_writer() {
+        let (mut w, mut rs) = mrsw_regular_bit(false, 4, boxed);
+        assert!(rs.iter_mut().all(|r| !r.read()));
+        w.write(true);
+        assert!(rs.iter_mut().all(|r| r.read()));
+        w.write(false);
+        assert!(rs.iter_mut().all(|r| !r.read()));
+    }
+
+    #[test]
+    fn zero_readers_is_degenerate_but_legal() {
+        let (mut w, rs) = mrsw_regular_bit(true, 0, boxed);
+        assert!(rs.is_empty());
+        w.write(false); // no copies to update; must not panic
+    }
+
+    #[test]
+    fn concurrent_readers_see_old_or_new_only() {
+        use wfc_runtime::run_threads;
+        // Writer toggles; readers may see any prefix-consistent value, but
+        // never anything other than `true`/`false` transitions in order:
+        // once a reader sees the k-th write's value and the writer is
+        // quiescent, it keeps seeing it.
+        let (mut w, rs) = mrsw_regular_bit(false, 3, boxed);
+        let mut workers: Vec<Box<dyn FnOnce() -> bool + Send>> = Vec::new();
+        workers.push(Box::new(move || {
+            for k in 0..100 {
+                w.write(k % 2 == 0);
+            }
+            true
+        }));
+        for mut r in rs {
+            workers.push(Box::new(move || {
+                let mut last = false;
+                for _ in 0..100 {
+                    last = r.read();
+                }
+                last
+            }));
+        }
+        let _ = run_threads(workers);
+    }
+}

@@ -1,0 +1,94 @@
+//! The public register façade: the top of the Section 4.1 chain.
+//!
+//! [`Register::new`] assembles the full construction stack —
+//! SRSW atomic cells → MRSW atomic (helping matrix) → MRMW atomic
+//! (Vitányi–Awerbuch) — and hands out writer and reader handles. This is
+//! the "multi-reader, multi-writer, atomic, multi-value register" that
+//! Herlihy \[7\] and Jayanti \[9\] assume and that the paper shows adds no
+//! consensus power to deterministic types.
+
+use crate::mrmw::{mrmw_atomic_register, Labelled, MrmwReader, MrmwWriter};
+use crate::mrsw_atomic::mrsw_atomic_register;
+use crate::srsw::atomic_reg;
+use crate::traits::{RegReader, RegWriter, Stamped};
+
+type BaseW<T> = Box<dyn RegWriter<Stamped<Labelled<T>>>>;
+type BaseR<T> = Box<dyn RegReader<Stamped<Labelled<T>>>>;
+type MidW<T> = Box<dyn RegWriter<Labelled<T>>>;
+type MidR<T> = Box<dyn RegReader<Labelled<T>>>;
+
+/// A writer handle of a [`Register`].
+pub type RegisterWriter<T> = MrmwWriter<T, MidW<T>, MidR<T>>;
+/// A reader handle of a [`Register`].
+pub type RegisterReader<T> = MrmwReader<T, MidR<T>>;
+
+/// A wait-free multi-reader multi-writer atomic register built from
+/// single-reader single-writer atomic cells through the full
+/// Section 4.1 construction chain.
+///
+/// # Examples
+///
+/// ```
+/// use wfc_registers::{Register, RegReader, RegWriter};
+///
+/// let (mut writers, mut readers) = Register::new(0u32, 2, 3);
+/// writers[1].write(7);
+/// assert_eq!(readers[0].read(), 7);
+/// writers[0].write(9);
+/// assert!(readers.iter_mut().all(|r| r.read() == 9));
+/// ```
+#[derive(Debug)]
+pub struct Register;
+
+impl Register {
+    /// Builds a register holding `init` with `writers` writer handles and
+    /// `readers` reader handles.
+    ///
+    /// Writer handles can also read ([`RegReader`] is implemented for
+    /// them); reader handles only read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writers == 0`.
+    #[allow(clippy::new_ret_no_self)] // constructor returns the handle sets
+    pub fn new<T: Copy + Send + 'static>(
+        init: T,
+        writers: usize,
+        readers: usize,
+    ) -> (Vec<RegisterWriter<T>>, Vec<RegisterReader<T>>) {
+        mrmw_atomic_register(init, writers, readers, |labelled, consumers| {
+            let (w, rs) = mrsw_atomic_register(labelled, consumers, |stamped| {
+                let (w, r) = atomic_reg(stamped);
+                (Box::new(w) as BaseW<T>, Box::new(r) as BaseR<T>)
+            });
+            (
+                Box::new(w) as MidW<T>,
+                rs.into_iter().map(|r| Box::new(r) as MidR<T>).collect(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_round_trips() {
+        let (mut ws, mut rs) = Register::new('a', 1, 1);
+        assert_eq!(rs[0].read(), 'a');
+        ws[0].write('b');
+        assert_eq!(rs[0].read(), 'b');
+    }
+
+    #[test]
+    fn many_handles_agree_after_quiescence() {
+        let (mut ws, mut rs) = Register::new(0i64, 4, 4);
+        for (k, w) in ws.iter_mut().enumerate() {
+            w.write(k as i64);
+        }
+        let last = 3;
+        assert!(rs.iter_mut().all(|r| r.read() == last));
+        assert!(ws.iter_mut().all(|w| w.read() == last));
+    }
+}

@@ -1,0 +1,152 @@
+//! Base single-reader single-writer atomic primitives.
+//!
+//! The paper's Section 4.1 chain bottoms out at "single-reader,
+//! single-writer bits". On real hardware we substitute `AtomicBool` (and
+//! `crossbeam`'s `AtomicCell` for stamped values), which are *atomic* —
+//! strictly stronger than the regular bits the cited constructions assume.
+//! The substitution is sound: every construction above remains correct
+//! when its base registers are stronger, and the algorithms themselves
+//! only ever touch the base through the single-reader/single-writer
+//! handles of [`crate::traits`], so the restricted access pattern the
+//! literature assumes is faithfully observed. (See DESIGN.md,
+//! substitutions table.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::atomic::AtomicCell;
+
+use crate::traits::{BitReader, BitWriter, RegReader, RegWriter};
+
+/// Creates a single-reader single-writer atomic bit, returning its two
+/// handles.
+///
+/// # Examples
+///
+/// ```
+/// use wfc_registers::{atomic_bit, BitReader, BitWriter};
+///
+/// let (mut w, mut r) = atomic_bit(false);
+/// assert!(!r.read());
+/// w.write(true);
+/// assert!(r.read());
+/// ```
+pub fn atomic_bit(init: bool) -> (AtomicBitWriter, AtomicBitReader) {
+    let cell = Arc::new(AtomicBool::new(init));
+    (
+        AtomicBitWriter {
+            cell: Arc::clone(&cell),
+        },
+        AtomicBitReader { cell },
+    )
+}
+
+/// Writer handle of an [`atomic_bit`].
+#[derive(Debug)]
+pub struct AtomicBitWriter {
+    cell: Arc<AtomicBool>,
+}
+
+/// Reader handle of an [`atomic_bit`].
+#[derive(Debug)]
+pub struct AtomicBitReader {
+    cell: Arc<AtomicBool>,
+}
+
+impl BitWriter for AtomicBitWriter {
+    fn write(&mut self, v: bool) {
+        self.cell.store(v, Ordering::Release);
+    }
+}
+
+impl BitReader for AtomicBitReader {
+    fn read(&mut self) -> bool {
+        self.cell.load(Ordering::Acquire)
+    }
+}
+
+/// Creates a single-reader single-writer atomic register of any `Copy`
+/// value, returning its two handles.
+///
+/// Backed by `crossbeam::atomic::AtomicCell`, which is lock-free for
+/// word-sized `T` and falls back to a seqlock otherwise — linearizable
+/// either way.
+pub fn atomic_reg<T: Copy + Send + 'static>(init: T) -> (AtomicRegWriter<T>, AtomicRegReader<T>) {
+    let cell = Arc::new(AtomicCell::new(init));
+    (
+        AtomicRegWriter {
+            cell: Arc::clone(&cell),
+        },
+        AtomicRegReader { cell },
+    )
+}
+
+/// Writer handle of an [`atomic_reg`].
+pub struct AtomicRegWriter<T> {
+    cell: Arc<AtomicCell<T>>,
+}
+
+impl<T> std::fmt::Debug for AtomicRegWriter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicRegWriter").finish_non_exhaustive()
+    }
+}
+
+/// Reader handle of an [`atomic_reg`].
+pub struct AtomicRegReader<T> {
+    cell: Arc<AtomicCell<T>>,
+}
+
+impl<T> std::fmt::Debug for AtomicRegReader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicRegReader").finish_non_exhaustive()
+    }
+}
+
+impl<T: Copy + Send> RegWriter<T> for AtomicRegWriter<T> {
+    fn write(&mut self, v: T) {
+        self.cell.store(v);
+    }
+}
+
+impl<T: Copy + Send> RegReader<T> for AtomicRegReader<T> {
+    fn read(&mut self) -> T {
+        self.cell.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Stamped;
+
+    #[test]
+    fn bit_round_trips() {
+        let (mut w, mut r) = atomic_bit(true);
+        assert!(r.read());
+        w.write(false);
+        assert!(!r.read());
+        w.write(true);
+        assert!(r.read());
+    }
+
+    #[test]
+    fn reg_round_trips_structs() {
+        let (mut w, mut r) = atomic_reg(Stamped::new(0, 7i32));
+        assert_eq!(r.read().value, 7);
+        w.write(Stamped::new(3, -1));
+        let got = r.read();
+        assert_eq!((got.stamp, got.value), (3, -1));
+    }
+
+    #[test]
+    fn handles_cross_threads() {
+        let (mut w, mut r) = atomic_bit(false);
+        std::thread::scope(|s| {
+            s.spawn(move || w.write(true));
+            s.spawn(move || {
+                let _ = r.read(); // either value is fine; must not race
+            });
+        });
+    }
+}

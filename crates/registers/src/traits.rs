@@ -1,0 +1,125 @@
+//! Handle traits for registers with restricted access patterns.
+//!
+//! The register-construction literature (paper, Section 4.1) distinguishes
+//! registers by how many processes may read or write them. We turn those
+//! side conditions into ownership: a construction hands out one *handle*
+//! per permitted role, and holding `&mut self` methods on an owned handle
+//! is exactly the "single reader" / "single writer" discipline — misuse
+//! becomes a compile error rather than a data race.
+
+/// The reading end of a bit readable by the owner of this handle only.
+pub trait BitReader: Send {
+    /// Reads the bit.
+    fn read(&mut self) -> bool;
+}
+
+/// The writing end of a bit writable by the owner of this handle only.
+pub trait BitWriter: Send {
+    /// Writes the bit.
+    fn write(&mut self, v: bool);
+}
+
+/// The reading end of a single-reader register of `T`.
+pub trait RegReader<T>: Send {
+    /// Reads the register.
+    fn read(&mut self) -> T;
+}
+
+/// The writing end of a single-writer register of `T`.
+pub trait RegWriter<T>: Send {
+    /// Writes the register.
+    fn write(&mut self, v: T);
+}
+
+impl<R: BitReader + ?Sized> BitReader for Box<R> {
+    fn read(&mut self) -> bool {
+        (**self).read()
+    }
+}
+
+impl<W: BitWriter + ?Sized> BitWriter for Box<W> {
+    fn write(&mut self, v: bool) {
+        (**self).write(v)
+    }
+}
+
+impl<T, R: RegReader<T> + ?Sized> RegReader<T> for Box<R> {
+    fn read(&mut self) -> T {
+        (**self).read()
+    }
+}
+
+impl<T, W: RegWriter<T> + ?Sized> RegWriter<T> for Box<W> {
+    fn write(&mut self, v: T) {
+        (**self).write(v)
+    }
+}
+
+/// A value paired with the writer-local sequence number that stamped it.
+///
+/// The unbounded-timestamp constructions (MRSW helping matrix, MRMW
+/// Vitányi–Awerbuch) order concurrent writes by stamp. A `u64` stamp is
+/// "unbounded" for any physically realisable execution; the bounded
+/// alternatives from the paper's bibliography trade this for considerable
+/// algorithmic complexity (see DESIGN.md, substitutions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Stamped<T> {
+    /// The writer's sequence number.
+    pub stamp: u64,
+    /// The carried value.
+    pub value: T,
+}
+
+impl<T> Stamped<T> {
+    /// Stamps `value` with `stamp`.
+    pub fn new(stamp: u64, value: T) -> Self {
+        Stamped { stamp, value }
+    }
+
+    /// Returns whichever of `self`/`other` carries the larger stamp
+    /// (ties favour `self`: stamps from a single writer never tie on
+    /// distinct writes).
+    pub fn max(self, other: Self) -> Self {
+        if other.stamp > self.stamp {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe(bool);
+    impl BitReader for Probe {
+        fn read(&mut self) -> bool {
+            self.0
+        }
+    }
+    impl BitWriter for Probe {
+        fn write(&mut self, v: bool) {
+            self.0 = v;
+        }
+    }
+
+    #[test]
+    fn boxed_handles_delegate() {
+        let mut r: Box<dyn BitReader> = Box::new(Probe(true));
+        assert!(r.read());
+        let mut w: Box<dyn BitWriter> = Box::new(Probe(false));
+        w.write(true);
+    }
+
+    #[test]
+    fn stamped_max_prefers_larger_stamp() {
+        let a = Stamped::new(1, 'a');
+        let b = Stamped::new(2, 'b');
+        assert_eq!(a.max(b).value, 'b');
+        assert_eq!(b.max(a).value, 'b');
+        // Ties keep self.
+        let c = Stamped::new(2, 'c');
+        assert_eq!(b.max(c).value, 'b');
+    }
+}

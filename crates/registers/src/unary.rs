@@ -1,0 +1,177 @@
+//! Multi-valued regular register from regular bits, in unary
+//! (the Peterson \[16\] lineage step of the paper's Section 4.1; the
+//! construction follows the classic unary encoding, cf. Lamport \[13\]).
+//!
+//! A value `v ∈ {0, …, M-1}` is encoded as the lowest set bit of an
+//! `M`-bit array. `write(v)` sets bit `v` and then clears bits
+//! `v-1 … 0` in *descending* order; `read` scans upward and returns the
+//! first set bit. Both are wait-free, and the result is a **regular**
+//! multi-valued register when the bits are regular (or stronger).
+//!
+//! Why a read always terminates with a sound value: the bit of the last
+//! completed write stays set until a *lower* write clears it, and a write
+//! sets its own bit before clearing any other, so at every instant some
+//! bit at or below the scan limit is set; regularity of the bits then
+//! pins the returned value to the latest-completed or an overlapping
+//! write.
+
+use crate::traits::{BitReader, BitWriter, RegReader, RegWriter};
+
+/// Creates a multi-reader regular `M`-valued register from `M` multi-reader
+/// bits (allocated by `alloc`, one `(writer, readers)` pair per value, each
+/// serving `readers` readers).
+///
+/// # Panics
+///
+/// Panics if `values < 2`, `init >= values`, or `alloc` returns the wrong
+/// number of reader handles.
+pub fn unary_regular_register<W, R>(
+    init: usize,
+    values: usize,
+    readers: usize,
+    mut alloc: impl FnMut(bool, usize) -> (W, Vec<R>),
+) -> (UnaryWriter<W>, Vec<UnaryReader<R>>)
+where
+    W: BitWriter,
+    R: BitReader,
+{
+    assert!(values >= 2, "a register needs at least two values");
+    assert!(init < values, "initial value out of range");
+    let mut bit_writers = Vec::with_capacity(values);
+    // reader_rows[i] collects reader i's handle for every bit.
+    let mut reader_rows: Vec<Vec<R>> = (0..readers).map(|_| Vec::with_capacity(values)).collect();
+    for v in 0..values {
+        let (w, rs) = alloc(v == init, readers);
+        assert_eq!(rs.len(), readers, "allocator must serve every reader");
+        bit_writers.push(w);
+        for (row, r) in reader_rows.iter_mut().zip(rs) {
+            row.push(r);
+        }
+    }
+    (
+        UnaryWriter { bits: bit_writers },
+        reader_rows
+            .into_iter()
+            .map(|bits| UnaryReader { bits })
+            .collect(),
+    )
+}
+
+/// Writer handle of a [`unary_regular_register`].
+#[derive(Debug)]
+pub struct UnaryWriter<W> {
+    bits: Vec<W>,
+}
+
+impl<W: BitWriter> RegWriter<usize> for UnaryWriter<W> {
+    /// Sets bit `v`, then clears all lower bits in descending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the register's value range.
+    fn write(&mut self, v: usize) {
+        assert!(v < self.bits.len(), "value out of range");
+        self.bits[v].write(true);
+        for i in (0..v).rev() {
+            self.bits[i].write(false);
+        }
+    }
+}
+
+/// Reader handle of a [`unary_regular_register`].
+#[derive(Debug)]
+pub struct UnaryReader<R> {
+    bits: Vec<R>,
+}
+
+impl<R: BitReader> RegReader<usize> for UnaryReader<R> {
+    /// Scans upward and returns the index of the first set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bit is set — impossible when interacting only with
+    /// [`UnaryWriter`] on a properly initialised register.
+    fn read(&mut self) -> usize {
+        for (i, bit) in self.bits.iter_mut().enumerate() {
+            if bit.read() {
+                return i;
+            }
+        }
+        panic!("unary register invariant violated: no bit set");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrsw_regular::mrsw_regular_bit;
+    use crate::srsw::atomic_bit;
+    use wfc_runtime::run_threads;
+
+    fn mk(
+        init: usize,
+        values: usize,
+        readers: usize,
+    ) -> (
+        UnaryWriter<impl BitWriter>,
+        Vec<UnaryReader<impl BitReader>>,
+    ) {
+        unary_regular_register(init, values, readers, |bit_init, n| {
+            mrsw_regular_bit(bit_init, n, |i| {
+                let (w, r) = atomic_bit(i);
+                (Box::new(w) as Box<dyn BitWriter>, Box::new(r) as Box<dyn BitReader>)
+            })
+        })
+    }
+
+    #[test]
+    fn sequential_read_write() {
+        let (mut w, mut rs) = mk(2, 5, 3);
+        assert!(rs.iter_mut().all(|r| r.read() == 2));
+        w.write(4);
+        assert!(rs.iter_mut().all(|r| r.read() == 4));
+        w.write(0);
+        assert!(rs.iter_mut().all(|r| r.read() == 0));
+        w.write(4); // leaves stale bit 0? no: write(4) sets 4, clears 3..0
+        assert!(rs.iter_mut().all(|r| r.read() == 4));
+    }
+
+    #[test]
+    fn stale_high_bits_are_shadowed() {
+        let (mut w, mut rs) = mk(0, 4, 1);
+        w.write(3);
+        w.write(1); // bit 3 remains set (stale) but bit 1 shadows it
+        assert_eq!(rs[0].read(), 1);
+        w.write(2); // clears 1, 0; bit 3 still stale; 2 is lowest set
+        assert_eq!(rs[0].read(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "value out of range")]
+    fn oversized_write_is_rejected() {
+        let (mut w, _rs) = mk(0, 3, 1);
+        w.write(3);
+    }
+
+    /// Concurrent stress: every read must return some value written by a
+    /// completed-or-overlapping write (regularity), and reads never panic
+    /// (the "some bit is always set" invariant).
+    #[test]
+    fn concurrent_reads_return_written_values() {
+        let (mut w, rs) = mk(0, 8, 4);
+        let mut workers: Vec<Box<dyn FnOnce() -> Vec<usize> + Send>> = Vec::new();
+        workers.push(Box::new(move || {
+            for k in 0..200usize {
+                w.write(k % 8);
+            }
+            Vec::new()
+        }));
+        for mut r in rs {
+            workers.push(Box::new(move || (0..200).map(|_| r.read()).collect()));
+        }
+        let results = run_threads(workers);
+        for reads in &results[1..] {
+            assert!(reads.iter().all(|&v| v < 8));
+        }
+    }
+}

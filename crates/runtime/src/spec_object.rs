@@ -1,0 +1,194 @@
+//! Linearizable runtime instances of arbitrary finite types.
+//!
+//! A [`SpecObject`] turns any `wfc-spec` [`FiniteType`] into a real shared
+//! object: invocations apply the transition function atomically (under a
+//! mutex, which trivially linearizes them). This is the runtime analogue
+//! of the paper's "objects of type `T`" and serves as the reference
+//! implementation that native lock-free objects are benchmarked and
+//! differentially tested against.
+//!
+//! Port discipline is enforced at the type level: [`SpecObject::ports`]
+//! hands out one [`PortHandle`] per port, and only a handle can invoke —
+//! "at most one process may use a port" (paper, Section 2.1) becomes
+//! ownership.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use wfc_spec::{FiniteType, InvId, Outcome, PortId, RespId, StateId};
+
+/// How a [`SpecObject`] resolves nondeterministic outcome sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Nondeterminism {
+    /// Always take the first outcome (deterministic, reproducible).
+    #[default]
+    First,
+    /// Rotate through outcomes (adversarial-ish coverage in stress tests).
+    RoundRobin,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ty: Arc<FiniteType>,
+    state: Mutex<(StateId, u64)>, // (current state, round-robin counter)
+    mode: Nondeterminism,
+}
+
+/// A linearizable shared object of an arbitrary [`FiniteType`].
+#[derive(Debug)]
+pub struct SpecObject {
+    inner: Arc<Inner>,
+}
+
+impl SpecObject {
+    /// Creates an object of `ty` initialised to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is out of range for `ty`.
+    pub fn new(ty: Arc<FiniteType>, init: StateId, mode: Nondeterminism) -> Self {
+        assert!(init.index() < ty.state_count(), "initial state out of range");
+        SpecObject {
+            inner: Arc::new(Inner {
+                ty,
+                state: Mutex::new((init, 0)),
+                mode,
+            }),
+        }
+    }
+
+    /// The object's type.
+    pub fn ty(&self) -> &Arc<FiniteType> {
+        &self.inner.ty
+    }
+
+    /// Consumes the object and returns one [`PortHandle`] per port.
+    pub fn ports(self) -> Vec<PortHandle> {
+        (0..self.inner.ty.ports())
+            .map(|p| PortHandle {
+                inner: Arc::clone(&self.inner),
+                port: PortId::new(p),
+            })
+            .collect()
+    }
+
+    /// The current state — test observability only; real processes cannot
+    /// see object states.
+    pub fn peek_state(&self) -> StateId {
+        self.inner.state.lock().0
+    }
+}
+
+/// The capability to invoke operations through one port of a
+/// [`SpecObject`]. Not cloneable: one process per port.
+#[derive(Debug)]
+pub struct PortHandle {
+    inner: Arc<Inner>,
+    port: PortId,
+}
+
+impl PortHandle {
+    /// The port this handle owns.
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// The object's type.
+    pub fn ty(&self) -> &Arc<FiniteType> {
+        &self.inner.ty
+    }
+
+    /// Atomically applies `inv` through this port and returns the
+    /// response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inv` is out of range for the object's type.
+    pub fn invoke(&self, inv: InvId) -> RespId {
+        let mut guard = self.inner.state.lock();
+        let (state, counter) = *guard;
+        let outcomes = self.inner.ty.outcomes(state, self.port, inv);
+        let pick = match self.inner.mode {
+            Nondeterminism::First => 0,
+            Nondeterminism::RoundRobin => (counter as usize) % outcomes.len(),
+        };
+        let Outcome { next, resp } = outcomes[pick];
+        *guard = (next, counter.wrapping_add(1));
+        resp
+    }
+
+    /// Convenience: invoke by invocation name, returning the response name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inv` is not an invocation of the type.
+    pub fn invoke_named(&self, inv: &str) -> String {
+        let inv = self
+            .inner
+            .ty
+            .invocation_id(inv)
+            .unwrap_or_else(|| panic!("no invocation `{inv}` on {}", self.inner.ty.name()));
+        let resp = self.invoke(inv);
+        self.inner.ty.response_name(resp).to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfc_spec::canonical;
+
+    #[test]
+    fn tas_object_serves_all_ports() {
+        let tas = Arc::new(canonical::test_and_set(3));
+        let init = tas.state_id("unset").unwrap();
+        let obj = SpecObject::new(tas, init, Nondeterminism::First);
+        let handles = obj.ports();
+        assert_eq!(handles.len(), 3);
+        assert_eq!(handles[1].invoke_named("test_and_set"), "0");
+        assert_eq!(handles[0].invoke_named("test_and_set"), "1");
+        assert_eq!(handles[2].invoke_named("read"), "1");
+    }
+
+    #[test]
+    fn round_robin_cycles_nondeterministic_outcomes() {
+        let oub = Arc::new(canonical::one_use_bit());
+        let dead = oub.state_id("DEAD").unwrap();
+        let obj = SpecObject::new(oub, dead, Nondeterminism::RoundRobin);
+        let handles = obj.ports();
+        let reads: Vec<String> = (0..4).map(|_| handles[0].invoke_named("read")).collect();
+        assert!(reads.contains(&"0".to_owned()));
+        assert!(reads.contains(&"1".to_owned()));
+    }
+
+    #[test]
+    fn first_mode_is_reproducible() {
+        let oub = Arc::new(canonical::one_use_bit());
+        let dead = oub.state_id("DEAD").unwrap();
+        let obj = SpecObject::new(oub, dead, Nondeterminism::First);
+        let handles = obj.ports();
+        let a = handles[0].invoke_named("read");
+        let b = handles[0].invoke_named("read");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_invocations_linearize() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let tas = Arc::new(canonical::test_and_set(4));
+        let init = tas.state_id("unset").unwrap();
+        let obj = SpecObject::new(tas, init, Nondeterminism::First);
+        let winners = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for h in obj.ports() {
+                let winners = &winners;
+                s.spawn(move || {
+                    if h.invoke_named("test_and_set") == "0" {
+                        winners.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::SeqCst), 1, "exactly one TAS winner");
+    }
+}

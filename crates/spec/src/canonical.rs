@@ -1,0 +1,615 @@
+//! A zoo of canonical concurrent data types as [`FiniteType`] values.
+//!
+//! These are the standard objects of the wait-free hierarchy literature
+//! (Herlihy \[7\], Jayanti \[9\]): registers, test-and-set, swap,
+//! fetch-and-add, compare-and-swap, FIFO queues, sticky bits, the
+//! `n`-process binary consensus type `T_{c,n}` (paper, Section 2.1) and the
+//! paper's own *one-use bit* `T_{1u}` (Section 3).
+//!
+//! Every constructor documents the intended initial state by name; a
+//! [`FiniteType`] itself carries no distinguished initial state because an
+//! implementation may initialize objects to any state (Section 2.2).
+
+use crate::types::{FiniteType, TypeBuilder};
+
+/// The `n`-process binary consensus type `T_{c,n}` (paper, Section 2.1).
+///
+/// States `{⊥, 0, 1}`; invocations `{0, 1}` (the proposer's value);
+/// responses `{0, 1}`. The first invocation fixes all future responses —
+/// the *consensus value* of the object. Initialize to `"⊥"`.
+///
+/// # Examples
+///
+/// ```
+/// use wfc_spec::canonical;
+///
+/// let c = canonical::consensus(3);
+/// assert_eq!(c.ports(), 3);
+/// let bot = c.state_id("⊥").unwrap();
+/// let propose1 = c.invocation_id("propose1").unwrap();
+/// let out = c.step(bot, wfc_spec::PortId::new(2), propose1);
+/// assert_eq!(c.response_name(out.resp), "1");
+/// ```
+pub fn consensus(n: usize) -> FiniteType {
+    let mut b = TypeBuilder::new(format!("consensus{n}"), n);
+    let bot = b.state("⊥");
+    let s0 = b.state("0");
+    let s1 = b.state("1");
+    let p0 = b.invocation("propose0");
+    let p1 = b.invocation("propose1");
+    let r0 = b.response("0");
+    let r1 = b.response("1");
+    b.oblivious_transition(bot, p0, s0, r0);
+    b.oblivious_transition(bot, p1, s1, r1);
+    for s in [s0, s1] {
+        let r = if s == s0 { r0 } else { r1 };
+        b.oblivious_transition(s, p0, s, r);
+        b.oblivious_transition(s, p1, s, r);
+    }
+    b.build().expect("consensus type is well-formed")
+}
+
+/// The one-use bit `T_{1u}` (paper, Section 3).
+///
+/// A 2-port bit, readable at most once and writable at most once. States
+/// `{UNSET, SET, DEAD}`; invocations `{read, write}`; responses
+/// `{0, 1, ok}`. A `read` always sends the object to `DEAD`, where further
+/// reads are *nondeterministic* (may return 0 or 1); a second `write` also
+/// kills the object. Initialize to `"UNSET"`.
+pub fn one_use_bit() -> FiniteType {
+    let mut b = TypeBuilder::new("one_use_bit", 2);
+    let unset = b.state("UNSET");
+    let set = b.state("SET");
+    let dead = b.state("DEAD");
+    let read = b.invocation("read");
+    let write = b.invocation("write");
+    let r0 = b.response("0");
+    let r1 = b.response("1");
+    let ok = b.response("ok");
+    b.oblivious_transition(unset, read, dead, r0);
+    b.oblivious_transition(set, read, dead, r1);
+    // DEAD reads are nondeterministic: either bit value may come back.
+    b.oblivious_transition(dead, read, dead, r0);
+    b.oblivious_transition(dead, read, dead, r1);
+    b.oblivious_transition(unset, write, set, ok);
+    b.oblivious_transition(set, write, dead, ok);
+    b.oblivious_transition(dead, write, dead, ok);
+    b.build().expect("one-use bit type is well-formed")
+}
+
+/// A multi-value atomic read/write register over `values` symbols.
+///
+/// States and write invocations exist per value; `read` returns the current
+/// value. Initialize to `"v0"` (or any `"v{k}"`).
+pub fn register(values: usize, ports: usize) -> FiniteType {
+    assert!(values >= 2, "a register needs at least two values");
+    let mut b = TypeBuilder::new(format!("register{values}"), ports);
+    let states: Vec<_> = (0..values).map(|v| b.state(&format!("v{v}"))).collect();
+    let read = b.invocation("read");
+    let writes: Vec<_> = (0..values)
+        .map(|v| b.invocation(&format!("write{v}")))
+        .collect();
+    let vals: Vec<_> = (0..values).map(|v| b.response(&format!("{v}"))).collect();
+    let ok = b.response("ok");
+    for v in 0..values {
+        b.oblivious_transition(states[v], read, states[v], vals[v]);
+        for w in 0..values {
+            b.oblivious_transition(states[v], writes[w], states[w], ok);
+        }
+    }
+    b.build().expect("register type is well-formed")
+}
+
+/// A boolean atomic read/write register: [`register`] with two values.
+pub fn boolean_register(ports: usize) -> FiniteType {
+    register(2, ports)
+}
+
+/// Test-and-set: `test_and_set` atomically sets the bit and returns its
+/// *previous* value, so exactly one invoker ever receives `0`. `read`
+/// returns the current value. Consensus number 2 (Herlihy \[7\]).
+/// Initialize to `"unset"`.
+pub fn test_and_set(ports: usize) -> FiniteType {
+    let mut b = TypeBuilder::new("test_and_set", ports);
+    let unset = b.state("unset");
+    let set = b.state("set");
+    let tas = b.invocation("test_and_set");
+    let read = b.invocation("read");
+    let r0 = b.response("0");
+    let r1 = b.response("1");
+    b.oblivious_transition(unset, tas, set, r0);
+    b.oblivious_transition(set, tas, set, r1);
+    b.oblivious_transition(unset, read, unset, r0);
+    b.oblivious_transition(set, read, set, r1);
+    b.build().expect("test-and-set type is well-formed")
+}
+
+/// A swap register over `values` symbols: `swap{v}` writes `v` and returns
+/// the previous value. Consensus number 2. Initialize to `"v0"`.
+pub fn swap(values: usize, ports: usize) -> FiniteType {
+    assert!(values >= 2, "a swap register needs at least two values");
+    let mut b = TypeBuilder::new(format!("swap{values}"), ports);
+    let states: Vec<_> = (0..values).map(|v| b.state(&format!("v{v}"))).collect();
+    let swaps: Vec<_> = (0..values)
+        .map(|v| b.invocation(&format!("swap{v}")))
+        .collect();
+    let vals: Vec<_> = (0..values).map(|v| b.response(&format!("{v}"))).collect();
+    for v in 0..values {
+        for w in 0..values {
+            b.oblivious_transition(states[v], swaps[w], states[w], vals[v]);
+        }
+    }
+    b.build().expect("swap type is well-formed")
+}
+
+/// A fetch-and-add counter saturating at `cap`: `fetch_add` increments and
+/// returns the *previous* value; `read` returns the current value.
+/// Consensus number 2. Initialize to `"0"`.
+pub fn fetch_and_add(cap: usize, ports: usize) -> FiniteType {
+    assert!(cap >= 1, "fetch-and-add needs at least one increment");
+    let mut b = TypeBuilder::new(format!("fetch_and_add{cap}"), ports);
+    let states: Vec<_> = (0..=cap).map(|v| b.state(&format!("{v}"))).collect();
+    let fadd = b.invocation("fetch_add");
+    let read = b.invocation("read");
+    let vals: Vec<_> = (0..=cap).map(|v| b.response(&format!("{v}"))).collect();
+    for v in 0..=cap {
+        let next = (v + 1).min(cap);
+        b.oblivious_transition(states[v], fadd, states[next], vals[v]);
+        b.oblivious_transition(states[v], read, states[v], vals[v]);
+    }
+    b.build().expect("fetch-and-add type is well-formed")
+}
+
+/// Compare-and-swap over `values` symbols: `cas{e}_{n}` installs `n` iff
+/// the current value is `e`, returning the previous value either way;
+/// `read` returns the current value. Consensus number ∞ (Herlihy \[7\]).
+/// Initialize to `"v0"`.
+pub fn compare_and_swap(values: usize, ports: usize) -> FiniteType {
+    assert!(values >= 2, "compare-and-swap needs at least two values");
+    let mut b = TypeBuilder::new(format!("compare_and_swap{values}"), ports);
+    let states: Vec<_> = (0..values).map(|v| b.state(&format!("v{v}"))).collect();
+    let read = b.invocation("read");
+    let vals: Vec<_> = (0..values).map(|v| b.response(&format!("{v}"))).collect();
+    for v in 0..values {
+        b.oblivious_transition(states[v], read, states[v], vals[v]);
+    }
+    for e in 0..values {
+        for n in 0..values {
+            let inv = b.invocation(&format!("cas{e}_{n}"));
+            for v in 0..values {
+                let next = if v == e { states[n] } else { states[v] };
+                b.oblivious_transition(states[v], inv, next, vals[v]);
+            }
+        }
+    }
+    b.build().expect("compare-and-swap type is well-formed")
+}
+
+/// A bounded FIFO queue for `ports` processes, holding up to `capacity`
+/// items drawn from `values` symbols. `enq{v}` returns `ok` or `full`;
+/// `deq` returns the head value or `empty`. Consensus number 2
+/// (Herlihy \[7\]). Initialize to `"⟨⟩"` (empty) or any state named by its
+/// contents, e.g. `"⟨0,1⟩"` (head first).
+pub fn queue(capacity: usize, values: usize, ports: usize) -> FiniteType {
+    assert!(capacity >= 1 && values >= 1, "queue needs capacity and values");
+    assert!(ports >= 1, "queue needs at least one port");
+    let mut b = TypeBuilder::new(format!("queue{capacity}x{values}"), ports);
+    // Enumerate all contents of length 0..=capacity, head first.
+    let mut contents: Vec<Vec<usize>> = vec![vec![]];
+    let mut layer: Vec<Vec<usize>> = vec![vec![]];
+    for _ in 0..capacity {
+        let mut next = Vec::new();
+        for c in &layer {
+            for v in 0..values {
+                let mut c2 = c.clone();
+                c2.push(v);
+                next.push(c2);
+            }
+        }
+        contents.extend(next.iter().cloned());
+        layer = next;
+    }
+    let name_of = |c: &[usize]| {
+        let inner: Vec<String> = c.iter().map(|v| v.to_string()).collect();
+        format!("⟨{}⟩", inner.join(","))
+    };
+    let states: Vec<_> = contents.iter().map(|c| b.state(&name_of(c))).collect();
+    let deq = b.invocation("deq");
+    let enqs: Vec<_> = (0..values)
+        .map(|v| b.invocation(&format!("enq{v}")))
+        .collect();
+    let vals: Vec<_> = (0..values).map(|v| b.response(&format!("{v}"))).collect();
+    let ok = b.response("ok");
+    let full = b.response("full");
+    let empty = b.response("empty");
+    let index_of = |c: &[usize]| {
+        contents
+            .iter()
+            .position(|x| x == c)
+            .expect("content enumerated")
+    };
+    for (k, c) in contents.iter().enumerate() {
+        // Dequeue.
+        if c.is_empty() {
+            b.oblivious_transition(states[k], deq, states[k], empty);
+        } else {
+            let rest = c[1..].to_vec();
+            b.oblivious_transition(states[k], deq, states[index_of(&rest)], vals[c[0]]);
+        }
+        // Enqueues.
+        for (v, &enq) in enqs.iter().enumerate() {
+            if c.len() == capacity {
+                b.oblivious_transition(states[k], enq, states[k], full);
+            } else {
+                let mut c2 = c.clone();
+                c2.push(v);
+                b.oblivious_transition(states[k], enq, states[index_of(&c2)], ok);
+            }
+        }
+    }
+    b.build().expect("queue type is well-formed")
+}
+
+/// A bounded LIFO stack for `ports` processes, holding up to `capacity`
+/// items drawn from `values` symbols. `push{v}` returns `ok` or `full`;
+/// `pop` returns the top value or `empty`. Consensus number 2
+/// (Herlihy \[7\]). Initialize to `"⟨⟩"` or any state named by its
+/// contents, e.g. `"⟨0,1⟩"` (top first).
+pub fn stack(capacity: usize, values: usize, ports: usize) -> FiniteType {
+    assert!(capacity >= 1 && values >= 1, "stack needs capacity and values");
+    assert!(ports >= 1, "stack needs at least one port");
+    let mut b = TypeBuilder::new(format!("stack{capacity}x{values}"), ports);
+    // Enumerate all contents of length 0..=capacity, top first.
+    let mut contents: Vec<Vec<usize>> = vec![vec![]];
+    let mut layer: Vec<Vec<usize>> = vec![vec![]];
+    for _ in 0..capacity {
+        let mut next = Vec::new();
+        for c in &layer {
+            for v in 0..values {
+                let mut c2 = vec![v];
+                c2.extend(c.iter().copied());
+                next.push(c2);
+            }
+        }
+        contents.extend(next.iter().cloned());
+        layer = next;
+    }
+    let name_of = |c: &[usize]| {
+        let inner: Vec<String> = c.iter().map(|v| v.to_string()).collect();
+        format!("⟨{}⟩", inner.join(","))
+    };
+    let states: Vec<_> = contents.iter().map(|c| b.state(&name_of(c))).collect();
+    let pop = b.invocation("pop");
+    let pushes: Vec<_> = (0..values)
+        .map(|v| b.invocation(&format!("push{v}")))
+        .collect();
+    let vals: Vec<_> = (0..values).map(|v| b.response(&format!("{v}"))).collect();
+    let ok = b.response("ok");
+    let full = b.response("full");
+    let empty = b.response("empty");
+    let index_of = |c: &[usize]| {
+        contents
+            .iter()
+            .position(|x| x == c)
+            .expect("content enumerated")
+    };
+    for (k, c) in contents.iter().enumerate() {
+        if c.is_empty() {
+            b.oblivious_transition(states[k], pop, states[k], empty);
+        } else {
+            let rest = c[1..].to_vec();
+            b.oblivious_transition(states[k], pop, states[index_of(&rest)], vals[c[0]]);
+        }
+        for (v, &push) in pushes.iter().enumerate() {
+            if c.len() == capacity {
+                b.oblivious_transition(states[k], push, states[k], full);
+            } else {
+                let mut c2 = vec![v];
+                c2.extend(c.iter().copied());
+                b.oblivious_transition(states[k], push, states[index_of(&c2)], ok);
+            }
+        }
+    }
+    b.build().expect("stack type is well-formed")
+}
+
+/// A sticky bit (Plotkin \[19\]): the first write sticks and every write
+/// returns the stuck value, so writes double as consensus proposals;
+/// `read` returns `⊥`, `0` or `1`. Consensus number ∞.
+/// Initialize to `"⊥"`.
+pub fn sticky_bit(ports: usize) -> FiniteType {
+    let mut b = TypeBuilder::new("sticky_bit", ports);
+    let bot = b.state("⊥");
+    let s0 = b.state("0");
+    let s1 = b.state("1");
+    let w0 = b.invocation("write0");
+    let w1 = b.invocation("write1");
+    let read = b.invocation("read");
+    let rbot = b.response("⊥");
+    let r0 = b.response("0");
+    let r1 = b.response("1");
+    b.oblivious_transition(bot, w0, s0, r0);
+    b.oblivious_transition(bot, w1, s1, r1);
+    for (s, r) in [(s0, r0), (s1, r1)] {
+        b.oblivious_transition(s, w0, s, r);
+        b.oblivious_transition(s, w1, s, r);
+        b.oblivious_transition(s, read, s, r);
+    }
+    b.oblivious_transition(bot, read, bot, rbot);
+    b.build().expect("sticky bit type is well-formed")
+}
+
+/// The paper's archetypal *trivial* type: `|R| = 1`, so no invocation can
+/// convey information (Section 5.1). State still evolves, uselessly.
+pub fn mute(ports: usize) -> FiniteType {
+    let mut b = TypeBuilder::new("mute", ports);
+    let a = b.state("a");
+    let c = b.state("b");
+    let poke = b.invocation("poke");
+    let ok = b.response("ok");
+    b.oblivious_transition(a, poke, c, ok);
+    b.oblivious_transition(c, poke, a, ok);
+    b.build().expect("mute type is well-formed")
+}
+
+/// A trivial type with `|R| > 1`: each invocation has a fixed response
+/// independent of state, so responses are a function of the invocation
+/// alone. Trivial under both Section 5.1 and 5.2 definitions.
+pub fn constant_responder(ports: usize) -> FiniteType {
+    let mut b = TypeBuilder::new("constant_responder", ports);
+    let a = b.state("a");
+    let c = b.state("b");
+    let ping = b.invocation("ping");
+    let query = b.invocation("query");
+    let ok = b.response("ok");
+    let zero = b.response("0");
+    for s in [a, c] {
+        let other = if s == a { c } else { a };
+        b.oblivious_transition(s, ping, other, ok);
+        b.oblivious_transition(s, query, s, zero);
+    }
+    b.build().expect("constant responder type is well-formed")
+}
+
+/// The *marked ring*: a two-port, non-oblivious family whose minimal
+/// non-trivial pair has `k = m` — the scaling knob for the witness-search
+/// experiments (E5/E6).
+///
+/// States are (phase ∈ `0..m`, marked ∈ {0, 1}). The reader's `probe`
+/// (port 0) advances the phase and answers `"y"` exactly when leaving the
+/// last phase of a *marked* ring; the writer's `mark` (port 1) is
+/// effective only from phase 0 of an unmarked ring. All other accesses
+/// are inert, so a fresh mark is invisible until the reader has probed
+/// all the way around: detecting it takes exactly `m` probes.
+/// Initialize to `"p0m0"`.
+pub fn marked_ring(m: usize) -> FiniteType {
+    assert!(m >= 1, "a marked ring needs at least one phase");
+    let mut b = TypeBuilder::new(format!("marked_ring{m}"), 2);
+    let state_of = |p: usize, marked: usize| format!("p{p}m{marked}");
+    let states: Vec<Vec<_>> = (0..m)
+        .map(|p| (0..2).map(|mk| b.state(&state_of(p, mk))).collect())
+        .collect();
+    let probe = b.invocation("probe");
+    let mark = b.invocation("mark");
+    let x = b.response("x");
+    let y = b.response("y");
+    let ok = b.response("ok");
+    let reader = crate::ids::PortId::new(0);
+    let writer = crate::ids::PortId::new(1);
+    for p in 0..m {
+        for marked in 0..2 {
+            let s = states[p][marked];
+            // Reader probe: advance phase; y only when wrapping a marked ring.
+            let resp = if marked == 1 && p == m - 1 { y } else { x };
+            b.transition(s, reader, probe, states[(p + 1) % m][marked], resp);
+            // Reader mark: inert.
+            b.transition(s, reader, mark, s, ok);
+            // Writer probe: inert.
+            b.transition(s, writer, probe, s, x);
+            // Writer mark: effective only from (0, unmarked).
+            let next = if p == 0 && marked == 0 {
+                states[0][1]
+            } else {
+                s
+            };
+            b.transition(s, writer, mark, next, ok);
+        }
+    }
+    b.build().expect("marked ring type is well-formed")
+}
+
+/// Every deterministic type in the zoo, for exhaustive catalog tests.
+/// All are built with `ports` ports where the constructor allows it.
+pub fn deterministic_zoo(ports: usize) -> Vec<FiniteType> {
+    vec![
+        register(2, ports),
+        register(3, ports),
+        test_and_set(ports),
+        swap(2, ports),
+        fetch_and_add(3, ports),
+        compare_and_swap(2, ports),
+        queue(2, 2, 2),
+        stack(2, 2, 2),
+        sticky_bit(ports),
+        consensus(ports),
+        mute(ports),
+        constant_responder(ports),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PortId;
+    use crate::triviality::{is_trivial, is_trivial_oblivious};
+
+    #[test]
+    fn consensus_matches_paper_delta() {
+        let c = consensus(2);
+        assert!(c.is_deterministic());
+        assert!(c.is_oblivious());
+        let bot = c.state_id("⊥").unwrap();
+        let p0 = c.invocation_id("propose0").unwrap();
+        let p1 = c.invocation_id("propose1").unwrap();
+        let port = PortId::new(0);
+        // δ(⊥, 0) = ⟨0, 0⟩; δ(⊥, 1) = ⟨1, 1⟩.
+        let out0 = c.step(bot, port, p0);
+        assert_eq!(c.state_name(out0.next), "0");
+        assert_eq!(c.response_name(out0.resp), "0");
+        // δ(0, 1) = ⟨0, 0⟩: first invocation decides.
+        let out01 = c.step(out0.next, port, p1);
+        assert_eq!(c.state_name(out01.next), "0");
+        assert_eq!(c.response_name(out01.resp), "0");
+    }
+
+    #[test]
+    fn one_use_bit_matches_paper_delta() {
+        let t = one_use_bit();
+        assert!(!t.is_deterministic(), "DEAD reads are nondeterministic");
+        assert!(t.is_oblivious());
+        assert_eq!(t.ports(), 2);
+        let unset = t.state_id("UNSET").unwrap();
+        let set = t.state_id("SET").unwrap();
+        let dead = t.state_id("DEAD").unwrap();
+        let read = t.invocation_id("read").unwrap();
+        let write = t.invocation_id("write").unwrap();
+        let port = PortId::new(0);
+        // Reads kill the object and report the bit.
+        assert_eq!(t.outcomes(unset, port, read).len(), 1);
+        assert_eq!(t.step(unset, port, read).next, dead);
+        assert_eq!(t.response_name(t.step(unset, port, read).resp), "0");
+        assert_eq!(t.response_name(t.step(set, port, read).resp), "1");
+        // DEAD reads may return either value.
+        assert_eq!(t.outcomes(dead, port, read).len(), 2);
+        // Writes: UNSET → SET → DEAD.
+        assert_eq!(t.step(unset, port, write).next, set);
+        assert_eq!(t.step(set, port, write).next, dead);
+        assert_eq!(t.step(dead, port, write).next, dead);
+    }
+
+    #[test]
+    fn test_and_set_first_wins() {
+        let t = test_and_set(3);
+        let q0 = t.state_id("unset").unwrap();
+        let tas = t.invocation_id("test_and_set").unwrap();
+        let (resps, _) = t.run(q0, PortId::new(0), &[tas, tas, tas]);
+        let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
+        assert_eq!(names, ["0", "1", "1"]);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let t = swap(3, 2);
+        let v0 = t.state_id("v0").unwrap();
+        let s1 = t.invocation_id("swap1").unwrap();
+        let s2 = t.invocation_id("swap2").unwrap();
+        let (resps, end) = t.run(v0, PortId::new(0), &[s1, s2]);
+        let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
+        assert_eq!(names, ["0", "1"]);
+        assert_eq!(t.state_name(end), "v2");
+    }
+
+    #[test]
+    fn fetch_and_add_saturates() {
+        let t = fetch_and_add(2, 2);
+        let q0 = t.state_id("0").unwrap();
+        let fa = t.invocation_id("fetch_add").unwrap();
+        let (resps, end) = t.run(q0, PortId::new(0), &[fa, fa, fa]);
+        let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
+        assert_eq!(names, ["0", "1", "2"]);
+        assert_eq!(t.state_name(end), "2", "saturated at cap");
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_match() {
+        let t = compare_and_swap(2, 2);
+        let v0 = t.state_id("v0").unwrap();
+        let cas01 = t.invocation_id("cas0_1").unwrap();
+        let port = PortId::new(0);
+        let out = t.step(v0, port, cas01);
+        assert_eq!(t.state_name(out.next), "v1");
+        assert_eq!(t.response_name(out.resp), "0");
+        // A second identical CAS fails (value is now 1) and is a no-op.
+        let out2 = t.step(out.next, port, cas01);
+        assert_eq!(t.state_name(out2.next), "v1");
+        assert_eq!(t.response_name(out2.resp), "1");
+    }
+
+    #[test]
+    fn queue_is_fifo_and_bounded() {
+        let t = queue(2, 2, 2);
+        let empty = t.state_id("⟨⟩").unwrap();
+        let enq0 = t.invocation_id("enq0").unwrap();
+        let enq1 = t.invocation_id("enq1").unwrap();
+        let deq = t.invocation_id("deq").unwrap();
+        let (resps, _) = t.run(
+            empty,
+            PortId::new(0),
+            &[enq0, enq1, enq0, deq, deq, deq],
+        );
+        let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
+        assert_eq!(names, ["ok", "ok", "full", "0", "1", "empty"]);
+    }
+
+    #[test]
+    fn stack_is_lifo_and_bounded() {
+        let t = stack(2, 2, 2);
+        let empty = t.state_id("⟨⟩").unwrap();
+        let push0 = t.invocation_id("push0").unwrap();
+        let push1 = t.invocation_id("push1").unwrap();
+        let pop = t.invocation_id("pop").unwrap();
+        let (resps, _) = t.run(
+            empty,
+            PortId::new(0),
+            &[push0, push1, push0, pop, pop, pop],
+        );
+        let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
+        assert_eq!(names, ["ok", "ok", "full", "1", "0", "empty"]);
+    }
+
+    #[test]
+    fn sticky_bit_sticks() {
+        let t = sticky_bit(3);
+        let bot = t.state_id("⊥").unwrap();
+        let w0 = t.invocation_id("write0").unwrap();
+        let w1 = t.invocation_id("write1").unwrap();
+        let (resps, _) = t.run(bot, PortId::new(0), &[w1, w0, w0]);
+        let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
+        assert_eq!(names, ["1", "1", "1"], "first write sticks");
+    }
+
+    #[test]
+    fn triviality_classification_of_the_zoo() {
+        // The only trivial types in the zoo are `mute` and
+        // `constant_responder`; everything else implements one-use bits.
+        for t in deterministic_zoo(2) {
+            let trivially = is_trivial(&t).unwrap();
+            let expected = matches!(t.name(), "mute" | "constant_responder");
+            assert_eq!(trivially, expected, "type {}", t.name());
+            if t.is_oblivious() {
+                assert_eq!(is_trivial_oblivious(&t).unwrap(), expected, "type {}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn marked_ring_witness_takes_m_probes() {
+        use crate::witness::find_witness;
+        for m in 1..6 {
+            let t = marked_ring(m);
+            assert!(t.is_deterministic());
+            assert!(!t.is_oblivious() || m == 0);
+            let w = find_witness(&t).unwrap().expect("marked ring is non-trivial");
+            assert_eq!(w.k(), m, "marked_ring{m}");
+            assert!(w.verify(&t));
+        }
+    }
+
+    #[test]
+    fn zoo_is_deterministic() {
+        for t in deterministic_zoo(2) {
+            assert!(t.is_deterministic(), "type {}", t.name());
+            assert!(t.is_oblivious(), "type {}", t.name());
+        }
+    }
+}

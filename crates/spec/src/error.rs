@@ -1,0 +1,147 @@
+//! Error types for the specification crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{InvId, PortId, StateId};
+
+/// An error raised while building a [`FiniteType`](crate::FiniteType).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildTypeError {
+    /// The type declares zero ports; the paper requires `n ≥ 1`.
+    NoPorts,
+    /// The type declares no states.
+    NoStates,
+    /// The type declares no invocations.
+    NoInvocations,
+    /// The type declares no responses.
+    NoResponses,
+    /// The transition function is not total: `δ(q, j, i)` is empty.
+    ///
+    /// The paper's `δ` is a total function from `Q × N_n × I`; a builder
+    /// must define at least one outcome for every combination.
+    MissingTransition {
+        /// State with the missing transition.
+        state: StateId,
+        /// Port with the missing transition.
+        port: PortId,
+        /// Invocation with the missing transition.
+        invocation: InvId,
+    },
+    /// A transition refers to a state, port, invocation, or response that
+    /// was never declared.
+    UnknownComponent {
+        /// Description of the out-of-range component.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of declared components of that kind.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BuildTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildTypeError::NoPorts => write!(f, "type must declare at least one port"),
+            BuildTypeError::NoStates => write!(f, "type must declare at least one state"),
+            BuildTypeError::NoInvocations => {
+                write!(f, "type must declare at least one invocation")
+            }
+            BuildTypeError::NoResponses => write!(f, "type must declare at least one response"),
+            BuildTypeError::MissingTransition {
+                state,
+                port,
+                invocation,
+            } => write!(
+                f,
+                "transition function is partial: no outcome for ({state}, {port}, {invocation})"
+            ),
+            BuildTypeError::UnknownComponent { what, index, limit } => write!(
+                f,
+                "unknown {what} index {index} (only {limit} declared)"
+            ),
+        }
+    }
+}
+
+impl Error for BuildTypeError {}
+
+/// An error raised by analyses that require a restricted class of types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The analysis is only defined for deterministic types.
+    ///
+    /// The paper's triviality results (Sections 5.1 and 5.2) apply to
+    /// deterministic types; nondeterministic types such as Jayanti's
+    /// separating type are handled by the `h_m ≥ 2` case (Section 5.3).
+    RequiresDeterministic {
+        /// Name of the offending type.
+        type_name: String,
+    },
+    /// The analysis is only defined for oblivious types.
+    RequiresOblivious {
+        /// Name of the offending type.
+        type_name: String,
+    },
+    /// A port index exceeds the type's port count.
+    PortOutOfRange {
+        /// The offending port.
+        port: PortId,
+        /// The type's port count.
+        ports: usize,
+    },
+    /// The type has fewer than two ports, so reader/writer derivations
+    /// (Section 5) cannot apply.
+    NeedsTwoPorts {
+        /// Name of the offending type.
+        type_name: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::RequiresDeterministic { type_name } => {
+                write!(f, "analysis requires a deterministic type, but `{type_name}` is nondeterministic")
+            }
+            AnalysisError::RequiresOblivious { type_name } => {
+                write!(f, "analysis requires an oblivious type, but `{type_name}` is not oblivious")
+            }
+            AnalysisError::PortOutOfRange { port, ports } => {
+                write!(f, "{port} out of range for type with {ports} ports")
+            }
+            AnalysisError::NeedsTwoPorts { type_name } => {
+                write!(f, "`{type_name}` has fewer than two ports; reader/writer derivation needs two")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = BuildTypeError::NoPorts.to_string();
+        assert!(e.starts_with("type"));
+        assert!(!e.ends_with('.'));
+
+        let e = AnalysisError::RequiresDeterministic {
+            type_name: "t".into(),
+        }
+        .to_string();
+        assert!(e.contains("nondeterministic"));
+        assert!(!e.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<BuildTypeError>();
+        assert_err::<AnalysisError>();
+    }
+}

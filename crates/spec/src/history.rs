@@ -1,0 +1,289 @@
+//! Sequential histories of a type (paper, Section 2.1).
+//!
+//! A sequential history from a state `q₀` is an alternating sequence of
+//! states and port–invocation–response triples
+//! `q₀; ⟨j₁,i₁,r₁⟩; q₁; ⟨j₂,i₂,r₂⟩; q₂; …` such that every step is permitted
+//! by the transition function. [`SequentialHistory`] stores the triples and
+//! the intermediate states and can be checked for legality against a
+//! [`FiniteType`].
+
+use std::fmt;
+
+use crate::ids::{InvId, PortId, RespId, StateId};
+use crate::types::{FiniteType, Outcome};
+
+/// One event of a sequential history: the paper's `⟨jₖ, iₖ, rₖ⟩`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Event {
+    /// Invoking port.
+    pub port: PortId,
+    /// Invocation performed.
+    pub inv: InvId,
+    /// Response returned.
+    pub resp: RespId,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}, {}⟩", self.port, self.inv, self.resp)
+    }
+}
+
+/// A sequential history from a start state.
+///
+/// # Examples
+///
+/// ```
+/// use wfc_spec::{canonical, SequentialHistory, PortId};
+///
+/// let tas = canonical::test_and_set(2);
+/// let q0 = tas.state_id("unset").unwrap();
+/// let tas_inv = tas.invocation_id("test_and_set").unwrap();
+/// let h = SequentialHistory::run(&tas, q0, &[(PortId::new(0), tas_inv), (PortId::new(1), tas_inv)]);
+/// assert_eq!(h.len(), 2);
+/// assert!(h.is_legal(&tas));
+/// // First test-and-set wins (returns 0), second loses (returns 1).
+/// assert_eq!(tas.response_name(h.events()[0].resp), "0");
+/// assert_eq!(tas.response_name(h.events()[1].resp), "1");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SequentialHistory {
+    start: StateId,
+    events: Vec<Event>,
+    /// `states[k]` is the state after `events[k]`; `len == events.len()`.
+    states: Vec<StateId>,
+}
+
+impl SequentialHistory {
+    /// Creates the empty history at `start`.
+    pub fn new(start: StateId) -> Self {
+        SequentialHistory {
+            start,
+            events: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Runs `ops` (port–invocation pairs) on a deterministic type from
+    /// `start` and records the resulting history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is nondeterministic along the run.
+    pub fn run(ty: &FiniteType, start: StateId, ops: &[(PortId, InvId)]) -> Self {
+        let mut h = SequentialHistory::new(start);
+        for &(port, inv) in ops {
+            let out = ty.step(h.end(), port, inv);
+            h.push(port, inv, out);
+        }
+        h
+    }
+
+    /// Appends an event with its outcome.
+    pub fn push(&mut self, port: PortId, inv: InvId, outcome: Outcome) {
+        self.events.push(Event {
+            port,
+            inv,
+            resp: outcome.resp,
+        });
+        self.states.push(outcome.next);
+    }
+
+    /// The start state `q₀`.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The state after the last event (or `q₀` if empty).
+    pub fn end(&self) -> StateId {
+        self.states.last().copied().unwrap_or(self.start)
+    }
+
+    /// The events of the history.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The state reached after each event.
+    pub fn states(&self) -> &[StateId] {
+        &self.states
+    }
+
+    /// The paper's `|H|`: the number of port–invocation–response triples.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the history has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The response of the last event, if any. For witness histories this is
+    /// the paper's *return value* of the history (Section 5.2).
+    pub fn return_value(&self) -> Option<RespId> {
+        self.events.last().map(|e| e.resp)
+    }
+
+    /// The subsequence of invocations performed on `port`.
+    pub fn invocations_on(&self, port: PortId) -> Vec<InvId> {
+        self.events
+            .iter()
+            .filter(|e| e.port == port)
+            .map(|e| e.inv)
+            .collect()
+    }
+
+    /// Checks the history against the transition function: every step must
+    /// be an outcome of `δ` (for nondeterministic types, *some* outcome).
+    pub fn is_legal(&self, ty: &FiniteType) -> bool {
+        let mut q = self.start;
+        for (event, &next) in self.events.iter().zip(&self.states) {
+            let expected = Outcome {
+                next,
+                resp: event.resp,
+            };
+            if !ty
+                .outcomes(q, event.port, event.inv)
+                .contains(&expected)
+            {
+                return false;
+            }
+            q = next;
+        }
+        true
+    }
+}
+
+impl fmt::Display for SequentialHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for (event, state) in self.events.iter().zip(&self.states) {
+            write!(f, "; {event}; {state}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates every legal sequential history of length exactly `len` from
+/// `start`, including nondeterministic branches.
+///
+/// The number of histories grows as `O((n·|I|·b)^len)` where `b` bounds
+/// outcome-set sizes; keep `len` small.
+pub fn enumerate_histories(ty: &FiniteType, start: StateId, len: usize) -> Vec<SequentialHistory> {
+    let mut frontier = vec![SequentialHistory::new(start)];
+    for _ in 0..len {
+        let mut next = Vec::new();
+        for h in &frontier {
+            for port in ty.port_ids() {
+                for inv in ty.invocations() {
+                    for &out in ty.outcomes(h.end(), port, inv) {
+                        let mut h2 = h.clone();
+                        h2.push(port, inv, out);
+                        next.push(h2);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeBuilder;
+
+    fn flip_flop() -> FiniteType {
+        let mut b = TypeBuilder::new("flip", 1);
+        let a = b.state("a");
+        let c = b.state("b");
+        let i = b.invocation("flip");
+        let r0 = b.response("0");
+        let r1 = b.response("1");
+        b.oblivious_transition(a, i, c, r0);
+        b.oblivious_transition(c, i, a, r1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_and_legality() {
+        let t = flip_flop();
+        let a = t.state_id("a").unwrap();
+        let i = t.invocation_id("flip").unwrap();
+        let h = SequentialHistory::run(&t, a, &[(PortId::new(0), i), (PortId::new(0), i)]);
+        assert_eq!(h.len(), 2);
+        assert!(h.is_legal(&t));
+        assert_eq!(h.end(), a);
+        assert_eq!(
+            t.response_name(h.return_value().unwrap()),
+            "1",
+            "second flip responds 1"
+        );
+    }
+
+    #[test]
+    fn tampered_history_is_illegal() {
+        let t = flip_flop();
+        let a = t.state_id("a").unwrap();
+        let i = t.invocation_id("flip").unwrap();
+        let mut h = SequentialHistory::run(&t, a, &[(PortId::new(0), i)]);
+        // Forge the response.
+        h.events[0].resp = t.response_id("1").unwrap();
+        assert!(!h.is_legal(&t));
+    }
+
+    #[test]
+    fn empty_history_properties() {
+        let t = flip_flop();
+        let a = t.state_id("a").unwrap();
+        let h = SequentialHistory::new(a);
+        assert!(h.is_empty());
+        assert_eq!(h.end(), a);
+        assert_eq!(h.return_value(), None);
+        assert!(h.is_legal(&t));
+    }
+
+    #[test]
+    fn enumeration_counts_branches() {
+        let t = flip_flop();
+        let a = t.state_id("a").unwrap();
+        // One port, one invocation, deterministic: exactly one history per length.
+        assert_eq!(enumerate_histories(&t, a, 3).len(), 1);
+    }
+
+    #[test]
+    fn enumeration_follows_nondeterminism() {
+        let mut b = TypeBuilder::new("nd", 1);
+        let q = b.state("q");
+        let i = b.invocation("roll");
+        let r0 = b.response("0");
+        let r1 = b.response("1");
+        b.oblivious_transition(q, i, q, r0);
+        b.oblivious_transition(q, i, q, r1);
+        let t = b.build().unwrap();
+        assert_eq!(enumerate_histories(&t, q, 3).len(), 8);
+    }
+
+    #[test]
+    fn invocations_on_filters_by_port() {
+        let mut b = TypeBuilder::new("two", 2);
+        let q = b.state("q");
+        let i = b.invocation("i");
+        let r = b.response("ok");
+        b.oblivious_transition(q, i, q, r);
+        let t = b.build().unwrap();
+        let h = SequentialHistory::run(
+            &t,
+            q,
+            &[
+                (PortId::new(0), i),
+                (PortId::new(1), i),
+                (PortId::new(0), i),
+            ],
+        );
+        assert_eq!(h.invocations_on(PortId::new(0)).len(), 2);
+        assert_eq!(h.invocations_on(PortId::new(1)).len(), 1);
+    }
+}

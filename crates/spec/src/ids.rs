@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers for the components of a type specification.
+//!
+//! The paper models a concurrent data type as a 5-tuple `⟨n, Q, I, R, δ⟩`
+//! (Section 2.1). Elements of `N_n` (ports), `Q` (states), `I` (invocations)
+//! and `R` (responses) are represented by the index newtypes in this module,
+//! so that a port can never be confused with a state or an invocation with a
+//! response ([C-NEWTYPE]).
+//!
+//! All identifiers are zero-based indices into the tables of a
+//! [`FiniteType`](crate::FiniteType). The paper numbers ports `1..=n`; we use
+//! `0..n` and convert in `Display` output only.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a zero-based index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the zero-based index of this identifier.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A port of a type: the access point through which a single process
+    /// invokes operations. A type with `n` ports can be accessed by at most
+    /// `n` processes (paper, Section 2.1).
+    PortId,
+    "port"
+);
+
+id_newtype!(
+    /// A state in the state set `Q` of a type.
+    StateId,
+    "q"
+);
+
+id_newtype!(
+    /// An invocation in the invocation set `I` of a type.
+    InvId,
+    "inv"
+);
+
+id_newtype!(
+    /// A response in the response set `R` of a type.
+    RespId,
+    "resp"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let p = PortId::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(usize::from(p), 3);
+        assert_eq!(PortId::from(3), p);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(PortId::new(0).to_string(), "port0");
+        assert_eq!(StateId::new(2).to_string(), "q2");
+        assert_eq!(InvId::new(1).to_string(), "inv1");
+        assert_eq!(RespId::new(7).to_string(), "resp7");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(StateId::new(1) < StateId::new(2));
+        assert_eq!(InvId::default(), InvId::new(0));
+    }
+}

@@ -1,0 +1,64 @@
+//! # `wfc-spec` — the concurrent-type formalism of Bazzi–Neiger–Peterson
+//!
+//! This crate implements Section 2 of *"On the Use of Registers in Achieving
+//! Wait-Free Consensus"* (PODC 1994): concurrent data types as 5-tuples
+//! `⟨n, Q, I, R, δ⟩`, their sequential histories, and the triviality theory
+//! of Section 5 on which the paper's main theorem rests.
+//!
+//! ## Overview
+//!
+//! * [`FiniteType`] — a table-driven finite type with a total transition
+//!   function; built via [`TypeBuilder`]. Predicates for determinism,
+//!   obliviousness, reachability.
+//! * [`SequentialHistory`] — the paper's alternating state/event sequences,
+//!   with legality checking and bounded enumeration.
+//! * [`triviality`] — deciders for the paper's two triviality definitions
+//!   (Sections 5.1 and 5.2).
+//! * [`witness`] — the minimal non-trivial pair search in Lemma-4 normal
+//!   form; the engine behind deriving one-use bits from arbitrary
+//!   non-trivial deterministic types.
+//! * [`canonical`] — the standard type zoo (registers, test-and-set, queue,
+//!   compare-and-swap, sticky bit, consensus, one-use bit, …).
+//!
+//! ## Example: classify a type and extract a witness
+//!
+//! ```
+//! use wfc_spec::{canonical, triviality, witness};
+//!
+//! let tas = canonical::test_and_set(2);
+//! assert!(!triviality::is_trivial(&tas)?);
+//!
+//! let w = witness::find_witness(&tas)?.expect("test-and-set is non-trivial");
+//! assert!(w.verify(&tas));
+//! // A single `test_and_set` by the writer is detectable by one reader probe.
+//! assert_eq!(w.k(), 1);
+//! # Ok::<(), wfc_spec::AnalysisError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod canonical;
+mod error;
+mod history;
+mod ids;
+pub mod text;
+pub mod triviality;
+mod types;
+pub mod witness;
+
+pub use error::{AnalysisError, BuildTypeError};
+pub use history::{enumerate_histories, Event, SequentialHistory};
+pub use ids::{InvId, PortId, RespId, StateId};
+pub use types::{FiniteType, Outcome, TypeBuilder};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::FiniteType>();
+        assert_send_sync::<crate::SequentialHistory>();
+        assert_send_sync::<crate::witness::NonTrivialWitness>();
+    }
+}

@@ -1,0 +1,362 @@
+//! A plain-text format for finite types.
+//!
+//! Lets users define concurrent data types without writing Rust — the
+//! `wfc` CLI consumes this format. The grammar, line-oriented:
+//!
+//! ```text
+//! # comment (blank lines ignored)
+//! type NAME ports N
+//! states NAME NAME …
+//! invocations NAME NAME …
+//! responses NAME NAME …
+//! delta STATE PORT INVOCATION -> STATE RESPONSE
+//! ```
+//!
+//! `PORT` is a zero-based port number, or `*` for "every port" (the
+//! oblivious shorthand). Repeating a `delta` line for the same
+//! (state, port, invocation) with different outcomes makes the type
+//! nondeterministic. The transition function must end up total.
+//!
+//! [`parse_type`] and [`format_type`] round-trip:
+//!
+//! ```
+//! use wfc_spec::{canonical, text};
+//!
+//! let tas = canonical::test_and_set(2);
+//! let src = text::format_type(&tas);
+//! let back = text::parse_type(&src)?;
+//! assert_eq!(back, tas);
+//! # Ok::<(), text::ParseTypeError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::error::BuildTypeError;
+use crate::ids::PortId;
+use crate::types::{FiniteType, TypeBuilder};
+
+/// An error from [`parse_type`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseTypeError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A section is missing or appears out of order.
+    Structure {
+        /// What went wrong.
+        message: String,
+    },
+    /// The assembled type was rejected by the builder.
+    Build(BuildTypeError),
+}
+
+impl fmt::Display for ParseTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTypeError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseTypeError::Structure { message } => f.write_str(message),
+            ParseTypeError::Build(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ParseTypeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTypeError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildTypeError> for ParseTypeError {
+    fn from(e: BuildTypeError) -> Self {
+        ParseTypeError::Build(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseTypeError {
+    ParseTypeError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a type from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTypeError`] on malformed input, undeclared names, or a
+/// partial transition function.
+pub fn parse_type(src: &str) -> Result<FiniteType, ParseTypeError> {
+    let mut name: Option<(String, usize)> = None;
+    let mut builder: Option<TypeBuilder> = None;
+    let mut declared_states: Vec<String> = Vec::new();
+    let mut declared_invs: Vec<String> = Vec::new();
+    let mut declared_resps: Vec<String> = Vec::new();
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line has a first word");
+        match keyword {
+            "type" => {
+                let ty_name = words
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "expected `type NAME ports N`"))?;
+                match (words.next(), words.next()) {
+                    (Some("ports"), Some(n)) => {
+                        let ports: usize = n.parse().map_err(|_| {
+                            syntax(line_no, format!("invalid port count `{n}`"))
+                        })?;
+                        name = Some((ty_name.to_owned(), ports));
+                        builder = Some(TypeBuilder::new(ty_name, ports));
+                    }
+                    _ => return Err(syntax(line_no, "expected `type NAME ports N`")),
+                }
+            }
+            "states" | "invocations" | "responses" => {
+                let b = builder.as_mut().ok_or_else(|| ParseTypeError::Structure {
+                    message: "`type` line must come first".into(),
+                })?;
+                for w in words {
+                    match keyword {
+                        "states" => {
+                            b.state(w);
+                            declared_states.push(w.to_owned());
+                        }
+                        "invocations" => {
+                            b.invocation(w);
+                            declared_invs.push(w.to_owned());
+                        }
+                        _ => {
+                            b.response(w);
+                            declared_resps.push(w.to_owned());
+                        }
+                    }
+                }
+            }
+            "delta" => {
+                let b = builder.as_mut().ok_or_else(|| ParseTypeError::Structure {
+                    message: "`type` line must come first".into(),
+                })?;
+                let parts: Vec<&str> = words.collect();
+                // STATE PORT INV -> STATE RESP
+                if parts.len() != 6 || parts[3] != "->" {
+                    return Err(syntax(
+                        line_no,
+                        "expected `delta STATE PORT INV -> STATE RESP`",
+                    ));
+                }
+                let check = |list: &[String], w: &str, what: &str| {
+                    if list.iter().any(|x| x == w) {
+                        Ok(())
+                    } else {
+                        Err(syntax(line_no, format!("undeclared {what} `{w}`")))
+                    }
+                };
+                check(&declared_states, parts[0], "state")?;
+                check(&declared_invs, parts[2], "invocation")?;
+                check(&declared_states, parts[4], "state")?;
+                check(&declared_resps, parts[5], "response")?;
+                let from = b.state(parts[0]);
+                let inv = b.invocation(parts[2]);
+                let to = b.state(parts[4]);
+                let resp = b.response(parts[5]);
+                if parts[1] == "*" {
+                    b.oblivious_transition(from, inv, to, resp);
+                } else {
+                    let ports = name.as_ref().map(|(_, p)| *p).unwrap_or(0);
+                    let port: usize = parts[1].parse().map_err(|_| {
+                        syntax(line_no, format!("invalid port `{}`", parts[1]))
+                    })?;
+                    if port >= ports {
+                        return Err(syntax(
+                            line_no,
+                            format!("port {port} out of range (type has {ports})"),
+                        ));
+                    }
+                    b.transition(from, PortId::new(port), inv, to, resp);
+                }
+            }
+            other => {
+                return Err(syntax(
+                    line_no,
+                    format!("unknown keyword `{other}` (expected type/states/invocations/responses/delta)"),
+                ))
+            }
+        }
+    }
+
+    let builder = builder.ok_or(ParseTypeError::Structure {
+        message: "no `type` line found".into(),
+    })?;
+    Ok(builder.build()?)
+}
+
+/// Renders a type in the text format accepted by [`parse_type`].
+///
+/// Oblivious transitions are written with the `*` port shorthand.
+pub fn format_type(ty: &FiniteType) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "type {} ports {}", ty.name(), ty.ports());
+    let join = |items: Vec<&str>| items.join(" ");
+    let _ = writeln!(
+        out,
+        "states {}",
+        join(ty.states().map(|q| ty.state_name(q)).collect())
+    );
+    let _ = writeln!(
+        out,
+        "invocations {}",
+        join(ty.invocations().map(|i| ty.invocation_name(i)).collect())
+    );
+    let _ = writeln!(
+        out,
+        "responses {}",
+        join(ty.responses().map(|r| ty.response_name(r)).collect())
+    );
+    for q in ty.states() {
+        for i in ty.invocations() {
+            let first = ty.outcomes(q, PortId::new(0), i);
+            let oblivious_here = (1..ty.ports())
+                .all(|j| ty.outcomes(q, PortId::new(j), i) == first);
+            if oblivious_here {
+                for o in first {
+                    let _ = writeln!(
+                        out,
+                        "delta {} * {} -> {} {}",
+                        ty.state_name(q),
+                        ty.invocation_name(i),
+                        ty.state_name(o.next),
+                        ty.response_name(o.resp)
+                    );
+                }
+            } else {
+                for j in ty.port_ids() {
+                    for o in ty.outcomes(q, j, i) {
+                        let _ = writeln!(
+                            out,
+                            "delta {} {} {} -> {} {}",
+                            ty.state_name(q),
+                            j.index(),
+                            ty.invocation_name(i),
+                            ty.state_name(o.next),
+                            ty.response_name(o.resp)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical;
+
+    #[test]
+    fn parses_a_hand_written_type() {
+        let src = "
+            # a settable bit
+            type bit ports 2
+            states zero one
+            invocations read set
+            responses r0 r1 ok
+            delta zero * read -> zero r0
+            delta one * read -> one r1
+            delta zero * set -> one ok
+            delta one * set -> one ok
+        ";
+        let ty = parse_type(src).unwrap();
+        assert_eq!(ty.name(), "bit");
+        assert_eq!(ty.ports(), 2);
+        assert!(ty.is_deterministic());
+        assert!(ty.is_oblivious());
+        assert_eq!(ty.state_count(), 2);
+    }
+
+    #[test]
+    fn round_trips_the_whole_zoo() {
+        for ty in canonical::deterministic_zoo(2) {
+            let src = format_type(&ty);
+            let back = parse_type(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", ty.name()));
+            assert_eq!(back, ty, "round trip failed for {}", ty.name());
+        }
+    }
+
+    #[test]
+    fn round_trips_nondeterministic_and_non_oblivious_types() {
+        for ty in [canonical::one_use_bit(), canonical::marked_ring(3)] {
+            let src = format_type(&ty);
+            let back = parse_type(&src).unwrap();
+            assert_eq!(back, ty, "round trip failed for {}", ty.name());
+        }
+    }
+
+    #[test]
+    fn undeclared_names_are_rejected() {
+        let src = "
+            type t ports 1
+            states a
+            invocations i
+            responses r
+            delta a * j -> a r
+        ";
+        let err = parse_type(src).unwrap_err();
+        assert!(err.to_string().contains("undeclared invocation"));
+    }
+
+    #[test]
+    fn partial_delta_is_rejected() {
+        let src = "
+            type t ports 1
+            states a b
+            invocations i
+            responses r
+            delta a * i -> b r
+        ";
+        assert!(matches!(parse_type(src), Err(ParseTypeError::Build(_))));
+    }
+
+    #[test]
+    fn out_of_range_port_is_rejected() {
+        let src = "
+            type t ports 1
+            states a
+            invocations i
+            responses r
+            delta a 3 i -> a r
+        ";
+        let err = parse_type(src).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn missing_type_line_is_structural() {
+        assert!(matches!(
+            parse_type("states a"),
+            Err(ParseTypeError::Structure { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_keyword_is_syntax_error_with_line_number() {
+        let err = parse_type("type t ports 1\nbogus x").unwrap_err();
+        assert!(err.to_string().starts_with("line 2:"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Minimal non-trivial pairs (paper, Section 5.2, Lemmas 2–4).
+//!
+//! For a non-trivial deterministic type, the paper proves that a *minimal*
+//! non-trivial pair of histories `(H₁, H₂)` has a rigid normal form:
+//!
+//! * **Lemma 2.** `H₁` consists only of the `k` invocations `ī` on the
+//!   reader's port.
+//! * **Lemma 3.** The last `k` invocations of `H₂` are all on the reader's
+//!   port.
+//! * **Lemma 4.** `|H₂| = k + 1`: one invocation `i_w` on a writer port
+//!   followed by `ī` on the reader's port.
+//!
+//! [`find_witness`] searches this normal form directly — for every start
+//! state, reader/writer port pair, and writer invocation, it finds the
+//! shortest reader sequence distinguishing the written from the unwritten
+//! object via a BFS over state pairs — and returns the minimal witness.
+//! Because the normal form is complete for minimal pairs, the search
+//! succeeds iff the type is non-trivial, which is cross-checked against
+//! [`crate::triviality::is_trivial`] in tests (a machine check of
+//! Lemmas 2–4).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::AnalysisError;
+use crate::history::SequentialHistory;
+use crate::ids::{InvId, PortId, RespId, StateId};
+use crate::types::FiniteType;
+
+/// A non-trivial pair in Lemma-4 normal form.
+///
+/// `H₁` runs `reader_seq` on `reader_port` from `start`; `H₂` first runs
+/// `writer_inv` on `writer_port`, then the same `reader_seq`. The two runs
+/// return different values at the last invocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NonTrivialWitness {
+    /// Start state `q` of both histories.
+    pub start: StateId,
+    /// The reader's port (the paper's port 1).
+    pub reader_port: PortId,
+    /// The writer's port (the paper's port 2).
+    pub writer_port: PortId,
+    /// The writer's single invocation `i_w`.
+    pub writer_inv: InvId,
+    /// The reader's invocation sequence `ī = ⟨i₁, …, i_k⟩`.
+    pub reader_seq: Vec<InvId>,
+    /// Responses along `H₁` (unwritten object); the last is `H₁`'s return
+    /// value, which the derived one-use-bit reader maps to 0.
+    pub unwritten_resps: Vec<RespId>,
+    /// Responses along the suffix of `H₂` (written object); the last is
+    /// `H₂`'s return value.
+    pub written_resps: Vec<RespId>,
+}
+
+impl NonTrivialWitness {
+    /// `k`, the length of the reader sequence.
+    pub fn k(&self) -> usize {
+        self.reader_seq.len()
+    }
+
+    /// `|H₁| + |H₂| = 2k + 1`, the minimality measure of Section 5.2.
+    pub fn total_len(&self) -> usize {
+        2 * self.k() + 1
+    }
+
+    /// `H₁`'s return value: the response signalling "writer has not
+    /// written". Any other final response signals "writer has written".
+    pub fn unwritten_return(&self) -> RespId {
+        *self
+            .unwritten_resps
+            .last()
+            .expect("witness reader sequence is non-empty")
+    }
+
+    /// Reconstructs `H₁` as a [`SequentialHistory`].
+    pub fn history_unwritten(&self, ty: &FiniteType) -> SequentialHistory {
+        let ops: Vec<_> = self
+            .reader_seq
+            .iter()
+            .map(|&i| (self.reader_port, i))
+            .collect();
+        SequentialHistory::run(ty, self.start, &ops)
+    }
+
+    /// Reconstructs `H₂` as a [`SequentialHistory`].
+    pub fn history_written(&self, ty: &FiniteType) -> SequentialHistory {
+        let mut ops = vec![(self.writer_port, self.writer_inv)];
+        ops.extend(self.reader_seq.iter().map(|&i| (self.reader_port, i)));
+        SequentialHistory::run(ty, self.start, &ops)
+    }
+
+    /// Verifies the witness against the type: both histories are legal, the
+    /// reader sequences coincide, and the return values differ. This is the
+    /// definition of a non-trivial pair in normal form.
+    pub fn verify(&self, ty: &FiniteType) -> bool {
+        if self.reader_seq.is_empty() || self.reader_port == self.writer_port {
+            return false;
+        }
+        let h1 = self.history_unwritten(ty);
+        let h2 = self.history_written(ty);
+        h1.is_legal(ty)
+            && h2.is_legal(ty)
+            && h1.return_value() != h2.return_value()
+            && h1.events().iter().map(|e| e.resp).collect::<Vec<_>>() == self.unwritten_resps
+            && h2.events()[1..]
+                .iter()
+                .map(|e| e.resp)
+                .collect::<Vec<_>>()
+                == self.written_resps
+    }
+}
+
+/// Searches for a minimal non-trivial pair in Lemma-4 normal form.
+///
+/// Returns `None` exactly when the type is trivial in the general
+/// (Section 5.2) sense. When `Some`, the witness has globally minimal `k`
+/// over all start states, port pairs, and writer invocations.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::RequiresDeterministic`] for nondeterministic
+/// types and [`AnalysisError::NeedsTwoPorts`] for single-port types (with
+/// one port there are no "other ports" to observe, so the general
+/// definition makes every single-port deterministic type trivial).
+pub fn find_witness(ty: &FiniteType) -> Result<Option<NonTrivialWitness>, AnalysisError> {
+    if !ty.is_deterministic() {
+        return Err(AnalysisError::RequiresDeterministic {
+            type_name: ty.name().to_owned(),
+        });
+    }
+    if ty.ports() < 2 {
+        return Err(AnalysisError::NeedsTwoPorts {
+            type_name: ty.name().to_owned(),
+        });
+    }
+    let mut best: Option<NonTrivialWitness> = None;
+    for start in ty.states() {
+        for reader_port in ty.port_ids() {
+            for writer_port in ty.port_ids() {
+                if reader_port == writer_port {
+                    continue;
+                }
+                for writer_inv in ty.invocations() {
+                    let written = ty.step(start, writer_port, writer_inv).next;
+                    if written == start {
+                        continue; // the write is invisible: states coincide
+                    }
+                    if let Some(seq) =
+                        shortest_distinguishing_sequence(ty, reader_port, start, written)
+                    {
+                        if best.as_ref().is_some_and(|b| b.k() <= seq.len()) {
+                            continue;
+                        }
+                        let (unwritten_resps, _) = ty.run(start, reader_port, &seq);
+                        let (written_resps, _) = ty.run(written, reader_port, &seq);
+                        best = Some(NonTrivialWitness {
+                            start,
+                            reader_port,
+                            writer_port,
+                            writer_inv,
+                            reader_seq: seq,
+                            unwritten_resps,
+                            written_resps,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// BFS over state pairs: the shortest invocation sequence on `port` whose
+/// *last* response differs when run from `a` versus `b`. Classic
+/// Moore-style state distinguishability, `O(|Q|² · |I|)`.
+fn shortest_distinguishing_sequence(
+    ty: &FiniteType,
+    port: PortId,
+    a: StateId,
+    b: StateId,
+) -> Option<Vec<InvId>> {
+    if a == b {
+        return None;
+    }
+    // parent[(a, b)] = (previous pair, invocation taken)
+    let mut parent: HashMap<(StateId, StateId), ((StateId, StateId), InvId)> = HashMap::new();
+    let mut queue = VecDeque::from([(a, b)]);
+    parent.insert((a, b), ((a, b), InvId::new(usize::MAX)));
+    while let Some((x, y)) = queue.pop_front() {
+        for inv in ty.invocations() {
+            let ox = ty.step(x, port, inv);
+            let oy = ty.step(y, port, inv);
+            if ox.resp != oy.resp {
+                // Reconstruct the path to (x, y), then append `inv`.
+                let mut seq = vec![inv];
+                let mut cur = (x, y);
+                while cur != (a, b) {
+                    let (prev, step) = parent[&cur];
+                    seq.push(step);
+                    cur = prev;
+                }
+                seq.reverse();
+                return Some(seq);
+            }
+            let next = (ox.next, oy.next);
+            if next.0 != next.1 && !parent.contains_key(&next) {
+                parent.insert(next, ((x, y), inv));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triviality::is_trivial;
+    use crate::types::TypeBuilder;
+
+    fn settable_bit() -> FiniteType {
+        let mut b = TypeBuilder::new("bit", 2);
+        let q0 = b.state("0");
+        let q1 = b.state("1");
+        let read = b.invocation("read");
+        let set = b.invocation("set");
+        let r0 = b.response("0");
+        let r1 = b.response("1");
+        let ok = b.response("ok");
+        b.oblivious_transition(q0, read, q0, r0);
+        b.oblivious_transition(q1, read, q1, r1);
+        b.oblivious_transition(q0, set, q1, ok);
+        b.oblivious_transition(q1, set, q1, ok);
+        b.build().unwrap()
+    }
+
+    /// Non-oblivious, non-trivial type whose minimal witness needs k = 2
+    /// reader probes. States are (phase, marked) pairs; port 0's `probe`
+    /// flips the phase and answers `y` only from (1, marked); port 1's
+    /// `mark` is effective only from (0, unmarked); everything else is
+    /// inert, so no single probe can detect a fresh mark.
+    fn two_probe_type() -> FiniteType {
+        let mut b = TypeBuilder::new("delayed2", 2);
+        let p0m0 = b.state("p0m0");
+        let p1m0 = b.state("p1m0");
+        let p0m1 = b.state("p0m1");
+        let p1m1 = b.state("p1m1");
+        let probe = b.invocation("probe");
+        let mark = b.invocation("mark");
+        let x = b.response("x");
+        let y = b.response("y");
+        let ok = b.response("ok");
+        let reader = PortId::new(0);
+        let writer = PortId::new(1);
+        // Port 0: probe flips phase; response y iff marked && phase == 1.
+        for (s, t2, r) in [
+            (p0m0, p1m0, x),
+            (p1m0, p0m0, x),
+            (p0m1, p1m1, x),
+            (p1m1, p0m1, y),
+        ] {
+            b.transition(s, reader, probe, t2, r);
+        }
+        // Port 0: mark is inert.
+        for s in [p0m0, p1m0, p0m1, p1m1] {
+            b.transition(s, reader, mark, s, ok);
+        }
+        // Port 1: probe is inert (so a writer probing cannot be detected).
+        for s in [p0m0, p1m0, p0m1, p1m1] {
+            b.transition(s, writer, probe, s, x);
+        }
+        // Port 1: mark is effective only from (0, unmarked).
+        for (s, t2) in [(p0m0, p0m1), (p1m0, p1m0), (p0m1, p0m1), (p1m1, p1m1)] {
+            b.transition(s, writer, mark, t2, ok);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bit_has_k1_witness() {
+        let t = settable_bit();
+        let w = find_witness(&t).unwrap().expect("bit is non-trivial");
+        assert_eq!(w.k(), 1);
+        assert_eq!(w.total_len(), 3);
+        assert!(w.verify(&t));
+        assert_eq!(t.invocation_name(w.writer_inv), "set");
+        assert_eq!(t.invocation_name(w.reader_seq[0]), "read");
+    }
+
+    #[test]
+    fn two_probe_type_has_k2_witness() {
+        let t = two_probe_type();
+        let w = find_witness(&t).unwrap().expect("non-trivial");
+        assert_eq!(w.k(), 2, "detection requires two probes");
+        assert!(w.verify(&t));
+        // Lemma 2: H1 is all on the reader port.
+        let h1 = w.history_unwritten(&t);
+        assert!(h1.events().iter().all(|e| e.port == w.reader_port));
+        // Lemma 4: H2 is one writer invocation then the reader sequence.
+        let h2 = w.history_written(&t);
+        assert_eq!(h2.len(), w.k() + 1);
+        assert_eq!(h2.events()[0].port, w.writer_port);
+        assert!(h2.events()[1..].iter().all(|e| e.port == w.reader_port));
+    }
+
+    #[test]
+    fn witness_agrees_with_triviality_decider() {
+        // Machine-check of Lemmas 2–4 on concrete types: normal-form search
+        // finds a witness iff the closure-based decider says non-trivial.
+        for t in [settable_bit(), two_probe_type()] {
+            assert_eq!(
+                find_witness(&t).unwrap().is_some(),
+                !is_trivial(&t).unwrap(),
+                "deciders disagree on {}",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_type_has_no_witness() {
+        let mut b = TypeBuilder::new("mute", 2);
+        let q = b.state("q");
+        let i = b.invocation("poke");
+        let ok = b.response("ok");
+        b.oblivious_transition(q, i, q, ok);
+        let t = b.build().unwrap();
+        assert!(find_witness(&t).unwrap().is_none());
+        assert!(is_trivial(&t).unwrap());
+    }
+
+    #[test]
+    fn single_port_type_is_rejected() {
+        let mut b = TypeBuilder::new("solo", 1);
+        let q = b.state("q");
+        let i = b.invocation("poke");
+        let ok = b.response("ok");
+        b.oblivious_transition(q, i, q, ok);
+        let t = b.build().unwrap();
+        assert!(matches!(
+            find_witness(&t),
+            Err(AnalysisError::NeedsTwoPorts { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_witness() {
+        let t = settable_bit();
+        let mut w = find_witness(&t).unwrap().unwrap();
+        assert!(w.verify(&t));
+        w.writer_inv = w.reader_seq[0]; // `read` does not change state
+        assert!(!w.verify(&t));
+    }
+}

@@ -1,0 +1,99 @@
+//! Crash tolerance: the paper's motivation for wait-freedom (Section 1).
+//!
+//! "Wait-free implementations … tolerate any number of stopping
+//! failures." This example makes the claim concrete three ways:
+//!
+//! 1. the TAS+registers consensus protocol survives every crash scenario
+//!    — any subset of processes stopping at any reachable configuration;
+//! 2. so does the register-free protocol the Theorem 5 compiler produces
+//!    from it;
+//! 3. a *blocking* protocol (reader spins on a flag) is caught: crash the
+//!    flagger and the survivor spins forever.
+//!
+//! Run with: `cargo run --example crash_tolerance`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use wait_free_consensus::prelude::*;
+use wfc_explorer::crash::check_crash_tolerance;
+use wfc_explorer::program::{BinOp, ProgramBuilder};
+use wfc_explorer::{ObjectInstance, System};
+use wfc_spec::canonical;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let opts = explorer::ExploreOptions::default();
+
+    // ── 1. The wait-free consensus protocol ─────────────────────────────
+    let cs = consensus::tas_consensus_system([false, true]);
+    let report = check_crash_tolerance(&cs.system, &[0, 1], &opts)?;
+    println!("TAS+registers consensus, inputs (0, 1):");
+    println!(
+        "  {} configurations × survivor subsets = {} crash scenarios",
+        report.configs, report.scenarios
+    );
+    println!(
+        "  stuck: {}, disagreements: {}, invalid: {} → tolerant: {}",
+        report.stuck_scenarios,
+        report.disagreements,
+        report.invalid,
+        report.holds()
+    );
+    assert!(report.holds());
+
+    // ── 2. After register elimination ───────────────────────────────────
+    let bounds = core::access_bounds(
+        2,
+        |i| consensus::tas_consensus_system([i[0], i[1]]),
+        &opts,
+    )?;
+    let elim = core::eliminate_registers(&cs, &bounds.registers, &core::OneUseSource::OneUseBits)?;
+    let report = check_crash_tolerance(&elim.system, &[0, 1], &opts)?;
+    println!("\nafter Theorem 5 elimination (one-use bits):");
+    println!(
+        "  {} scenarios, stuck: {}, disagreements: {} → tolerant: {}",
+        report.scenarios,
+        report.stuck_scenarios,
+        report.disagreements,
+        report.holds()
+    );
+    assert!(report.holds());
+
+    // ── 3. A blocking protocol is caught ────────────────────────────────
+    let reg = Arc::new(canonical::boolean_register(2));
+    let v0 = reg.state_id("v0").unwrap();
+    let read = reg.invocation_id("read").unwrap().index() as i64;
+    let write1 = reg.invocation_id("write1").unwrap().index() as i64;
+    let r1 = reg.response_id("1").unwrap().index() as i64;
+    let obj = ObjectInstance::identity_ports(reg, v0, 2);
+    let flagger = {
+        let mut b = ProgramBuilder::new();
+        b.invoke(0_i64, write1, None);
+        b.ret(0_i64);
+        b.build()?
+    };
+    let spinner = {
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        let t = b.var("t");
+        let top = b.fresh_label();
+        b.bind(top);
+        b.invoke(0_i64, read, Some(r));
+        b.compute(t, r, BinOp::Eq, r1);
+        b.jump_if_zero(t, top);
+        b.ret(0_i64);
+        b.build()?
+    };
+    let blocking = System::new(vec![obj], vec![flagger, spinner]);
+    let report = check_crash_tolerance(&blocking, &[0], &opts)?;
+    println!("\nblocking flag/spin protocol:");
+    println!(
+        "  stuck scenarios: {} (crash the flagger and the spinner hangs) → tolerant: {}",
+        report.stuck_scenarios,
+        report.holds()
+    );
+    assert!(!report.holds());
+
+    println!("\nwait-freedom ⇒ fault tolerance, and the compiler preserves it");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Inspect the Theorem 5 compiler's output, instruction by instruction.
+//!
+//! Disassembles process 0's program before and after register
+//! elimination on the TAS+registers consensus protocol: the single
+//! `write` to the announce register becomes the Section 4.3 row-flipping
+//! loop; the loser-side `read` becomes the column walk; and with a
+//! `Recipe` substrate the one-use-bit accesses are themselves inlined
+//! invocations on objects of the substrate type.
+//!
+//! Run with: `cargo run --example inspect_compiler`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use wait_free_consensus::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let build = |i: &[bool]| consensus::tas_consensus_system([i[0], i[1]]);
+    let opts = explorer::ExploreOptions::default();
+    let bounds = core::access_bounds(2, build, &opts)?;
+    let cs = build(&[true, false]);
+
+    println!("═══ original program, process 0 (uses registers) ═══");
+    println!("{}", cs.system.programs()[0]);
+    println!("objects: ");
+    for (k, o) in cs.system.objects().iter().enumerate() {
+        println!("  obj[{k}] = {}", o.ty().name());
+    }
+
+    println!("\n═══ after Section 4.3 (one-use bits) ═══");
+    let elim = core::eliminate_registers(&cs, &bounds.registers, &core::OneUseSource::OneUseBits)?;
+    println!("{}", elim.system.programs()[0]);
+    println!("objects:");
+    for (k, o) in elim.system.objects().iter().enumerate() {
+        println!("  obj[{k}] = {}", o.ty().name());
+    }
+
+    println!("\n═══ after full Theorem 5 (bits from test_and_set) ═══");
+    let tas = Arc::new(spec::canonical::test_and_set(2));
+    let recipe = core::OneUseRecipe::from_type(&tas)?;
+    let elim2 = core::eliminate_registers(&cs, &bounds.registers, &core::OneUseSource::Recipe(recipe))?;
+    println!("{}", elim2.system.programs()[0]);
+    println!("objects:");
+    for (k, o) in elim2.system.objects().iter().enumerate() {
+        println!("  obj[{k}] = {}", o.ty().name());
+    }
+
+    // And confirm the rewritten system still works on this input vector.
+    let e = explorer::explore(&elim2.system, &opts)?;
+    assert!(e.decisions_agree() && e.decisions_within(&[0, 1]));
+    println!("rewritten system re-verified: agreement + validity on all schedules ✓");
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! `wfc` — command-line front end to the PODC'94 reproduction.
+//!
+//! ```text
+//! wfc classify <TYPE-FILE>   classify a type per Theorem 5 and derive its one-use bit
+//! wfc witness  <TYPE-FILE>   print the minimal non-trivial pair (Lemmas 2–4)
+//! wfc show     <TYPE-FILE>   parse, validate and pretty-print a type
+//! wfc catalog                print the certified hierarchy catalog
+//! wfc zoo                    dump the canonical zoo in the text format
+//! ```
+//!
+//! Type files use the `wfc-spec::text` format; see `wfc zoo` for
+//! examples.
+
+use std::error::Error;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use wait_free_consensus::prelude::*;
+use wfc_spec::text::{format_type, parse_type};
+use wfc_spec::FiniteType;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<FiniteType, Box<dyn Error>> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(parse_type(&src)?)
+}
+
+fn cmd_show(path: &str) -> Result<(), Box<dyn Error>> {
+    let ty = load(path)?;
+    println!("{ty}");
+    println!("  deterministic: {}", ty.is_deterministic());
+    println!("  oblivious:     {}", ty.is_oblivious());
+    print!("{}", format_type(&ty));
+    Ok(())
+}
+
+fn cmd_classify(path: &str) -> Result<(), Box<dyn Error>> {
+    let ty = Arc::new(load(path)?);
+    println!("{ty}");
+    if !ty.is_deterministic() {
+        println!(
+            "nondeterministic: Theorem 5 case 3 applies only if h_m ≥ 2 \
+             (supply a 2-consensus implementation; see wfc_core::one_use_from_consensus)"
+        );
+        return Ok(());
+    }
+    match core::classify_deterministic(&ty)? {
+        core::Theorem5Classification::Trivial => {
+            println!("Theorem 5 case 1: trivial — locally simulable, h_m = h_m^r = 1");
+        }
+        core::Theorem5Classification::NonTrivial(recipe) => {
+            println!("Theorem 5 case 2: non-trivial — registers add nothing (h_m = h_m^r)");
+            println!("one-use bit recipe:");
+            println!(
+                "  object init:  {}",
+                ty.state_name(recipe.init())
+            );
+            println!(
+                "  writer (port {}): invoke `{}`",
+                recipe.writer_port().index(),
+                ty.invocation_name(recipe.writer_inv())
+            );
+            let probes: Vec<&str> = recipe
+                .reader_seq()
+                .iter()
+                .map(|&i| ty.invocation_name(i))
+                .collect();
+            println!(
+                "  reader (port {}): invoke {:?}; bit = 1 iff last response ≠ `{}`",
+                recipe.reader_port().index(),
+                probes,
+                ty.response_name(recipe.unwritten_last())
+            );
+            println!("  read cost: {} invocation(s)", recipe.read_cost());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_witness(path: &str) -> Result<(), Box<dyn Error>> {
+    let ty = Arc::new(load(path)?);
+    match spec::witness::find_witness(&ty)? {
+        None => println!("{}: trivial — no non-trivial pair exists", ty.name()),
+        Some(w) => {
+            println!("{}: minimal non-trivial pair (Lemma 4 normal form)", ty.name());
+            println!("  start state q = {}", ty.state_name(w.start));
+            println!(
+                "  H1 (unwritten): {:?} on port {} → responses {:?}",
+                w.reader_seq
+                    .iter()
+                    .map(|&i| ty.invocation_name(i))
+                    .collect::<Vec<_>>(),
+                w.reader_port.index(),
+                w.unwritten_resps
+                    .iter()
+                    .map(|&r| ty.response_name(r))
+                    .collect::<Vec<_>>(),
+            );
+            println!(
+                "  H2 (written):   `{}` on port {} first → responses {:?}",
+                ty.invocation_name(w.writer_inv),
+                w.writer_port.index(),
+                w.written_resps
+                    .iter()
+                    .map(|&r| ty.response_name(r))
+                    .collect::<Vec<_>>(),
+            );
+            println!("  k = {}, |H1| + |H2| = {}", w.k(), w.total_len());
+            assert!(w.verify(&ty));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_catalog() {
+    println!(
+        "{:<22} {:>6} {:>6} {:>6} {:>6}  det?",
+        "type", "h_1", "h_1^r", "h_m", "h_m^r"
+    );
+    for row in hierarchy::catalog() {
+        println!(
+            "{:<22} {:>6} {:>6} {:>6} {:>6}  {}",
+            row.ty.name(),
+            row.value(hierarchy::Hierarchy::H1).to_string(),
+            row.value(hierarchy::Hierarchy::H1R).to_string(),
+            row.value(hierarchy::Hierarchy::HM).to_string(),
+            row.value(hierarchy::Hierarchy::HMR).to_string(),
+            if row.ty.is_deterministic() { "yes" } else { "no" },
+        );
+    }
+}
+
+fn cmd_zoo() {
+    for ty in spec::canonical::deterministic_zoo(2) {
+        println!("{}", format_type(&ty));
+    }
+    println!("{}", format_type(&spec::canonical::one_use_bit()));
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result: Result<(), Box<dyn Error>> = match args.as_slice() {
+        [cmd, path] if cmd == "classify" => cmd_classify(path),
+        [cmd, path] if cmd == "witness" => cmd_witness(path),
+        [cmd, path] if cmd == "show" => cmd_show(path),
+        [cmd] if cmd == "catalog" => {
+            cmd_catalog();
+            Ok(())
+        }
+        [cmd] if cmd == "zoo" => {
+            cmd_zoo();
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! # `wait-free-consensus`
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > Rida A. Bazzi, Gil Neiger, and Gary L. Peterson.
+//! > *On the Use of Registers in Achieving Wait-Free Consensus.*
+//! > PODC 1994.
+//!
+//! The paper shows that read/write registers add **no consensus power**
+//! to deterministic concurrent data types (nor to any type that can
+//! already solve 2-process consensus): Jayanti's hierarchies `h_m` and
+//! `h_m^r` coincide on those classes. The proof is constructive, and this
+//! crate makes every construction executable and machine-checked:
+//!
+//! * the **one-use bit** `T_{1u}` (Section 3) — [`core::atomic_one_use_bit`],
+//!   with use-at-most-once enforced by move semantics;
+//! * **access bounds** via execution trees (Section 4.2) —
+//!   [`core::access_bounds`] computes the paper's `D`, `r_b`, `w_b`
+//!   exactly by exhaustive exploration;
+//! * the **`r·(w+1)` one-use-bit array** implementing a bounded register
+//!   bit (Section 4.3) — [`core::bounded_bit`];
+//! * **one-use bits from any non-trivial deterministic type**
+//!   (Sections 5.1–5.2, Lemmas 2–4) — [`core::OneUseRecipe`], built on the
+//!   minimal non-trivial pair search in [`spec::witness`];
+//! * **one-use bits from 2-process consensus** (Section 5.3) —
+//!   [`core::one_use_from_consensus`];
+//! * **Theorem 5**, the register-elimination compiler —
+//!   [`core::eliminate_registers`] / [`core::check_theorem5`] transform a
+//!   register-using consensus protocol into a register-free one and
+//!   re-verify it over every schedule and input vector.
+//!
+//! The substrates are full subsystems in their own right: a finite-type
+//! formalism ([`spec`]), an exhaustive model checker with linearizability
+//! and valency analyses ([`explorer`]), the classical register
+//! construction chain ([`registers`]), wait-free consensus protocols and
+//! Herlihy's universal construction ([`consensus`]), a real-thread
+//! runtime harness ([`runtime`]), and the certified hierarchy catalog
+//! ([`hierarchy`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wait_free_consensus::prelude::*;
+//!
+//! // Classify a type per Theorem 5 and eliminate registers from a
+//! // consensus protocol that uses it.
+//! let tas = Arc::new(spec::canonical::test_and_set(2));
+//! let recipe = core::OneUseRecipe::from_type(&tas)?;
+//! let cert = core::check_theorem5(
+//!     2,
+//!     |i| consensus::tas_consensus_system([i[0], i[1]]),
+//!     &core::OneUseSource::Recipe(recipe),
+//!     &explorer::ExploreOptions::default(),
+//! )?;
+//! assert!(cert.holds()); // registers eliminated, correctness preserved
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every experiment.
+
+#![warn(missing_docs)]
+
+/// The paper's contributions: one-use bits, access bounds, the bounded-bit
+/// array, witness-derived bits, and the Theorem 5 compiler (`wfc-core`).
+pub use wfc_core as core;
+
+/// Wait-free consensus protocols, spec-level and native, plus Herlihy's
+/// universal construction (`wfc-consensus`).
+pub use wfc_consensus as consensus;
+
+/// The exhaustive model checker: exploration, linearizability, valency
+/// (`wfc-explorer`).
+pub use wfc_explorer as explorer;
+
+/// Certified hierarchy catalog and robustness audit (`wfc-hierarchy`).
+pub use wfc_hierarchy as hierarchy;
+
+/// The register construction chain of Section 4.1 (`wfc-registers`).
+pub use wfc_registers as registers;
+
+/// Real-thread harness, history recording, spec-backed runtime objects
+/// (`wfc-runtime`).
+pub use wfc_runtime as runtime;
+
+/// The finite-type formalism: types, histories, triviality, witnesses
+/// (`wfc-spec`).
+pub use wfc_spec as spec;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::{consensus, core, explorer, hierarchy, registers, runtime, spec};
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the `wfc` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn wfc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_wfc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("wfc-test-{name}-{}.wfc", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const BIT: &str = "
+type bit ports 2
+states zero one
+invocations read set
+responses r0 r1 ok
+delta zero * read -> zero r0
+delta one * read -> one r1
+delta zero * set -> one ok
+delta one * set -> one ok
+";
+
+const MUTE: &str = "
+type mute ports 2
+states a
+invocations poke
+responses ok
+delta a * poke -> a ok
+";
+
+#[test]
+fn classify_identifies_non_trivial_types() {
+    let path = write_temp("bit", BIT);
+    let out = wfc(&["classify", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("case 2: non-trivial"), "{text}");
+    assert!(text.contains("one-use bit recipe"), "{text}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn classify_identifies_trivial_types() {
+    let path = write_temp("mute", MUTE);
+    let out = wfc(&["classify", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("case 1: trivial"), "{text}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn witness_prints_the_normal_form() {
+    let path = write_temp("bit-w", BIT);
+    let out = wfc(&["witness", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Lemma 4 normal form"), "{text}");
+    assert!(text.contains("k = 1"), "{text}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn catalog_prints_the_table() {
+    let out = wfc(&["catalog"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("test_and_set"));
+    assert!(text.contains("h_m^r"));
+}
+
+#[test]
+fn zoo_round_trips_through_show() {
+    let out = wfc(&["zoo"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Feed the first type back through `show`.
+    let first: String = text
+        .lines()
+        .take_while(|l| !l.trim().is_empty())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let path = write_temp("roundtrip", &first);
+    let out = wfc(&["show", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bad_usage_exits_with_two() {
+    let out = wfc(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = wfc(&["classify", "/nonexistent/definitely-not-here.wfc"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let path = write_temp("bad", "type t ports 1\nwhatever");
+    let out = wfc(&["show", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2"), "{err}");
+    std::fs::remove_file(path).ok();
+}

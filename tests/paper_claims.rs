@@ -1,0 +1,330 @@
+//! Integration tests: each of the paper's claims, machine-checked
+//! end-to-end through the public facade.
+
+use std::sync::Arc;
+
+use wait_free_consensus::prelude::*;
+use wfc_explorer::linearizability::{check_one_shot_implementation, OpLabel};
+use wfc_explorer::program::ProgramBuilder;
+use wfc_explorer::{ObjectInstance, System};
+use wfc_spec::{canonical, PortId};
+
+/// Section 3 + E1: the one-use bit type is exactly the paper's δ, and a
+/// spec-level "identity" implementation linearizes against it under all
+/// schedules.
+#[test]
+fn one_use_bit_identity_implementation_linearizes() {
+    let ty = Arc::new(canonical::one_use_bit());
+    let unset = ty.state_id("UNSET").unwrap();
+    let read = ty.invocation_id("read").unwrap();
+    let write = ty.invocation_id("write").unwrap();
+    let obj = ObjectInstance::identity_ports(Arc::clone(&ty), unset, 2);
+    let mk = |inv: wfc_spec::InvId| {
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        b.invoke(0_i64, inv.index() as i64, Some(r));
+        b.ret(r);
+        b.build().unwrap()
+    };
+    let sys = System::new(vec![obj], vec![mk(write), mk(read)]);
+    let labels = [
+        OpLabel {
+            port: PortId::new(0),
+            inv: write,
+        },
+        OpLabel {
+            port: PortId::new(1),
+            inv: read,
+        },
+    ];
+    let check = check_one_shot_implementation(&sys, &ty, unset, &labels, 10_000).unwrap();
+    assert!(check.holds(), "{:?}", check.counterexamples);
+}
+
+/// Sections 5.1–5.2 + E5/E6: every non-trivial deterministic type in the
+/// zoo yields a one-use bit whose spec-level implementation (derived
+/// reader/writer programs over one object of the type) linearizes against
+/// `T_{1u}` under **all** schedules — the formal content of the paper's
+/// "it is not hard to see" correctness claims.
+#[test]
+fn derived_one_use_bits_linearize_for_the_whole_zoo() {
+    let target = Arc::new(canonical::one_use_bit());
+    let unset = target.state_id("UNSET").unwrap();
+    let read = target.invocation_id("read").unwrap();
+    let write = target.invocation_id("write").unwrap();
+    for ty in canonical::deterministic_zoo(2) {
+        if matches!(ty.name(), "mute" | "constant_responder") {
+            continue;
+        }
+        let ty = Arc::new(ty);
+        let recipe = core::OneUseRecipe::from_type(&ty).unwrap();
+        // Build the 2-process system: process 0 = writer, process 1 = reader.
+        let mut ports = vec![None, None];
+        ports[0] = Some(recipe.writer_port());
+        ports[1] = Some(recipe.reader_port());
+        let obj = ObjectInstance::new(Arc::clone(recipe.ty()), recipe.init(), ports);
+        let writer_prog = {
+            let mut b = ProgramBuilder::new();
+            b.invoke(0_i64, recipe.writer_inv().index() as i64, None);
+            // Decide T_1u's "ok" response index.
+            b.ret(target.response_id("ok").unwrap().index() as i64);
+            b.build().unwrap()
+        };
+        let reader_prog = {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            for &inv in recipe.reader_seq() {
+                b.invoke(0_i64, inv.index() as i64, Some(r));
+            }
+            // Bit = (last response ≠ H₁'s return value) — decide 0 or 1,
+            // which are T_1u's response indices for "0"/"1".
+            let bit = b.var("bit");
+            b.compute(
+                bit,
+                r,
+                wfc_explorer::program::BinOp::Eq,
+                recipe.unwritten_last().index() as i64,
+            );
+            b.compute(bit, 1_i64, wfc_explorer::program::BinOp::Sub, bit);
+            b.ret(bit);
+            b.build().unwrap()
+        };
+        let sys = System::new(vec![obj], vec![writer_prog, reader_prog]);
+        let labels = [
+            OpLabel {
+                port: PortId::new(0),
+                inv: write,
+            },
+            OpLabel {
+                port: PortId::new(1),
+                inv: read,
+            },
+        ];
+        let check =
+            check_one_shot_implementation(&sys, &target, unset, &labels, 100_000).unwrap();
+        assert!(
+            check.holds(),
+            "{}: derived one-use bit not linearizable: {:?}",
+            ty.name(),
+            check.counterexamples
+        );
+    }
+}
+
+/// Section 4.3 + E4: the construction's cost is exactly r·(w+1), and the
+/// runtime array tracks a reference bit over every sequential schedule.
+#[test]
+fn bounded_bit_cost_and_semantics() {
+    for r in 1..5 {
+        for w in 0..5 {
+            assert_eq!(core::cost(r, w), r * (w + 1));
+        }
+    }
+    // Alternate writes and reads in every pattern of length 8.
+    for mask in 0u32..256 {
+        let (mut w, mut r) = core::bounded_bit(true, 8, 8);
+        let mut reference = true;
+        for k in 0..8 {
+            if mask & (1 << k) != 0 {
+                reference = !reference;
+                w.write(reference).unwrap();
+            } else {
+                assert_eq!(r.read().unwrap(), reference);
+            }
+        }
+    }
+}
+
+/// Section 4.2 + E3: wait-freedom ⟺ finite execution trees; the depth
+/// bound D exists for every correct protocol and bounds every object's
+/// access count.
+#[test]
+fn access_bounds_exist_and_dominate_object_accesses() {
+    let opts = explorer::ExploreOptions::default();
+    let bounds = core::access_bounds(
+        2,
+        |i| consensus::tas_consensus_system([i[0], i[1]]),
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(bounds.d_max, 5);
+    for reg in &bounds.registers {
+        assert!(u32::max(reg.reads, reg.writes) as usize <= bounds.d_max);
+    }
+    // The paper's choice r_b = w_b = D is always a valid (if loose) bound.
+    assert!(bounds.one_use_bits_required() <= 2 * bounds.d_max * (bounds.d_max + 1));
+}
+
+/// Theorem 5 + E8: the full grid — each register-using protocol compiled
+/// against each substrate type remains correct, register-free.
+#[test]
+fn theorem5_grid_holds() {
+    let opts = explorer::ExploreOptions::default();
+    let substrates: Vec<core::OneUseSource> = vec![
+        core::OneUseSource::OneUseBits,
+        core::OneUseSource::Recipe(
+            core::OneUseRecipe::from_type(&Arc::new(canonical::test_and_set(2))).unwrap(),
+        ),
+        core::OneUseSource::Recipe(
+            core::OneUseRecipe::from_type(&Arc::new(canonical::boolean_register(2))).unwrap(),
+        ),
+    ];
+    for source in &substrates {
+        let cert = core::check_theorem5(
+            2,
+            |i| consensus::tas_consensus_system([i[0], i[1]]),
+            source,
+            &opts,
+        )
+        .unwrap();
+        assert!(cert.holds());
+        assert_eq!(cert.one_use_bits, 4);
+    }
+}
+
+/// Theorem 5 case 1: trivial types derive nothing, and the paper sends
+/// them to level 1.
+#[test]
+fn trivial_types_classify_to_case_one() {
+    for name in ["mute", "constant_responder"] {
+        let ty = canonical::deterministic_zoo(2)
+            .into_iter()
+            .find(|t| t.name() == name)
+            .unwrap();
+        match core::classify_deterministic(&Arc::new(ty)).unwrap() {
+            core::Theorem5Classification::Trivial => {}
+            other => panic!("{name} misclassified: {other:?}"),
+        }
+    }
+}
+
+/// Section 5.3 + E7: one-use bits from every 2-consensus protocol family.
+#[test]
+fn one_use_bits_from_consensus_objects() {
+    use wait_free_consensus::core::{OneUseRead, OneUseWrite};
+    // Sequential semantics across all three protocol families.
+    let (w, r) = core::one_use_from_consensus(consensus::tas_consensus_2());
+    w.write();
+    assert!(r.read());
+    let (_w, r) = core::one_use_from_consensus(consensus::queue_consensus_2());
+    assert!(!r.read());
+    let (w, r) = core::one_use_from_consensus(consensus::fetch_add_consensus_2());
+    w.write();
+    assert!(r.read());
+}
+
+/// E10: register-only candidate protocols are refuted — disagreement or
+/// non-wait-freedom, with bivalent initial configurations as the FLP
+/// argument predicts.
+#[test]
+fn register_only_consensus_candidates_fail() {
+    use wfc_explorer::bivalence::analyze_valency;
+    use wfc_explorer::program::BinOp;
+    let reg = Arc::new(canonical::boolean_register(2));
+    let v0 = reg.state_id("v0").unwrap();
+    let read = reg.invocation_id("read").unwrap().index() as i64;
+    let announce = |p: usize| {
+        let mut ports = vec![None, None];
+        ports[p] = Some(PortId::new(0));
+        ports[1 - p] = Some(PortId::new(1));
+        ObjectInstance::new(Arc::clone(&reg), v0, ports)
+    };
+
+    // Candidate A: write own, read other, decide min(own, other) — a
+    // plausible-looking symmetric rule; fails agreement.
+    let mk_min = |me: usize, input: bool| {
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        let w = reg
+            .invocation_id(if input { "write1" } else { "write0" })
+            .unwrap()
+            .index() as i64;
+        b.invoke(me as i64, w, Some(r));
+        b.invoke(1 - me as i64, read, Some(r));
+        // decide own AND other (min of bits). Response indices: "0"=0,"1"=1.
+        let own = b.var_init("own", i64::from(input));
+        let dec = b.var("dec");
+        b.compute(dec, r, BinOp::Mul, own);
+        b.ret(dec);
+        b.build().unwrap()
+    };
+    let sys = System::new(
+        vec![announce(0), announce(1)],
+        vec![mk_min(0, false), mk_min(1, true)],
+    );
+    let e = explorer::explore(&sys, &explorer::ExploreOptions::default()).unwrap();
+    // min-rule: with inputs (0,1) both decide 0 — agreement holds here,
+    // but validity forces... actually min is fine on mixed inputs; the
+    // failing vector is where reads race: check all vectors like the
+    // real checker does.
+    let _ = e;
+    let verdict_violates = {
+        // Build as a protocol over all input vectors and find a violation.
+        let build = |inputs: &[bool]| wfc_consensus::ConsensusSystem {
+            system: System::new(
+                vec![announce(0), announce(1)],
+                vec![mk_min(0, inputs[0]), mk_min(1, inputs[1])],
+            ),
+            registers: vec![],
+            inputs: inputs.to_vec(),
+        };
+        let v = consensus::verify_consensus_protocol(
+            2,
+            build,
+            &explorer::ExploreOptions::default(),
+        )
+        .unwrap();
+        !v.holds()
+    };
+    assert!(
+        verdict_violates,
+        "the min-rule register protocol must fail consensus"
+    );
+
+    // And the mixed-input instance is bivalent, as FLP's argument begins.
+    let sys_mixed = System::new(
+        vec![announce(0), announce(1)],
+        vec![mk_min(0, false), mk_min(1, true)],
+    );
+    let a = analyze_valency(&sys_mixed, &explorer::ExploreOptions::default()).unwrap();
+    assert!(!a.initial_valency.is_empty());
+}
+
+/// Section 1's fault-tolerance motivation: wait-free implementations
+/// tolerate any number of stopping failures — before *and after*
+/// register elimination.
+#[test]
+fn elimination_preserves_crash_tolerance() {
+    use wfc_explorer::crash::check_crash_tolerance;
+    let opts = explorer::ExploreOptions::default();
+    let build = |i: &[bool]| consensus::tas_consensus_system([i[0], i[1]]);
+    let bounds = core::access_bounds(2, build, &opts).unwrap();
+    for inputs in [[false, true], [true, true]] {
+        let cs = build(&inputs);
+        let allowed: Vec<i64> = inputs.iter().map(|&b| i64::from(b)).collect();
+        let before = check_crash_tolerance(&cs.system, &allowed, &opts).unwrap();
+        assert!(before.holds(), "before: {before:?}");
+        let elim =
+            core::eliminate_registers(&cs, &bounds.registers, &core::OneUseSource::OneUseBits)
+                .unwrap();
+        let after = check_crash_tolerance(&elim.system, &allowed, &opts).unwrap();
+        assert!(after.holds(), "after: {after:?}");
+    }
+}
+
+/// The hierarchy catalog's paper-level regularities (E9).
+#[test]
+fn catalog_regularities() {
+    let rows = hierarchy::catalog();
+    assert!(rows.len() >= 8, "catalog covers the zoo");
+    for row in &rows {
+        if row.ty.is_deterministic() {
+            assert_eq!(
+                row.value(hierarchy::Hierarchy::HM).exact(),
+                row.value(hierarchy::Hierarchy::HMR).exact(),
+                "Theorem 5 in catalog: {}",
+                row.ty.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the Section 4.1 register chain, including the
+//! semantic boundary the literature is precise about: Lamport's
+//! multi-reader construction is **regular but not atomic**, and the
+//! model checker can exhibit the difference.
+
+use std::sync::Arc;
+
+use wfc_explorer::linearizability::{collect_histories, is_linearizable, OpLabel};
+use wfc_explorer::program::ProgramBuilder;
+use wfc_explorer::{ObjectInstance, System};
+use wfc_registers::{
+    atomic_bit, mrsw_regular_bit, BitReader, BitWriter, Register, RegReader, RegWriter,
+};
+use wfc_runtime::{is_regular, run_threads, EventLog};
+use wfc_spec::{canonical, PortId};
+
+/// Spec-level Lamport construction: one writer, two readers, per-reader
+/// SRSW bit copies. The writer's program writes copy 0 then copy 1; each
+/// reader reads only its own copy.
+fn lamport_spec_system() -> (System, Vec<OpLabel>, Arc<wfc_spec::FiniteType>) {
+    let bit = Arc::new(canonical::boolean_register(2));
+    let v0 = bit.state_id("v0").unwrap();
+    let read = bit.invocation_id("read").unwrap();
+    let write1 = bit.invocation_id("write1").unwrap();
+    // copies[k]: written by process 0 (port 0), read by reader k (port 1).
+    let copy = |reader_proc: usize| {
+        let mut ports = vec![None, None, None];
+        ports[0] = Some(PortId::new(0));
+        ports[reader_proc] = Some(PortId::new(1));
+        ObjectInstance::new(Arc::clone(&bit), v0, ports)
+    };
+    let writer = {
+        let mut b = ProgramBuilder::new();
+        b.invoke(0_i64, write1.index() as i64, None);
+        b.invoke(1_i64, write1.index() as i64, None);
+        b.ret(bit.response_id("ok").unwrap().index() as i64);
+        b.build().unwrap()
+    };
+    let reader = |obj: i64| {
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        b.invoke(obj, read.index() as i64, Some(r));
+        b.ret(r);
+        b.build().unwrap()
+    };
+    let system = System::new(
+        vec![copy(1), copy(2)],
+        vec![writer, reader(0), reader(1)],
+    );
+    let labels = vec![
+        OpLabel {
+            port: PortId::new(0),
+            inv: write1,
+        },
+        OpLabel {
+            port: PortId::new(1),
+            inv: read,
+        },
+        OpLabel {
+            port: PortId::new(2),
+            inv: read,
+        },
+    ];
+    (system, labels, bit)
+}
+
+/// The Lamport construction, model-checked: some schedule produces a
+/// non-linearizable history (the classic new/old inversion across
+/// readers), yet **every** schedule is regular. This is exactly why the
+/// chain needs the atomic constructions above it.
+#[test]
+fn lamport_mrsw_is_regular_but_not_atomic() {
+    let (system, labels, _bit) = lamport_spec_system();
+    // The target for linearizability is a 3-port boolean register.
+    let target = canonical::boolean_register(3);
+    let init = target.state_id("v0").unwrap();
+    let read = target.invocation_id("read").unwrap();
+    let write1 = target.invocation_id("write1").unwrap();
+    let target_labels: Vec<OpLabel> = labels
+        .iter()
+        .enumerate()
+        .map(|(k, _l)| OpLabel {
+            port: PortId::new(k),
+            inv: if k == 0 { write1 } else { read },
+        })
+        .collect();
+    let _ = (labels, read);
+
+    let histories = collect_histories(&system, &target_labels, 100_000).unwrap();
+    assert!(!histories.is_empty());
+
+    let mut inversion_found = false;
+    let w1_resp_is_one = |resp: wfc_spec::RespId| target.response_name(resp) == "1";
+    for (_, h) in &histories {
+        if !is_linearizable(&target, init, h) {
+            inversion_found = true;
+        }
+        // Regularity must hold on every schedule.
+        let ops = h.ops().to_vec();
+        assert!(
+            is_regular(
+                &ops,
+                read,
+                |inv| (inv == write1).then_some(true),
+                w1_resp_is_one,
+                false,
+            ),
+            "regularity violated: {ops:?}"
+        );
+    }
+    assert!(
+        inversion_found,
+        "the new/old inversion schedule must exist — Lamport's bit is not atomic"
+    );
+}
+
+/// The full runtime chain under concurrency: MRMW register histories
+/// always linearize (the atomic layers repair what Lamport's layer
+/// cannot provide).
+#[test]
+fn full_chain_register_is_atomic_under_stress() {
+    let values = 3usize;
+    let ty = canonical::register(values, 8);
+    let init = ty.state_id("v0").unwrap();
+    let read_inv = ty.invocation_id("read").unwrap();
+    let ok = ty.response_id("ok").unwrap();
+    for round in 0..10 {
+        let (ws, rs) = Register::new(0usize, 2, 2);
+        let log = EventLog::new();
+        let mut workers: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for (k, mut w) in ws.into_iter().enumerate() {
+            let log = &log;
+            let ty = &ty;
+            workers.push(Box::new(move || {
+                for j in 0..4usize {
+                    let v = (round + j + k) % values;
+                    let inv = ty.invocation_id(&format!("write{v}")).unwrap();
+                    let t0 = log.stamp();
+                    w.write(v);
+                    let t1 = log.stamp();
+                    log.record(PortId::new(k), inv, ok, t0, t1);
+                }
+            }));
+        }
+        for (k, mut r) in rs.into_iter().enumerate() {
+            let log = &log;
+            let ty = &ty;
+            workers.push(Box::new(move || {
+                for _ in 0..4 {
+                    let t0 = log.stamp();
+                    let v = r.read();
+                    let t1 = log.stamp();
+                    let resp = ty.response_id(&v.to_string()).unwrap();
+                    log.record(PortId::new(2 + k), read_inv, resp, t0, t1);
+                }
+            }));
+        }
+        run_threads(workers);
+        let h = log.take_history();
+        assert!(
+            is_linearizable(&ty, init, &h),
+            "round {round}: chain register not linearizable: {h:?}"
+        );
+    }
+}
+
+/// MRSW regular bit at runtime: per-reader monotonic visibility when the
+/// writer performs a single one-way transition.
+#[test]
+fn runtime_lamport_bit_one_way_flag() {
+    for _ in 0..50 {
+        let (mut w, rs) = mrsw_regular_bit(false, 4, |init| {
+            let (w, r) = atomic_bit(init);
+            (Box::new(w) as Box<dyn BitWriter>, Box::new(r) as Box<dyn BitReader>)
+        });
+        let mut workers: Vec<Box<dyn FnOnce() -> Vec<bool> + Send>> = Vec::new();
+        workers.push(Box::new(move || {
+            w.write(true);
+            Vec::new()
+        }));
+        for mut r in rs {
+            workers.push(Box::new(move || (0..8).map(|_| r.read()).collect()));
+        }
+        let results = run_threads(workers);
+        for reads in &results[1..] {
+            // One-way flag: once seen true, stays true for that reader.
+            let first_true = reads.iter().position(|&b| b);
+            if let Some(k) = first_true {
+                assert!(reads[k..].iter().all(|&b| b), "flag regressed: {reads:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the universality of consensus (paper §2.3):
+//! the universal construction implements arbitrary types, wait-free and
+//! linearizable, across the zoo.
+
+use std::sync::Arc;
+
+use wait_free_consensus::prelude::*;
+use wfc_explorer::linearizability::is_linearizable;
+use wfc_runtime::{run_threads, EventLog};
+use wfc_spec::canonical;
+
+/// Drives a universal object of `ty` with `rounds` operations per port
+/// under real concurrency and checks the recorded history.
+fn stress_universal(ty: Arc<wfc_spec::FiniteType>, init_name: &str, ops: &[&str], rounds: usize) {
+    let init = ty.state_id(init_name).unwrap();
+    for _ in 0..5 {
+        let object = consensus::UniversalObject::new(Arc::clone(&ty), init, 512);
+        let log = EventLog::new();
+        run_threads(
+            object
+                .ports()
+                .into_iter()
+                .enumerate()
+                .map(|(k, mut handle)| {
+                    let log = &log;
+                    let ty = Arc::clone(&ty);
+                    let ops: Vec<String> = ops.iter().map(|s| s.to_string()).collect();
+                    move || {
+                        for j in 0..rounds {
+                            let name = &ops[(k + j) % ops.len()];
+                            let inv = ty.invocation_id(name).unwrap();
+                            let t0 = log.stamp();
+                            let resp = handle.invoke(inv);
+                            let t1 = log.stamp();
+                            log.record(handle.port(), inv, resp, t0, t1);
+                        }
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        let history = log.take_history();
+        assert!(
+            is_linearizable(&ty, init, &history),
+            "{}: {history:?}",
+            ty.name()
+        );
+    }
+}
+
+#[test]
+fn universal_stack_linearizes() {
+    stress_universal(
+        Arc::new(canonical::stack(3, 2, 3)),
+        "⟨⟩",
+        &["push0", "push1", "pop"],
+        3,
+    );
+}
+
+#[test]
+fn universal_swap_linearizes() {
+    stress_universal(
+        Arc::new(canonical::swap(3, 3)),
+        "v0",
+        &["swap1", "swap2", "swap0"],
+        3,
+    );
+}
+
+#[test]
+fn universal_sticky_bit_linearizes() {
+    stress_universal(
+        Arc::new(canonical::sticky_bit(4)),
+        "⊥",
+        &["write0", "write1", "read"],
+        2,
+    );
+}
+
+/// The universal construction accepts nondeterministic types by
+/// determinising the replay (first outcome); the result is still
+/// linearizable because the spec permits the chosen outcomes.
+#[test]
+fn universal_one_use_bit_linearizes() {
+    stress_universal(
+        Arc::new(canonical::one_use_bit()),
+        "UNSET",
+        &["read", "write"],
+        2,
+    );
+}
+
+/// A universal object of the consensus type *is* a consensus object:
+/// agreement across racing proposers, every time.
+#[test]
+fn universal_consensus_agrees() {
+    let ty = Arc::new(canonical::consensus(4));
+    let init = ty.state_id("⊥").unwrap();
+    for _ in 0..20 {
+        let object = consensus::UniversalObject::new(Arc::clone(&ty), init, 64);
+        let decisions = run_threads(
+            object
+                .ports()
+                .into_iter()
+                .enumerate()
+                .map(|(k, mut handle)| {
+                    let ty = Arc::clone(&ty);
+                    move || {
+                        handle.invoke_named(if k % 2 == 0 { "propose0" } else { "propose1" })
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "agreement violated: {decisions:?}"
+        );
+    }
+}
