@@ -4,9 +4,10 @@
 //! classification with backward fixpoint. Expected shape: linear in the
 //! configuration-graph size, which the depth columns of E3 predict.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wfc_bench::harness::{BenchmarkId, Criterion};
 use wfc_bench::register_protocols;
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_explorer::bivalence::analyze_valency;
 use wfc_explorer::ExploreOptions;
 
@@ -25,14 +26,24 @@ fn bench_bivalence(c: &mut Criterion) {
             b.iter(|| black_box(analyze_valency(&cs.system, &opts).unwrap()))
         });
     }
+    // Thread axis: graph discovery is sharded across workers; the valency
+    // classification itself is unchanged and the output bit-identical.
+    for threads in [1, 2, 4] {
+        let topts = opts.with_threads(threads);
+        let cs = wfc_consensus::cas_consensus_system(&[false; 4]);
+        g.bench_with_input(
+            BenchmarkId::new("cas_all_zero_n4_threads", threads),
+            &cs,
+            |b, cs| b.iter(|| black_box(analyze_valency(&cs.system, &topts).unwrap())),
+        );
+    }
     g.finish();
 
     let mut g = c.benchmark_group("e10_impossibility");
     g.sample_size(10);
     g.bench_function("one_round_sweep_1024", |b| {
         b.iter(|| {
-            let outcome =
-                wfc_hierarchy::impossibility::search_one_round_protocols(&opts).unwrap();
+            let outcome = wfc_hierarchy::impossibility::search_one_round_protocols(&opts).unwrap();
             assert!(outcome.survivors.is_empty());
             black_box(outcome)
         })

@@ -7,8 +7,9 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wfc_bench::harness::Criterion;
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_core::{atomic_one_use_bit, one_use_from_consensus, OneUseRead, OneUseRecipe, OneUseWrite};
 use wfc_spec::canonical;
 

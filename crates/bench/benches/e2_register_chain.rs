@@ -6,11 +6,12 @@
 //! assembled `Register` façade. The expected shape: cost grows with the
 //! layer's fan-out (number of base cells touched per operation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wfc_bench::harness::Criterion;
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_registers::{
     atomic_bit, atomic_reg, mrsw_atomic_register, mrsw_regular_bit, unary_regular_register,
-    BitReader, BitWriter, Register, RegReader, RegWriter, Stamped,
+    BitReader, BitWriter, RegReader, RegWriter, Register, Stamped,
 };
 
 const READERS: usize = 4;
@@ -28,7 +29,10 @@ fn bench_chain(c: &mut Criterion) {
 
     let (mut w, mut rs) = mrsw_regular_bit(false, READERS, |init| {
         let (w, r) = atomic_bit(init);
-        (Box::new(w) as Box<dyn BitWriter>, Box::new(r) as Box<dyn BitReader>)
+        (
+            Box::new(w) as Box<dyn BitWriter>,
+            Box::new(r) as Box<dyn BitReader>,
+        )
     });
     g.bench_function("L1_mrsw_regular_bit/write+read", |b| {
         b.iter(|| {
@@ -40,7 +44,10 @@ fn bench_chain(c: &mut Criterion) {
     let (mut w, mut rs) = unary_regular_register(0, 8, READERS, |init, n| {
         mrsw_regular_bit(init, n, |i| {
             let (w, r) = atomic_bit(i);
-            (Box::new(w) as Box<dyn BitWriter>, Box::new(r) as Box<dyn BitReader>)
+            (
+                Box::new(w) as Box<dyn BitWriter>,
+                Box::new(r) as Box<dyn BitReader>,
+            )
         })
     });
     g.bench_function("L2_unary_regular_8val/write+read", |b| {

@@ -6,9 +6,10 @@
 //! with the number of processes: the paper's finiteness is qualitative,
 //! the constant is exponential).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wfc_bench::harness::Criterion;
 use wfc_bench::register_protocols;
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_core::access_bounds;
 use wfc_explorer::ExploreOptions;
 
@@ -25,8 +26,19 @@ fn bench_access_bounds(c: &mut Criterion) {
     for n in 2..=4 {
         g.bench_function(format!("cas/n={n}"), |b| {
             b.iter(|| {
+                black_box(access_bounds(n, wfc_consensus::cas_consensus_system, &opts).unwrap())
+            })
+        });
+    }
+
+    // The thread axis: same analysis, 2^n trees fanned across workers.
+    // Results are bit-identical to threads=1; only wall-clock changes.
+    for threads in [1, 2, 4, 8] {
+        let topts = opts.with_threads(threads);
+        g.bench_function(format!("cas_announce/n=3/threads={threads}"), |b| {
+            b.iter(|| {
                 black_box(
-                    access_bounds(n, wfc_consensus::cas_consensus_system, &opts).unwrap(),
+                    access_bounds(3, wfc_consensus::cas_announce_consensus_system, &topts).unwrap(),
                 )
             })
         });

@@ -9,8 +9,9 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use wfc_bench::harness::{BenchmarkId, Criterion, Throughput};
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_core::bounded_bit;
 
 fn conversation(reads: usize, writes: usize) {

@@ -8,8 +8,9 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wfc_bench::harness::{BenchmarkId, Criterion};
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_spec::triviality::oblivious_witness;
 use wfc_spec::witness::find_witness;
 use wfc_spec::{canonical, triviality};

@@ -9,8 +9,9 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wfc_bench::harness::Criterion;
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_consensus::{
     cas_consensus, fetch_add_consensus_2, queue_consensus_2, sticky_consensus, tas_consensus_2,
     Proposer, UniversalObject,
@@ -87,7 +88,7 @@ fn bench_consensus(c: &mut Criterion) {
                     black_box(hs[0].invoke(fadd));
                 }
             },
-            criterion::BatchSize::SmallInput,
+            wfc_bench::harness::BatchSize::SmallInput,
         )
     });
     g.finish();

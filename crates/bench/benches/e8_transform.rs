@@ -7,8 +7,9 @@
 //! grows with the eliminated system's state space (recipe substrates
 //! with longer reader sequences cost more than native `T_1u` bits).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wfc_bench::harness::{BenchmarkId, Criterion};
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_bench::{register_protocols, substrates};
 use wfc_core::{access_bounds, check_theorem5, eliminate_registers};
 use wfc_explorer::ExploreOptions;
@@ -21,15 +22,9 @@ fn bench_transform(c: &mut Criterion) {
         let bounds = access_bounds(2, build, &opts).unwrap();
         let cs = build(&[true, false]);
         for (slabel, source) in substrates() {
-            g.bench_with_input(
-                BenchmarkId::new(plabel, &slabel),
-                &source,
-                |b, source| {
-                    b.iter(|| {
-                        black_box(eliminate_registers(&cs, &bounds.registers, source).unwrap())
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(plabel, &slabel), &source, |b, source| {
+                b.iter(|| black_box(eliminate_registers(&cs, &bounds.registers, source).unwrap()))
+            });
         }
     }
     g.finish();
@@ -38,13 +33,9 @@ fn bench_transform(c: &mut Criterion) {
     g.sample_size(10);
     for (plabel, build) in register_protocols() {
         for (slabel, source) in substrates() {
-            g.bench_with_input(
-                BenchmarkId::new(plabel, &slabel),
-                &source,
-                |b, source| {
-                    b.iter(|| black_box(check_theorem5(2, build, source, &opts).unwrap()))
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(plabel, &slabel), &source, |b, source| {
+                b.iter(|| black_box(check_theorem5(2, build, source, &opts).unwrap()))
+            });
         }
     }
     g.finish();

@@ -5,8 +5,9 @@
 //! the whole Theorem 5 pipeline. Expected shape: orders of magnitude
 //! between a triviality check and a full register-elimination proof.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wfc_bench::harness::{BenchmarkId, Criterion};
+use wfc_bench::{criterion_group, criterion_main};
 use wfc_hierarchy::{catalog, verify_entry};
 
 fn bench_hierarchy(c: &mut Criterion) {

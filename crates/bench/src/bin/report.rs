@@ -96,7 +96,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             b.total_configs,
             format!(
                 "{:?}",
-                b.registers.iter().map(|r| (r.reads, r.writes)).collect::<Vec<_>>()
+                b.registers
+                    .iter()
+                    .map(|r| (r.reads, r.writes))
+                    .collect::<Vec<_>>()
             ),
         );
     }
@@ -118,9 +121,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             "{:<16} {:>3} {:>16} {:>4} {:>9} {:>14}",
             "cas+announce",
             n,
-            format!("(min d {}, max d {})",
+            format!(
+                "(min d {}, max d {})",
                 b.depth_per_tree.iter().min().unwrap(),
-                b.depth_per_tree.iter().max().unwrap()),
+                b.depth_per_tree.iter().max().unwrap()
+            ),
             b.d_max,
             b.total_configs,
             format!("{} regs, all (1,1)", b.registers.len()),
@@ -331,11 +336,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         use wfc_explorer::crash::check_crash_tolerance;
         let cs = consensus::tas_consensus_system([false, true]);
         let before = check_crash_tolerance(&cs.system, &[0, 1], &opts)?;
-        let bounds = core::access_bounds(
-            2,
-            |i| consensus::tas_consensus_system([i[0], i[1]]),
-            &opts,
-        )?;
+        let bounds =
+            core::access_bounds(2, |i| consensus::tas_consensus_system([i[0], i[1]]), &opts)?;
         let elim =
             core::eliminate_registers(&cs, &bounds.registers, &core::OneUseSource::OneUseBits)?;
         let after = check_crash_tolerance(&elim.system, &[0, 1], &opts)?;

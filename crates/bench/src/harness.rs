@@ -1,0 +1,305 @@
+//! A minimal, dependency-free benchmark harness with a
+//! criterion-compatible surface.
+//!
+//! The workspace builds fully offline, so the E1–E10 benches cannot pull
+//! in an external harness. This module reimplements the small slice of
+//! the criterion API they use — `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `Throughput`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — over
+//! `std::time::Instant`.
+//!
+//! Measurement model: each benchmark is calibrated to pick an iteration
+//! count whose batch lasts roughly [`TARGET_BATCH`], then `sample_size`
+//! batches are timed and the median per-iteration time is reported. Set
+//! `WFC_BENCH_FAST=1` to cut sample counts for smoke runs (CI compiles
+//! benches but does not need statistically stable numbers).
+
+use std::time::{Duration, Instant};
+
+/// Per-sample time budget the calibrator aims for.
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+
+/// Top-level harness handle; create one per bench binary (the
+/// [`criterion_group!`] macro does this for you).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: default_sample_size(),
+            throughput: None,
+        }
+    }
+}
+
+fn default_sample_size() -> usize {
+    if std::env::var_os("WFC_BENCH_FAST").is_some() {
+        3
+    } else {
+        20
+    }
+}
+
+/// Unit the group's results are normalised against.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` amortises per timing batch.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Setup output is cheap to create; one per iteration.
+    SmallInput,
+    /// Setup output is expensive; still one per iteration here.
+    LargeInput,
+}
+
+/// A benchmark's identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// A named set of benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var_os("WFC_BENCH_FAST").is_none() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    /// Declares the work per iteration for derived throughput lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Times `f` on `input` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Prints the group footer. (Results stream as they complete; this
+    /// exists for criterion compatibility.)
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[f64]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let lo = sorted.first().copied().unwrap_or(0.0);
+        let hi = sorted.last().copied().unwrap_or(0.0);
+        println!(
+            "{}/{:<40} time: [{} {} {}]",
+            self.name,
+            id.name,
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if median > 0.0 && count > 0 {
+                let per_sec = count as f64 / (median * 1e-9);
+                println!(
+                    "{}/{:<40} thrpt: {:.3} M{unit}/s",
+                    self.name,
+                    id.name,
+                    per_sec / 1e6
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Passed into each benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Per-iteration nanoseconds, one entry per timed batch.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it enough to smooth out clock noise.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fill the target batch time?
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let dt = start.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let dt = start.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("harness_smoke");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |n| n * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", "p").name, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).name, "3");
+        assert_eq!(BenchmarkId::from("lit").name, "lit");
+    }
+}

@@ -5,9 +5,13 @@
 //! recorded in EXPERIMENTS.md.
 //!
 //! This library holds the shared fixtures so that the benches and the
-//! report agree on what is measured.
+//! report agree on what is measured, and the in-repo [`harness`] the
+//! benches run on (the workspace builds offline, so criterion itself is
+//! not available).
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::sync::Arc;
 

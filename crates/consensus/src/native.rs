@@ -23,8 +23,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::queue::ArrayQueue;
-use wfc_registers::{atomic_reg, AtomicRegReader, AtomicRegWriter, RegReader, RegWriter};
+use wfc_registers::{
+    atomic_reg, ArrayQueue, AtomicRegReader, AtomicRegWriter, RegReader, RegWriter,
+};
 
 /// A per-process handle on a single-shot consensus object.
 ///

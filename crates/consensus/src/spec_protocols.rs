@@ -588,21 +588,47 @@ impl ProtocolVerdict {
 /// [`ExplorerError::NotWaitFree`] when some interleaving never terminates.
 pub fn verify_consensus_protocol(
     n: usize,
-    build: impl Fn(&[bool]) -> ConsensusSystem,
+    build: impl Fn(&[bool]) -> ConsensusSystem + Sync,
     opts: &ExploreOptions,
 ) -> Result<ProtocolVerdict, ExplorerError> {
+    let vectors = binary_input_vectors(n);
+    let threads = opts.effective_threads();
+    // With several vectors in flight, run each tree single-threaded —
+    // the outer fan-out already fills the pool.
+    let inner = if threads > 1 {
+        opts.with_threads(1)
+    } else {
+        *opts
+    };
+    let per_tree = wfc_explorer::pool::parallel_map(
+        threads,
+        &vectors,
+        |inputs| -> Result<(usize, usize, bool, bool), ExplorerError> {
+            let cs = build(inputs);
+            let e = explore(&cs.system, &inner)?;
+            let allowed: Vec<i64> = inputs.iter().map(|&b| i64::from(b)).collect();
+            Ok((
+                e.depth,
+                e.configs,
+                e.decisions_agree(),
+                e.decisions_within(&allowed),
+            ))
+        },
+    );
+
+    // Merge in lexicographic input order (the order of `vectors`), so
+    // the verdict — including which error surfaces — is identical no
+    // matter how the trees were scheduled.
     let mut depth_per_tree = Vec::new();
     let mut total_configs = 0;
     let mut agreement = true;
     let mut validity = true;
-    for inputs in binary_input_vectors(n) {
-        let cs = build(&inputs);
-        let e = explore(&cs.system, opts)?;
-        depth_per_tree.push(e.depth);
-        total_configs += e.configs;
-        agreement &= e.decisions_agree();
-        let allowed: Vec<i64> = inputs.iter().map(|&b| i64::from(b)).collect();
-        validity &= e.decisions_within(&allowed);
+    for tree in per_tree {
+        let (depth, configs, agrees, valid) = tree?;
+        depth_per_tree.push(depth);
+        total_configs += configs;
+        agreement &= agrees;
+        validity &= valid;
     }
     Ok(ProtocolVerdict {
         d_max: depth_per_tree.iter().copied().max().unwrap_or(0),
@@ -663,24 +689,16 @@ mod tests {
 
     #[test]
     fn cas_protocol_is_correct_for_three_processes() {
-        let v = verify_consensus_protocol(
-            3,
-            cas_consensus_system,
-            &ExploreOptions::default(),
-        )
-        .unwrap();
+        let v =
+            verify_consensus_protocol(3, cas_consensus_system, &ExploreOptions::default()).unwrap();
         assert!(v.holds(), "{v:?}");
         assert_eq!(v.d_max, 3, "one access per process");
     }
 
     #[test]
     fn sticky_protocol_is_correct_for_three_processes() {
-        let v = verify_consensus_protocol(
-            3,
-            sticky_consensus_system,
-            &ExploreOptions::default(),
-        )
-        .unwrap();
+        let v = verify_consensus_protocol(3, sticky_consensus_system, &ExploreOptions::default())
+            .unwrap();
         assert!(v.holds(), "{v:?}");
     }
 

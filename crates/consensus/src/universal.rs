@@ -62,7 +62,10 @@ impl UniversalObject {
     ///
     /// Panics if `init` is out of range.
     pub fn new(ty: Arc<FiniteType>, init: StateId, capacity: usize) -> Self {
-        assert!(init.index() < ty.state_count(), "initial state out of range");
+        assert!(
+            init.index() < ty.state_count(),
+            "initial state out of range"
+        );
         let n = ty.ports();
         UniversalObject {
             shared: Arc::new(Shared {
@@ -120,7 +123,10 @@ impl UniversalHandle {
         // Find the first undecided slot we could possibly land in.
         let mut k = 0;
         loop {
-            assert!(k < self.shared.log.len(), "universal log capacity exhausted");
+            assert!(
+                k < self.shared.log.len(),
+                "universal log capacity exhausted"
+            );
             let slot = &self.shared.log[k];
             let current = slot.load(Ordering::SeqCst);
             if current == 0 {

@@ -82,42 +82,64 @@ impl AccessBounds {
 /// [`ExplorerError::NotWaitFree`].
 pub fn access_bounds(
     n: usize,
-    build: impl Fn(&[bool]) -> ConsensusSystem,
+    build: impl Fn(&[bool]) -> ConsensusSystem + Sync,
     opts: &ExploreOptions,
 ) -> Result<AccessBounds, ExplorerError> {
+    let vectors = binary_input_vectors(n);
+    let threads = opts.effective_threads();
+    // With several trees in flight, explore each one single-threaded —
+    // the outer fan-out already fills the pool.
+    let inner = if threads > 1 {
+        opts.with_threads(1)
+    } else {
+        *opts
+    };
+    type TreeResult = Result<(usize, usize, Vec<RegisterBounds>), ExplorerError>;
+    let per_tree = wfc_explorer::pool::parallel_map(threads, &vectors, |inputs| -> TreeResult {
+        let cs = build(inputs);
+        let e = explore(&cs.system, &inner)?;
+        let bounds: Vec<RegisterBounds> = cs
+            .registers
+            .iter()
+            .map(|info| {
+                let ty = cs.system.objects()[info.obj].ty();
+                let read_ix = ty
+                    .invocation_id("read")
+                    .expect("register type has a read")
+                    .index();
+                RegisterBounds {
+                    obj: info.obj,
+                    reads: e.access.max_for(info.obj, read_ix),
+                    // Writes: the exact maximum of total writes (any
+                    // value) along a single execution, tracked by the
+                    // explorer. Summing the per-value write maxima
+                    // instead would over-approximate, since those maxima
+                    // can each be attained on different executions.
+                    writes: e.access.max_writes_for(info.obj),
+                }
+            })
+            .collect();
+        Ok((e.depth, e.configs, bounds))
+    });
+
+    // Merge in lexicographic input order (the order of `vectors`), so
+    // results — and which error surfaces — are identical no matter how
+    // the trees were scheduled across threads.
     let mut depth_per_tree = Vec::new();
     let mut total_configs = 0usize;
     let mut registers: Vec<RegisterBounds> = Vec::new();
-    for inputs in binary_input_vectors(n) {
-        let cs = build(&inputs);
-        let e = explore(&cs.system, opts)?;
-        depth_per_tree.push(e.depth);
-        total_configs += e.configs;
-        for (k, info) in cs.registers.iter().enumerate() {
-            let ty = cs.system.objects()[info.obj].ty();
-            let read_ix = ty
-                .invocation_id("read")
-                .expect("register type has a read")
-                .index();
-            let reads = e.access.max_for(info.obj, read_ix);
-            // Writes: sum the per-value write maxima — a safe upper bound
-            // on writes along any single execution.
-            let writes: u32 = ty
-                .invocations()
-                .filter(|&i| ty.invocation_name(i).starts_with("write"))
-                .map(|i| e.access.max_for(info.obj, i.index()))
-                .sum();
+    for tree in per_tree {
+        let (depth, configs, bounds): (usize, usize, Vec<RegisterBounds>) = tree?;
+        depth_per_tree.push(depth);
+        total_configs += configs;
+        for (k, b) in bounds.into_iter().enumerate() {
             match registers.get_mut(k) {
                 Some(slot) => {
-                    debug_assert_eq!(slot.obj, info.obj, "builder must be shape-stable");
-                    slot.reads = slot.reads.max(reads);
-                    slot.writes = slot.writes.max(writes);
+                    debug_assert_eq!(slot.obj, b.obj, "builder must be shape-stable");
+                    slot.reads = slot.reads.max(b.reads);
+                    slot.writes = slot.writes.max(b.writes);
                 }
-                None => registers.push(RegisterBounds {
-                    obj: info.obj,
-                    reads,
-                    writes,
-                }),
+                None => registers.push(b),
             }
         }
     }
@@ -157,12 +179,7 @@ mod tests {
 
     #[test]
     fn register_free_protocols_have_no_register_bounds() {
-        let b = access_bounds(
-            2,
-            cas_consensus_system,
-            &ExploreOptions::default(),
-        )
-        .unwrap();
+        let b = access_bounds(2, cas_consensus_system, &ExploreOptions::default()).unwrap();
         assert!(b.registers.is_empty());
         assert_eq!(b.one_use_bits_required(), 0);
         assert_eq!(b.d_max, 2);
@@ -170,10 +187,8 @@ mod tests {
 
     #[test]
     fn depth_grows_with_process_count() {
-        let b2 = access_bounds(2, cas_consensus_system, &ExploreOptions::default())
-            .unwrap();
-        let b3 = access_bounds(3, cas_consensus_system, &ExploreOptions::default())
-            .unwrap();
+        let b2 = access_bounds(2, cas_consensus_system, &ExploreOptions::default()).unwrap();
+        let b3 = access_bounds(3, cas_consensus_system, &ExploreOptions::default()).unwrap();
         assert!(b3.d_max > b2.d_max);
         assert_eq!(b3.depth_per_tree.len(), 8, "2^3 trees");
     }

@@ -20,7 +20,9 @@
 //! experiment E4 measures against the paper's formula.
 
 use crate::error::BoundedBitError;
-use crate::one_use::{atomic_one_use_bit, AtomicOneUseReader, AtomicOneUseWriter, OneUseRead, OneUseWrite};
+use crate::one_use::{
+    atomic_one_use_bit, AtomicOneUseReader, AtomicOneUseWriter, OneUseRead, OneUseWrite,
+};
 
 /// The number of one-use bits consumed by the construction:
 /// `reads · (writes + 1)` (paper, Section 4.3).

@@ -53,7 +53,10 @@ impl fmt::Display for DeriveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeriveError::Trivial { type_name } => {
-                write!(f, "type `{type_name}` is trivial; no one-use bit can be derived")
+                write!(
+                    f,
+                    "type `{type_name}` is trivial; no one-use bit can be derived"
+                )
             }
             DeriveError::Analysis(e) => write!(f, "{e}"),
         }

@@ -58,7 +58,9 @@ pub use recipe::{
     one_use_from_consensus, ConsensusOneUseReader, ConsensusOneUseWriter, OneUseRecipe,
     RecipeOneUseReader, RecipeOneUseWriter,
 };
-pub use theorem5::{check_theorem5, classify_deterministic, Theorem5Certificate, Theorem5Classification};
+pub use theorem5::{
+    check_theorem5, classify_deterministic, Theorem5Certificate, Theorem5Classification,
+};
 pub use transform::{eliminate_registers, EliminatedSystem, OneUseSource};
 
 #[cfg(test)]

@@ -145,8 +145,7 @@ impl OneUseRecipe {
     /// one-use bit's two capabilities.
     pub fn instantiate(&self) -> (RecipeOneUseWriter, RecipeOneUseReader) {
         let object = SpecObject::new(Arc::clone(&self.ty), self.init, Nondeterminism::First);
-        let mut handles: Vec<Option<PortHandle>> =
-            object.ports().into_iter().map(Some).collect();
+        let mut handles: Vec<Option<PortHandle>> = object.ports().into_iter().map(Some).collect();
         let reader_handle = handles[self.reader_port.index()]
             .take()
             .expect("distinct ports");

@@ -51,9 +51,7 @@ pub enum Theorem5Classification {
 /// are Theorem 5's third case, `h_m(T) ≥ 2`, which needs a consensus
 /// implementation rather than a witness — see
 /// [`crate::one_use_from_consensus`]).
-pub fn classify_deterministic(
-    ty: &Arc<FiniteType>,
-) -> Result<Theorem5Classification, DeriveError> {
+pub fn classify_deterministic(ty: &Arc<FiniteType>) -> Result<Theorem5Classification, DeriveError> {
     if is_trivial(ty)? {
         return Ok(Theorem5Classification::Trivial);
     }
@@ -93,19 +91,25 @@ impl Theorem5Certificate {
 /// Propagates analysis, transformation and exploration failures.
 pub fn check_theorem5(
     n: usize,
-    build: impl Fn(&[bool]) -> ConsensusSystem,
+    build: impl Fn(&[bool]) -> ConsensusSystem + Sync,
     source: &OneUseSource,
     opts: &ExploreOptions,
 ) -> Result<Theorem5Certificate, TransformError> {
     let bounds = access_bounds(n, &build, opts)?;
     let before = wfc_consensus::verify_consensus_protocol(n, &build, opts)?;
-    let mut depth_per_tree = Vec::new();
-    let mut total_configs = 0;
-    let mut agreement = true;
-    let mut validity = true;
-    let mut one_use_bits = 0;
-    for inputs in binary_input_vectors(n) {
-        let cs = build(&inputs);
+
+    let vectors = binary_input_vectors(n);
+    let threads = opts.effective_threads();
+    // With several vectors in flight, explore each eliminated system
+    // single-threaded — the outer fan-out already fills the pool.
+    let inner = if threads > 1 {
+        opts.with_threads(1)
+    } else {
+        *opts
+    };
+    type TreeResult = Result<(usize, usize, bool, bool, usize), TransformError>;
+    let per_tree = wfc_explorer::pool::parallel_map(threads, &vectors, |inputs| -> TreeResult {
+        let cs = build(inputs);
         let eliminated = eliminate_registers(&cs, &bounds.registers, source)?;
         // Structural register-freedom: every annotated register was
         // removed, and only the survivors plus the freshly allocated bit
@@ -117,13 +121,36 @@ pub fn check_theorem5(
             cs.system.objects().len() - cs.registers.len() + eliminated.one_use_bits,
             "output must contain exactly the survivors plus the bit objects"
         );
-        one_use_bits = eliminated.one_use_bits;
-        let e = explore(&eliminated.system, opts)?;
-        depth_per_tree.push(e.depth);
-        total_configs += e.configs;
-        agreement &= e.decisions_agree();
+        let e = explore(&eliminated.system, &inner)?;
         let allowed: Vec<i64> = inputs.iter().map(|&b| i64::from(b)).collect();
-        validity &= e.decisions_within(&allowed);
+        Ok((
+            e.depth,
+            e.configs,
+            e.decisions_agree(),
+            e.decisions_within(&allowed),
+            eliminated.one_use_bits,
+        ))
+    });
+
+    // Merge in lexicographic input order; the bit count comes from the
+    // first vector (the compiler sizes arrays from `bounds`, which are
+    // shared, so every vector allocates the same number).
+    let mut depth_per_tree = Vec::new();
+    let mut total_configs = 0;
+    let mut agreement = true;
+    let mut validity = true;
+    let mut one_use_bits = 0;
+    for (k, tree) in per_tree.into_iter().enumerate() {
+        let (depth, configs, agrees, valid, bits) = tree?;
+        depth_per_tree.push(depth);
+        total_configs += configs;
+        agreement &= agrees;
+        validity &= valid;
+        if k == 0 {
+            one_use_bits = bits;
+        } else {
+            debug_assert_eq!(one_use_bits, bits, "bit allocation is input-independent");
+        }
     }
     let after = ProtocolVerdict {
         d_max: depth_per_tree.iter().copied().max().unwrap_or(0),
@@ -256,23 +283,18 @@ mod tests {
     #[test]
     fn paper_uniform_sizing_is_correct_but_wasteful() {
         let opts = ExploreOptions::default();
-        let bounds = crate::access_bounds::access_bounds(
-            2,
-            |i| tas_consensus_system([i[0], i[1]]),
-            &opts,
-        )
-        .unwrap();
+        let bounds =
+            crate::access_bounds::access_bounds(2, |i| tas_consensus_system([i[0], i[1]]), &opts)
+                .unwrap();
         let uniform = bounds.paper_uniform();
         let d = bounds.d_max as u32;
         assert!(uniform.iter().all(|r| r.reads == d && r.writes == d));
         let cs = tas_consensus_system([true, false]);
-        let exact =
-            eliminate_registers(&cs, &bounds.registers, &OneUseSource::OneUseBits).unwrap();
-        let wasteful =
-            eliminate_registers(&cs, &uniform, &OneUseSource::OneUseBits).unwrap();
+        let exact = eliminate_registers(&cs, &bounds.registers, &OneUseSource::OneUseBits).unwrap();
+        let wasteful = eliminate_registers(&cs, &uniform, &OneUseSource::OneUseBits).unwrap();
         assert_eq!(exact.one_use_bits, 4);
         assert_eq!(wasteful.one_use_bits, 2 * (d as usize) * (d as usize + 1)); // 60
-        // Both systems remain correct consensus on this input vector.
+                                                                                // Both systems remain correct consensus on this input vector.
         for system in [&exact.system, &wasteful.system] {
             let e = explore(system, &opts).unwrap();
             assert!(e.decisions_agree());

@@ -100,7 +100,12 @@ pub fn eliminate_registers(
     let (bit_ty, bit_init, bit_writer_port, bit_reader_port) = match source {
         OneUseSource::OneUseBits => {
             let init = one_use_ty.state_id("UNSET").expect("T_1u has UNSET");
-            (Arc::clone(&one_use_ty), init, PortId::new(0), PortId::new(1))
+            (
+                Arc::clone(&one_use_ty),
+                init,
+                PortId::new(0),
+                PortId::new(1),
+            )
         }
         OneUseSource::Recipe(r) => (
             Arc::clone(r.ty()),
@@ -144,7 +149,13 @@ pub fn eliminate_registers(
     let mut new_programs = Vec::with_capacity(processes);
     for (p, program) in cs.system.programs().iter().enumerate() {
         new_programs.push(rewrite_program(
-            p, program, objects, &is_register, &remap, &plans, source,
+            p,
+            program,
+            objects,
+            &is_register,
+            &remap,
+            &plans,
+            source,
         )?);
     }
 
@@ -204,9 +215,8 @@ fn rewrite_program(
                 let Operand::Const(obj_ix) = obj else {
                     return Err(TransformError::DynamicObjectIndex { process: p, at });
                 };
-                let obj_ix = usize::try_from(obj_ix).map_err(|_| {
-                    TransformError::DynamicObjectIndex { process: p, at }
-                })?;
+                let obj_ix = usize::try_from(obj_ix)
+                    .map_err(|_| TransformError::DynamicObjectIndex { process: p, at })?;
                 if !is_register.get(obj_ix).copied().unwrap_or(false) {
                     let new_ix = remap[obj_ix].expect("survivor remapped") as i64;
                     b.invoke(new_ix, inv, store);

@@ -1,38 +1,38 @@
 //! Property tests for the paper's constructions over random inputs.
+//!
+//! Randomness comes from the in-repo [`SplitMix64`] generator (the
+//! workspace builds offline, without a property-testing framework);
+//! every case reproduces from the seed in the assertion message.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use wfc_core::{bounded_bit, cost, BoundedBitError, OneUseRead, OneUseRecipe, OneUseWrite};
+use wfc_spec::prng::SplitMix64;
 use wfc_spec::{FiniteType, PortId, TypeBuilder};
+
+const CASES: u64 = 512;
 
 /// A random deterministic 2-port type (same construction as the spec
 /// crate's property tests).
-fn arb_deterministic_type() -> impl Strategy<Value = FiniteType> {
-    (2..=5usize, 1..=3usize, 2..=3usize)
-        .prop_flat_map(|(states, invs, resps)| {
-            let table =
-                proptest::collection::vec((0..states, 0..resps), states * 2 * invs);
-            (Just((states, invs, resps)), table)
-        })
-        .prop_map(|((states, invs, resps), table)| {
-            let mut b = TypeBuilder::new("random", 2);
-            let qs: Vec<_> = (0..states).map(|k| b.state(&format!("q{k}"))).collect();
-            let is_: Vec<_> = (0..invs).map(|k| b.invocation(&format!("i{k}"))).collect();
-            let rs: Vec<_> = (0..resps).map(|k| b.response(&format!("r{k}"))).collect();
-            let mut it = table.into_iter();
-            for q in 0..states {
-                for port in 0..2 {
-                    #[allow(clippy::needless_range_loop)] // i indexes is_
-                    for i in 0..invs {
-                        let (next, resp) = it.next().unwrap();
-                        b.transition(qs[q], PortId::new(port), is_[i], qs[next], rs[resp]);
-                    }
-                }
+fn random_deterministic_type(rng: &mut SplitMix64) -> FiniteType {
+    let states = rng.gen_range(2, 6);
+    let invs = rng.gen_range(1, 4);
+    let resps = rng.gen_range(2, 4);
+    let mut b = TypeBuilder::new("random", 2);
+    let qs: Vec<_> = (0..states).map(|k| b.state(&format!("q{k}"))).collect();
+    let is_: Vec<_> = (0..invs).map(|k| b.invocation(&format!("i{k}"))).collect();
+    let rs: Vec<_> = (0..resps).map(|k| b.response(&format!("r{k}"))).collect();
+    for q in 0..states {
+        for port in 0..2 {
+            #[allow(clippy::needless_range_loop)] // i indexes is_
+            for i in 0..invs {
+                let next = rng.gen_range(0, states);
+                let resp = rng.gen_range(0, resps);
+                b.transition(qs[q], PortId::new(port), is_[i], qs[next], rs[resp]);
             }
-            b.build().unwrap()
-        })
+        }
+    }
+    b.build().unwrap()
 }
 
 /// One step of a register conversation: a read, or a write of a bit.
@@ -42,30 +42,34 @@ enum Op {
     Write(bool),
 }
 
-fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(Op::Read),
-            any::<bool>().prop_map(Op::Write),
-        ],
-        0..=max_len,
-    )
+fn random_ops(rng: &mut SplitMix64, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(0, max_len + 1);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool() {
+                Op::Read
+            } else {
+                Op::Write(rng.gen_bool())
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Section 4.3 differential: over any sequential conversation within
-    /// budget, the one-use-bit array agrees with a plain boolean.
-    #[test]
-    fn bounded_bit_matches_reference(init in any::<bool>(), ops in arb_ops(24)) {
+/// Section 4.3 differential: over any sequential conversation within
+/// budget, the one-use-bit array agrees with a plain boolean.
+#[test]
+fn bounded_bit_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0xB0B1 ^ seed);
+        let init = rng.gen_bool();
+        let ops = random_ops(&mut rng, 24);
         let reads = ops.iter().filter(|o| matches!(o, Op::Read)).count();
         let writes = ops.len() - reads;
         let (mut w, mut r) = bounded_bit(init, reads.max(1), writes);
         let mut reference = init;
         for op in ops {
             match op {
-                Op::Read => prop_assert_eq!(r.read().unwrap(), reference),
+                Op::Read => assert_eq!(r.read().unwrap(), reference, "seed {seed}"),
                 Op::Write(v) => {
                     w.write(v).unwrap();
                     reference = v;
@@ -73,42 +77,52 @@ proptest! {
             }
         }
     }
+}
 
-    /// Budgets are exact: `reads` reads always fit, the `reads + 1`-st
-    /// always errors; same for value-changing writes.
-    #[test]
-    fn budgets_are_exact(reads in 1..8usize, writes in 0..8usize) {
-        prop_assert_eq!(cost(reads, writes), reads * (writes + 1));
-        let (mut w, mut r) = bounded_bit(false, reads, writes);
-        for k in 0..writes {
-            w.write(k % 2 == 0).unwrap();
+/// Budgets are exact: `reads` reads always fit, the `reads + 1`-st
+/// always errors; same for value-changing writes.
+///
+/// The case space is small, so cover it exhaustively rather than
+/// sampling.
+#[test]
+fn budgets_are_exact() {
+    for reads in 1..8usize {
+        for writes in 0..8usize {
+            assert_eq!(cost(reads, writes), reads * (writes + 1));
+            let (mut w, mut r) = bounded_bit(false, reads, writes);
+            for k in 0..writes {
+                w.write(k % 2 == 0).unwrap();
+            }
+            assert_eq!(
+                w.write(writes % 2 == 0).unwrap_err(),
+                BoundedBitError::WriteBudgetExhausted { budget: writes }
+            );
+            for _ in 0..reads {
+                r.read().unwrap();
+            }
+            assert_eq!(
+                r.read().unwrap_err(),
+                BoundedBitError::ReadBudgetExhausted { budget: reads }
+            );
         }
-        prop_assert_eq!(
-            w.write(writes % 2 == 0).unwrap_err(),
-            BoundedBitError::WriteBudgetExhausted { budget: writes }
-        );
-        for _ in 0..reads {
-            r.read().unwrap();
-        }
-        prop_assert_eq!(
-            r.read().unwrap_err(),
-            BoundedBitError::ReadBudgetExhausted { budget: reads }
-        );
     }
+}
 
-    /// Section 5.2 on random types: whenever a recipe derives, the
-    /// resulting one-use bit is sequentially correct — unwritten reads 0,
-    /// written reads 1 — no matter what the underlying type looks like.
-    #[test]
-    fn random_recipes_yield_working_bits(ty in arb_deterministic_type()) {
-        let ty = Arc::new(ty);
+/// Section 5.2 on random types: whenever a recipe derives, the
+/// resulting one-use bit is sequentially correct — unwritten reads 0,
+/// written reads 1 — no matter what the underlying type looks like.
+#[test]
+fn random_recipes_yield_working_bits() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x0B17 ^ seed);
+        let ty = Arc::new(random_deterministic_type(&mut rng));
         if let Ok(recipe) = OneUseRecipe::from_type(&ty) {
             let (_w, r) = recipe.instantiate();
-            prop_assert!(!r.read(), "unwritten bit must read 0");
+            assert!(!r.read(), "seed {seed}: unwritten bit must read 0");
             let (w, r) = recipe.instantiate();
             w.write();
-            prop_assert!(r.read(), "written bit must read 1");
-            prop_assert!(recipe.read_cost() >= 1);
+            assert!(r.read(), "seed {seed}: written bit must read 1");
+            assert!(recipe.read_cost() >= 1, "seed {seed}");
         }
     }
 }

@@ -62,7 +62,10 @@ fn dynamic_object_index_is_rejected() {
     // refuse rather than guess.
     let err = eliminate_registers(&cs, &bounds(), &OneUseSource::OneUseBits).unwrap_err();
     assert!(
-        matches!(err, TransformError::DynamicObjectIndex { process: 0, at: 0 }),
+        matches!(
+            err,
+            TransformError::DynamicObjectIndex { process: 0, at: 0 }
+        ),
         "{err:?}"
     );
 }
@@ -157,7 +160,11 @@ fn missing_bounds_default_to_zero_budget() {
     };
     let out = eliminate_registers(&cs, &[], &OneUseSource::OneUseBits).unwrap();
     assert_eq!(out.one_use_bits, 0);
-    assert_eq!(out.system.objects().len(), 0, "register removed, nothing added");
+    assert_eq!(
+        out.system.objects().len(),
+        0,
+        "register removed, nothing added"
+    );
     let e = wfc_explorer::explore(&out.system, &wfc_explorer::ExploreOptions::default()).unwrap();
     assert!(e.decisions_agree());
 }

@@ -180,17 +180,25 @@ mod tests {
         let resp_of = |name: &str| reg.response_id(name).unwrap().index() as i64;
         // Objects: 0 = reg of process 0, 1 = reg of process 1, 2 = TAS.
         // reg[p] is written by p (port 0) and read by 1-p (port 1).
-        let objects = [ObjectInstance::new(
+        let objects = [
+            ObjectInstance::new(
                 reg.clone(),
                 v0,
-                vec![Some(wfc_spec::PortId::new(0)), Some(wfc_spec::PortId::new(1))],
+                vec![
+                    Some(wfc_spec::PortId::new(0)),
+                    Some(wfc_spec::PortId::new(1)),
+                ],
             ),
             ObjectInstance::new(
                 reg.clone(),
                 v0,
-                vec![Some(wfc_spec::PortId::new(1)), Some(wfc_spec::PortId::new(0))],
+                vec![
+                    Some(wfc_spec::PortId::new(1)),
+                    Some(wfc_spec::PortId::new(0)),
+                ],
             ),
-            ObjectInstance::identity_ports(tas, unset, 2)];
+            ObjectInstance::identity_ports(tas, unset, 2),
+        ];
         let mk = |me: usize, input: i64| {
             let mut b = ProgramBuilder::new();
             let r = b.var("r");
@@ -245,12 +253,18 @@ mod tests {
             ObjectInstance::new(
                 reg.clone(),
                 v0,
-                vec![Some(wfc_spec::PortId::new(0)), Some(wfc_spec::PortId::new(1))],
+                vec![
+                    Some(wfc_spec::PortId::new(0)),
+                    Some(wfc_spec::PortId::new(1)),
+                ],
             ),
             ObjectInstance::new(
                 reg.clone(),
                 v0,
-                vec![Some(wfc_spec::PortId::new(1)), Some(wfc_spec::PortId::new(0))],
+                vec![
+                    Some(wfc_spec::PortId::new(1)),
+                    Some(wfc_spec::PortId::new(0)),
+                ],
             ),
         ];
         let mk = |me: usize, input: i64| {

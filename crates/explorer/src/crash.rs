@@ -62,6 +62,54 @@ pub fn check_crash_tolerance(
 ) -> Result<CrashToleranceReport, ExplorerError> {
     let graph = ConfigGraph::build(system, opts)?;
     let n = system.processes();
+
+    // Per-configuration scenario checks are independent: fan them across
+    // the configured worker pool. Reports are summed, so the merge is
+    // order-insensitive; errors are taken in configuration order.
+    let per_config = crate::pool::parallel_map(
+        opts.effective_threads(),
+        &graph.configs,
+        |cfg| -> Result<CrashToleranceReport, ExplorerError> {
+            let mut partial = CrashToleranceReport {
+                configs: 0,
+                scenarios: 0,
+                stuck_scenarios: 0,
+                disagreements: 0,
+                invalid: 0,
+            };
+            // Survivor subsets: every nonempty subset of processes.
+            // (Subsets containing decided processes are fine: decided
+            // processes take no further steps anyway.)
+            for mask in 1..(1u32 << n) {
+                let survivors: Vec<usize> = (0..n).filter(|p| mask & (1 << p) != 0).collect();
+                partial.scenarios += 1;
+                let (stuck, decision_sets) =
+                    survivor_outcomes(system, cfg, &survivors, opts.max_configs)?;
+                if stuck {
+                    partial.stuck_scenarios += 1;
+                }
+                for decisions in decision_sets {
+                    let mut agreed: Option<i64> = None;
+                    for d in decisions {
+                        if !allowed.contains(&d) {
+                            partial.invalid += 1;
+                            break;
+                        }
+                        match agreed {
+                            None => agreed = Some(d),
+                            Some(a) if a != d => {
+                                partial.disagreements += 1;
+                                break;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            Ok(partial)
+        },
+    );
+
     let mut report = CrashToleranceReport {
         configs: graph.len(),
         scenarios: 0,
@@ -69,36 +117,12 @@ pub fn check_crash_tolerance(
         disagreements: 0,
         invalid: 0,
     };
-    for cfg in &graph.configs {
-        // Survivor subsets: every nonempty subset of processes. (Subsets
-        // containing decided processes are fine: decided processes take
-        // no further steps anyway.)
-        for mask in 1..(1u32 << n) {
-            let survivors: Vec<usize> = (0..n).filter(|p| mask & (1 << p) != 0).collect();
-            report.scenarios += 1;
-            let (stuck, decision_sets) =
-                survivor_outcomes(system, cfg, &survivors, opts.max_configs)?;
-            if stuck {
-                report.stuck_scenarios += 1;
-            }
-            for decisions in decision_sets {
-                let mut agreed: Option<i64> = None;
-                for d in decisions {
-                    if !allowed.contains(&d) {
-                        report.invalid += 1;
-                        break;
-                    }
-                    match agreed {
-                        None => agreed = Some(d),
-                        Some(a) if a != d => {
-                            report.disagreements += 1;
-                            break;
-                        }
-                        Some(_) => {}
-                    }
-                }
-            }
-        }
+    for partial in per_config {
+        let partial = partial?;
+        report.scenarios += partial.scenarios;
+        report.stuck_scenarios += partial.stuck_scenarios;
+        report.disagreements += partial.disagreements;
+        report.invalid += partial.invalid;
     }
     Ok(report)
 }
@@ -120,7 +144,10 @@ fn survivor_outcomes(
     let mut stuck = false;
     while let Some(cfg) = stack.pop() {
         if seen.len() > budget {
-            return Err(ExplorerError::ConfigBudgetExceeded { budget });
+            return Err(ExplorerError::BudgetExceeded {
+                kind: crate::error::BudgetKind::Configs,
+                budget,
+            });
         }
         let mut enabled = false;
         for &p in survivors {
@@ -287,11 +314,14 @@ mod tests {
             b.build().unwrap()
         };
         let sys = System::new(
-            vec![announce(0), announce(1), ObjectInstance::identity_ports(tas, unset, 2)],
+            vec![
+                announce(0),
+                announce(1),
+                ObjectInstance::identity_ports(tas, unset, 2),
+            ],
             vec![mk(0, false), mk(1, true)],
         );
-        let report =
-            check_crash_tolerance(&sys, &[0, 1], &ExploreOptions::default()).unwrap();
+        let report = check_crash_tolerance(&sys, &[0, 1], &ExploreOptions::default()).unwrap();
         assert!(report.holds(), "{report:?}");
     }
 }

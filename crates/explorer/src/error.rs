@@ -29,13 +29,36 @@ impl fmt::Display for ProgramError {
             ProgramError::UnboundLabel => write!(f, "jump references an unbound label"),
             ProgramError::DivisionByZero => write!(f, "modulo by zero"),
             ProgramError::LocalDivergence => {
-                write!(f, "local instruction budget exhausted (divergent local loop)")
+                write!(
+                    f,
+                    "local instruction budget exhausted (divergent local loop)"
+                )
             }
         }
     }
 }
 
 impl Error for ProgramError {}
+
+/// The resource whose budget an exploration exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BudgetKind {
+    /// Distinct configurations interned
+    /// ([`ExploreOptions::max_configs`](crate::ExploreOptions)).
+    Configs,
+    /// Execution-tree depth
+    /// ([`ExploreOptions::max_depth`](crate::ExploreOptions)).
+    Depth,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Configs => write!(f, "configurations"),
+            BudgetKind::Depth => write!(f, "depth levels"),
+        }
+    }
+}
 
 /// An error raised while exploring a [`System`](crate::System).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,8 +94,11 @@ pub enum ExplorerError {
         /// The object index.
         obj: usize,
     },
-    /// Exploration exceeded its configuration budget.
-    ConfigBudgetExceeded {
+    /// Exploration exceeded one of its budgets
+    /// ([`ExploreOptions`](crate::ExploreOptions)).
+    BudgetExceeded {
+        /// Which budget was exhausted.
+        kind: BudgetKind,
         /// The configured budget.
         budget: usize,
     },
@@ -100,11 +126,14 @@ impl fmt::Display for ExplorerError {
             ExplorerError::NoPortAssigned { process, obj } => {
                 write!(f, "process {process} has no port on object {obj}")
             }
-            ExplorerError::ConfigBudgetExceeded { budget } => {
-                write!(f, "exploration exceeded the budget of {budget} configurations")
+            ExplorerError::BudgetExceeded { kind, budget } => {
+                write!(f, "exploration exceeded the budget of {budget} {kind}")
             }
             ExplorerError::NotWaitFree => {
-                write!(f, "system admits an infinite execution; access bounds are undefined")
+                write!(
+                    f,
+                    "system admits an infinite execution; access bounds are undefined"
+                )
             }
         }
     }

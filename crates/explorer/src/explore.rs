@@ -17,22 +17,68 @@
 
 use std::collections::BTreeSet;
 
-use crate::error::ExplorerError;
+use crate::error::{BudgetKind, ExplorerError};
 use crate::graph::ConfigGraph;
 use crate::system::System;
 
-/// Budget knobs for [`explore`] and [`ConfigGraph::build`].
+/// Budget and parallelism knobs for [`explore`] and
+/// [`ConfigGraph::build`].
 #[derive(Clone, Copy, Debug)]
 pub struct ExploreOptions {
     /// Maximum number of distinct configurations to visit before giving up
-    /// with [`ExplorerError::ConfigBudgetExceeded`].
+    /// with [`ExplorerError::BudgetExceeded`]
+    /// ([`BudgetKind::Configs`](crate::error::BudgetKind)).
     pub max_configs: usize,
+    /// Maximum execution-tree depth before giving up with
+    /// [`ExplorerError::BudgetExceeded`]
+    /// ([`BudgetKind::Depth`](crate::error::BudgetKind)). A system whose
+    /// longest execution is exactly `max_depth` steps still succeeds.
+    pub max_depth: usize,
+    /// Worker threads for graph discovery: `1` (the default) explores
+    /// on the calling thread, `0` means one per available core. Every
+    /// quantity [`explore`] computes is bit-identical across thread
+    /// counts.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
     fn default() -> Self {
         ExploreOptions {
             max_configs: 4_000_000,
+            max_depth: usize::MAX,
+            threads: 1,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// This configuration with `threads` discovery workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// This configuration with a `max_configs` budget.
+    pub fn with_max_configs(mut self, max_configs: usize) -> Self {
+        self.max_configs = max_configs;
+        self
+    }
+
+    /// This configuration with a `max_depth` budget.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// The resolved worker count: `threads`, with `0` meaning one per
+    /// available core.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 }
@@ -43,6 +89,12 @@ pub struct AccessTable {
     /// `counts[obj][inv]` is the maximum number of times `inv` is invoked
     /// on object `obj` along any execution.
     counts: Vec<Vec<u32>>,
+    /// `write_totals[obj]` is the maximum number of `write*` invocations
+    /// on object `obj` along any *single* execution, all write values
+    /// combined. At most — and often below — the sum of the per-write
+    /// entries of `counts[obj]`, which take their maxima on different
+    /// executions.
+    write_totals: Vec<u32>,
 }
 
 impl AccessTable {
@@ -55,6 +107,12 @@ impl AccessTable {
     /// sum of the per-invocation maxima.
     pub fn upper_bound_for(&self, obj: usize) -> u32 {
         self.counts[obj].iter().sum()
+    }
+
+    /// The paper's `w_b`, exactly: the maximum number of writes (any
+    /// value) to `obj` along any single execution.
+    pub fn max_writes_for(&self, obj: usize) -> u32 {
+        self.write_totals[obj]
     }
 
     /// Number of objects covered.
@@ -141,7 +199,8 @@ pub fn find_violation(
     while let Some((cfg, schedule)) = stack.pop() {
         visited += 1;
         if visited > opts.max_configs {
-            return Err(ExplorerError::ConfigBudgetExceeded {
+            return Err(ExplorerError::BudgetExceeded {
+                kind: BudgetKind::Configs,
                 budget: opts.max_configs,
             });
         }
@@ -186,13 +245,29 @@ pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, Ex
         return Err(ExplorerError::NotWaitFree);
     }
 
-    // Flattened (obj, inv) dimensions for the access table.
+    // Flattened (obj, inv) dimensions for the access table, plus one
+    // extra per-object slot tracking the *total* `write*` invocations
+    // along a single execution (all values combined): summing the
+    // per-value write maxima afterwards would over-approximate, because
+    // those maxima can come from different executions.
     let mut obj_inv_offsets = Vec::with_capacity(system.objects().len());
     let mut dims = 0usize;
     for o in system.objects() {
         obj_inv_offsets.push(dims);
         dims += o.ty().invocation_count();
     }
+    let objects = system.objects().len();
+    // `write_slot[slot]` is the extra accumulator fed by `slot`, if any.
+    let mut write_slot: Vec<Option<usize>> = vec![None; dims];
+    for (oi, o) in system.objects().iter().enumerate() {
+        let ty = o.ty();
+        for inv in ty.invocations() {
+            if ty.invocation_name(inv).starts_with("write") {
+                write_slot[obj_inv_offsets[oi] + inv.index()] = Some(dims + oi);
+            }
+        }
+    }
+    let total_dims = dims + objects;
 
     let procs = system.processes();
     let mut depth: Vec<u32> = vec![0; graph.len()];
@@ -206,15 +281,18 @@ pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, Ex
     for &v in &graph.post_order {
         let kids = &graph.children[v];
         if kids.is_empty() {
-            debug_assert!(graph.configs[v].is_terminal(), "only terminals lack children");
+            debug_assert!(
+                graph.configs[v].is_terminal(),
+                "only terminals lack children"
+            );
             terminals += 1;
             decisions.insert(graph.configs[v].decisions());
-            access[v] = vec![0; dims];
+            access[v] = vec![0; total_dims];
             steps[v] = vec![0; procs];
             continue;
         }
         let mut d = 0u32;
-        let mut acc = vec![0u32; dims];
+        let mut acc = vec![0u32; total_dims];
         let mut st = vec![0u32; procs];
         let cfg = &graph.configs[v];
         for &(p, c) in kids {
@@ -223,8 +301,9 @@ pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, Ex
                 .pending_access(cfg, p)?
                 .expect("undecided process has a pending access");
             let slot = obj_inv_offsets[a.obj] + a.inv.index();
+            let wslot = write_slot[slot];
             for (k, cell) in acc.iter_mut().enumerate() {
-                let child_val = access[c][k] + u32::from(k == slot);
+                let child_val = access[c][k] + u32::from(k == slot || Some(k) == wslot);
                 *cell = (*cell).max(child_val);
             }
             for (q, cell) in st.iter_mut().enumerate() {
@@ -235,6 +314,13 @@ pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, Ex
         depth[v] = d;
         access[v] = acc;
         steps[v] = st;
+    }
+
+    if depth[graph.root] as usize > opts.max_depth {
+        return Err(ExplorerError::BudgetExceeded {
+            kind: BudgetKind::Depth,
+            budget: opts.max_depth,
+        });
     }
 
     let per_object = system
@@ -248,6 +334,9 @@ pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, Ex
                 .collect()
         })
         .collect();
+    let write_totals = (0..objects)
+        .map(|oi| access[graph.root][dims + oi])
+        .collect();
 
     Ok(Exploration {
         configs: graph.len(),
@@ -256,7 +345,10 @@ pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, Ex
         depth: depth[graph.root] as usize,
         per_process_steps: steps[graph.root].clone(),
         decisions,
-        access: AccessTable { counts: per_object },
+        access: AccessTable {
+            counts: per_object,
+            write_totals,
+        },
     })
 }
 
@@ -342,11 +434,134 @@ mod tests {
 
     #[test]
     fn budget_is_enforced() {
-        let e = explore(&tas_race(), &ExploreOptions { max_configs: 2 });
+        let e = explore(&tas_race(), &ExploreOptions::default().with_max_configs(2));
         assert!(matches!(
             e,
-            Err(ExplorerError::ConfigBudgetExceeded { budget: 2 })
+            Err(ExplorerError::BudgetExceeded {
+                kind: BudgetKind::Configs,
+                budget: 2
+            })
         ));
+    }
+
+    #[test]
+    fn budgets_fire_exactly_at_their_thresholds() {
+        // The race has exactly 5 configurations and depth 2: budgets
+        // equal to the true size succeed, one below fail.
+        let baseline = explore(&tas_race(), &ExploreOptions::default()).unwrap();
+        assert_eq!((baseline.configs, baseline.depth), (5, 2));
+        for threads in [1, 4] {
+            let opts = ExploreOptions::default().with_threads(threads);
+            assert!(explore(&tas_race(), &opts.with_max_configs(5)).is_ok());
+            assert_eq!(
+                explore(&tas_race(), &opts.with_max_configs(4)).unwrap_err(),
+                ExplorerError::BudgetExceeded {
+                    kind: BudgetKind::Configs,
+                    budget: 4
+                }
+            );
+            assert!(explore(&tas_race(), &opts.with_max_depth(2)).is_ok());
+            assert_eq!(
+                explore(&tas_race(), &opts.with_max_depth(1)).unwrap_err(),
+                ExplorerError::BudgetExceeded {
+                    kind: BudgetKind::Depth,
+                    budget: 1
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn exact_depth_budget_catches_paths_longer_than_bfs_levels() {
+        // Writer takes 2 steps, reader 3: every configuration is within
+        // 5 BFS levels, but the longest execution is 5 — a depth budget
+        // of 4 must fail via the post-DP check even though discovery
+        // (whose levels bound only the *shortest* path to each node)
+        // may not fire.
+        let reg = Arc::new(canonical::boolean_register(2));
+        let init = reg.state_id("v0").unwrap();
+        let read = reg.invocation_id("read").unwrap().index() as i64;
+        let write1 = reg.invocation_id("write1").unwrap().index() as i64;
+        let obj = ObjectInstance::identity_ports(reg, init, 2);
+        let writer = {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            b.invoke(0_i64, write1, Some(r));
+            b.invoke(0_i64, write1, Some(r));
+            b.ret(0_i64);
+            b.build().unwrap()
+        };
+        let reader = {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            for _ in 0..3 {
+                b.invoke(0_i64, read, Some(r));
+            }
+            b.ret(r);
+            b.build().unwrap()
+        };
+        let sys = System::new(vec![obj], vec![writer, reader]);
+        assert!(explore(&sys, &ExploreOptions::default().with_max_depth(5)).is_ok());
+        assert_eq!(
+            explore(&sys, &ExploreOptions::default().with_max_depth(4)).unwrap_err(),
+            ExplorerError::BudgetExceeded {
+                kind: BudgetKind::Depth,
+                budget: 4
+            }
+        );
+    }
+
+    /// The write-bound satellite: per-value write maxima can each be
+    /// attained on *different* executions, so their sum over-approximates
+    /// the true per-execution write total.
+    #[test]
+    fn write_totals_beat_summed_per_value_maxima() {
+        // One process: read the register, then write the value it saw
+        // twice — every execution does either two write0s or two write1s,
+        // never both.
+        let reg = Arc::new(canonical::boolean_register(2));
+        let init = reg.state_id("v0").unwrap();
+        let read = reg.invocation_id("read").unwrap().index() as i64;
+        let w0 = reg.invocation_id("write0").unwrap().index() as i64;
+        let w1 = reg.invocation_id("write1").unwrap().index() as i64;
+        let r1 = reg.response_id("1").unwrap().index() as i64;
+        let obj = ObjectInstance::identity_ports(Arc::clone(&reg), init, 2);
+        let chooser = {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            let t = b.var("t");
+            let zeros = b.fresh_label();
+            b.invoke(0_i64, read, Some(r));
+            b.compute(t, r, crate::program::BinOp::Eq, r1);
+            b.jump_if_zero(t, zeros); // saw 0 → write 0s; fall through → write 1s
+            b.invoke(0_i64, w1, None);
+            b.invoke(0_i64, w1, None);
+            b.ret(1_i64);
+            b.bind(zeros);
+            b.invoke(0_i64, w0, None);
+            b.invoke(0_i64, w0, None);
+            b.ret(0_i64);
+            b.build().unwrap()
+        };
+        let flipper = {
+            let mut b = ProgramBuilder::new();
+            b.invoke(0_i64, w1, None);
+            b.ret(1_i64);
+            b.build().unwrap()
+        };
+        let sys = System::new(vec![obj], vec![chooser, flipper]);
+        let e = explore(&sys, &ExploreOptions::default()).unwrap();
+        let w0_ix = reg.invocation_id("write0").unwrap().index();
+        let w1_ix = reg.invocation_id("write1").unwrap().index();
+        // Some execution does two write0s, some does two write1s (plus
+        // the flipper's write1)...
+        assert_eq!(e.access.max_for(0, w0_ix), 2);
+        assert_eq!(e.access.max_for(0, w1_ix), 3);
+        // ...but no single execution does all five writes.
+        assert!(
+            e.access.max_writes_for(0) < e.access.max_for(0, w0_ix) + e.access.max_for(0, w1_ix)
+        );
+        assert_eq!(e.access.max_writes_for(0), 3);
     }
 
     #[test]

@@ -6,10 +6,24 @@
 //! `p`'s next low-level operation moves the system from `v` to `c`.
 //! Depth, access bounds, decision sets and valency are all computed over
 //! this graph.
+//!
+//! Discovery is a level-synchronised breadth-first search over a
+//! lock-striped hash-consed configuration table; with
+//! [`ExploreOptions::threads`] > 1 each frontier is sharded across a
+//! scoped thread pool. Node *numbering* may then depend on the thread
+//! count, but the set of nodes, the edge multiset, depth, access bounds
+//! and decision sets are all invariant — every quantity
+//! [`explore`](crate::explore) derives is bit-identical to a
+//! single-threaded run. Cycle detection and the post-order are computed
+//! afterwards by a cheap sequential pass over the already-built
+//! adjacency, which touches no program state.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use crate::error::ExplorerError;
+use crate::error::{BudgetKind, ExplorerError};
 use crate::explore::ExploreOptions;
 use crate::system::{Config, System};
 
@@ -32,6 +46,132 @@ pub struct ConfigGraph {
     pub post_order: Vec<usize>,
 }
 
+/// Frontiers smaller than this are expanded inline even when
+/// `threads > 1`: per-level thread spawns would dominate the work.
+const PARALLEL_FRONTIER_MIN: usize = 64;
+
+/// Deterministic (fixed-key) hash used both for stripe selection and
+/// the intern maps themselves.
+fn config_hash(c: &Config) -> u64 {
+    let mut h = DefaultHasher::new();
+    c.hash(&mut h);
+    h.finish()
+}
+
+/// A lock-striped hash-consed configuration table: configurations map to
+/// dense node ids, allocated from a shared atomic counter. Stripes are
+/// selected by configuration hash, so concurrent interning of distinct
+/// configurations rarely contends.
+struct StripedInterner {
+    stripes: Vec<Mutex<HashMap<Config, usize, BuildHasherDefault<DefaultHasher>>>>,
+    counter: AtomicUsize,
+    mask: usize,
+}
+
+impl StripedInterner {
+    fn new(threads: usize) -> Self {
+        let stripes = (threads * 8).next_power_of_two().max(1);
+        StripedInterner {
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+            counter: AtomicUsize::new(0),
+            mask: stripes - 1,
+        }
+    }
+
+    /// Returns the node id of `c` and whether this call created it.
+    fn intern(&self, c: &Config) -> (usize, bool) {
+        let stripe = &self.stripes[(config_hash(c) as usize) & self.mask];
+        let mut map = stripe.lock().expect("interner stripe poisoned");
+        if let Some(&id) = map.get(c) {
+            (id, false)
+        } else {
+            let id = self.counter.fetch_add(1, Ordering::Relaxed);
+            map.insert(c.clone(), id);
+            (id, true)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the table into a dense id-indexed configuration vector.
+    fn into_configs(self) -> Vec<Config> {
+        let mut out: Vec<Option<Config>> = vec![None; self.len()];
+        for stripe in self.stripes {
+            for (cfg, id) in stripe.into_inner().expect("interner stripe poisoned") {
+                out[id] = Some(cfg);
+            }
+        }
+        out.into_iter()
+            .map(|c| c.expect("every allocated id was inserted"))
+            .collect()
+    }
+}
+
+/// What one worker contributes to a frontier level: expanded adjacency,
+/// newly discovered nodes, and the minimal error encountered (keyed so
+/// the choice is independent of scheduling).
+struct LevelPart {
+    children: Vec<(usize, Vec<(usize, usize)>)>,
+    discovered: Vec<(usize, Config)>,
+    error: Option<(String, usize, ExplorerError)>,
+}
+
+fn merge_error(
+    slot: &mut Option<(String, usize, ExplorerError)>,
+    candidate: (String, usize, ExplorerError),
+) {
+    let replace = match slot {
+        None => true,
+        Some((key, p, _)) => (candidate.0.as_str(), candidate.1) < (key.as_str(), *p),
+    };
+    if replace {
+        *slot = Some(candidate);
+    }
+}
+
+/// Expands the slice of `frontier` this worker claims via `next`,
+/// interning children into the shared table.
+fn expand_worker(
+    system: &System,
+    frontier: &[(usize, Config)],
+    next: &AtomicUsize,
+    interner: &StripedInterner,
+    max_configs: usize,
+) -> LevelPart {
+    let mut part = LevelPart {
+        children: Vec::new(),
+        discovered: Vec::new(),
+        error: None,
+    };
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= frontier.len() || interner.len() > max_configs {
+            return part;
+        }
+        let (v, cfg) = &frontier[i];
+        let mut kids = Vec::new();
+        for p in 0..system.processes() {
+            match system.step(cfg, p) {
+                Ok(steps) => {
+                    for child in steps {
+                        let (id, new) = interner.intern(&child);
+                        if new {
+                            part.discovered.push((id, child));
+                        }
+                        kids.push((p, id));
+                    }
+                }
+                Err(e) => merge_error(&mut part.error, (format!("{e:?}"), p, e)),
+            }
+        }
+        part.children.push((*v, kids));
+    }
+}
+
 impl ConfigGraph {
     /// Builds the reachable configuration graph of `system`.
     ///
@@ -40,62 +180,102 @@ impl ConfigGraph {
     ///
     /// # Errors
     ///
-    /// Returns [`ExplorerError`] on malformed programs or when the number
-    /// of configurations exceeds `opts.max_configs`.
+    /// Returns [`ExplorerError`] on malformed programs, or
+    /// [`ExplorerError::BudgetExceeded`] when the number of
+    /// configurations exceeds `opts.max_configs` or the breadth-first
+    /// level count exceeds `opts.max_depth` (the BFS level of a node
+    /// never exceeds its execution depth, so this fires only on systems
+    /// genuinely deeper than the budget).
     pub fn build(system: &System, opts: &ExploreOptions) -> Result<ConfigGraph, ExplorerError> {
         let init = system.initial_config()?;
-        let mut ids: HashMap<Config, usize> = HashMap::new();
-        let mut configs: Vec<Config> = Vec::new();
-        let mut children: Vec<Option<Vec<(usize, usize)>>> = Vec::new();
+        let threads = opts.effective_threads();
+        let interner = StripedInterner::new(threads);
+        let (root, _) = interner.intern(&init);
 
-        fn intern(
-            c: Config,
-            ids: &mut HashMap<Config, usize>,
-            configs: &mut Vec<Config>,
-            children: &mut Vec<Option<Vec<(usize, usize)>>>,
-        ) -> usize {
-            if let Some(&id) = ids.get(&c) {
-                id
-            } else {
-                let id = configs.len();
-                ids.insert(c.clone(), id);
-                configs.push(c);
-                children.push(None);
-                id
+        let mut frontier: Vec<(usize, Config)> = vec![(root, init)];
+        let mut adjacency: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        let mut edges = 0usize;
+        let mut level = 0usize;
+
+        while !frontier.is_empty() {
+            if level > opts.max_depth {
+                return Err(ExplorerError::BudgetExceeded {
+                    kind: BudgetKind::Depth,
+                    budget: opts.max_depth,
+                });
             }
+            let next = AtomicUsize::new(0);
+            // Spawning workers costs more than expanding a small frontier;
+            // expand those levels inline. This is exactly the `threads = 1`
+            // path, so results are unchanged — parallel output is invariant
+            // under how each level was scheduled.
+            let level_workers = if frontier.len() < PARALLEL_FRONTIER_MIN {
+                1
+            } else {
+                threads
+            };
+            let parts: Vec<LevelPart> = if level_workers <= 1 {
+                vec![expand_worker(
+                    system,
+                    &frontier,
+                    &next,
+                    &interner,
+                    opts.max_configs,
+                )]
+            } else {
+                std::thread::scope(|s| {
+                    let workers: Vec<_> = (0..level_workers)
+                        .map(|_| {
+                            s.spawn(|| {
+                                expand_worker(system, &frontier, &next, &interner, opts.max_configs)
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|w| w.join().expect("worker panicked"))
+                        .collect()
+                })
+            };
+
+            let mut error: Option<(String, usize, ExplorerError)> = None;
+            let mut next_frontier = Vec::new();
+            for part in parts {
+                edges += part.children.iter().map(|(_, k)| k.len()).sum::<usize>();
+                adjacency.extend(part.children);
+                next_frontier.extend(part.discovered);
+                if let Some(e) = part.error {
+                    merge_error(&mut error, e);
+                }
+            }
+            if let Some((_, _, e)) = error {
+                return Err(e);
+            }
+            if interner.len() > opts.max_configs {
+                return Err(ExplorerError::BudgetExceeded {
+                    kind: BudgetKind::Configs,
+                    budget: opts.max_configs,
+                });
+            }
+            frontier = next_frontier;
+            level += 1;
         }
 
-        let root = intern(init, &mut ids, &mut configs, &mut children);
+        let configs = interner.into_configs();
+        let mut children: Vec<Vec<(usize, usize)>> = vec![Vec::new(); configs.len()];
+        for (v, kids) in adjacency {
+            children[v] = kids;
+        }
 
-        // Iterative DFS with colours: 0 white, 1 grey, 2 black.
-        let mut colour: Vec<u8> = vec![1];
-        let mut post_order: Vec<usize> = Vec::new();
+        // Cycle detection + post-order: sequential iterative DFS with
+        // colours (0 white, 1 grey, 2 black) over the finished adjacency.
+        let mut colour: Vec<u8> = vec![0; configs.len()];
+        let mut post_order: Vec<usize> = Vec::with_capacity(configs.len());
         let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-        let mut edges = 0usize;
+        colour[root] = 1;
         let mut has_cycle = false;
-
         while let Some(&(v, next_child)) = stack.last() {
-            if children[v].is_none() {
-                let mut kids = Vec::new();
-                let cfg = configs[v].clone();
-                for p in 0..system.processes() {
-                    for child_cfg in system.step(&cfg, p)? {
-                        let id = intern(child_cfg, &mut ids, &mut configs, &mut children);
-                        if id >= colour.len() {
-                            colour.resize(id + 1, 0);
-                        }
-                        kids.push((p, id));
-                    }
-                }
-                if configs.len() > opts.max_configs {
-                    return Err(ExplorerError::ConfigBudgetExceeded {
-                        budget: opts.max_configs,
-                    });
-                }
-                edges += kids.len();
-                children[v] = Some(kids);
-            }
-            let kids = children[v].as_ref().expect("expanded above");
+            let kids = &children[v];
             if next_child < kids.len() {
                 let (_, c) = kids[next_child];
                 stack.last_mut().expect("non-empty").1 += 1;
@@ -116,10 +296,7 @@ impl ConfigGraph {
 
         Ok(ConfigGraph {
             configs,
-            children: children
-                .into_iter()
-                .map(|c| c.expect("all reachable nodes expanded"))
-                .collect(),
+            children,
             root,
             edges,
             has_cycle,
@@ -195,5 +372,31 @@ mod tests {
         let g = ConfigGraph::build(&sys, &ExploreOptions::default()).unwrap();
         assert!(g.has_cycle);
         assert_eq!(g.terminals().count(), 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_shape() {
+        let tas = Arc::new(canonical::test_and_set(2));
+        let init = tas.state_id("unset").unwrap();
+        let tas_inv = tas.invocation_id("test_and_set").unwrap();
+        let obj = ObjectInstance::identity_ports(tas, init, 2);
+        let mk = || {
+            let mut b = ProgramBuilder::new();
+            let r = b.var("r");
+            b.invoke(0_i64, Operand::Const(tas_inv.index() as i64), Some(r));
+            b.ret(r);
+            b.build().unwrap()
+        };
+        let sys = System::new(vec![obj], vec![mk(), mk()]);
+        let seq = ConfigGraph::build(&sys, &ExploreOptions::default()).unwrap();
+        for threads in [2, 4, 8] {
+            let par =
+                ConfigGraph::build(&sys, &ExploreOptions::default().with_threads(threads)).unwrap();
+            assert_eq!(par.len(), seq.len());
+            assert_eq!(par.edges, seq.edges);
+            assert_eq!(par.has_cycle, seq.has_cycle);
+            assert_eq!(par.terminals().count(), seq.terminals().count());
+            assert_eq!(par.post_order.len(), seq.post_order.len());
+        }
     }
 }

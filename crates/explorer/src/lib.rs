@@ -55,12 +55,13 @@ mod error;
 mod explore;
 pub mod graph;
 pub mod linearizability;
+pub mod pool;
 pub mod program;
 pub mod simulate;
 mod system;
 pub mod trace;
 
-pub use error::{ExplorerError, ProgramError};
+pub use error::{BudgetKind, ExplorerError, ProgramError};
 pub use explore::{explore, find_violation, AccessTable, Exploration, ExploreOptions, Violation};
 pub use system::{Access, Config, ObjectInstance, System};
 

@@ -96,9 +96,10 @@ pub fn is_linearizable(ty: &FiniteType, init: StateId, history: &ConcurrentHisto
             }
             // `op` may be linearized next only if no other pending
             // operation completed before `op` was invoked.
-            let blocked = ops.iter().enumerate().any(|(j, other)| {
-                j != k && done & (1 << j) == 0 && other.precedes(op)
-            });
+            let blocked = ops
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != k && done & (1 << j) == 0 && other.precedes(op));
             if blocked {
                 continue;
             }
@@ -168,7 +169,10 @@ pub fn collect_histories(
     while let Some((cfg, schedule)) = stack.pop() {
         if cfg.is_terminal() {
             if out.len() >= max_paths {
-                return Err(ExplorerError::ConfigBudgetExceeded { budget: max_paths });
+                return Err(ExplorerError::BudgetExceeded {
+                    kind: crate::error::BudgetKind::Configs,
+                    budget: max_paths,
+                });
             }
             let history = history_of(system, &cfg, &schedule, labels);
             out.push((schedule, history));
@@ -367,8 +371,7 @@ mod tests {
                 inv: read,
             },
         ];
-        let check =
-            check_one_shot_implementation(&sys, &reg, init, &labels, 10_000).unwrap();
+        let check = check_one_shot_implementation(&sys, &reg, init, &labels, 10_000).unwrap();
         assert!(check.holds(), "{:?}", check.counterexamples);
         assert_eq!(check.paths, 2, "two interleavings of two single steps");
     }
@@ -410,8 +413,7 @@ mod tests {
                 inv: read,
             },
         ];
-        let check =
-            check_one_shot_implementation(&sys, &reg, init, &labels, 10_000).unwrap();
+        let check = check_one_shot_implementation(&sys, &reg, init, &labels, 10_000).unwrap();
         assert!(
             !check.holds(),
             "a read strictly after the write must return 1"

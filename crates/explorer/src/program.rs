@@ -381,7 +381,13 @@ impl ProgramBuilder {
     }
 
     /// Emits `dst := lhs op rhs`.
-    pub fn compute(&mut self, dst: Var, lhs: impl Into<Operand>, op: BinOp, rhs: impl Into<Operand>) {
+    pub fn compute(
+        &mut self,
+        dst: Var,
+        lhs: impl Into<Operand>,
+        op: BinOp,
+        rhs: impl Into<Operand>,
+    ) {
         self.code.push(Instr::Compute {
             dst,
             lhs: lhs.into(),

@@ -35,7 +35,10 @@ impl ObjectInstance {
     /// processes share a port (the paper: "at most one process may use a
     /// port").
     pub fn new(ty: Arc<FiniteType>, init: StateId, port_of: Vec<Option<PortId>>) -> Self {
-        assert!(init.index() < ty.state_count(), "initial state out of range");
+        assert!(
+            init.index() < ty.state_count(),
+            "initial state out of range"
+        );
         let mut used = vec![false; ty.ports()];
         for port in port_of.iter().flatten() {
             assert!(port.index() < ty.ports(), "port out of range");
@@ -163,12 +166,10 @@ impl System {
                 obj: obj_usize,
                 inv: inv_ix,
             })?;
-        let port = object
-            .port_of(p)
-            .ok_or(ExplorerError::NoPortAssigned {
-                process: p,
-                obj: obj_usize,
-            })?;
+        let port = object.port_of(p).ok_or(ExplorerError::NoPortAssigned {
+            process: p,
+            obj: obj_usize,
+        })?;
         Ok(Some(Access {
             process: p,
             obj: obj_usize,

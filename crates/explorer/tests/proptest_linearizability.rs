@@ -5,17 +5,18 @@
 //! ones consistent with real-time precedence, and simulates each against
 //! the sequential specification. On histories of ≤ 6 operations the two
 //! must agree exactly.
-
-use proptest::prelude::*;
+//!
+//! Randomness comes from the in-repo [`SplitMix64`] generator (the
+//! workspace builds offline, without a property-testing framework);
+//! every case reproduces from the seed in the assertion message.
 
 use wfc_explorer::linearizability::{is_linearizable, ConcurrentHistory, OpRecord};
+use wfc_spec::prng::SplitMix64;
 use wfc_spec::{canonical, FiniteType, PortId, StateId};
 
-fn brute_force_linearizable(
-    ty: &FiniteType,
-    init: StateId,
-    ops: &[OpRecord],
-) -> bool {
+const CASES: u64 = 512;
+
+fn brute_force_linearizable(ty: &FiniteType, init: StateId, ops: &[OpRecord]) -> bool {
     fn permutations(n: usize) -> Vec<Vec<usize>> {
         if n == 0 {
             return vec![vec![]];
@@ -40,7 +41,13 @@ fn brute_force_linearizable(
             }
         }
         // Simulate; nondeterministic outcomes: try all via DFS.
-        fn sim(ty: &FiniteType, state: StateId, ops: &[OpRecord], perm: &[usize], k: usize) -> bool {
+        fn sim(
+            ty: &FiniteType,
+            state: StateId,
+            ops: &[OpRecord],
+            perm: &[usize],
+            k: usize,
+        ) -> bool {
             if k == perm.len() {
                 return true;
             }
@@ -57,9 +64,9 @@ fn brute_force_linearizable(
     false
 }
 
-/// Random small histories over a boolean register: 2 ports, reads and
+/// A random small history over a boolean register: 2 ports, reads and
 /// writes with arbitrary (but well-formed) intervals.
-fn arb_history() -> impl Strategy<Value = Vec<OpRecord>> {
+fn random_register_history(rng: &mut SplitMix64) -> Vec<OpRecord> {
     let reg = canonical::boolean_register(2);
     let read = reg.invocation_id("read").unwrap();
     let w0 = reg.invocation_id("write0").unwrap();
@@ -67,56 +74,62 @@ fn arb_history() -> impl Strategy<Value = Vec<OpRecord>> {
     let r0 = reg.response_id("0").unwrap();
     let r1 = reg.response_id("1").unwrap();
     let ok = reg.response_id("ok").unwrap();
-    proptest::collection::vec(
-        (0..3usize, 0..2usize, 0..12i64, 1..6i64),
-        0..=5,
-    )
-    .prop_map(move |raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(k, (kind, port, start, dur))| {
-                let (inv, resp) = match kind {
-                    0 => (read, if k % 2 == 0 { r0 } else { r1 }),
-                    1 => (w0, ok),
-                    _ => (w1, ok),
-                };
-                OpRecord {
-                    port: PortId::new(port),
-                    inv,
-                    resp,
-                    invoked_at: start,
-                    responded_at: start + dur,
-                }
-            })
-            .collect()
-    })
+    let len = rng.gen_range(0, 6);
+    (0..len)
+        .map(|k| {
+            let kind = rng.gen_range(0, 3);
+            let port = rng.gen_range(0, 2);
+            let start = rng.gen_range(0, 12) as i64;
+            let dur = rng.gen_range(1, 6) as i64;
+            let (inv, resp) = match kind {
+                0 => (read, if k % 2 == 0 { r0 } else { r1 }),
+                1 => (w0, ok),
+                _ => (w1, ok),
+            };
+            OpRecord {
+                port: PortId::new(port),
+                inv,
+                resp,
+                invoked_at: start,
+                responded_at: start + dur,
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn checker_agrees_with_brute_force(ops in arb_history()) {
+#[test]
+fn checker_agrees_with_brute_force() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x11EA ^ seed);
+        let ops = random_register_history(&mut rng);
         let reg = canonical::boolean_register(2);
         let init = reg.state_id("v0").unwrap();
         let fast = is_linearizable(&reg, init, &ConcurrentHistory::new(ops.clone()));
         let slow = brute_force_linearizable(&reg, init, &ops);
-        prop_assert_eq!(fast, slow, "history: {:?}", ops);
+        assert_eq!(fast, slow, "seed {seed}, history: {ops:?}");
     }
+}
 
-    /// The nondeterministic one-use bit: checker and oracle also agree
-    /// when outcome sets have more than one element.
-    #[test]
-    fn checker_agrees_on_one_use_bit(raw in proptest::collection::vec((0..2usize, 0..2usize, 0..8i64, 1..4i64, 0..2usize), 0..=4)) {
+/// The nondeterministic one-use bit: checker and oracle also agree
+/// when outcome sets have more than one element.
+#[test]
+fn checker_agrees_on_one_use_bit() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x1B17 ^ seed);
         let ty = canonical::one_use_bit();
         let read = ty.invocation_id("read").unwrap();
         let write = ty.invocation_id("write").unwrap();
         let r0 = ty.response_id("0").unwrap();
         let r1 = ty.response_id("1").unwrap();
         let ok = ty.response_id("ok").unwrap();
-        let ops: Vec<OpRecord> = raw
-            .into_iter()
-            .map(|(kind, port, start, dur, bit)| {
+        let len = rng.gen_range(0, 5);
+        let ops: Vec<OpRecord> = (0..len)
+            .map(|_| {
+                let kind = rng.gen_range(0, 2);
+                let port = rng.gen_range(0, 2);
+                let start = rng.gen_range(0, 8) as i64;
+                let dur = rng.gen_range(1, 4) as i64;
+                let bit = rng.gen_range(0, 2);
                 let (inv, resp) = if kind == 0 {
                     (read, if bit == 0 { r0 } else { r1 })
                 } else {
@@ -134,6 +147,6 @@ proptest! {
         let init = ty.state_id("UNSET").unwrap();
         let fast = is_linearizable(&ty, init, &ConcurrentHistory::new(ops.clone()));
         let slow = brute_force_linearizable(&ty, init, &ops);
-        prop_assert_eq!(fast, slow, "history: {:?}", ops);
+        assert_eq!(fast, slow, "seed {seed}, history: {ops:?}");
     }
 }

@@ -91,7 +91,11 @@ pub fn catalog() -> Vec<CatalogEntry> {
                 upper: lv(2),
                 upper_evidence: Evidence::Cited { source: herlihy_2 },
             },
-            h1r: exact_checked(2, "tas_consensus_system model-checked for 2 processes", herlihy_2),
+            h1r: exact_checked(
+                2,
+                "tas_consensus_system model-checked for 2 processes",
+                herlihy_2,
+            ),
             hm: exact_checked(
                 2,
                 "Theorem 5 compiler output: register-free TAS-only consensus, model-checked",
@@ -107,7 +111,9 @@ pub fn catalog() -> Vec<CatalogEntry> {
                 lower: lv(1),
                 lower_evidence: Evidence::ByDefinition,
                 upper: lv(2),
-                upper_evidence: Evidence::Cited { source: "Herlihy [7], queues" },
+                upper_evidence: Evidence::Cited {
+                    source: "Herlihy [7], queues",
+                },
             },
             h1r: exact_checked(
                 2,
@@ -128,7 +134,9 @@ pub fn catalog() -> Vec<CatalogEntry> {
                 lower: lv(1),
                 lower_evidence: Evidence::ByDefinition,
                 upper: lv(2),
-                upper_evidence: Evidence::Cited { source: "Herlihy [7], stacks" },
+                upper_evidence: Evidence::Cited {
+                    source: "Herlihy [7], stacks",
+                },
             },
             h1r: exact_checked(
                 2,
@@ -189,17 +197,23 @@ pub fn catalog() -> Vec<CatalogEntry> {
             ),
             h1r: HierarchyValue::exactly(
                 Level::Infinite,
-                Evidence::Cited { source: "Herlihy [7]: compare-and-swap is universal" },
+                Evidence::Cited {
+                    source: "Herlihy [7]: compare-and-swap is universal",
+                },
                 Evidence::ByDefinition,
             ),
             hm: HierarchyValue::exactly(
                 Level::Infinite,
-                Evidence::Checked { check: "cas_consensus_system, register-free" },
+                Evidence::Checked {
+                    check: "cas_consensus_system, register-free",
+                },
                 Evidence::ByDefinition,
             ),
             hmr: HierarchyValue::exactly(
                 Level::Infinite,
-                Evidence::Cited { source: "Herlihy [7]" },
+                Evidence::Cited {
+                    source: "Herlihy [7]",
+                },
                 Evidence::ByDefinition,
             ),
             notes: "universal: one object suffices at every level",
@@ -216,17 +230,23 @@ pub fn catalog() -> Vec<CatalogEntry> {
             ),
             h1r: HierarchyValue::exactly(
                 Level::Infinite,
-                Evidence::Cited { source: "Plotkin [19]: sticky bits are universal" },
+                Evidence::Cited {
+                    source: "Plotkin [19]: sticky bits are universal",
+                },
                 Evidence::ByDefinition,
             ),
             hm: HierarchyValue::exactly(
                 Level::Infinite,
-                Evidence::Checked { check: "sticky_consensus_system, register-free" },
+                Evidence::Checked {
+                    check: "sticky_consensus_system, register-free",
+                },
                 Evidence::ByDefinition,
             ),
             hmr: HierarchyValue::exactly(
                 Level::Infinite,
-                Evidence::Cited { source: "Plotkin [19]" },
+                Evidence::Cited {
+                    source: "Plotkin [19]",
+                },
                 Evidence::ByDefinition,
             ),
             notes: "writes double as proposals, so the bit is a reusable consensus object",
@@ -284,13 +304,10 @@ pub fn verify_entry(entry: &CatalogEntry) -> bool {
         };
     }
     if name == "test_and_set" {
-        let ok_h1r = c::verify_consensus_protocol(
-            2,
-            |i| c::tas_consensus_system([i[0], i[1]]),
-            &opts,
-        )
-        .map(|v| v.holds())
-        .unwrap_or(false);
+        let ok_h1r =
+            c::verify_consensus_protocol(2, |i| c::tas_consensus_system([i[0], i[1]]), &opts)
+                .map(|v| v.holds())
+                .unwrap_or(false);
         let recipe = match wfc_core::OneUseRecipe::from_type(&entry.ty) {
             Ok(r) => r,
             Err(_) => return false,
@@ -378,13 +395,9 @@ pub fn verify_entry(entry: &CatalogEntry) -> bool {
     }
     if name.starts_with("consensus") {
         // The identity protocol: propose directly on the object.
-        return c::verify_consensus_protocol(
-            2,
-            identity_consensus_system,
-            &opts,
-        )
-        .map(|v| v.holds())
-        .unwrap_or(false);
+        return c::verify_consensus_protocol(2, identity_consensus_system, &opts)
+            .map(|v| v.holds())
+            .unwrap_or(false);
     }
     false
 }

@@ -133,9 +133,7 @@ fn pair_is_consensus(
 ///
 /// Propagates exploration failures (none occur for this family: every
 /// candidate is trivially wait-free, being straight-line).
-pub fn search_one_round_protocols(
-    opts: &ExploreOptions,
-) -> Result<SearchOutcome, ExplorerError> {
+pub fn search_one_round_protocols(opts: &ExploreOptions) -> Result<SearchOutcome, ExplorerError> {
     let strategies = Strategy::all();
     let mut survivors = Vec::new();
     let mut explorations = 0;
@@ -174,11 +172,11 @@ impl TwoReadStrategy {
             for table in 0u16..256 {
                 let bit = |k: u16| ((table >> k) & 1) as u8;
                 let mut decide = [[[0u8; 2]; 2]; 2];
+                #[allow(clippy::needless_range_loop)] // mirrors decide[own][r1][r2]
                 for own in 0..2 {
                     for r1 in 0..2 {
                         for r2 in 0..2 {
-                            decide[own][r1][r2] =
-                                bit((own * 4 + r1 * 2 + r2) as u16);
+                            decide[own][r1][r2] = bit((own * 4 + r1 * 2 + r2) as u16);
                         }
                     }
                 }
@@ -189,11 +187,7 @@ impl TwoReadStrategy {
     }
 }
 
-fn build_two_read_system(
-    s0: TwoReadStrategy,
-    s1: TwoReadStrategy,
-    inputs: [bool; 2],
-) -> System {
+fn build_two_read_system(s0: TwoReadStrategy, s1: TwoReadStrategy, inputs: [bool; 2]) -> System {
     let reg = Arc::new(canonical::boolean_register(2));
     let v0 = reg.state_id("v0").unwrap();
     let announce = |p: usize| {
@@ -228,6 +222,7 @@ fn build_two_read_system(
         let dec = b.var("dec");
         let term = b.var("term");
         b.copy(dec, 0_i64);
+        #[allow(clippy::needless_range_loop)] // mirrors t[i][j]
         for i in 0..2usize {
             for j in 0..2usize {
                 if t[i][j] == 0 {
@@ -273,9 +268,7 @@ pub struct TwoReadOutcome {
 /// # Errors
 ///
 /// Propagates exploration failures.
-pub fn search_two_read_protocols(
-    opts: &ExploreOptions,
-) -> Result<TwoReadOutcome, ExplorerError> {
+pub fn search_two_read_protocols(opts: &ExploreOptions) -> Result<TwoReadOutcome, ExplorerError> {
     let strategies = TwoReadStrategy::all();
     let mut survivor_count = 0usize;
     let mut explorations = 0usize;
@@ -334,7 +327,10 @@ mod tests {
             "registers solved consensus?! {:?}",
             outcome.survivors
         );
-        assert!(outcome.explorations >= 1024, "each pair explored at least once");
+        assert!(
+            outcome.explorations >= 1024,
+            "each pair explored at least once"
+        );
     }
 
     #[test]
@@ -351,6 +347,7 @@ mod tests {
         // two reads agree and are "set", else own value. Plausible and
         // wrong.
         let mut decide = [[[0u8; 2]; 2]; 2];
+        #[allow(clippy::needless_range_loop)] // mirrors decide[own][r1][r2]
         for own in 0..2 {
             for r1 in 0..2 {
                 for r2 in 0..2 {

@@ -7,7 +7,7 @@
 //!
 //! | layer | construction | lineage |
 //! |---|---|---|
-//! | [`atomic_bit`], [`atomic_reg`] | base SRSW atomic cells (`AtomicBool`, `AtomicCell`) | hardware substitution, see DESIGN.md |
+//! | [`atomic_bit`], [`atomic_reg`] | base SRSW atomic cells (`AtomicBool`, [`SeqLockCell`]) | hardware substitution, see DESIGN.md |
 //! | [`mrsw_regular_bit`] | one SRSW bit per reader | Lamport \[13\] |
 //! | [`unary_regular_register`] | multi-valued regular register, unary encoding | Peterson \[16\] lineage |
 //! | [`mrsw_atomic_register`] | timestamps + n×n helping matrix | Burns–Peterson \[3\] step |
@@ -27,19 +27,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cell;
 mod mrmw;
 mod mrsw_atomic;
 mod mrsw_regular;
+mod queue;
 mod register;
 mod srsw;
 mod traits;
 mod unary;
 
+pub use cell::SeqLockCell;
 pub use mrmw::{mrmw_atomic_register, Labelled, MrmwReader, MrmwWriter};
 pub use mrsw_atomic::{mrsw_atomic_register, MrswAtomicReader, MrswAtomicWriter};
 pub use mrsw_regular::{mrsw_regular_bit, MrswRegularReader, MrswRegularWriter};
+pub use queue::ArrayQueue;
 pub use register::{Register, RegisterReader, RegisterWriter};
-pub use srsw::{atomic_bit, atomic_reg, AtomicBitReader, AtomicBitWriter, AtomicRegReader, AtomicRegWriter};
+pub use srsw::{
+    atomic_bit, atomic_reg, AtomicBitReader, AtomicBitWriter, AtomicRegReader, AtomicRegWriter,
+};
 pub use traits::{BitReader, BitWriter, RegReader, RegWriter, Stamped};
 pub use unary::{unary_regular_register, UnaryReader, UnaryWriter};
 

@@ -61,7 +61,9 @@ where
     let mut own_writers = Vec::with_capacity(writers);
     // scan_rows[c][k]: consumer c's reader handle on register k;
     // consumers 0..writers are the writers, then the readers.
-    let mut scan_rows: Vec<Vec<R>> = (0..consumers).map(|_| Vec::with_capacity(writers)).collect();
+    let mut scan_rows: Vec<Vec<R>> = (0..consumers)
+        .map(|_| Vec::with_capacity(writers))
+        .collect();
     for _k in 0..writers {
         let (w, rs) = alloc(
             Labelled {
@@ -238,8 +240,8 @@ mod tests {
         // would also use stamp 1. The tie rule says writer 1's value is
         // the register's value.
         ws[0].write(111); // (1, 0, 111)
-        // Writer 1's scan now sees stamp 1 and uses 2 — sequentially there
-        // is no tie; the tie path is exercised in the concurrent stress.
+                          // Writer 1's scan now sees stamp 1 and uses 2 — sequentially there
+                          // is no tie; the tie path is exercised in the concurrent stress.
         ws[1].write(222);
         assert_eq!(rs[0].read(), 222);
     }

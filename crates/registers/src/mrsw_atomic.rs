@@ -69,7 +69,10 @@ where
         }
     }
     let writer = MrswAtomicWriter {
-        diag: diag_writers.into_iter().map(|w| w.expect("filled")).collect(),
+        diag: diag_writers
+            .into_iter()
+            .map(|w| w.expect("filled"))
+            .collect(),
         last_stamp: 0,
         _marker: std::marker::PhantomData,
     };
@@ -87,8 +90,7 @@ where
 
 /// The handle set returned by [`mrsw_atomic_register`]: the writer and
 /// one reader per consumer.
-pub type MrswAtomicHandles<T, W, R> =
-    (MrswAtomicWriter<T, W>, Vec<MrswAtomicReader<T, W, R>>);
+pub type MrswAtomicHandles<T, W, R> = (MrswAtomicWriter<T, W>, Vec<MrswAtomicReader<T, W, R>>);
 
 /// Writer handle of a [`mrsw_atomic_register`].
 #[derive(Debug)]

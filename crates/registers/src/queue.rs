@@ -1,0 +1,227 @@
+//! A bounded lock-free multi-producer multi-consumer queue: the in-repo
+//! replacement for `crossbeam::queue::ArrayQueue`.
+//!
+//! The algorithm is Vyukov's bounded MPMC queue: each slot carries a
+//! sequence number; producers and consumers claim positions with a CAS
+//! on a global head/tail counter and use the slot sequence to detect
+//! full/empty without locking. Used by the native consensus protocols
+//! (`wfc-consensus`) for Herlihy's one-token-queue construction.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free MPMC queue with a fixed capacity.
+pub struct ArrayQueue<T> {
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    slots: Box<[Slot<T>]>,
+}
+
+// Safety: slots are handed between threads through the seq/CAS protocol;
+// a slot's payload is only touched by the thread that claimed its
+// position.
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// Creates an empty queue with room for `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let slots = (0..capacity)
+            .map(|k| Slot {
+                seq: AtomicUsize::new(k),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        ArrayQueue {
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            slots,
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues `value`, or returns it if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the queue is at capacity.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let cap = self.slots.len();
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail % cap];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == tail {
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: the CAS claimed position `tail`
+                        // exclusively; the slot is empty (seq == tail).
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => tail = actual,
+                }
+            } else if seq < tail {
+                // The slot still holds an element from `cap` positions
+                // ago: the queue is full.
+                return Err(value);
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest element, or `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let cap = self.slots.len();
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head % cap];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == head.wrapping_add(1) {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: the CAS claimed position `head`
+                        // exclusively; the slot holds an initialised
+                        // element (seq == head + 1).
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(head.wrapping_add(cap), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => head = actual,
+                }
+            } else if seq <= head {
+                return None;
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayQueue")
+            .field("capacity", &self.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = ArrayQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3), "full queue rejects");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        // Wraps around.
+        q.push(4).unwrap();
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn single_token_is_won_exactly_once() {
+        // The consensus use case: one token, many racing consumers.
+        for _ in 0..200 {
+            let q = ArrayQueue::new(1);
+            q.push(()).unwrap();
+            let wins = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        if q.pop().is_some() {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_elements() {
+        let q = ArrayQueue::new(8);
+        let total = AtomicUsize::new(0);
+        let popped = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let q = &q;
+                let total = &total;
+                s.spawn(move || {
+                    for k in 0..1000 {
+                        let v = t * 10_000 + k;
+                        loop {
+                            if q.push(v).is_ok() {
+                                total.fetch_add(v, Ordering::Relaxed);
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = &q;
+                let popped = &popped;
+                s.spawn(move || {
+                    let mut got = 0usize;
+                    let mut sum = 0usize;
+                    while got < 1000 {
+                        if let Some(v) = q.pop() {
+                            got += 1;
+                            sum += v;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    popped.fetch_add(sum, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            popped.load(Ordering::Relaxed)
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper's Section 4.1 chain bottoms out at "single-reader,
 //! single-writer bits". On real hardware we substitute `AtomicBool` (and
-//! `crossbeam`'s `AtomicCell` for stamped values), which are *atomic* —
+//! the in-repo [`SeqLockCell`] for stamped values), which are *atomic* —
 //! strictly stronger than the regular bits the cited constructions assume.
 //! The substitution is sound: every construction above remains correct
 //! when its base registers are stronger, and the algorithms themselves
@@ -14,8 +14,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::atomic::AtomicCell;
-
+use crate::cell::SeqLockCell;
 use crate::traits::{BitReader, BitWriter, RegReader, RegWriter};
 
 /// Creates a single-reader single-writer atomic bit, returning its two
@@ -68,11 +67,11 @@ impl BitReader for AtomicBitReader {
 /// Creates a single-reader single-writer atomic register of any `Copy`
 /// value, returning its two handles.
 ///
-/// Backed by `crossbeam::atomic::AtomicCell`, which is lock-free for
-/// word-sized `T` and falls back to a seqlock otherwise — linearizable
-/// either way.
+/// Backed by [`SeqLockCell`], a seqlock over any `Copy` payload —
+/// readers retry only when a write actually overlaps, and the read of a
+/// quiescent cell is wait-free.
 pub fn atomic_reg<T: Copy + Send + 'static>(init: T) -> (AtomicRegWriter<T>, AtomicRegReader<T>) {
-    let cell = Arc::new(AtomicCell::new(init));
+    let cell = Arc::new(SeqLockCell::new(init));
     (
         AtomicRegWriter {
             cell: Arc::clone(&cell),
@@ -83,7 +82,7 @@ pub fn atomic_reg<T: Copy + Send + 'static>(init: T) -> (AtomicRegWriter<T>, Ato
 
 /// Writer handle of an [`atomic_reg`].
 pub struct AtomicRegWriter<T> {
-    cell: Arc<AtomicCell<T>>,
+    cell: Arc<SeqLockCell<T>>,
 }
 
 impl<T> std::fmt::Debug for AtomicRegWriter<T> {
@@ -94,7 +93,7 @@ impl<T> std::fmt::Debug for AtomicRegWriter<T> {
 
 /// Reader handle of an [`atomic_reg`].
 pub struct AtomicRegReader<T> {
-    cell: Arc<AtomicCell<T>>,
+    cell: Arc<SeqLockCell<T>>,
 }
 
 impl<T> std::fmt::Debug for AtomicRegReader<T> {

@@ -119,7 +119,10 @@ mod tests {
         unary_regular_register(init, values, readers, |bit_init, n| {
             mrsw_regular_bit(bit_init, n, |i| {
                 let (w, r) = atomic_bit(i);
-                (Box::new(w) as Box<dyn BitWriter>, Box::new(r) as Box<dyn BitReader>)
+                (
+                    Box::new(w) as Box<dyn BitWriter>,
+                    Box::new(r) as Box<dyn BitReader>,
+                )
             })
         })
     }

@@ -62,9 +62,7 @@ pub struct Jitter {
 impl Jitter {
     /// Creates a jitter source from a nonzero seed.
     pub fn new(seed: u64) -> Self {
-        Jitter {
-            state: seed.max(1),
-        }
+        Jitter { state: seed.max(1) }
     }
 
     /// Advances the generator and returns the next raw value.

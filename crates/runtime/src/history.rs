@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wfc_explorer::linearizability::{ConcurrentHistory, OpRecord};
 use wfc_spec::{InvId, PortId, RespId};
 
@@ -67,7 +67,7 @@ impl EventLog {
         responded_at: i64,
     ) {
         assert!(invoked_at <= responded_at, "response precedes invocation");
-        self.ops.lock().push(OpRecord {
+        self.ops.lock().expect("mutex poisoned").push(OpRecord {
             port,
             inv,
             resp,
@@ -78,12 +78,12 @@ impl EventLog {
 
     /// The number of recorded operations.
     pub fn len(&self) -> usize {
-        self.ops.lock().len()
+        self.ops.lock().expect("mutex poisoned").len()
     }
 
     /// `true` if no operations have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.ops.lock().is_empty()
+        self.ops.lock().expect("mutex poisoned").is_empty()
     }
 
     /// Extracts the recorded operations as a [`ConcurrentHistory`] for the
@@ -93,13 +93,13 @@ impl EventLog {
     ///
     /// Panics if more than 64 operations were recorded (checker limit).
     pub fn take_history(&self) -> ConcurrentHistory {
-        let ops = std::mem::take(&mut *self.ops.lock());
+        let ops = std::mem::take(&mut *self.ops.lock().expect("mutex poisoned"));
         ConcurrentHistory::new(ops)
     }
 
     /// A snapshot of the recorded operations.
     pub fn snapshot(&self) -> Vec<OpRecord> {
-        self.ops.lock().clone()
+        self.ops.lock().expect("mutex poisoned").clone()
     }
 }
 
@@ -153,7 +153,15 @@ mod tests {
     use super::*;
     use wfc_spec::canonical;
 
-    fn ids() -> (wfc_spec::FiniteType, InvId, InvId, InvId, RespId, RespId, RespId) {
+    fn ids() -> (
+        wfc_spec::FiniteType,
+        InvId,
+        InvId,
+        InvId,
+        RespId,
+        RespId,
+        RespId,
+    ) {
         let reg = canonical::boolean_register(2);
         let read = reg.invocation_id("read").unwrap();
         let w0 = reg.invocation_id("write0").unwrap();

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wfc_spec::{FiniteType, InvId, Outcome, PortId, RespId, StateId};
 
 /// How a [`SpecObject`] resolves nondeterministic outcome sets.
@@ -47,7 +47,10 @@ impl SpecObject {
     ///
     /// Panics if `init` is out of range for `ty`.
     pub fn new(ty: Arc<FiniteType>, init: StateId, mode: Nondeterminism) -> Self {
-        assert!(init.index() < ty.state_count(), "initial state out of range");
+        assert!(
+            init.index() < ty.state_count(),
+            "initial state out of range"
+        );
         SpecObject {
             inner: Arc::new(Inner {
                 ty,
@@ -75,7 +78,7 @@ impl SpecObject {
     /// The current state — test observability only; real processes cannot
     /// see object states.
     pub fn peek_state(&self) -> StateId {
-        self.inner.state.lock().0
+        self.inner.state.lock().expect("mutex poisoned").0
     }
 }
 
@@ -105,7 +108,7 @@ impl PortHandle {
     ///
     /// Panics if `inv` is out of range for the object's type.
     pub fn invoke(&self, inv: InvId) -> RespId {
-        let mut guard = self.inner.state.lock();
+        let mut guard = self.inner.state.lock().expect("mutex poisoned");
         let (state, counter) = *guard;
         let outcomes = self.inner.ty.outcomes(state, self.port, inv);
         let pick = match self.inner.mode {

@@ -191,7 +191,10 @@ pub fn compare_and_swap(values: usize, ports: usize) -> FiniteType {
 /// (Herlihy \[7\]). Initialize to `"⟨⟩"` (empty) or any state named by its
 /// contents, e.g. `"⟨0,1⟩"` (head first).
 pub fn queue(capacity: usize, values: usize, ports: usize) -> FiniteType {
-    assert!(capacity >= 1 && values >= 1, "queue needs capacity and values");
+    assert!(
+        capacity >= 1 && values >= 1,
+        "queue needs capacity and values"
+    );
     assert!(ports >= 1, "queue needs at least one port");
     let mut b = TypeBuilder::new(format!("queue{capacity}x{values}"), ports);
     // Enumerate all contents of length 0..=capacity, head first.
@@ -256,7 +259,10 @@ pub fn queue(capacity: usize, values: usize, ports: usize) -> FiniteType {
 /// (Herlihy \[7\]). Initialize to `"⟨⟩"` or any state named by its
 /// contents, e.g. `"⟨0,1⟩"` (top first).
 pub fn stack(capacity: usize, values: usize, ports: usize) -> FiniteType {
-    assert!(capacity >= 1 && values >= 1, "stack needs capacity and values");
+    assert!(
+        capacity >= 1 && values >= 1,
+        "stack needs capacity and values"
+    );
     assert!(ports >= 1, "stack needs at least one port");
     let mut b = TypeBuilder::new(format!("stack{capacity}x{values}"), ports);
     // Enumerate all contents of length 0..=capacity, top first.
@@ -542,11 +548,7 @@ mod tests {
         let enq0 = t.invocation_id("enq0").unwrap();
         let enq1 = t.invocation_id("enq1").unwrap();
         let deq = t.invocation_id("deq").unwrap();
-        let (resps, _) = t.run(
-            empty,
-            PortId::new(0),
-            &[enq0, enq1, enq0, deq, deq, deq],
-        );
+        let (resps, _) = t.run(empty, PortId::new(0), &[enq0, enq1, enq0, deq, deq, deq]);
         let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
         assert_eq!(names, ["ok", "ok", "full", "0", "1", "empty"]);
     }
@@ -558,11 +560,7 @@ mod tests {
         let push0 = t.invocation_id("push0").unwrap();
         let push1 = t.invocation_id("push1").unwrap();
         let pop = t.invocation_id("pop").unwrap();
-        let (resps, _) = t.run(
-            empty,
-            PortId::new(0),
-            &[push0, push1, push0, pop, pop, pop],
-        );
+        let (resps, _) = t.run(empty, PortId::new(0), &[push0, push1, push0, pop, pop, pop]);
         let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
         assert_eq!(names, ["ok", "ok", "full", "1", "0", "empty"]);
     }
@@ -587,7 +585,12 @@ mod tests {
             let expected = matches!(t.name(), "mute" | "constant_responder");
             assert_eq!(trivially, expected, "type {}", t.name());
             if t.is_oblivious() {
-                assert_eq!(is_trivial_oblivious(&t).unwrap(), expected, "type {}", t.name());
+                assert_eq!(
+                    is_trivial_oblivious(&t).unwrap(),
+                    expected,
+                    "type {}",
+                    t.name()
+                );
             }
         }
     }
@@ -599,7 +602,9 @@ mod tests {
             let t = marked_ring(m);
             assert!(t.is_deterministic());
             assert!(!t.is_oblivious() || m == 0);
-            let w = find_witness(&t).unwrap().expect("marked ring is non-trivial");
+            let w = find_witness(&t)
+                .unwrap()
+                .expect("marked ring is non-trivial");
             assert_eq!(w.k(), m, "marked_ring{m}");
             assert!(w.verify(&t));
         }

@@ -57,10 +57,9 @@ impl fmt::Display for BuildTypeError {
                 f,
                 "transition function is partial: no outcome for ({state}, {port}, {invocation})"
             ),
-            BuildTypeError::UnknownComponent { what, index, limit } => write!(
-                f,
-                "unknown {what} index {index} (only {limit} declared)"
-            ),
+            BuildTypeError::UnknownComponent { what, index, limit } => {
+                write!(f, "unknown {what} index {index} (only {limit} declared)")
+            }
         }
     }
 }
@@ -103,16 +102,25 @@ impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::RequiresDeterministic { type_name } => {
-                write!(f, "analysis requires a deterministic type, but `{type_name}` is nondeterministic")
+                write!(
+                    f,
+                    "analysis requires a deterministic type, but `{type_name}` is nondeterministic"
+                )
             }
             AnalysisError::RequiresOblivious { type_name } => {
-                write!(f, "analysis requires an oblivious type, but `{type_name}` is not oblivious")
+                write!(
+                    f,
+                    "analysis requires an oblivious type, but `{type_name}` is not oblivious"
+                )
             }
             AnalysisError::PortOutOfRange { port, ports } => {
                 write!(f, "{port} out of range for type with {ports} ports")
             }
             AnalysisError::NeedsTwoPorts { type_name } => {
-                write!(f, "`{type_name}` has fewer than two ports; reader/writer derivation needs two")
+                write!(
+                    f,
+                    "`{type_name}` has fewer than two ports; reader/writer derivation needs two"
+                )
             }
         }
     }

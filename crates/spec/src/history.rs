@@ -143,10 +143,7 @@ impl SequentialHistory {
                 next,
                 resp: event.resp,
             };
-            if !ty
-                .outcomes(q, event.port, event.inv)
-                .contains(&expected)
-            {
+            if !ty.outcomes(q, event.port, event.inv).contains(&expected) {
                 return false;
             }
             q = next;

@@ -42,6 +42,7 @@ pub mod canonical;
 mod error;
 mod history;
 mod ids;
+pub mod prng;
 pub mod text;
 pub mod triviality;
 mod types;

@@ -117,9 +117,9 @@ pub fn parse_type(src: &str) -> Result<FiniteType, ParseTypeError> {
                     .ok_or_else(|| syntax(line_no, "expected `type NAME ports N`"))?;
                 match (words.next(), words.next()) {
                     (Some("ports"), Some(n)) => {
-                        let ports: usize = n.parse().map_err(|_| {
-                            syntax(line_no, format!("invalid port count `{n}`"))
-                        })?;
+                        let ports: usize = n
+                            .parse()
+                            .map_err(|_| syntax(line_no, format!("invalid port count `{n}`")))?;
                         name = Some((ty_name.to_owned(), ports));
                         builder = Some(TypeBuilder::new(ty_name, ports));
                     }
@@ -178,9 +178,9 @@ pub fn parse_type(src: &str) -> Result<FiniteType, ParseTypeError> {
                     b.oblivious_transition(from, inv, to, resp);
                 } else {
                     let ports = name.as_ref().map(|(_, p)| *p).unwrap_or(0);
-                    let port: usize = parts[1].parse().map_err(|_| {
-                        syntax(line_no, format!("invalid port `{}`", parts[1]))
-                    })?;
+                    let port: usize = parts[1]
+                        .parse()
+                        .map_err(|_| syntax(line_no, format!("invalid port `{}`", parts[1])))?;
                     if port >= ports {
                         return Err(syntax(
                             line_no,
@@ -193,7 +193,9 @@ pub fn parse_type(src: &str) -> Result<FiniteType, ParseTypeError> {
             other => {
                 return Err(syntax(
                     line_no,
-                    format!("unknown keyword `{other}` (expected type/states/invocations/responses/delta)"),
+                    format!(
+                    "unknown keyword `{other}` (expected type/states/invocations/responses/delta)"
+                ),
                 ))
             }
         }
@@ -231,8 +233,8 @@ pub fn format_type(ty: &FiniteType) -> String {
     for q in ty.states() {
         for i in ty.invocations() {
             let first = ty.outcomes(q, PortId::new(0), i);
-            let oblivious_here = (1..ty.ports())
-                .all(|j| ty.outcomes(q, PortId::new(j), i) == first);
+            let oblivious_here =
+                (1..ty.ports()).all(|j| ty.outcomes(q, PortId::new(j), i) == first);
             if oblivious_here {
                 for o in first {
                     let _ = writeln!(

@@ -82,9 +82,9 @@ pub fn oblivious_witness(ty: &FiniteType) -> Result<Option<ObliviousWitness>, An
         });
     }
     let port = PortId::new(0); // oblivious: any port behaves alike
-    // If some q, p with p reachable from q disagree on an invocation's
-    // response, then along the path from q to p some *adjacent* pair
-    // disagrees; so searching adjacent pairs only is complete.
+                               // If some q, p with p reachable from q disagree on an invocation's
+                               // response, then along the path from q to p some *adjacent* pair
+                               // disagrees; so searching adjacent pairs only is complete.
     for q in ty.states() {
         for step_inv in ty.invocations() {
             let p = ty.step(q, port, step_inv).next;

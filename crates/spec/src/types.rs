@@ -254,7 +254,11 @@ impl FiniteType {
     /// triviality decider (Section 5.2): from any state in the result, the
     /// processes on other ports may have moved the object to any other state
     /// in the result without the observer on `port` taking a step.
-    pub fn interference_closure(&self, seed: &BTreeSet<StateId>, port: PortId) -> BTreeSet<StateId> {
+    pub fn interference_closure(
+        &self,
+        seed: &BTreeSet<StateId>,
+        port: PortId,
+    ) -> BTreeSet<StateId> {
         let mut set = seed.clone();
         let mut queue: VecDeque<StateId> = seed.iter().copied().collect();
         while let Some(s) = queue.pop_front() {

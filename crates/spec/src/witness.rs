@@ -101,11 +101,7 @@ impl NonTrivialWitness {
             && h2.is_legal(ty)
             && h1.return_value() != h2.return_value()
             && h1.events().iter().map(|e| e.resp).collect::<Vec<_>>() == self.unwritten_resps
-            && h2.events()[1..]
-                .iter()
-                .map(|e| e.resp)
-                .collect::<Vec<_>>()
-                == self.written_resps
+            && h2.events()[1..].iter().map(|e| e.resp).collect::<Vec<_>>() == self.written_resps
     }
 }
 

@@ -6,167 +6,177 @@
 //! the Lemma-4 *normal-form* witness search succeeds **iff** the
 //! independent closure-based triviality decider says "non-trivial" —
 //! i.e. minimal non-trivial pairs in normal form are complete.
+//!
+//! Random cases are drawn from the in-repo [`SplitMix64`] generator
+//! (the workspace builds offline, without a property-testing framework);
+//! every case is reproducible from the seed in the assertion message.
 
-use proptest::prelude::*;
-
+use wfc_spec::prng::SplitMix64;
 use wfc_spec::triviality::{is_trivial, is_trivial_oblivious};
 use wfc_spec::witness::find_witness;
 use wfc_spec::{FiniteType, PortId, TypeBuilder};
 
+const CASES: u64 = 256;
+
 /// A random deterministic 2-port type with up to `max_states` states,
 /// `max_invs` invocations and `max_resps` responses.
-fn arb_deterministic_type(
+fn random_deterministic_type(
+    rng: &mut SplitMix64,
     max_states: usize,
     max_invs: usize,
     max_resps: usize,
     oblivious: bool,
-) -> impl Strategy<Value = FiniteType> {
-    (2..=max_states, 1..=max_invs, 2..=max_resps)
-        .prop_flat_map(move |(states, invs, resps)| {
-            // One (next_state, response) pair per (state, port, invocation);
-            // for oblivious types ports share a table.
-            let ports = if oblivious { 1 } else { 2 };
-            let table = proptest::collection::vec(
-                (0..states, 0..resps),
-                states * ports * invs,
-            );
-            (Just((states, invs, resps, oblivious)), table)
-        })
-        .prop_map(|((states, invs, resps, oblivious), table)| {
-            let mut b = TypeBuilder::new("random", 2);
-            let qs: Vec<_> = (0..states).map(|k| b.state(&format!("q{k}"))).collect();
-            let is_: Vec<_> = (0..invs).map(|k| b.invocation(&format!("i{k}"))).collect();
-            let rs: Vec<_> = (0..resps).map(|k| b.response(&format!("r{k}"))).collect();
-            let mut it = table.into_iter();
-            let ports = if oblivious { 1 } else { 2 };
-            for q in 0..states {
-                for port in 0..ports {
-                    #[allow(clippy::needless_range_loop)] // i indexes is_
-                    for i in 0..invs {
-                        let (next, resp) = it.next().expect("table sized exactly");
-                        if oblivious {
-                            b.oblivious_transition(qs[q], is_[i], qs[next], rs[resp]);
-                        } else {
-                            b.transition(qs[q], PortId::new(port), is_[i], qs[next], rs[resp]);
-                        }
-                    }
+) -> FiniteType {
+    let states = rng.gen_range(2, max_states + 1);
+    let invs = rng.gen_range(1, max_invs + 1);
+    let resps = rng.gen_range(2, max_resps + 1);
+    let mut b = TypeBuilder::new("random", 2);
+    let qs: Vec<_> = (0..states).map(|k| b.state(&format!("q{k}"))).collect();
+    let is_: Vec<_> = (0..invs).map(|k| b.invocation(&format!("i{k}"))).collect();
+    let rs: Vec<_> = (0..resps).map(|k| b.response(&format!("r{k}"))).collect();
+    let ports = if oblivious { 1 } else { 2 };
+    for q in 0..states {
+        for port in 0..ports {
+            #[allow(clippy::needless_range_loop)] // i indexes is_
+            for i in 0..invs {
+                let next = rng.gen_range(0, states);
+                let resp = rng.gen_range(0, resps);
+                if oblivious {
+                    b.oblivious_transition(qs[q], is_[i], qs[next], rs[resp]);
+                } else {
+                    b.transition(qs[q], PortId::new(port), is_[i], qs[next], rs[resp]);
                 }
             }
-            b.build().expect("random table is total")
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Lemmas 2–4, machine-checked: normal-form witness search ≡ general
-    /// triviality, on arbitrary non-oblivious deterministic types.
-    #[test]
-    fn witness_search_matches_triviality_decider(
-        ty in arb_deterministic_type(5, 3, 3, false)
-    ) {
-        let trivial = is_trivial(&ty).expect("deterministic");
-        let witness = find_witness(&ty).expect("deterministic, two ports");
-        prop_assert_eq!(trivial, witness.is_none());
-        if let Some(w) = witness {
-            prop_assert!(w.verify(&ty));
-            prop_assert!(w.k() >= 1);
-            prop_assert_eq!(w.total_len(), 2 * w.k() + 1);
         }
     }
+    b.build().expect("random table is total")
+}
 
-    /// On oblivious types the two triviality definitions coincide (for
-    /// two or more ports the interference closure reaches every
-    /// reachable state).
-    #[test]
-    fn oblivious_triviality_definitions_coincide(
-        ty in arb_deterministic_type(5, 3, 3, true)
-    ) {
+/// Lemmas 2–4, machine-checked: normal-form witness search ≡ general
+/// triviality, on arbitrary non-oblivious deterministic types.
+#[test]
+fn witness_search_matches_triviality_decider() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x7A1D ^ seed);
+        let ty = random_deterministic_type(&mut rng, 5, 3, 3, false);
+        let trivial = is_trivial(&ty).expect("deterministic");
+        let witness = find_witness(&ty).expect("deterministic, two ports");
+        assert_eq!(trivial, witness.is_none(), "seed {seed}");
+        if let Some(w) = witness {
+            assert!(w.verify(&ty), "seed {seed}");
+            assert!(w.k() >= 1, "seed {seed}");
+            assert_eq!(w.total_len(), 2 * w.k() + 1, "seed {seed}");
+        }
+    }
+}
+
+/// On oblivious types the two triviality definitions coincide (for
+/// two or more ports the interference closure reaches every
+/// reachable state).
+#[test]
+fn oblivious_triviality_definitions_coincide() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x0b11 ^ seed);
+        let ty = random_deterministic_type(&mut rng, 5, 3, 3, true);
         let general = is_trivial(&ty).expect("deterministic");
         let oblivious = is_trivial_oblivious(&ty).expect("oblivious deterministic");
-        prop_assert_eq!(general, oblivious);
+        assert_eq!(general, oblivious, "seed {seed}");
     }
+}
 
-    /// Section 5.1's single-step witness agrees with non-triviality on
-    /// oblivious types, and its shape always checks out.
-    #[test]
-    fn oblivious_witness_shape(
-        ty in arb_deterministic_type(5, 3, 3, true)
-    ) {
+/// Section 5.1's single-step witness agrees with non-triviality on
+/// oblivious types, and its shape always checks out.
+#[test]
+fn oblivious_witness_shape() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x5A7E ^ seed);
+        let ty = random_deterministic_type(&mut rng, 5, 3, 3, true);
         use wfc_spec::triviality::oblivious_witness;
         match oblivious_witness(&ty).expect("oblivious deterministic") {
-            None => prop_assert!(is_trivial_oblivious(&ty).unwrap()),
+            None => assert!(is_trivial_oblivious(&ty).unwrap(), "seed {seed}"),
             Some(w) => {
                 let port = PortId::new(0);
-                prop_assert_eq!(ty.step(w.unset, port, w.step_inv).next, w.set);
+                assert_eq!(
+                    ty.step(w.unset, port, w.step_inv).next,
+                    w.set,
+                    "seed {seed}"
+                );
                 let r_q = ty.step(w.unset, port, w.probe_inv).resp;
                 let r_p = ty.step(w.set, port, w.probe_inv).resp;
-                prop_assert_eq!(r_q, w.resp_unset);
-                prop_assert_ne!(r_q, r_p);
+                assert_eq!(r_q, w.resp_unset, "seed {seed}");
+                assert_ne!(r_q, r_p, "seed {seed}");
             }
         }
     }
+}
 
-    /// Reachability is transitive and inclusive.
-    #[test]
-    fn reachability_is_transitive(
-        ty in arb_deterministic_type(6, 3, 3, false)
-    ) {
+/// Reachability is transitive and inclusive.
+#[test]
+fn reachability_is_transitive() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x4ea ^ seed);
+        let ty = random_deterministic_type(&mut rng, 6, 3, 3, false);
         for q in ty.states() {
             let reach_q = ty.reachable_from(q);
-            prop_assert!(reach_q.contains(&q));
+            assert!(reach_q.contains(&q), "seed {seed}");
             for &q2 in &reach_q {
                 for q3 in ty.reachable_from(q2) {
-                    prop_assert!(
+                    assert!(
                         reach_q.contains(&q3),
-                        "reach({}) missing {} via {}", q, q3, q2
+                        "seed {seed}: reach({q}) missing {q3} via {q2}"
                     );
                 }
             }
         }
     }
+}
 
-    /// Every enumerated history is legal and runs to its recorded end
-    /// state.
-    #[test]
-    fn enumerated_histories_are_legal(
-        ty in arb_deterministic_type(4, 2, 3, false)
-    ) {
+/// Every enumerated history is legal and runs to its recorded end
+/// state.
+#[test]
+fn enumerated_histories_are_legal() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x415 ^ seed);
+        let ty = random_deterministic_type(&mut rng, 4, 2, 3, false);
         let start = ty.states().next().unwrap();
         for h in wfc_spec::enumerate_histories(&ty, start, 3) {
-            prop_assert!(h.is_legal(&ty));
-            prop_assert_eq!(h.len(), 3);
+            assert!(h.is_legal(&ty), "seed {seed}");
+            assert_eq!(h.len(), 3, "seed {seed}");
         }
     }
+}
 
-    /// The text format round-trips arbitrary (even non-oblivious)
-    /// deterministic types exactly.
-    #[test]
-    fn text_format_round_trips_random_types(
-        ty in arb_deterministic_type(5, 3, 3, false)
-    ) {
+/// The text format round-trips arbitrary (even non-oblivious)
+/// deterministic types exactly.
+#[test]
+fn text_format_round_trips_random_types() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x7337 ^ seed);
+        let ty = random_deterministic_type(&mut rng, 5, 3, 3, false);
         let src = wfc_spec::text::format_type(&ty);
         let back = wfc_spec::text::parse_type(&src).expect("formatter output parses");
-        prop_assert_eq!(back, ty);
+        assert_eq!(back, ty, "seed {seed}");
     }
+}
 
-    /// The interference closure is monotone and sound: it contains its
-    /// seed and is closed under other-port transitions.
-    #[test]
-    fn interference_closure_is_a_closure(
-        ty in arb_deterministic_type(5, 3, 3, false)
-    ) {
+/// The interference closure is monotone and sound: it contains its
+/// seed and is closed under other-port transitions.
+#[test]
+fn interference_closure_is_a_closure() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0xc10 ^ seed);
+        let ty = random_deterministic_type(&mut rng, 5, 3, 3, false);
         use std::collections::BTreeSet;
         let q = ty.states().next().unwrap();
         let port = PortId::new(0);
-        let seed: BTreeSet<_> = [q].into();
-        let clo = ty.interference_closure(&seed, port);
-        prop_assert!(clo.contains(&q));
+        let set: BTreeSet<_> = [q].into();
+        let clo = ty.interference_closure(&set, port);
+        assert!(clo.contains(&q), "seed {seed}");
         for &s in &clo {
             for j in ty.port_ids().filter(|&j| j != port) {
                 for i in ty.invocations() {
                     for out in ty.outcomes(s, j, i) {
-                        prop_assert!(clo.contains(&out.next));
+                        assert!(clo.contains(&out.next), "seed {seed}");
                     }
                 }
             }

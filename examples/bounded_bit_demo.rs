@@ -17,7 +17,10 @@ use wfc_spec::PortId;
 fn main() -> Result<(), Box<dyn Error>> {
     // ── Sequential conversation ─────────────────────────────────────────
     let (mut w, mut r) = core::bounded_bit(false, 4, 3);
-    println!("bounded bit (init 0, r_b = 4, w_b = 3), {} one-use bits", core::cost(4, 3));
+    println!(
+        "bounded bit (init 0, r_b = 4, w_b = 3), {} one-use bits",
+        core::cost(4, 3)
+    );
     println!("  read → {}", u8::from(r.read()?));
     w.write(true)?;
     println!("  write 1; read → {}", u8::from(r.read()?));

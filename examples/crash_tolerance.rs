@@ -42,11 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     assert!(report.holds());
 
     // ── 2. After register elimination ───────────────────────────────────
-    let bounds = core::access_bounds(
-        2,
-        |i| consensus::tas_consensus_system([i[0], i[1]]),
-        &opts,
-    )?;
+    let bounds = core::access_bounds(2, |i| consensus::tas_consensus_system([i[0], i[1]]), &opts)?;
     let elim = core::eliminate_registers(&cs, &bounds.registers, &core::OneUseSource::OneUseBits)?;
     let report = check_crash_tolerance(&elim.system, &[0, 1], &opts)?;
     println!("\nafter Theorem 5 elimination (one-use bits):");

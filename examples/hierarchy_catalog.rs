@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             row.value(hierarchy::Hierarchy::H1R).to_string(),
             row.value(hierarchy::Hierarchy::HM).to_string(),
             row.value(hierarchy::Hierarchy::HMR).to_string(),
-            if row.ty.is_deterministic() { "yes" } else { "no" },
+            if row.ty.is_deterministic() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
 

@@ -38,7 +38,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n═══ after full Theorem 5 (bits from test_and_set) ═══");
     let tas = Arc::new(spec::canonical::test_and_set(2));
     let recipe = core::OneUseRecipe::from_type(&tas)?;
-    let elim2 = core::eliminate_registers(&cs, &bounds.registers, &core::OneUseSource::Recipe(recipe))?;
+    let elim2 =
+        core::eliminate_registers(&cs, &bounds.registers, &core::OneUseSource::Recipe(recipe))?;
     println!("{}", elim2.system.programs()[0]);
     println!("objects:");
     for (k, o) in elim2.system.objects().iter().enumerate() {

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let recipe = core::OneUseRecipe::from_type(&tas)?;
     let (writer, reader) = recipe.instantiate();
     writer.write(); // uses one test_and_set invocation on a fresh object
-    println!("  derived one-use bit after write: reads {}", u8::from(reader.read()));
+    println!(
+        "  derived one-use bit after write: reads {}",
+        u8::from(reader.read())
+    );
 
     // ── 4. Register elimination on a real protocol ──────────────────────
     // The standard 2-process consensus from TAS + two SRSW announce
@@ -54,7 +57,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         |i| consensus::tas_consensus_system([i[0], i[1]]),
         &explorer::ExploreOptions::default(),
     )?;
-    println!("\nTAS+registers consensus: correct = {}, D = {}", verdict.holds(), verdict.d_max);
+    println!(
+        "\nTAS+registers consensus: correct = {}, D = {}",
+        verdict.holds(),
+        verdict.d_max
+    );
 
     // … compiled to a register-free, TAS-only implementation:
     let cert = core::check_theorem5(

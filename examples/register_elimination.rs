@@ -24,7 +24,7 @@ fn inventory(system: &explorer::System) -> BTreeMap<String, usize> {
 
 fn run_case(
     label: &str,
-    build: impl Fn(&[bool]) -> ConsensusSystem,
+    build: impl Fn(&[bool]) -> ConsensusSystem + Sync,
     source: &core::OneUseSource,
     source_label: &str,
 ) -> Result<(), Box<dyn Error>> {
@@ -42,7 +42,10 @@ fn run_case(
             .map(|r| (r.reads, r.writes))
             .collect::<Vec<_>>(),
     );
-    println!("  one-use bits allocated: {} (Σ r_b·(w_b+1))", cert.one_use_bits);
+    println!(
+        "  one-use bits allocated: {} (Σ r_b·(w_b+1))",
+        cert.one_use_bits
+    );
     println!("  objects before: {:?}", inventory(&sample.system));
     println!("  objects after:  {:?}", inventory(&eliminated.system));
     println!(

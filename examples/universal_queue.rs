@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     let history = log.take_history();
-    println!("\nrecorded {} operations; checking linearizability …", history.ops().len());
+    println!(
+        "\nrecorded {} operations; checking linearizability …",
+        history.ops().len()
+    );
     let ok = explorer::linearizability::is_linearizable(&ty, init, &history);
     println!("linearizable: {ok}");
     assert!(ok, "universal construction must linearize");

@@ -27,8 +27,7 @@ fn usage() -> ExitCode {
 }
 
 fn load(path: &str) -> Result<FiniteType, Box<dyn Error>> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     Ok(parse_type(&src)?)
 }
 
@@ -58,10 +57,7 @@ fn cmd_classify(path: &str) -> Result<(), Box<dyn Error>> {
         core::Theorem5Classification::NonTrivial(recipe) => {
             println!("Theorem 5 case 2: non-trivial — registers add nothing (h_m = h_m^r)");
             println!("one-use bit recipe:");
-            println!(
-                "  object init:  {}",
-                ty.state_name(recipe.init())
-            );
+            println!("  object init:  {}", ty.state_name(recipe.init()));
             println!(
                 "  writer (port {}): invoke `{}`",
                 recipe.writer_port().index(),
@@ -89,7 +85,10 @@ fn cmd_witness(path: &str) -> Result<(), Box<dyn Error>> {
     match spec::witness::find_witness(&ty)? {
         None => println!("{}: trivial — no non-trivial pair exists", ty.name()),
         Some(w) => {
-            println!("{}: minimal non-trivial pair (Lemma 4 normal form)", ty.name());
+            println!(
+                "{}: minimal non-trivial pair (Lemma 4 normal form)",
+                ty.name()
+            );
             println!("  start state q = {}", ty.state_name(w.start));
             println!(
                 "  H1 (unwritten): {:?} on port {} → responses {:?}",
@@ -132,7 +131,11 @@ fn cmd_catalog() {
             row.value(hierarchy::Hierarchy::H1R).to_string(),
             row.value(hierarchy::Hierarchy::HM).to_string(),
             row.value(hierarchy::Hierarchy::HMR).to_string(),
-            if row.ty.is_deterministic() { "yes" } else { "no" },
+            if row.ty.is_deterministic() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
 }

@@ -90,7 +90,11 @@ fn zoo_round_trips_through_show() {
         .join("\n");
     let path = write_temp("roundtrip", &first);
     let out = wfc(&["show", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_file(path).ok();
 }
 

@@ -100,8 +100,7 @@ fn derived_one_use_bits_linearize_for_the_whole_zoo() {
                 inv: read,
             },
         ];
-        let check =
-            check_one_shot_implementation(&sys, &target, unset, &labels, 100_000).unwrap();
+        let check = check_one_shot_implementation(&sys, &target, unset, &labels, 100_000).unwrap();
         assert!(
             check.holds(),
             "{}: derived one-use bit not linearizable: {:?}",
@@ -141,12 +140,8 @@ fn bounded_bit_cost_and_semantics() {
 #[test]
 fn access_bounds_exist_and_dominate_object_accesses() {
     let opts = explorer::ExploreOptions::default();
-    let bounds = core::access_bounds(
-        2,
-        |i| consensus::tas_consensus_system([i[0], i[1]]),
-        &opts,
-    )
-    .unwrap();
+    let bounds =
+        core::access_bounds(2, |i| consensus::tas_consensus_system([i[0], i[1]]), &opts).unwrap();
     assert_eq!(bounds.d_max, 5);
     for reg in &bounds.registers {
         assert!(u32::max(reg.reads, reg.writes) as usize <= bounds.d_max);
@@ -253,11 +248,18 @@ fn register_only_consensus_candidates_fail() {
         vec![mk_min(0, false), mk_min(1, true)],
     );
     let e = explorer::explore(&sys, &explorer::ExploreOptions::default()).unwrap();
-    // min-rule: with inputs (0,1) both decide 0 — agreement holds here,
-    // but validity forces... actually min is fine on mixed inputs; the
-    // failing vector is where reads race: check all vectors like the
-    // real checker does.
-    let _ = e;
+    // On the mixed vector (0, 1) the min rule actually agrees: p0's own
+    // bit is 0, so it decides 0 regardless of what it reads, and p0's
+    // register only ever holds 0, so p1's product is 0 too. The genuine
+    // failure is on (1, 1): a read can race ahead of the peer's write,
+    // see the initial 0, and decide 0 ∉ {1} — a validity violation that
+    // the all-vectors verdict below catches.
+    assert!(e.decisions_agree(), "min rule agrees on mixed inputs");
+    assert_eq!(
+        e.decisions.iter().collect::<Vec<_>>(),
+        vec![&vec![0, 0]],
+        "every mixed-input execution decides 0 for both processes"
+    );
     let verdict_violates = {
         // Build as a protocol over all input vectors and find a violation.
         let build = |inputs: &[bool]| wfc_consensus::ConsensusSystem {
@@ -268,12 +270,9 @@ fn register_only_consensus_candidates_fail() {
             registers: vec![],
             inputs: inputs.to_vec(),
         };
-        let v = consensus::verify_consensus_protocol(
-            2,
-            build,
-            &explorer::ExploreOptions::default(),
-        )
-        .unwrap();
+        let v =
+            consensus::verify_consensus_protocol(2, build, &explorer::ExploreOptions::default())
+                .unwrap();
         !v.holds()
     };
     assert!(

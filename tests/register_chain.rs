@@ -9,7 +9,7 @@ use wfc_explorer::linearizability::{collect_histories, is_linearizable, OpLabel}
 use wfc_explorer::program::ProgramBuilder;
 use wfc_explorer::{ObjectInstance, System};
 use wfc_registers::{
-    atomic_bit, mrsw_regular_bit, BitReader, BitWriter, Register, RegReader, RegWriter,
+    atomic_bit, mrsw_regular_bit, BitReader, BitWriter, RegReader, RegWriter, Register,
 };
 use wfc_runtime::{is_regular, run_threads, EventLog};
 use wfc_spec::{canonical, PortId};
@@ -43,10 +43,7 @@ fn lamport_spec_system() -> (System, Vec<OpLabel>, Arc<wfc_spec::FiniteType>) {
         b.ret(r);
         b.build().unwrap()
     };
-    let system = System::new(
-        vec![copy(1), copy(2)],
-        vec![writer, reader(0), reader(1)],
-    );
+    let system = System::new(vec![copy(1), copy(2)], vec![writer, reader(0), reader(1)]);
     let labels = vec![
         OpLabel {
             port: PortId::new(0),
@@ -171,7 +168,10 @@ fn runtime_lamport_bit_one_way_flag() {
     for _ in 0..50 {
         let (mut w, rs) = mrsw_regular_bit(false, 4, |init| {
             let (w, r) = atomic_bit(init);
-            (Box::new(w) as Box<dyn BitWriter>, Box::new(r) as Box<dyn BitReader>)
+            (
+                Box::new(w) as Box<dyn BitWriter>,
+                Box::new(r) as Box<dyn BitReader>,
+            )
         });
         let mut workers: Vec<Box<dyn FnOnce() -> Vec<bool> + Send>> = Vec::new();
         workers.push(Box::new(move || {

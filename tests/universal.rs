@@ -104,10 +104,8 @@ fn universal_consensus_agrees() {
                 .into_iter()
                 .enumerate()
                 .map(|(k, mut handle)| {
-                    let ty = Arc::clone(&ty);
-                    move || {
-                        handle.invoke_named(if k % 2 == 0 { "propose0" } else { "propose1" })
-                    }
+                    let _ty = Arc::clone(&ty);
+                    move || handle.invoke_named(if k % 2 == 0 { "propose0" } else { "propose1" })
                 })
                 .collect::<Vec<_>>(),
         );
