@@ -8,10 +8,21 @@
 //! and prints the *functional* numbers.
 //!
 //! Run with: `cargo run --release --bin wfc-report`
+//!
+//! Modes:
+//! - no arguments — regenerate the tables, then print the bench
+//!   trajectory from any `BENCH_*.json` run reports found in the
+//!   observability directory (`WFC_OBS_JSON`, default `obs-reports`).
+//!   Missing or empty directories are reported, not fatal.
+//! - `--check [dir]` — validate every `.json` file in `dir` against the
+//!   `wfc-obs/v1` schema and exit non-zero if any is invalid. Used by CI
+//!   after a `WFC_OBS_JSON=… cargo bench` smoke run.
 
 use std::error::Error;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use wfc_bench::harness::fmt_ns;
 use wfc_bench::{register_protocols, substrates, witness_types};
 use wfc_consensus as consensus;
 use wfc_core as core;
@@ -21,7 +32,148 @@ use wfc_hierarchy as hierarchy;
 use wfc_spec::witness::find_witness;
 use wfc_spec::{canonical, triviality};
 
+/// Where bench run reports are read from: `WFC_OBS_JSON` if set, else
+/// the conventional `obs-reports` directory.
+fn obs_reports_dir() -> PathBuf {
+    std::env::var_os("WFC_OBS_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("obs-reports"))
+}
+
+/// The `.json` files under `dir` whose names match `prefix`, sorted for
+/// deterministic output. Missing or unreadable directories yield an
+/// empty list — callers decide whether that is an error.
+fn json_files(dir: &Path, prefix: &str) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|ext| ext == "json")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(prefix))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Parses and schema-validates one run report file.
+fn load_report(path: &Path) -> Result<wfc_obs::json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = wfc_obs::json::parse(&text).map_err(|e| e.to_string())?;
+    wfc_obs::report::validate(&doc)?;
+    Ok(doc)
+}
+
+/// `--check [dir]`: every `.json` file in `dir` must be a valid
+/// `wfc-obs/v1` run report.
+fn check_reports(dir: &Path) -> Result<(), Box<dyn Error>> {
+    if !dir.is_dir() {
+        return Err(format!(
+            "--check: report directory {} does not exist (run with WFC_OBS_JSON={} first)",
+            dir.display(),
+            dir.display()
+        )
+        .into());
+    }
+    let files = json_files(dir, "");
+    if files.is_empty() {
+        return Err(format!("--check: no .json reports in {}", dir.display()).into());
+    }
+    let mut invalid = 0usize;
+    for path in &files {
+        match load_report(path) {
+            Ok(_) => println!("ok      {}", path.display()),
+            Err(e) => {
+                eprintln!("INVALID {}: {e}", path.display());
+                invalid += 1;
+            }
+        }
+    }
+    if invalid > 0 {
+        return Err(format!("{invalid} of {} report(s) invalid", files.len()).into());
+    }
+    println!("{} report(s) valid", files.len());
+    Ok(())
+}
+
+/// Prints the bench trajectory from `BENCH_*.json` run reports, or a
+/// pointer on how to record them when none exist yet.
+fn print_bench_trajectory(dir: &Path) {
+    println!();
+    println!("==================================================================");
+    println!(" Bench trajectory ({}/BENCH_*.json)", dir.display());
+    println!("==================================================================");
+    let files = json_files(dir, "BENCH_");
+    if files.is_empty() {
+        println!(
+            "no bench reports found — record them with \
+             `WFC_OBS_JSON={} cargo bench -p wfc-bench`",
+            dir.display()
+        );
+        return;
+    }
+    println!(
+        "{:<20} {:<44} {:>12} {:>12} {:>12} {:>8}",
+        "group", "benchmark", "lo", "median", "hi", "samples"
+    );
+    for path in &files {
+        let doc = match load_report(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                println!("(skipping {}: {e})", path.display());
+                continue;
+            }
+        };
+        let Some(bench) = doc.get("sections").and_then(|s| s.get("bench")) else {
+            println!("(skipping {}: no bench section)", path.display());
+            continue;
+        };
+        let group = bench.get("group").and_then(|j| j.as_str()).unwrap_or("?");
+        let results = bench
+            .get("results")
+            .and_then(|j| j.as_arr())
+            .unwrap_or_default();
+        if results.is_empty() {
+            println!("{group:<20} (no results recorded)");
+            continue;
+        }
+        for r in results {
+            println!(
+                "{:<20} {:<44} {:>12} {:>12} {:>12} {:>8}",
+                group,
+                r.get("id").and_then(|j| j.as_str()).unwrap_or("?"),
+                fmt_ns(r.get("lo_ns").and_then(|j| j.as_f64()).unwrap_or(0.0)),
+                fmt_ns(r.get("median_ns").and_then(|j| j.as_f64()).unwrap_or(0.0)),
+                fmt_ns(r.get("hi_ns").and_then(|j| j.as_f64()).unwrap_or(0.0)),
+                r.get("samples").and_then(|j| j.as_u64()).unwrap_or(0),
+            );
+        }
+    }
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {
+            let dir = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(obs_reports_dir);
+            return check_reports(&dir);
+        }
+        Some(other) => {
+            return Err(
+                format!("unknown argument {other:?}; usage: report [--check [dir]]").into(),
+            );
+        }
+        None => {}
+    }
+
     let opts = ExploreOptions::default();
 
     println!("==================================================================");
@@ -379,6 +531,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         outcome.survivors.len(),
     );
     assert!(outcome.survivors.is_empty());
+
+    print_bench_trajectory(&obs_reports_dir());
 
     println!();
     println!("all experiment tables regenerated and their invariants re-checked");

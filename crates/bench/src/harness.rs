@@ -35,6 +35,7 @@ impl Criterion {
             name: name.into(),
             sample_size: default_sample_size(),
             throughput: None,
+            results: Vec::new(),
         }
     }
 }
@@ -99,6 +100,21 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// One benchmark's aggregated timing, as collected by its group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// The benchmark id within the group.
+    pub id: String,
+    /// Median per-iteration nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub lo_ns: f64,
+    /// Slowest sample.
+    pub hi_ns: f64,
+    /// Number of timed batches.
+    pub samples: usize,
+}
+
 /// A named set of benchmarks sharing sample settings.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
@@ -106,6 +122,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -156,11 +173,56 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Prints the group footer. (Results stream as they complete; this
-    /// exists for criterion compatibility.)
-    pub fn finish(&mut self) {}
+    /// Prints the group footer and, when an emission destination is
+    /// configured (`WFC_OBS=1` or `WFC_OBS_JSON=<dir>`), emits the
+    /// group's results as a `BENCH_<group>` run report — the input to
+    /// `cargo run -p wfc-bench --bin report -- --check`.
+    pub fn finish(&mut self) {
+        if wfc_obs::emission_requested() {
+            self.to_report().emit();
+        }
+    }
 
-    fn report(&self, id: &BenchmarkId, samples: &[f64]) {
+    /// The group's collected results as a `wfc-obs/v1` run report named
+    /// `BENCH_<group>`, with a `bench` section carrying one entry per
+    /// benchmark.
+    pub fn to_report(&self) -> wfc_obs::report::RunReport {
+        use wfc_obs::json::Json;
+        let mut report = wfc_obs::report::RunReport::collect(&format!("BENCH_{}", self.name));
+        let results = self
+            .results
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("id", Json::Str(r.id.clone())),
+                    ("median_ns", Json::F64(r.median_ns)),
+                    ("lo_ns", Json::F64(r.lo_ns)),
+                    ("hi_ns", Json::F64(r.hi_ns)),
+                    ("samples", Json::U64(r.samples as u64)),
+                ])
+            })
+            .collect();
+        report.section(
+            "bench",
+            Json::obj(vec![
+                ("group", Json::Str(self.name.clone())),
+                ("sample_size", Json::U64(self.sample_size as u64)),
+                (
+                    "fast_mode",
+                    Json::Bool(std::env::var_os("WFC_BENCH_FAST").is_some()),
+                ),
+                ("results", Json::Arr(results)),
+            ]),
+        );
+        report
+    }
+
+    /// The results collected so far, one entry per benchmark.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn report(&mut self, id: &BenchmarkId, samples: &[f64]) {
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
         let median = if sorted.is_empty() {
@@ -170,6 +232,13 @@ impl BenchmarkGroup<'_> {
         };
         let lo = sorted.first().copied().unwrap_or(0.0);
         let hi = sorted.last().copied().unwrap_or(0.0);
+        self.results.push(BenchResult {
+            id: id.name.clone(),
+            median_ns: median,
+            lo_ns: lo,
+            hi_ns: hi,
+            samples: sorted.len(),
+        });
         println!(
             "{}/{:<40} time: [{} {} {}]",
             self.name,
@@ -196,7 +265,8 @@ impl BenchmarkGroup<'_> {
     }
 }
 
-fn fmt_ns(ns: f64) -> String {
+/// Renders a nanosecond figure with a human-friendly unit.
+pub fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.4} s", ns / 1e9)
     } else if ns >= 1e6 {
@@ -294,6 +364,38 @@ mod tests {
             b.iter_batched(|| n, |n| n * 2, BatchSize::SmallInput)
         });
         g.finish();
+    }
+
+    #[test]
+    fn group_report_is_valid_and_carries_results() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("report_smoke");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(g.results().len(), 1);
+        assert_eq!(g.results()[0].id, "noop");
+        assert!(g.results()[0].samples >= 1);
+        let rendered = g.to_report().render();
+        let parsed = wfc_obs::json::parse(&rendered).expect("report parses");
+        wfc_obs::report::validate(&parsed).expect("report validates");
+        assert_eq!(
+            parsed.get("name").and_then(|j| j.as_str()),
+            Some("BENCH_report_smoke")
+        );
+        let bench = parsed
+            .get("sections")
+            .and_then(|s| s.get("bench"))
+            .expect("bench section present");
+        assert_eq!(
+            bench.get("group").and_then(|j| j.as_str()),
+            Some("report_smoke")
+        );
+        let results = bench
+            .get("results")
+            .and_then(|j| j.as_arr())
+            .expect("results array");
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("id").and_then(|j| j.as_str()), Some("noop"));
     }
 
     #[test]

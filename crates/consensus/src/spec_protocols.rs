@@ -591,6 +591,14 @@ pub fn verify_consensus_protocol(
     build: impl Fn(&[bool]) -> ConsensusSystem + Sync,
     opts: &ExploreOptions,
 ) -> Result<ProtocolVerdict, ExplorerError> {
+    let _span = wfc_obs::span::enter_lazy(opts.obs.spans, "verify_consensus_protocol", || {
+        format!("n={n}")
+    });
+    if opts.obs.metrics {
+        wfc_obs::metrics::Registry::global()
+            .counter("consensus.protocol_verifications")
+            .add(1);
+    }
     let vectors = binary_input_vectors(n);
     let threads = opts.effective_threads();
     // With several vectors in flight, run each tree single-threaded —

@@ -14,6 +14,8 @@
 
 use wfc_consensus::{binary_input_vectors, ConsensusSystem};
 use wfc_explorer::{explore, ExploreOptions, ExplorerError};
+use wfc_obs::json::Json;
+use wfc_obs::report::RunReport;
 
 /// Read/write bounds for one register across all execution trees.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,7 +82,31 @@ impl AccessBounds {
 ///
 /// Propagates exploration failures, notably
 /// [`ExplorerError::NotWaitFree`].
+///
+/// # Observability
+///
+/// With observability on ([`ObsOptions`](wfc_explorer::ObsOptions) via
+/// `opts.obs`, or `WFC_OBS=1`), the analysis emits an `access_bounds`
+/// [`RunReport`] — explorer metrics plus a section carrying the paper
+/// quantities (`D`, per-tree depths, per-register `r_b`/`w_b`) — to
+/// `WFC_OBS_JSON` or stderr. On failure the report's section records the
+/// error instead (including budget consumption for budget errors).
 pub fn access_bounds(
+    n: usize,
+    build: impl Fn(&[bool]) -> ConsensusSystem + Sync,
+    opts: &ExploreOptions,
+) -> Result<AccessBounds, ExplorerError> {
+    let result = {
+        let _span = wfc_obs::span::enter_lazy(opts.obs.spans, "access_bounds", || format!("n={n}"));
+        compute_access_bounds(n, build, opts)
+    };
+    if opts.obs.any() {
+        emit_report(n, &result);
+    }
+    result
+}
+
+fn compute_access_bounds(
     n: usize,
     build: impl Fn(&[bool]) -> ConsensusSystem + Sync,
     opts: &ExploreOptions,
@@ -149,6 +175,62 @@ pub fn access_bounds(
         registers,
         total_configs,
     })
+}
+
+/// Assembles and emits the `access_bounds` run report: the collected
+/// metrics/spans plus a section with the paper's Section 4.2 quantities.
+/// Collecting resets the global registry, so the report covers exactly
+/// this analysis (plus anything else recorded since the last collect).
+fn emit_report(n: usize, result: &Result<AccessBounds, ExplorerError>) {
+    let mut report = RunReport::collect("access_bounds");
+    let section = match result {
+        Ok(b) => Json::obj(vec![
+            ("n", Json::U64(n as u64)),
+            ("D", Json::U64(b.d_max as u64)),
+            (
+                "depth_per_tree",
+                Json::Arr(
+                    b.depth_per_tree
+                        .iter()
+                        .map(|&d| Json::U64(d as u64))
+                        .collect(),
+                ),
+            ),
+            ("total_configs", Json::U64(b.total_configs as u64)),
+            (
+                "registers",
+                Json::Arr(
+                    b.registers
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("obj", Json::U64(r.obj as u64)),
+                                ("r_b", Json::U64(r.reads as u64)),
+                                ("w_b", Json::U64(r.writes as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "one_use_bits_required",
+                Json::U64(b.one_use_bits_required() as u64),
+            ),
+        ]),
+        Err(e) => {
+            let mut fields = vec![
+                ("n", Json::U64(n as u64)),
+                ("error", Json::Str(e.to_string())),
+            ];
+            if let ExplorerError::BudgetExceeded { budget, used, .. } = e {
+                fields.push(("budget", Json::U64(*budget as u64)));
+                fields.push(("used", Json::U64(*used as u64)));
+            }
+            Json::obj(fields)
+        }
+    };
+    report.section("access_bounds", section);
+    report.emit();
 }
 
 #[cfg(test)]

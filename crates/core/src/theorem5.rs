@@ -95,6 +95,12 @@ pub fn check_theorem5(
     source: &OneUseSource,
     opts: &ExploreOptions,
 ) -> Result<Theorem5Certificate, TransformError> {
+    let _span = wfc_obs::span::enter_lazy(opts.obs.spans, "check_theorem5", || format!("n={n}"));
+    if opts.obs.metrics {
+        wfc_obs::metrics::Registry::global()
+            .counter("core.theorem5.checks")
+            .add(1);
+    }
     let bounds = access_bounds(n, &build, opts)?;
     let before = wfc_consensus::verify_consensus_protocol(n, &build, opts)?;
 
@@ -109,6 +115,11 @@ pub fn check_theorem5(
     };
     type TreeResult = Result<(usize, usize, bool, bool, usize), TransformError>;
     let per_tree = wfc_explorer::pool::parallel_map(threads, &vectors, |inputs| -> TreeResult {
+        let _span = wfc_obs::span::enter_if(
+            opts.obs.spans,
+            "theorem5.eliminate_and_reverify",
+            String::new(),
+        );
         let cs = build(inputs);
         let eliminated = eliminate_registers(&cs, &bounds.registers, source)?;
         // Structural register-freedom: every annotated register was

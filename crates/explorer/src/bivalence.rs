@@ -70,6 +70,12 @@ pub fn analyze_valency(
     system: &System,
     opts: &ExploreOptions,
 ) -> Result<ValencyAnalysis, ExplorerError> {
+    let _span = wfc_obs::span::enter_if(opts.obs.spans, "analyze_valency", String::new());
+    if opts.obs.metrics {
+        wfc_obs::metrics::Registry::global()
+            .counter("explorer.valency_analyses")
+            .add(1);
+    }
     let graph = ConfigGraph::build(system, opts)?;
 
     // Enumerate the decision-value universe.

@@ -147,6 +147,7 @@ fn survivor_outcomes(
             return Err(ExplorerError::BudgetExceeded {
                 kind: crate::error::BudgetKind::Configs,
                 budget,
+                used: seen.len(),
             });
         }
         let mut enabled = false;

@@ -101,6 +101,12 @@ pub enum ExplorerError {
         kind: BudgetKind,
         /// The configured budget.
         budget: usize,
+        /// The observed value when the budget fired — how many
+        /// configurations were actually interned, or how deep the
+        /// exploration actually got. Deterministic across thread counts:
+        /// budgets are checked only at level-sync points, never
+        /// mid-level.
+        used: usize,
     },
     /// The system admits an infinite execution (a cycle in the
     /// configuration graph), so access bounds do not exist. This is
@@ -126,8 +132,11 @@ impl fmt::Display for ExplorerError {
             ExplorerError::NoPortAssigned { process, obj } => {
                 write!(f, "process {process} has no port on object {obj}")
             }
-            ExplorerError::BudgetExceeded { kind, budget } => {
-                write!(f, "exploration exceeded the budget of {budget} {kind}")
+            ExplorerError::BudgetExceeded { kind, budget, used } => {
+                write!(
+                    f,
+                    "exploration exceeded the budget of {budget} {kind} (observed {used})"
+                )
             }
             ExplorerError::NotWaitFree => {
                 write!(
@@ -163,5 +172,27 @@ mod tests {
         assert!(e.to_string().contains("process 2"));
         let e: ExplorerError = ProgramError::UnboundLabel.into();
         assert!(matches!(e, ExplorerError::Program { .. }));
+    }
+
+    #[test]
+    fn budget_errors_render_both_budget_and_observed() {
+        let e = ExplorerError::BudgetExceeded {
+            kind: BudgetKind::Configs,
+            budget: 100,
+            used: 135,
+        };
+        assert_eq!(
+            e.to_string(),
+            "exploration exceeded the budget of 100 configurations (observed 135)"
+        );
+        let e = ExplorerError::BudgetExceeded {
+            kind: BudgetKind::Depth,
+            budget: 4,
+            used: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "exploration exceeded the budget of 4 depth levels (observed 5)"
+        );
     }
 }

@@ -21,6 +21,56 @@ use crate::error::{BudgetKind, ExplorerError};
 use crate::graph::ConfigGraph;
 use crate::system::System;
 
+/// Per-call observability knobs: which kinds of instrumentation an
+/// exploration records into the `wfc-obs` global registry.
+///
+/// The default is taken from the process-wide `wfc-obs` enable flag
+/// (`WFC_OBS=1` or [`wfc_obs::set_enabled`]), so plain
+/// `ExploreOptions::default()` picks up the environment; [`ObsOptions::on`]
+/// and [`ObsOptions::off`] override it per call. Instrumentation is a
+/// write-only side channel — it never changes any explored quantity, at
+/// any thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Record counters, gauges and histograms.
+    pub metrics: bool,
+    /// Record timing spans (per-thread buffers, deterministic merge).
+    pub spans: bool,
+}
+
+impl ObsOptions {
+    /// Everything on, regardless of the global flag.
+    pub fn on() -> Self {
+        ObsOptions {
+            metrics: true,
+            spans: true,
+        }
+    }
+
+    /// Everything off, regardless of the global flag.
+    pub fn off() -> Self {
+        ObsOptions {
+            metrics: false,
+            spans: false,
+        }
+    }
+
+    /// `true` if any instrumentation is requested.
+    pub fn any(&self) -> bool {
+        self.metrics || self.spans
+    }
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        if wfc_obs::enabled() {
+            ObsOptions::on()
+        } else {
+            ObsOptions::off()
+        }
+    }
+}
+
 /// Budget and parallelism knobs for [`explore`] and
 /// [`ConfigGraph::build`].
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +89,9 @@ pub struct ExploreOptions {
     /// quantity [`explore`] computes is bit-identical across thread
     /// counts.
     pub threads: usize,
+    /// What instrumentation this exploration records (defaults to the
+    /// process-wide `wfc-obs` flag; see [`ObsOptions`]).
+    pub obs: ObsOptions,
 }
 
 impl Default for ExploreOptions {
@@ -47,6 +100,7 @@ impl Default for ExploreOptions {
             max_configs: 4_000_000,
             max_depth: usize::MAX,
             threads: 1,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -67,6 +121,12 @@ impl ExploreOptions {
     /// This configuration with a `max_depth` budget.
     pub fn with_max_depth(mut self, max_depth: usize) -> Self {
         self.max_depth = max_depth;
+        self
+    }
+
+    /// This configuration with explicit observability knobs.
+    pub fn with_obs(mut self, obs: ObsOptions) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -202,6 +262,7 @@ pub fn find_violation(
             return Err(ExplorerError::BudgetExceeded {
                 kind: BudgetKind::Configs,
                 budget: opts.max_configs,
+                used: visited,
             });
         }
         if cfg.is_terminal() {
@@ -240,6 +301,7 @@ pub fn find_violation(
 /// Returns [`ExplorerError`] on malformed programs, missing ports, budget
 /// exhaustion, or non-wait-freedom.
 pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, ExplorerError> {
+    let _span = wfc_obs::span::enter_if(opts.obs.spans, "explore", String::new());
     let graph = ConfigGraph::build(system, opts)?;
     if graph.has_cycle {
         return Err(ExplorerError::NotWaitFree);
@@ -316,10 +378,18 @@ pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, Ex
         steps[v] = st;
     }
 
+    if opts.obs.metrics {
+        let reg = wfc_obs::metrics::Registry::global();
+        reg.histogram("explorer.tree_depth")
+            .record(depth[graph.root] as u64);
+        reg.counter("explorer.terminals").add(terminals as u64);
+    }
+
     if depth[graph.root] as usize > opts.max_depth {
         return Err(ExplorerError::BudgetExceeded {
             kind: BudgetKind::Depth,
             budget: opts.max_depth,
+            used: depth[graph.root] as usize,
         });
     }
 
@@ -439,7 +509,8 @@ mod tests {
             e,
             Err(ExplorerError::BudgetExceeded {
                 kind: BudgetKind::Configs,
-                budget: 2
+                budget: 2,
+                ..
             })
         ));
     }
@@ -457,7 +528,10 @@ mod tests {
                 explore(&tas_race(), &opts.with_max_configs(4)).unwrap_err(),
                 ExplorerError::BudgetExceeded {
                     kind: BudgetKind::Configs,
-                    budget: 4
+                    budget: 4,
+                    // The level that overflows interns all 5 configs
+                    // before the budget is checked at the sync point.
+                    used: 5
                 }
             );
             assert!(explore(&tas_race(), &opts.with_max_depth(2)).is_ok());
@@ -465,7 +539,8 @@ mod tests {
                 explore(&tas_race(), &opts.with_max_depth(1)).unwrap_err(),
                 ExplorerError::BudgetExceeded {
                     kind: BudgetKind::Depth,
-                    budget: 1
+                    budget: 1,
+                    used: 2
                 }
             );
         }
@@ -506,7 +581,8 @@ mod tests {
             explore(&sys, &ExploreOptions::default().with_max_depth(4)).unwrap_err(),
             ExplorerError::BudgetExceeded {
                 kind: BudgetKind::Depth,
-                budget: 4
+                budget: 4,
+                used: 5
             }
         );
     }

@@ -21,7 +21,10 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use wfc_obs::metrics::{Counter, Gauge, Histogram, Registry};
 
 use crate::error::{BudgetKind, ExplorerError};
 use crate::explore::ExploreOptions;
@@ -135,12 +138,17 @@ fn merge_error(
 
 /// Expands the slice of `frontier` this worker claims via `next`,
 /// interning children into the shared table.
+///
+/// Workers always finish their whole level: the configs budget is
+/// checked only at the level-sync point in [`ConfigGraph::build`], so
+/// the interned total a budget error reports is a schedule-independent
+/// quantity (the cost is an overshoot of at most one level's worth of
+/// configurations past `max_configs`).
 fn expand_worker(
     system: &System,
     frontier: &[(usize, Config)],
     next: &AtomicUsize,
     interner: &StripedInterner,
-    max_configs: usize,
 ) -> LevelPart {
     let mut part = LevelPart {
         children: Vec::new(),
@@ -149,7 +157,7 @@ fn expand_worker(
     };
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= frontier.len() || interner.len() > max_configs {
+        if i >= frontier.len() {
             return part;
         }
         let (v, cfg) = &frontier[i];
@@ -172,6 +180,32 @@ fn expand_worker(
     }
 }
 
+/// Handles into the global registry held for the duration of one build,
+/// so per-level recording is a handful of lock-free atomic ops (the
+/// registry mutex is taken once, up front). Only constructed when
+/// `opts.obs.metrics` is set — a disabled build never touches the
+/// registry.
+struct BuildMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    frontier: Arc<Histogram>,
+    level_ns: Arc<Histogram>,
+    max_level: Arc<Gauge>,
+}
+
+impl BuildMetrics {
+    fn new() -> BuildMetrics {
+        let reg = Registry::global();
+        BuildMetrics {
+            hits: reg.counter("explorer.interner.hits"),
+            misses: reg.counter("explorer.interner.misses"),
+            frontier: reg.histogram("explorer.bfs.frontier"),
+            level_ns: reg.histogram("explorer.bfs.level_ns"),
+            max_level: reg.gauge("explorer.bfs.max_level"),
+        }
+    }
+}
+
 impl ConfigGraph {
     /// Builds the reachable configuration graph of `system`.
     ///
@@ -191,6 +225,10 @@ impl ConfigGraph {
         let threads = opts.effective_threads();
         let interner = StripedInterner::new(threads);
         let (root, _) = interner.intern(&init);
+        let metrics = opts.obs.metrics.then(BuildMetrics::new);
+        if let Some(m) = &metrics {
+            m.misses.add(1); // the root's intern
+        }
 
         let mut frontier: Vec<(usize, Config)> = vec![(root, init)];
         let mut adjacency: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
@@ -202,8 +240,12 @@ impl ConfigGraph {
                 return Err(ExplorerError::BudgetExceeded {
                     kind: BudgetKind::Depth,
                     budget: opts.max_depth,
+                    used: level,
                 });
             }
+            let _level_span =
+                wfc_obs::span::enter_lazy(opts.obs.spans, "bfs_level", || format!("level={level}"));
+            let level_start = metrics.as_ref().map(|_| Instant::now());
             let next = AtomicUsize::new(0);
             // Spawning workers costs more than expanding a small frontier;
             // expand those levels inline. This is exactly the `threads = 1`
@@ -215,21 +257,11 @@ impl ConfigGraph {
                 threads
             };
             let parts: Vec<LevelPart> = if level_workers <= 1 {
-                vec![expand_worker(
-                    system,
-                    &frontier,
-                    &next,
-                    &interner,
-                    opts.max_configs,
-                )]
+                vec![expand_worker(system, &frontier, &next, &interner)]
             } else {
                 std::thread::scope(|s| {
                     let workers: Vec<_> = (0..level_workers)
-                        .map(|_| {
-                            s.spawn(|| {
-                                expand_worker(system, &frontier, &next, &interner, opts.max_configs)
-                            })
-                        })
+                        .map(|_| s.spawn(|| expand_worker(system, &frontier, &next, &interner)))
                         .collect();
                     workers
                         .into_iter()
@@ -240,12 +272,25 @@ impl ConfigGraph {
 
             let mut error: Option<(String, usize, ExplorerError)> = None;
             let mut next_frontier = Vec::new();
+            let mut level_edges = 0usize;
             for part in parts {
-                edges += part.children.iter().map(|(_, k)| k.len()).sum::<usize>();
+                level_edges += part.children.iter().map(|(_, k)| k.len()).sum::<usize>();
                 adjacency.extend(part.children);
                 next_frontier.extend(part.discovered);
                 if let Some(e) = part.error {
                     merge_error(&mut error, e);
+                }
+            }
+            edges += level_edges;
+            if let Some(m) = &metrics {
+                // Every edge is one intern call; the calls that did not
+                // discover a new node were hits.
+                m.frontier.record(frontier.len() as u64);
+                m.misses.add(next_frontier.len() as u64);
+                m.hits.add((level_edges - next_frontier.len()) as u64);
+                m.max_level.record_max(level as i64);
+                if let Some(t0) = level_start {
+                    m.level_ns.record(t0.elapsed().as_nanos() as u64);
                 }
             }
             if let Some((_, _, e)) = error {
@@ -255,10 +300,17 @@ impl ConfigGraph {
                 return Err(ExplorerError::BudgetExceeded {
                     kind: BudgetKind::Configs,
                     budget: opts.max_configs,
+                    used: interner.len(),
                 });
             }
             frontier = next_frontier;
             level += 1;
+        }
+
+        if opts.obs.metrics {
+            let reg = Registry::global();
+            reg.counter("explorer.configs").add(interner.len() as u64);
+            reg.counter("explorer.edges").add(edges as u64);
         }
 
         let configs = interner.into_configs();

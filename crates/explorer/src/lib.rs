@@ -62,7 +62,9 @@ mod system;
 pub mod trace;
 
 pub use error::{BudgetKind, ExplorerError, ProgramError};
-pub use explore::{explore, find_violation, AccessTable, Exploration, ExploreOptions, Violation};
+pub use explore::{
+    explore, find_violation, AccessTable, Exploration, ExploreOptions, ObsOptions, Violation,
+};
 pub use system::{Access, Config, ObjectInstance, System};
 
 #[cfg(test)]

@@ -172,6 +172,7 @@ pub fn collect_histories(
                 return Err(ExplorerError::BudgetExceeded {
                     kind: crate::error::BudgetKind::Configs,
                     budget: max_paths,
+                    used: out.len() + 1,
                 });
             }
             let history = history_of(system, &cfg, &schedule, labels);

@@ -9,6 +9,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use wfc_obs::metrics::Registry;
 
 /// Applies `f` to every item of `items` on up to `threads` workers,
 /// returning the results in item order.
@@ -23,6 +26,15 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    // The pool has no options struct to hang a knob on, so it follows
+    // the process-wide `wfc-obs` flag directly (one relaxed load per
+    // call when disabled).
+    let obs = wfc_obs::enabled();
+    if obs {
+        let reg = Registry::global();
+        reg.counter("pool.runs").add(1);
+        reg.counter("pool.tasks").add(items.len() as u64);
+    }
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
@@ -34,10 +46,21 @@ where
     let workers = threads.min(items.len());
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                *slots[i].lock().expect("result slot poisoned") = Some(f(item));
+            s.spawn(|| {
+                let started = obs.then(Instant::now);
+                let mut claims = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    claims += 1;
+                    *slots[i].lock().expect("result slot poisoned") = Some(f(item));
+                }
+                if let Some(t0) = started {
+                    let reg = Registry::global();
+                    reg.histogram("pool.worker.claims").record(claims);
+                    reg.histogram("pool.worker.busy_ns")
+                        .record(t0.elapsed().as_nanos() as u64);
+                }
             });
         }
     });

@@ -134,6 +134,8 @@ fn pair_is_consensus(
 /// Propagates exploration failures (none occur for this family: every
 /// candidate is trivially wait-free, being straight-line).
 pub fn search_one_round_protocols(opts: &ExploreOptions) -> Result<SearchOutcome, ExplorerError> {
+    let _span =
+        wfc_obs::span::enter_if(opts.obs.spans, "search_one_round_protocols", String::new());
     let strategies = Strategy::all();
     let mut survivors = Vec::new();
     let mut explorations = 0;
@@ -145,6 +147,12 @@ pub fn search_one_round_protocols(opts: &ExploreOptions) -> Result<SearchOutcome
                 survivors.push((s0, s1));
             }
         }
+    }
+    if opts.obs.metrics {
+        let reg = wfc_obs::metrics::Registry::global();
+        reg.counter("hierarchy.candidates").add(candidates as u64);
+        reg.counter("hierarchy.explorations")
+            .add(explorations as u64);
     }
     Ok(SearchOutcome {
         candidates,

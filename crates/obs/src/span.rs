@@ -1,0 +1,200 @@
+//! Lightweight spans: monotonic start/stop pairs recorded into
+//! per-thread buffers, merged deterministically at drain.
+//!
+//! A span is opened with [`enter`] (or the [`span!`](crate::span) macro)
+//! and records its wall-clock duration into the *current thread's*
+//! buffer when the returned [`SpanGuard`] drops — no cross-thread
+//! synchronisation on the hot path. Buffers flush into a global
+//! collector when their thread exits (scoped explorer workers exit
+//! before their spawner resumes) and when [`drain`] runs on the calling
+//! thread.
+//!
+//! ## The deterministic merge rule
+//!
+//! [`drain`] aggregates all records by `(name, label)` and returns the
+//! aggregates sorted by that key. Which *thread* produced a record never
+//! enters the key, and per-key counts depend only on the work performed,
+//! so two runs of the same workload at the same thread count drain to
+//! the same set of keys with the same counts — only the nanosecond
+//! figures vary. Instrumented computations themselves are unaffected:
+//! spans are a write-only side channel.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One closed span, as buffered per thread.
+#[derive(Clone, Debug)]
+struct SpanRecord {
+    name: &'static str,
+    label: String,
+    dur_ns: u64,
+}
+
+static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+struct LocalBuf(Vec<SpanRecord>);
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        flush_records(std::mem::take(&mut self.0));
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<LocalBuf> = const { RefCell::new(LocalBuf(Vec::new())) };
+}
+
+fn flush_records(mut records: Vec<SpanRecord>) {
+    if records.is_empty() {
+        return;
+    }
+    COLLECTOR
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .append(&mut records);
+}
+
+/// An open span; records its duration on drop. Inert (and free) when
+/// created with recording off.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; bind it to a `let _g`"]
+pub struct SpanGuard {
+    open: Option<(&'static str, String, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, label, start)) = self.open.take() {
+            let rec = SpanRecord {
+                name,
+                label,
+                dur_ns: start.elapsed().as_nanos() as u64,
+            };
+            // A thread-local at destruction time (thread teardown) would
+            // panic on access; spans are only opened from live code, so
+            // plain access is fine.
+            BUF.with(|b| b.borrow_mut().0.push(rec));
+        }
+    }
+}
+
+/// Opens a span named `name` with a free-form `label` (e.g. `"level=3"`).
+pub fn enter(name: &'static str, label: String) -> SpanGuard {
+    SpanGuard {
+        open: Some((name, label, Instant::now())),
+    }
+}
+
+/// Opens a span only when `on` is true; otherwise returns an inert guard.
+pub fn enter_if(on: bool, name: &'static str, label: String) -> SpanGuard {
+    if on {
+        enter(name, label)
+    } else {
+        SpanGuard { open: None }
+    }
+}
+
+/// Like [`enter_if`], but builds the label lazily — disabled call sites
+/// pay neither the allocation nor the formatting.
+pub fn enter_lazy(on: bool, name: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
+    if on {
+        enter(name, label())
+    } else {
+        SpanGuard { open: None }
+    }
+}
+
+/// The aggregate of all records sharing one `(name, label)` key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// The span's name.
+    pub name: String,
+    /// The span's label (may be empty).
+    pub label: String,
+    /// Number of records merged into this aggregate.
+    pub count: u64,
+    /// Sum of durations, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single duration, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single duration, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Flushes the calling thread's buffer, takes every collected record,
+/// and merges them into per-`(name, label)` aggregates sorted by that
+/// key — the deterministic merge rule (see the module docs).
+pub fn drain() -> Vec<SpanStat> {
+    BUF.with(|b| flush_records(std::mem::take(&mut b.borrow_mut().0)));
+    let records = std::mem::take(&mut *COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()));
+    let mut merged: BTreeMap<(String, String), SpanStat> = BTreeMap::new();
+    for r in records {
+        merged
+            .entry((r.name.to_owned(), r.label.clone()))
+            .and_modify(|s| {
+                s.count += 1;
+                s.total_ns += r.dur_ns;
+                s.min_ns = s.min_ns.min(r.dur_ns);
+                s.max_ns = s.max_ns.max(r.dur_ns);
+            })
+            .or_insert_with(|| SpanStat {
+                name: r.name.to_owned(),
+                label: r.label,
+                count: 1,
+                total_ns: r.dur_ns,
+                min_ns: r.dur_ns,
+                max_ns: r.dur_ns,
+            });
+    }
+    merged.into_values().collect()
+}
+
+/// Discards the calling thread's buffer and every collected record.
+pub fn reset() {
+    BUF.with(|b| b.borrow_mut().0.clear());
+    COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_from_scoped_threads_merge_deterministically() {
+        let _l = crate::tests::test_lock();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for level in 0..3u32 {
+                        let _g = enter("t.bfs_level", format!("level={level}"));
+                    }
+                });
+            }
+        });
+        // Worker thread-locals flushed at thread exit; nothing buffered
+        // on the main thread yet.
+        let stats = drain();
+        assert_eq!(stats.len(), 3, "{stats:?}");
+        for (i, st) in stats.iter().enumerate() {
+            assert_eq!(st.name, "t.bfs_level");
+            assert_eq!(st.label, format!("level={i}"), "sorted by (name, label)");
+            assert_eq!(st.count, 4, "one record per worker");
+            assert!(st.min_ns <= st.max_ns);
+            assert!(st.total_ns >= st.max_ns);
+        }
+        assert!(drain().is_empty(), "drain consumes the records");
+    }
+
+    #[test]
+    fn inert_guards_record_nothing() {
+        let _l = crate::tests::test_lock();
+        reset();
+        {
+            let _g = enter_if(false, "t.inert", String::new());
+        }
+        assert!(drain().is_empty());
+    }
+}

@@ -42,6 +42,7 @@ impl<T: Copy> SeqLockCell<T> {
 
     /// Atomically replaces the value.
     pub fn store(&self, value: T) {
+        wfc_obs::counter!("registers.cell.stores");
         // Acquire the write side: CAS the counter from even to odd.
         let mut seq = self.seq.load(Ordering::Relaxed);
         loop {
@@ -69,6 +70,7 @@ impl<T: Copy> SeqLockCell<T> {
 
     /// Atomically loads the value.
     pub fn load(&self) -> T {
+        wfc_obs::counter!("registers.cell.loads");
         loop {
             let before = self.seq.load(Ordering::Acquire);
             if !before.is_multiple_of(2) {

@@ -32,6 +32,8 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    wfc_obs::counter!("runtime.harness.runs");
+    wfc_obs::counter!("runtime.harness.threads", workers.len() as u64);
     let barrier = Barrier::new(workers.len());
     std::thread::scope(|s| {
         let handles: Vec<_> = workers

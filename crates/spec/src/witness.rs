@@ -118,6 +118,7 @@ impl NonTrivialWitness {
 /// one port there are no "other ports" to observe, so the general
 /// definition makes every single-port deterministic type trivial).
 pub fn find_witness(ty: &FiniteType) -> Result<Option<NonTrivialWitness>, AnalysisError> {
+    wfc_obs::counter!("spec.witness_searches");
     if !ty.is_deterministic() {
         return Err(AnalysisError::RequiresDeterministic {
             type_name: ty.name().to_owned(),

@@ -12,7 +12,7 @@ use consensus::{
     cas_announce_consensus_system, cas_consensus_system, queue_consensus_system,
     tas_consensus_system,
 };
-use explorer::ExploreOptions;
+use explorer::{ExploreOptions, ObsOptions};
 
 const THREADS: [usize; 3] = [2, 4, 8];
 
@@ -102,6 +102,78 @@ fn theorem5_certificates_are_identical_across_thread_counts() {
         );
         assert_eq!(seq, par, "check_theorem5 differs at threads={t}");
     }
+}
+
+/// Serialises the obs-instrumented tests: they share the process-global
+/// metrics registry and span collector, which `RunReport::collect`
+/// resets.
+static OBS_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Observability must not perturb results: instrumented runs (metrics
+/// and spans on) are bit-identical to uninstrumented runs at every
+/// thread count, for both `explore` and the 2^n-tree analysis (which
+/// also exercises the report-emission path).
+#[test]
+fn instrumented_runs_are_identical_across_thread_counts() {
+    let _g = OBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sys = tas_consensus_system([false, true]).system;
+    let baseline = format!("{:?}", explorer::explore(&sys, &opts(1)).unwrap());
+    let build = |i: &[bool]| tas_consensus_system([i[0], i[1]]);
+    let bounds_baseline = format!("{:?}", core::access_bounds(2, build, &opts(1)).unwrap());
+    for t in [1, 2, 4, 8] {
+        for obs in [ObsOptions::off(), ObsOptions::on()] {
+            let o = opts(t).with_obs(obs);
+            let run = format!("{:?}", explorer::explore(&sys, &o).unwrap());
+            assert_eq!(baseline, run, "explore differs at threads={t}, obs={obs:?}");
+            let run = format!("{:?}", core::access_bounds(2, build, &o).unwrap());
+            assert_eq!(
+                bounds_baseline, run,
+                "access_bounds differs at threads={t}, obs={obs:?}"
+            );
+        }
+    }
+}
+
+/// The deterministic measurements themselves — counters, gauges, and
+/// the structural (non-timing) histograms and span shapes — must also
+/// be bit-identical across thread counts. Timing histograms (`*_ns`)
+/// are the only quantities allowed to vary.
+#[test]
+fn instrumented_measurements_are_identical_across_thread_counts() {
+    let _g = OBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sys = cas_announce_consensus_system(&[true, false]).system;
+    let mut fingerprints = Vec::new();
+    for t in [1, 2, 4, 8] {
+        wfc_obs::metrics::Registry::global().reset();
+        let _ = wfc_obs::span::drain();
+        let o = opts(t).with_obs(ObsOptions::on());
+        explorer::explore(&sys, &o).unwrap();
+        let snap = wfc_obs::metrics::Registry::global().snapshot();
+        let histograms: Vec<_> = snap
+            .histograms
+            .iter()
+            .filter(|(k, _)| !k.ends_with("_ns"))
+            .collect();
+        let spans: Vec<_> = wfc_obs::span::drain()
+            .into_iter()
+            .map(|s| (s.name, s.label, s.count))
+            .collect();
+        fingerprints.push((
+            t,
+            format!(
+                "counters={:?} gauges={:?} histograms={histograms:?} spans={spans:?}",
+                snap.counters, snap.gauges
+            ),
+        ));
+    }
+    let (_, first) = &fingerprints[0];
+    for (t, fp) in &fingerprints[1..] {
+        assert_eq!(first, fp, "measurements differ at threads={t}");
+    }
+    // Sanity: the fingerprint actually contains the paper quantities.
+    assert!(first.contains("explorer.configs"), "{first}");
+    assert!(first.contains("explorer.interner.hits"), "{first}");
+    assert!(first.contains("explorer.bfs.frontier"), "{first}");
 }
 
 /// Budgets fire at exactly the same thresholds, with exactly the same
