@@ -112,6 +112,11 @@ pub enum ExplorerError {
     /// configuration graph), so access bounds do not exist. This is
     /// exactly the failure of wait-freedom (Section 4.2).
     NotWaitFree,
+    /// The exploration's [`CancelToken`](crate::CancelToken) was set
+    /// (server-side deadline or shutdown). Checked only at level-sync
+    /// points, like the budgets, so a run either completes or is
+    /// cancelled — it never returns partial quantities.
+    Cancelled,
 }
 
 impl fmt::Display for ExplorerError {
@@ -143,6 +148,9 @@ impl fmt::Display for ExplorerError {
                     f,
                     "system admits an infinite execution; access bounds are undefined"
                 )
+            }
+            ExplorerError::Cancelled => {
+                write!(f, "exploration cancelled before completion")
             }
         }
     }

@@ -16,10 +16,43 @@
 //!   agreement and validity are checked.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::error::{BudgetKind, ExplorerError};
 use crate::graph::ConfigGraph;
 use crate::system::System;
+
+/// A cooperative cancellation flag for explorations.
+///
+/// Serving layers impose wall-clock deadlines that budgets alone cannot
+/// express (budgets count work, not time). A token wraps a shared
+/// [`AtomicBool`]; the explorer polls it at the same level-sync points
+/// where budgets are checked and aborts with
+/// [`ExplorerError::Cancelled`] once it is set. Like budgets, the check
+/// happens only *between* BFS levels, so a cancelled run never returns
+/// partial results — it returns the error or nothing.
+///
+/// The flag is `&'static` so the token stays `Copy` (and
+/// [`ExploreOptions`] with it). Long-lived owners such as server worker
+/// threads allocate their flag once (e.g. via `Box::leak`) and re-arm
+/// it per request.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CancelToken(Option<&'static AtomicBool>);
+
+impl CancelToken {
+    /// The inert token: never cancelled. This is the default.
+    pub const NONE: CancelToken = CancelToken(None);
+
+    /// A token observing `flag`.
+    pub fn new(flag: &'static AtomicBool) -> CancelToken {
+        CancelToken(Some(flag))
+    }
+
+    /// `true` once the underlying flag has been set.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
 
 /// Per-call observability knobs: which kinds of instrumentation an
 /// exploration records into the `wfc-obs` global registry.
@@ -92,6 +125,11 @@ pub struct ExploreOptions {
     /// What instrumentation this exploration records (defaults to the
     /// process-wide `wfc-obs` flag; see [`ObsOptions`]).
     pub obs: ObsOptions,
+    /// Cooperative cancellation, polled at level-sync points alongside
+    /// the budgets (defaults to [`CancelToken::NONE`]). Cancellation is
+    /// a control signal, not a measurement: it never changes any
+    /// quantity a *completed* exploration reports.
+    pub cancel: CancelToken,
 }
 
 impl Default for ExploreOptions {
@@ -101,6 +139,7 @@ impl Default for ExploreOptions {
             max_depth: usize::MAX,
             threads: 1,
             obs: ObsOptions::default(),
+            cancel: CancelToken::NONE,
         }
     }
 }
@@ -127,6 +166,12 @@ impl ExploreOptions {
     /// This configuration with explicit observability knobs.
     pub fn with_obs(mut self, obs: ObsOptions) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// This configuration with a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -257,6 +302,9 @@ pub fn find_violation(
     let mut visited = 0usize;
     let mut stack = vec![(init, Vec::new())];
     while let Some((cfg, schedule)) = stack.pop() {
+        if opts.cancel.is_cancelled() {
+            return Err(ExplorerError::Cancelled);
+        }
         visited += 1;
         if visited > opts.max_configs {
             return Err(ExplorerError::BudgetExceeded {
@@ -500,6 +548,29 @@ mod tests {
         let sys = System::new(vec![obj], vec![b.build().unwrap()]);
         let e = explore(&sys, &ExploreOptions::default()).unwrap();
         assert_eq!(e.decisions.len(), 2, "adversary chooses the DEAD read");
+    }
+
+    #[test]
+    fn cancellation_aborts_at_level_sync() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let opts = ExploreOptions::default().with_cancel(CancelToken::new(&FLAG));
+        // Token unset: the run completes and matches an uncancellable one.
+        let base = format!(
+            "{:?}",
+            explore(&tas_race(), &ExploreOptions::default()).unwrap()
+        );
+        assert_eq!(base, format!("{:?}", explore(&tas_race(), &opts).unwrap()));
+        // Token set: both the explorer and the violation search abort.
+        FLAG.store(true, Ordering::Relaxed);
+        assert_eq!(
+            explore(&tas_race(), &opts).unwrap_err(),
+            ExplorerError::Cancelled
+        );
+        assert_eq!(
+            find_violation(&tas_race(), &[0, 1], &opts).unwrap_err(),
+            ExplorerError::Cancelled
+        );
+        FLAG.store(false, Ordering::Relaxed);
     }
 
     #[test]

@@ -236,6 +236,9 @@ impl ConfigGraph {
         let mut level = 0usize;
 
         while !frontier.is_empty() {
+            if opts.cancel.is_cancelled() {
+                return Err(ExplorerError::Cancelled);
+            }
             if level > opts.max_depth {
                 return Err(ExplorerError::BudgetExceeded {
                     kind: BudgetKind::Depth,

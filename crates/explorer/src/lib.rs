@@ -63,7 +63,8 @@ pub mod trace;
 
 pub use error::{BudgetKind, ExplorerError, ProgramError};
 pub use explore::{
-    explore, find_violation, AccessTable, Exploration, ExploreOptions, ObsOptions, Violation,
+    explore, find_violation, AccessTable, CancelToken, Exploration, ExploreOptions, ObsOptions,
+    Violation,
 };
 pub use system::{Access, Config, ObjectInstance, System};
 

@@ -1,0 +1,114 @@
+//! A blocking client for the `wfc-svc/v1` protocol.
+//!
+//! [`Client::query`] is the simple request/response call; [`send`] and
+//! [`recv`] are split out so callers (and tests) can pipeline several
+//! requests over one connection and match the out-of-order responses by
+//! id.
+//!
+//! [`send`]: Client::send
+//! [`recv`]: Client::recv
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::wire::{read_frame, write_frame, QueryKind, QueryOptions, Request, Response, WireError};
+
+/// A connection to a `wfc serve` instance.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for scripts that
+    /// race a freshly spawned server's bind (the CI smoke test does).
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure once the deadline passes.
+    pub fn connect_retry(addr: impl ToSocketAddrs + Copy, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request without waiting; returns the id to match the
+    /// eventual response against.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on socket or encoding failures.
+    pub fn send(
+        &mut self,
+        kind: QueryKind,
+        type_text: &str,
+        options: &QueryOptions,
+    ) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            kind,
+            type_text: type_text.to_owned(),
+            options: *options,
+        };
+        write_frame(&mut self.stream, &request.to_json())?;
+        Ok(id)
+    }
+
+    /// Receives the next response (any id).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on socket or decoding failures, including the
+    /// server closing the connection.
+    pub fn recv(&mut self) -> Result<Response, WireError> {
+        match read_frame(&mut self.stream)? {
+            Some(doc) => Response::from_json(&doc),
+            None => Err(WireError::Protocol(
+                "server closed the connection".to_owned(),
+            )),
+        }
+    }
+
+    /// One request, one response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failures, or if the server answers
+    /// with a mismatched id on this single-in-flight connection.
+    pub fn query(
+        &mut self,
+        kind: QueryKind,
+        type_text: &str,
+        options: &QueryOptions,
+    ) -> Result<Response, WireError> {
+        let id = self.send(kind, type_text, options)?;
+        let response = self.recv()?;
+        if response.id() != id {
+            return Err(WireError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id()
+            )));
+        }
+        Ok(response)
+    }
+}

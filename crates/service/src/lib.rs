@@ -1,0 +1,58 @@
+//! # `wfc-service` — a concurrent, cache-fronted analysis server
+//!
+//! The reproduction's pipeline — classification, witnesses, Section 4.2
+//! access bounds, the Theorem 5 certificate, and full consensus
+//! verification — behind a versioned wire protocol, so repeated and
+//! concurrent analyses share work instead of re-exploring execution
+//! trees.
+//!
+//! Everything is `std`-only, like the rest of the workspace:
+//!
+//! * [`wire`] — the `wfc-svc/v1` protocol: length-prefixed JSON frames,
+//!   [`Request`]/[`Response`], pipelining by id, structured `busy` and
+//!   budget errors.
+//! * [`analysis`] — [`run_query`], the single code path shared by the
+//!   CLI subcommands and the server workers (bit-identical results by
+//!   construction), plus the canonical-protocol registry.
+//! * [`cache`] — [`cache_key`] over `wfc_spec::hash` content hashes,
+//!   the sharded in-memory LRU, the append-only disk tier, and
+//!   single-flight deduplication.
+//! * [`server`] — accept loop, bounded queue with explicit
+//!   backpressure, fixed worker pool, deadline reaper driving explorer
+//!   [`CancelToken`](wfc_explorer::CancelToken)s.
+//! * [`client`] — a blocking client with split send/receive for
+//!   pipelining.
+//!
+//! ## Example: in-process round trip
+//!
+//! ```
+//! use wfc_service::{serve, Client, QueryKind, QueryOptions, Response, ServeConfig};
+//!
+//! let handle = serve(ServeConfig::default())?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let tas = wfc_spec::text::format_type(&wfc_spec::canonical::test_and_set(2));
+//! let reply = client.query(QueryKind::Classify, &tas, &QueryOptions::default())?;
+//! match reply {
+//!     Response::Ok { result, .. } => {
+//!         assert_eq!(result.get("case").and_then(|c| c.as_u64()), Some(2));
+//!     }
+//!     other => panic!("unexpected reply: {other:?}"),
+//! }
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod cache;
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use analysis::{explore_options, parse_query_type, run_query, run_query_text, QueryError};
+pub use cache::{cache_key, validate_cache_json, CacheOutcome, ResultCache, CACHE_SCHEMA};
+pub use client::Client;
+pub use server::{serve, ServeConfig, ServerHandle, WorkerGate};
+pub use wire::{QueryKind, QueryOptions, Request, Response, WireError, PROTO};

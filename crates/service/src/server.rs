@@ -1,0 +1,540 @@
+//! The concurrent analysis server.
+//!
+//! Architecture (all std, no external dependencies):
+//!
+//! * an **accept loop** on a nonblocking [`TcpListener`], polling a
+//!   shutdown flag between accepts;
+//! * one **reader thread** per connection, decoding frames and pushing
+//!   jobs onto a **bounded queue** — when the queue is full the request
+//!   is rejected *immediately* with a `busy` response carrying the
+//!   observed depth and the configured capacity (explicit backpressure,
+//!   never unbounded buffering);
+//! * a **fixed worker pool** draining the queue through the
+//!   [`ResultCache`] (memory → disk → single-flight → compute);
+//! * per-connection **pipelining**: responses are written back under a
+//!   per-connection lock and matched to requests by id, so one client
+//!   may keep many requests in flight and workers may complete them out
+//!   of order;
+//! * a **reaper thread** enforcing the per-request deadline by setting
+//!   the owning worker's [`CancelToken`] flag — explorations abort at
+//!   their next level-sync point with a `cancelled` error.
+//!
+//! Worker cancellation flags are leaked `AtomicBool`s (one per worker
+//! per server start — a bounded, intentional leak) because
+//! `ExploreOptions` is `Copy` and its token borrows `'static`.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wfc_explorer::CancelToken;
+
+use crate::analysis::{explore_options, parse_query_type, run_query, QueryError};
+use crate::cache::{cache_key, ResultCache};
+use crate::wire::{read_frame, write_frame, QueryOptions, Request, Response, WireError};
+
+/// Server configuration. `Default` gives a loopback server on an
+/// ephemeral port with two workers.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0`.
+    pub addr: String,
+    /// Worker threads computing queries.
+    pub workers: usize,
+    /// Bounded request-queue capacity; beyond it, requests get `busy`.
+    pub queue_capacity: usize,
+    /// In-memory result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Disk cache directory (`None` disables the disk tier).
+    pub cache_dir: Option<PathBuf>,
+    /// Upper clamp on a request's `max_configs`.
+    pub max_configs_limit: usize,
+    /// Upper clamp on a request's `max_depth`.
+    pub max_depth_limit: usize,
+    /// Upper clamp on a request's explorer `threads`.
+    pub max_threads_limit: usize,
+    /// Per-request wall-clock deadline; `None` disables the reaper.
+    pub request_timeout: Option<Duration>,
+    /// Test hook: workers pass this gate after dequeuing a job and
+    /// before computing, letting tests hold a worker deterministically.
+    pub gate: Option<Arc<WorkerGate>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            cache_dir: None,
+            max_configs_limit: 4_000_000,
+            max_depth_limit: usize::MAX,
+            max_threads_limit: 8,
+            request_timeout: None,
+            gate: None,
+        }
+    }
+}
+
+/// A gate workers pass between dequeuing a job and computing it. Tests
+/// close it to hold workers at a known point (and read [`held`] to know
+/// a worker has arrived), which makes queue-saturation and deadline
+/// tests deterministic instead of timing-dependent.
+///
+/// [`held`]: WorkerGate::held
+#[derive(Debug)]
+pub struct WorkerGate {
+    open: Mutex<bool>,
+    cv: Condvar,
+    held: AtomicUsize,
+}
+
+impl Default for WorkerGate {
+    /// An open gate — a closed default would deadlock every worker.
+    fn default() -> WorkerGate {
+        WorkerGate {
+            open: Mutex::new(true),
+            cv: Condvar::new(),
+            held: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl WorkerGate {
+    /// An open gate.
+    pub fn new() -> Arc<WorkerGate> {
+        Arc::new(WorkerGate::default())
+    }
+
+    /// Closes the gate: workers arriving at [`pass`](WorkerGate::pass)
+    /// will block.
+    pub fn close(&self) {
+        *self.open.lock().unwrap() = false;
+    }
+
+    /// Opens the gate and releases every held worker.
+    pub fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// How many workers are currently blocked at the gate.
+    pub fn held(&self) -> usize {
+        self.held.load(Ordering::SeqCst)
+    }
+
+    fn pass(&self) {
+        let mut open = self.open.lock().unwrap();
+        if *open {
+            return;
+        }
+        self.held.fetch_add(1, Ordering::SeqCst);
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        self.held.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+struct Job {
+    request: Request,
+    conn: Arc<ConnWriter>,
+}
+
+struct JobQueue {
+    capacity: usize,
+    state: Mutex<(VecDeque<Job>, bool)>, // (jobs, closed)
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            capacity,
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues, or reports the observed depth if the queue is full.
+    fn try_push(&self, job: Job) -> Result<usize, usize> {
+        let mut state = self.state.lock().unwrap();
+        if state.0.len() >= self.capacity {
+            return Err(state.0.len());
+        }
+        state.0.push_back(job);
+        let depth = state.0.len();
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The write half of a connection, shared by the reader thread (busy
+/// and protocol-error responses) and every worker (results). Responses
+/// are matched to requests by id, so interleaving across requests is
+/// fine; the lock only keeps individual frames intact.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn write(&self, response: &Response) {
+        let mut stream = self.stream.lock().unwrap();
+        // A failed write means the peer is gone; workers just move on.
+        let _ = write_frame(&mut *stream, &response.to_json());
+    }
+}
+
+/// Per-worker deadline slot, scanned by the reaper.
+struct InFlight {
+    deadline: Mutex<Option<Instant>>,
+    cancel: &'static AtomicBool,
+}
+
+/// A handle on a running server: its bound address and its shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<JobQueue>,
+    gate: Arc<WorkerGate>,
+    cancel_flags: Vec<&'static AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    reaper_thread: Option<JoinHandle<()>>,
+    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server: cancels in-flight explorations, drains the
+    /// pool, and joins every thread. Idempotent-by-consumption (takes
+    /// `self`).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for flag in &self.cancel_flags {
+            flag.store(true, Ordering::SeqCst);
+        }
+        self.gate.open(); // never strand a worker behind a test gate
+        self.queue.close();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.reaper_thread.take() {
+            let _ = t.join();
+        }
+        let readers = std::mem::take(&mut *self.reader_threads.lock().unwrap());
+        for t in readers {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts a server and returns once it is listening.
+///
+/// # Errors
+///
+/// Propagates bind/configuration failures.
+pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let cache = Arc::new(
+        ResultCache::new(config.cache_capacity, config.cache_dir.clone())
+            .map_err(io::Error::other)?,
+    );
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(JobQueue::new(config.queue_capacity.max(1)));
+    let gate = config.gate.clone().unwrap_or_default();
+    let workers = config.workers.max(1);
+
+    // One leaked cancellation flag per worker (bounded: workers × server
+    // starts). `ExploreOptions` is `Copy`, so its token must be
+    // `'static`.
+    let cancel_flags: Vec<&'static AtomicBool> = (0..workers)
+        .map(|_| &*Box::leak(Box::new(AtomicBool::new(false))))
+        .collect();
+    let inflight: Arc<Vec<InFlight>> = Arc::new(
+        cancel_flags
+            .iter()
+            .map(|&cancel| InFlight {
+                deadline: Mutex::new(None),
+                cancel,
+            })
+            .collect(),
+    );
+
+    let mut worker_threads = Vec::with_capacity(workers);
+    for (idx, &cancel) in cancel_flags.iter().enumerate() {
+        let queue = Arc::clone(&queue);
+        let cache = Arc::clone(&cache);
+        let gate = Arc::clone(&gate);
+        let inflight = Arc::clone(&inflight);
+        let config = config.clone();
+        worker_threads.push(
+            std::thread::Builder::new()
+                .name(format!("wfc-svc-worker-{idx}"))
+                .spawn(move || {
+                    worker_loop(idx, &queue, &cache, &gate, &inflight, cancel, &config)
+                })?,
+        );
+    }
+
+    let reaper_thread = if config.request_timeout.is_some() {
+        let shutdown = Arc::clone(&shutdown);
+        let inflight = Arc::clone(&inflight);
+        Some(
+            std::thread::Builder::new()
+                .name("wfc-svc-reaper".to_owned())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        let now = Instant::now();
+                        for slot in inflight.iter() {
+                            let expired = slot
+                                .deadline
+                                .lock()
+                                .unwrap()
+                                .is_some_and(|deadline| now >= deadline);
+                            if expired {
+                                slot.cancel.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                })?,
+        )
+    } else {
+        None
+    };
+
+    let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let queue = Arc::clone(&queue);
+        let readers = Arc::clone(&reader_threads);
+        std::thread::Builder::new()
+            .name("wfc-svc-accept".to_owned())
+            .spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let shutdown = Arc::clone(&shutdown);
+                            let queue = Arc::clone(&queue);
+                            let spawned = std::thread::Builder::new()
+                                .name("wfc-svc-conn".to_owned())
+                                .spawn(move || connection_loop(stream, &shutdown, &queue));
+                            if let Ok(handle) = spawned {
+                                readers.lock().unwrap().push(handle);
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        queue,
+        gate,
+        cancel_flags,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+        reaper_thread,
+        reader_threads,
+    })
+}
+
+fn connection_loop(mut stream: TcpStream, shutdown: &AtomicBool, queue: &JobQueue) {
+    // Short read timeouts let this thread observe shutdown while idle;
+    // the wire layer resumes partial frames across timeouts, so framing
+    // stays intact.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnWriter {
+        stream: Mutex::new(write_half),
+    });
+    while !shutdown.load(Ordering::SeqCst) {
+        let doc = match read_frame(&mut stream) {
+            Ok(Some(doc)) => doc,
+            Ok(None) => return, // clean EOF
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle; poll shutdown again
+            }
+            Err(WireError::Io(_)) => return,
+            Err(WireError::Protocol(message)) => {
+                // Framing is no longer trustworthy; answer and hang up.
+                conn.write(&Response::Error {
+                    id: 0,
+                    code: "bad-request".to_owned(),
+                    message,
+                    budget: None,
+                    used: None,
+                });
+                return;
+            }
+        };
+        let request = match Request::from_json(&doc) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame itself was sound; only this message is bad.
+                let id = doc
+                    .get("id")
+                    .and_then(wfc_obs::json::Json::as_u64)
+                    .unwrap_or(0);
+                conn.write(&Response::Error {
+                    id,
+                    code: "bad-request".to_owned(),
+                    message: e.to_string(),
+                    budget: None,
+                    used: None,
+                });
+                continue;
+            }
+        };
+        wfc_obs::counter!("service.requests");
+        let id = request.id;
+        match queue.try_push(Job {
+            request,
+            conn: Arc::clone(&conn),
+        }) {
+            Ok(depth) => {
+                wfc_obs::gauge_max!("service.queue.depth", depth as i64);
+            }
+            Err(depth) => {
+                wfc_obs::counter!("service.responses.busy");
+                conn.write(&Response::Busy {
+                    id,
+                    used: depth as u64,
+                    budget: queue.capacity as u64,
+                });
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    idx: usize,
+    queue: &JobQueue,
+    cache: &ResultCache,
+    gate: &WorkerGate,
+    inflight: &[InFlight],
+    cancel: &'static AtomicBool,
+    config: &ServeConfig,
+) {
+    while let Some(job) = queue.pop() {
+        let Job { request, conn } = job;
+        let started = Instant::now();
+        cancel.store(false, Ordering::SeqCst);
+        // Arm the deadline before passing the gate, so time a test
+        // spends holding the worker counts against the deadline — that
+        // is what makes the cancellation test deterministic.
+        *inflight[idx].deadline.lock().unwrap() = config.request_timeout.map(|t| started + t);
+        gate.pass();
+
+        let options = clamp_options(&request.options, config);
+        let response = match parse_query_type(&request.type_text) {
+            Err(e) => error_response(request.id, &e),
+            Ok(ty) => {
+                let key = cache_key(request.kind, &ty, &options);
+                let opts = explore_options(&options).with_cancel(CancelToken::new(cancel));
+                let computed = cache.get_or_compute(key, request.kind, ty.name(), || {
+                    run_query(request.kind, &ty, &opts)
+                });
+                match computed {
+                    Ok((value, outcome)) => Response::Ok {
+                        id: request.id,
+                        cached: outcome.is_cached(),
+                        result: (*value).clone(),
+                    },
+                    Err(e) => error_response(request.id, &e),
+                }
+            }
+        };
+        *inflight[idx].deadline.lock().unwrap() = None;
+
+        if wfc_obs::enabled() {
+            let name = match &response {
+                Response::Ok { .. } => "service.responses.ok",
+                _ => "service.responses.error",
+            };
+            wfc_obs::metrics::Registry::global().counter(name).add(1);
+            wfc_obs::metrics::Registry::global()
+                .histogram(&format!("service.latency_us.{}", request.kind))
+                .record(started.elapsed().as_micros() as u64);
+        }
+        conn.write(&response);
+    }
+}
+
+fn clamp_options(requested: &QueryOptions, config: &ServeConfig) -> QueryOptions {
+    QueryOptions {
+        max_configs: requested.max_configs.min(config.max_configs_limit),
+        max_depth: requested.max_depth.min(config.max_depth_limit),
+        threads: requested.threads.clamp(1, config.max_threads_limit.max(1)),
+    }
+}
+
+fn error_response(id: u64, e: &QueryError) -> Response {
+    let (budget, used) = match e.budget_used() {
+        Some((b, u)) => (Some(b), Some(u)),
+        None => (None, None),
+    };
+    Response::Error {
+        id,
+        code: e.code().to_owned(),
+        message: e.to_string(),
+        budget,
+        used,
+    }
+}

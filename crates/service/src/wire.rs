@@ -1,0 +1,574 @@
+//! The `wfc-svc/v1` wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is a 4-byte big-endian length followed by that many
+//! bytes of compact UTF-8 JSON (rendered by `wfc_obs::json`, which has
+//! deterministic key order). Both directions use the same framing;
+//! requests and responses carry a `proto` field naming the protocol
+//! version, and responses echo the request `id`, which is what makes
+//! per-connection pipelining possible — a client may have many requests
+//! in flight and match answers by id (responses can arrive out of
+//! order when a server runs several workers).
+//!
+//! Error and busy responses are structured, not bare strings: a budget
+//! failure carries the same `budget`/`used` pair as
+//! [`ExplorerError::BudgetExceeded`](wfc_explorer::ExplorerError), and a
+//! backpressure rejection carries the observed queue depth as `used`
+//! against the configured capacity as `budget`.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use wfc_obs::json::Json;
+
+/// The protocol identifier carried by every frame.
+pub const PROTO: &str = "wfc-svc/v1";
+
+/// Frames larger than this are rejected before allocation (a hostile
+/// peer must not be able to request an arbitrary buffer).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A wire-level failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// A frame violated the protocol (oversized, bad JSON, missing or
+    /// mistyped fields, wrong `proto`).
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn proto_err(message: impl Into<String>) -> WireError {
+    WireError::Protocol(message.into())
+}
+
+/// Writes one value as a length-prefixed frame.
+pub fn write_frame(out: &mut impl Write, value: &Json) -> Result<(), WireError> {
+    let payload = value.render();
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(proto_err(format!(
+            "outgoing frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+            bytes.len()
+        )));
+    }
+    out.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    out.write_all(bytes)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection between messages).
+pub fn read_frame(input: &mut impl Read) -> Result<Option<Json>, WireError> {
+    let mut header = [0u8; 4];
+    // An idle timeout before any header byte arrives propagates as an
+    // `Io` error (the server uses that to poll its shutdown flag); once
+    // the first byte is in, timeouts resume the read so framing holds.
+    match read_full(input, &mut header, false)? {
+        0 => return Ok(None),
+        4 => {}
+        n => {
+            return Err(proto_err(format!(
+                "connection died {n} bytes into a header"
+            )))
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(proto_err(format!(
+            "incoming frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    if read_full(input, &mut payload, true)? != len {
+        return Err(proto_err("connection died mid-frame"));
+    }
+    let text = std::str::from_utf8(&payload).map_err(|_| proto_err("frame is not UTF-8"))?;
+    let value = wfc_obs::json::parse(text).map_err(|e| proto_err(format!("bad JSON: {e}")))?;
+    Ok(Some(value))
+}
+
+/// Reads until `buf` is full or EOF; returns the bytes read. Always
+/// retries `Interrupted`. `WouldBlock`/`TimedOut` are retried once at
+/// least one byte has been read — or unconditionally when `retry_idle`
+/// is set — so a mid-frame read timeout never desynchronizes the
+/// framing, while an *idle* timeout (no bytes yet) can surface to the
+/// caller as an `Io` error it treats as "poll again".
+fn read_full(input: &mut impl Read, buf: &mut [u8], retry_idle: bool) -> Result<usize, WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) && (filled > 0 || retry_idle) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// The analyses a `wfc-service` server can be asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Theorem 5 classification plus the one-use-bit recipe (case 2).
+    Classify,
+    /// The Lemma-4 minimal non-trivial pair.
+    Witness,
+    /// Section 4.2 access bounds (`D`, per-register `r_b`/`w_b`).
+    AccessBounds,
+    /// The full Theorem 5 pipeline: bounds, elimination, re-verification.
+    Theorem5,
+    /// Wait-freedom + agreement + validity over all `2^n` input vectors.
+    VerifyConsensus,
+}
+
+impl QueryKind {
+    /// Every query kind, in a fixed order (for tests and smoke scripts).
+    pub const ALL: [QueryKind; 5] = [
+        QueryKind::Classify,
+        QueryKind::Witness,
+        QueryKind::AccessBounds,
+        QueryKind::Theorem5,
+        QueryKind::VerifyConsensus,
+    ];
+
+    /// The wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryKind::Classify => "classify",
+            QueryKind::Witness => "witness",
+            QueryKind::AccessBounds => "access-bounds",
+            QueryKind::Theorem5 => "theorem5",
+            QueryKind::VerifyConsensus => "verify-consensus",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<QueryKind> {
+        QueryKind::ALL.into_iter().find(|k| k.as_str() == name)
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-request exploration budgets, part of the cache key.
+///
+/// `threads` is deliberately **not** part of the cache identity: every
+/// analysis in the pipeline is bit-identical across thread counts
+/// (enforced by `tests/parallel_differential.rs`), so results computed
+/// at different parallelism must share cache lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Maximum distinct configurations per exploration.
+    pub max_configs: usize,
+    /// Maximum execution-tree depth per exploration.
+    pub max_depth: usize,
+    /// Explorer threads *within* one request (clamped by the server).
+    pub threads: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        let d = wfc_explorer::ExploreOptions::default();
+        QueryOptions {
+            max_configs: d.max_configs,
+            max_depth: d.max_depth,
+            threads: 1,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// This configuration with a `max_configs` budget.
+    pub fn with_max_configs(mut self, max_configs: usize) -> Self {
+        self.max_configs = max_configs;
+        self
+    }
+
+    /// This configuration with a `max_depth` budget.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// This configuration with `threads` explorer workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("max_configs", Json::U64(self.max_configs as u64)),
+            ("max_depth", Json::U64(self.max_depth as u64)),
+            ("threads", Json::U64(self.threads as u64)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<QueryOptions, WireError> {
+        let field = |name: &str, default: usize| -> Result<usize, WireError> {
+            match doc.get(name) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+                    .ok_or_else(|| proto_err(format!("options.{name} is not an integer"))),
+            }
+        };
+        let d = QueryOptions::default();
+        Ok(QueryOptions {
+            max_configs: field("max_configs", d.max_configs)?,
+            max_depth: field("max_depth", d.max_depth)?,
+            threads: field("threads", d.threads)?,
+        })
+    }
+}
+
+/// One analysis request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id echoed by the response.
+    pub id: u64,
+    /// Which analysis to run.
+    pub kind: QueryKind,
+    /// The type, in the `wfc-spec` text format.
+    pub type_text: String,
+    /// Exploration budgets.
+    pub options: QueryOptions,
+}
+
+impl Request {
+    /// The request as a wire value.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("proto", Json::Str(PROTO.to_owned())),
+            ("id", Json::U64(self.id)),
+            ("kind", Json::Str(self.kind.as_str().to_owned())),
+            ("type", Json::Str(self.type_text.clone())),
+            ("options", self.options.to_json()),
+        ])
+    }
+
+    /// Parses a wire value.
+    pub fn from_json(doc: &Json) -> Result<Request, WireError> {
+        check_proto(doc)?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| proto_err("request missing integer `id`"))?;
+        let kind_name = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| proto_err("request missing string `kind`"))?;
+        let kind = QueryKind::parse(kind_name)
+            .ok_or_else(|| proto_err(format!("unknown query kind `{kind_name}`")))?;
+        let type_text = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| proto_err("request missing string `type`"))?
+            .to_owned();
+        let options = match doc.get("options") {
+            None => QueryOptions::default(),
+            Some(o) => QueryOptions::from_json(o)?,
+        };
+        Ok(Request {
+            id,
+            kind,
+            type_text,
+            options,
+        })
+    }
+}
+
+fn check_proto(doc: &Json) -> Result<(), WireError> {
+    let proto = doc
+        .get("proto")
+        .and_then(Json::as_str)
+        .ok_or_else(|| proto_err("frame missing `proto`"))?;
+    if proto != PROTO {
+        return Err(proto_err(format!(
+            "peer speaks `{proto}`, this side speaks `{PROTO}`"
+        )));
+    }
+    Ok(())
+}
+
+/// One analysis response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The analysis succeeded.
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// `true` if the result came from the cache (memory, disk, or a
+        /// coalesced in-flight computation) rather than fresh work.
+        cached: bool,
+        /// The canonical result document for the query kind.
+        result: Json,
+    },
+    /// The analysis failed.
+    Error {
+        /// Echo of the request id.
+        id: u64,
+        /// A stable machine-readable code (`parse-error`,
+        /// `unsupported`, `budget-exceeded`, `cancelled`,
+        /// `analysis-error`, `bad-request`).
+        code: String,
+        /// Human-readable description.
+        message: String,
+        /// For `budget-exceeded`: the configured budget.
+        budget: Option<u64>,
+        /// For `budget-exceeded`: the observed consumption when the
+        /// budget fired (same semantics as
+        /// [`ExplorerError::BudgetExceeded`](wfc_explorer::ExplorerError)).
+        used: Option<u64>,
+    },
+    /// Backpressure: the bounded request queue is full. The request was
+    /// **not** enqueued; the client may retry later.
+    Busy {
+        /// Echo of the request id.
+        id: u64,
+        /// The observed queue depth at rejection.
+        used: u64,
+        /// The configured queue capacity.
+        budget: u64,
+    },
+}
+
+impl Response {
+    /// The response's request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. } | Response::Error { id, .. } | Response::Busy { id, .. } => *id,
+        }
+    }
+
+    /// The response as a wire value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Ok { id, cached, result } => Json::obj(vec![
+                ("proto", Json::Str(PROTO.to_owned())),
+                ("id", Json::U64(*id)),
+                ("status", Json::Str("ok".to_owned())),
+                ("cached", Json::Bool(*cached)),
+                ("result", result.clone()),
+            ]),
+            Response::Error {
+                id,
+                code,
+                message,
+                budget,
+                used,
+            } => {
+                let mut fields = vec![
+                    ("proto", Json::Str(PROTO.to_owned())),
+                    ("id", Json::U64(*id)),
+                    ("status", Json::Str("error".to_owned())),
+                    ("code", Json::Str(code.clone())),
+                    ("message", Json::Str(message.clone())),
+                ];
+                if let Some(b) = budget {
+                    fields.push(("budget", Json::U64(*b)));
+                }
+                if let Some(u) = used {
+                    fields.push(("used", Json::U64(*u)));
+                }
+                Json::obj(fields)
+            }
+            Response::Busy { id, used, budget } => Json::obj(vec![
+                ("proto", Json::Str(PROTO.to_owned())),
+                ("id", Json::U64(*id)),
+                ("status", Json::Str("busy".to_owned())),
+                ("used", Json::U64(*used)),
+                ("budget", Json::U64(*budget)),
+            ]),
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_json(doc: &Json) -> Result<Response, WireError> {
+        check_proto(doc)?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| proto_err("response missing integer `id`"))?;
+        let status = doc
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| proto_err("response missing string `status`"))?;
+        match status {
+            "ok" => Ok(Response::Ok {
+                id,
+                cached: matches!(doc.get("cached"), Some(Json::Bool(true))),
+                result: doc
+                    .get("result")
+                    .cloned()
+                    .ok_or_else(|| proto_err("ok response missing `result`"))?,
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                code: doc
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| proto_err("error response missing `code`"))?
+                    .to_owned(),
+                message: doc
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                budget: doc.get("budget").and_then(Json::as_u64),
+                used: doc.get("used").and_then(Json::as_u64),
+            }),
+            "busy" => Ok(Response::Busy {
+                id,
+                used: doc
+                    .get("used")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| proto_err("busy response missing `used`"))?,
+                budget: doc
+                    .get("budget")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| proto_err("busy response missing `budget`"))?,
+            }),
+            other => Err(proto_err(format!("unknown response status `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let req = Request {
+            id: 7,
+            kind: QueryKind::AccessBounds,
+            type_text: "type t ports 2\n".to_owned(),
+            options: QueryOptions::default().with_max_configs(123),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.to_json()).unwrap();
+        // A second frame in the same stream.
+        let resp = Response::Busy {
+            id: 7,
+            used: 9,
+            budget: 8,
+        };
+        write_frame(&mut buf, &resp.to_json()).unwrap();
+
+        let mut cursor = &buf[..];
+        let got = Request::from_json(&read_frame(&mut cursor).unwrap().unwrap()).unwrap();
+        assert_eq!(got, req);
+        let got = Response::from_json(&read_frame(&mut cursor).unwrap().unwrap()).unwrap();
+        assert_eq!(got, resp);
+        // Clean EOF at the boundary.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn every_query_kind_round_trips_by_name() {
+        for kind in QueryKind::ALL {
+            assert_eq!(QueryKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(QueryKind::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn responses_round_trip_with_budget_fields() {
+        let cases = vec![
+            Response::Ok {
+                id: 1,
+                cached: true,
+                result: Json::obj(vec![("D", Json::U64(5))]),
+            },
+            Response::Error {
+                id: 2,
+                code: "budget-exceeded".to_owned(),
+                message: "exploration exceeded the budget".to_owned(),
+                budget: Some(100),
+                used: Some(135),
+            },
+            Response::Error {
+                id: 3,
+                code: "parse-error".to_owned(),
+                message: "line 2".to_owned(),
+                budget: None,
+                used: None,
+            },
+            Response::Busy {
+                id: 4,
+                used: 64,
+                budget: 64,
+            },
+        ];
+        for r in cases {
+            let back = Response::from_json(&r.to_json()).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.id(), r.id());
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // Oversized declared length.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::Protocol(_))
+        ));
+        // Truncated payload.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&10u32.to_be_bytes());
+        bad.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::Protocol(_))
+        ));
+        // Payload that is not JSON.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&3u32.to_be_bytes());
+        bad.extend_from_slice(b"}{!");
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::Protocol(_))
+        ));
+        // Wrong protocol version.
+        let doc = Json::obj(vec![
+            ("proto", Json::Str("wfc-svc/v0".to_owned())),
+            ("id", Json::U64(1)),
+        ]);
+        assert!(Request::from_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Canonical 128-bit content hashing for [`FiniteType`] values.
+//!
+//! The serving layer (`wfc-service`) caches analysis results keyed by
+//! *what was asked*: the type, the query kind, and the budgets. Two
+//! textually different files describing the same type must hit the same
+//! cache line, so the key is derived from the **canonical rendering**
+//! ([`crate::text::format_type`]) of the parsed type — whitespace,
+//! comments and `delta` ordering quirks of the source file disappear in
+//! the round trip.
+//!
+//! The hash itself is FNV-1a over 128 bits: tiny, dependency-free,
+//! stable across platforms and releases (the constants are pinned
+//! here), and wide enough that accidental collisions are not a
+//! practical concern for a cache. It is **not** cryptographic; nothing
+//! in the pipeline needs collision resistance against an adversary who
+//! controls both sides — a poisoned cache entry can only be planted by
+//! whoever already controls the cache directory.
+
+use crate::text::format_type;
+use crate::FiniteType;
+use std::fmt;
+
+/// FNV-1a 128-bit offset basis (per the published FNV parameters).
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content hash, rendered as 32 lowercase hex digits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hash128(pub u128);
+
+impl Hash128 {
+    /// The hash as 32 lowercase hexadecimal digits.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the 32-hex-digit rendering produced by [`Hash128::to_hex`].
+    pub fn from_hex(text: &str) -> Option<Hash128> {
+        if text.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(Hash128)
+    }
+}
+
+impl fmt::Display for Hash128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// An incremental FNV-1a 128-bit hasher.
+///
+/// Variable-length fields should go through [`Hasher128::write_str`],
+/// which length-prefixes the bytes so field boundaries cannot alias
+/// (`"ab" + "c"` and `"a" + "bc"` hash differently).
+#[derive(Clone, Debug)]
+pub struct Hasher128 {
+    state: u128,
+}
+
+impl Default for Hasher128 {
+    fn default() -> Self {
+        Hasher128::new()
+    }
+}
+
+impl Hasher128 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Hasher128 {
+        Hasher128 { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed.
+    pub fn write_str(&mut self, text: &str) {
+        self.write_u64(text.len() as u64);
+        self.write(text.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> Hash128 {
+        Hash128(self.state)
+    }
+}
+
+/// The canonical content hash of a type: FNV-1a 128 over the canonical
+/// text rendering, so any source text that parses to this type hashes
+/// identically.
+pub fn hash_type(ty: &FiniteType) -> Hash128 {
+    let mut h = Hasher128::new();
+    h.write_str(&format_type(ty));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical;
+    use crate::text::parse_type;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Empty input hashes to the offset basis.
+        assert_eq!(Hasher128::new().finish().0, FNV_OFFSET);
+        // One byte 'a' (0x61): classic single-step FNV-1a.
+        let mut h = Hasher128::new();
+        h.write(b"a");
+        assert_eq!(h.finish().0, (FNV_OFFSET ^ 0x61).wrapping_mul(FNV_PRIME));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let h = hash_type(&canonical::test_and_set(2));
+        assert_eq!(Hash128::from_hex(&h.to_hex()), Some(h));
+        assert_eq!(h.to_hex().len(), 32);
+        assert!(Hash128::from_hex("xyz").is_none());
+        assert!(Hash128::from_hex(&"0".repeat(31)).is_none());
+    }
+
+    #[test]
+    fn hash_is_canonical_under_reformatting() {
+        let ty = canonical::test_and_set(2);
+        let text = crate::text::format_type(&ty);
+        // Mangle whitespace and add comments; the parsed type hashes the same.
+        let noisy = format!("# a comment\n\n{}\n\n", text.replace(' ', "  "));
+        let back = parse_type(&noisy).unwrap();
+        assert_eq!(hash_type(&ty), hash_type(&back));
+    }
+
+    #[test]
+    fn distinct_types_hash_apart() {
+        let zoo = canonical::deterministic_zoo(2);
+        let mut hashes: Vec<_> = zoo.iter().map(hash_type).collect();
+        hashes.sort();
+        hashes.dedup();
+        assert_eq!(hashes.len(), zoo.len(), "zoo hashes must be distinct");
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let mut a = Hasher128::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Hasher128::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -19,6 +19,8 @@
 //!   non-trivial deterministic types.
 //! * [`canonical`] — the standard type zoo (registers, test-and-set, queue,
 //!   compare-and-swap, sticky bit, consensus, one-use bit, …).
+//! * [`hash`] — canonical 128-bit content hashing of types (the cache-key
+//!   substrate of the `wfc-service` serving layer).
 //!
 //! ## Example: classify a type and extract a witness
 //!
@@ -40,6 +42,7 @@
 
 pub mod canonical;
 mod error;
+pub mod hash;
 mod history;
 mod ids;
 pub mod prng;

@@ -1,27 +1,39 @@
 //! `wfc` — command-line front end to the PODC'94 reproduction.
 //!
 //! ```text
-//! wfc classify <TYPE-FILE>   classify a type per Theorem 5 and derive its one-use bit
-//! wfc witness  <TYPE-FILE>   print the minimal non-trivial pair (Lemmas 2–4)
-//! wfc show     <TYPE-FILE>   parse, validate and pretty-print a type
-//! wfc catalog                print the certified hierarchy catalog
-//! wfc zoo                    dump the canonical zoo in the text format
+//! wfc classify <TYPE-FILE>        classify a type per Theorem 5 and derive its one-use bit
+//! wfc witness  <TYPE-FILE>        print the minimal non-trivial pair (Lemmas 2–4)
+//! wfc show     <TYPE-FILE>        parse, validate and pretty-print a type
+//! wfc catalog                     print the certified hierarchy catalog
+//! wfc zoo                         dump the canonical zoo in the text format
+//! wfc type <NAME>                 print one canonical type in the text format
+//! wfc access-bounds <TYPE-FILE>   Section 4.2 bounds (D, r_b, w_b) as JSON
+//! wfc theorem5 <TYPE-FILE>        full Theorem 5 certificate as JSON
+//! wfc serve [flags]               run the analysis server
+//! wfc query <KIND> <TYPE-FILE> --addr HOST:PORT
+//!                                 ask a running server for any analysis
 //! ```
 //!
 //! Type files use the `wfc-spec::text` format; see `wfc zoo` for
-//! examples.
+//! examples. The JSON-producing subcommands (`access-bounds`,
+//! `theorem5`, and `query` with any kind) share one code path with the
+//! server workers, so direct and served results are byte-identical.
+//!
+//! Exit codes: 0 success, 1 error, 2 usage, 3 server busy.
 
 use std::error::Error;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use wait_free_consensus::prelude::*;
+use wfc_service::{Client, QueryKind, QueryOptions, Response, ServeConfig, PROTO};
 use wfc_spec::text::{format_type, parse_type};
 use wfc_spec::FiniteType;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo"
+        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [--max-configs N] [--max-depth N] [--threads N]\n  wfc theorem5 <TYPE-FILE> [--max-configs N] [--max-depth N] [--threads N]\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [--max-configs N] [--max-depth N] [--threads N]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus)"
     );
     ExitCode::from(2)
 }
@@ -147,24 +159,218 @@ fn cmd_zoo() {
     println!("{}", format_type(&spec::canonical::one_use_bit()));
 }
 
+fn cmd_type(name: &str) -> Result<(), Box<dyn Error>> {
+    let all: Vec<FiniteType> = spec::canonical::deterministic_zoo(2)
+        .into_iter()
+        .chain(std::iter::once(spec::canonical::one_use_bit()))
+        .collect();
+    match all.iter().find(|t| t.name() == name) {
+        Some(ty) => {
+            print!("{}", format_type(ty));
+            Ok(())
+        }
+        None => {
+            let known: Vec<&str> = all.iter().map(|t| t.name()).collect();
+            Err(format!(
+                "unknown canonical type `{name}`; known: {}",
+                known.join(", ")
+            )
+            .into())
+        }
+    }
+}
+
+/// Pulls `--flag VALUE` pairs out of `args`, erroring on strays.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, Box<dyn Error>> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if !flag.starts_with("--") {
+                return Err(format!("unexpected argument `{flag}`").into());
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+            pairs.push((flag.clone(), value.clone()));
+        }
+        Ok(Flags(pairs))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(f, _)| f == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, Box<dyn Error>> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag `{name}` wants an integer, got `{v}`").into()),
+        }
+    }
+}
+
+fn query_options(flags: &Flags) -> Result<QueryOptions, Box<dyn Error>> {
+    let d = QueryOptions::default();
+    Ok(QueryOptions {
+        max_configs: flags.get_usize("--max-configs", d.max_configs)?,
+        max_depth: flags.get_usize("--max-depth", d.max_depth)?,
+        threads: flags.get_usize("--threads", d.threads)?,
+    })
+}
+
+/// `access-bounds` / `theorem5`: the same engine the server workers
+/// run, printed as the canonical JSON document.
+fn cmd_direct_query(kind: QueryKind, path: &str, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let flags = Flags::parse(rest)?;
+    let options = query_options(&flags)?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = wfc_service::run_query_text(kind, &src, &options)?;
+    println!("{}", doc.render());
+    Ok(())
+}
+
+#[cfg(unix)]
+mod sig {
+    //! SIGTERM/SIGINT → a flag, with nothing but the C library's
+    //! `signal(2)`. Registering a handler is all the smoke test needs to
+    //! assert clean shutdown on `kill -TERM`.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn stopped() -> bool {
+        false
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let flags = Flags::parse(rest)?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: flags.get("--addr").unwrap_or("127.0.0.1:7414").to_owned(),
+        workers: flags.get_usize("--workers", defaults.workers)?,
+        queue_capacity: flags.get_usize("--queue-capacity", defaults.queue_capacity)?,
+        cache_capacity: flags.get_usize("--cache-capacity", defaults.cache_capacity)?,
+        cache_dir: flags.get("--cache-dir").map(Into::into),
+        request_timeout: match flags.get_usize("--timeout-ms", 0)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms as u64)),
+        },
+        ..defaults
+    };
+    let handle = wfc_service::serve(config)?;
+    println!("listening on {} ({PROTO})", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    sig::install();
+    while !sig::stopped() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+    if wfc_obs::emission_requested() {
+        wfc_obs::report::RunReport::collect("wfc-serve").emit();
+    }
+    Ok(())
+}
+
+fn cmd_query(kind_name: &str, path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let kind =
+        QueryKind::parse(kind_name).ok_or_else(|| format!("unknown query kind `{kind_name}`"))?;
+    let flags = Flags::parse(rest)?;
+    let options = query_options(&flags)?;
+    let addr = flags
+        .get("--addr")
+        .ok_or("`wfc query` needs --addr HOST:PORT")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut client = Client::connect_retry(addr, Duration::from_secs(10))
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    match client.query(kind, &src, &options)? {
+        Response::Ok { result, cached, .. } => {
+            eprintln!("# cached: {cached}");
+            println!("{}", result.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        Response::Error {
+            code,
+            message,
+            budget,
+            used,
+            ..
+        } => {
+            match (budget, used) {
+                (Some(b), Some(u)) => eprintln!("error [{code}]: {message} (budget {b}, used {u})"),
+                _ => eprintln!("error [{code}]: {message}"),
+            }
+            Ok(ExitCode::FAILURE)
+        }
+        Response::Busy { used, budget, .. } => {
+            eprintln!("busy: request queue at {used}/{budget}; retry later");
+            Ok(ExitCode::from(3))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result: Result<(), Box<dyn Error>> = match args.as_slice() {
-        [cmd, path] if cmd == "classify" => cmd_classify(path),
-        [cmd, path] if cmd == "witness" => cmd_witness(path),
-        [cmd, path] if cmd == "show" => cmd_show(path),
+    let result: Result<ExitCode, Box<dyn Error>> = match args.as_slice() {
+        [cmd, path] if cmd == "classify" => cmd_classify(path).map(|()| ExitCode::SUCCESS),
+        [cmd, path] if cmd == "witness" => cmd_witness(path).map(|()| ExitCode::SUCCESS),
+        [cmd, path] if cmd == "show" => cmd_show(path).map(|()| ExitCode::SUCCESS),
         [cmd] if cmd == "catalog" => {
             cmd_catalog();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         [cmd] if cmd == "zoo" => {
             cmd_zoo();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
+        [cmd, name] if cmd == "type" => cmd_type(name).map(|()| ExitCode::SUCCESS),
+        [cmd, path, rest @ ..] if cmd == "access-bounds" => {
+            cmd_direct_query(QueryKind::AccessBounds, path, rest).map(|()| ExitCode::SUCCESS)
+        }
+        [cmd, path, rest @ ..] if cmd == "theorem5" => {
+            cmd_direct_query(QueryKind::Theorem5, path, rest).map(|()| ExitCode::SUCCESS)
+        }
+        [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest).map(|()| ExitCode::SUCCESS),
+        [cmd, kind, path, rest @ ..] if cmd == "query" => cmd_query(kind, path, rest),
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

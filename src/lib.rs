@@ -84,11 +84,15 @@ pub use wfc_registers as registers;
 /// (`wfc-runtime`).
 pub use wfc_runtime as runtime;
 
+/// The analysis server and client: the `wfc-svc/v1` wire protocol, the
+/// content-hash result cache, and the worker pool (`wfc-service`).
+pub use wfc_service as service;
+
 /// The finite-type formalism: types, histories, triviality, witnesses
 /// (`wfc-spec`).
 pub use wfc_spec as spec;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::{consensus, core, explorer, hierarchy, registers, runtime, spec};
+    pub use crate::{consensus, core, explorer, hierarchy, registers, runtime, service, spec};
 }

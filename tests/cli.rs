@@ -99,6 +99,72 @@ fn zoo_round_trips_through_show() {
 }
 
 #[test]
+fn type_prints_canonical_text_that_round_trips() {
+    let out = wfc(&["type", "test_and_set"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("type test_and_set"), "{text}");
+    let path = write_temp("type-rt", &text);
+    let out = wfc(&["show", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    std::fs::remove_file(path).ok();
+
+    let out = wfc(&["type", "no_such_type"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("known:"), "{err}");
+}
+
+#[test]
+fn access_bounds_subcommand_emits_the_canonical_document() {
+    let out = wfc(&["type", "test_and_set"]);
+    let path = write_temp("ab", &String::from_utf8(out.stdout).unwrap());
+    let out = wfc(&["access-bounds", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Same document the library produces, byte for byte.
+    let direct = wfc_service::run_query_text(
+        wfc_service::QueryKind::AccessBounds,
+        &std::fs::read_to_string(&path).unwrap(),
+        &wfc_service::QueryOptions::default(),
+    )
+    .unwrap()
+    .render();
+    assert_eq!(text.trim_end(), direct, "CLI bytes differ from library");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn theorem5_subcommand_reports_a_holding_certificate() {
+    let out = wfc(&["type", "test_and_set"]);
+    let path = write_temp("t5", &String::from_utf8(out.stdout).unwrap());
+    let out = wfc(&["theorem5", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = wfc_obs::json::parse(String::from_utf8(out.stdout).unwrap().trim()).unwrap();
+    assert_eq!(doc.get("holds"), Some(&wfc_obs::json::Json::Bool(true)));
+    assert!(doc.get("one_use_bits").is_some());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn query_without_addr_is_an_error() {
+    let path = write_temp("noaddr", BIT);
+    let out = wfc(&["query", "classify", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--addr"), "{err}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn bad_usage_exits_with_two() {
     let out = wfc(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2));

@@ -1,0 +1,299 @@
+//! Acceptance tests for `wfc-service`, in the spirit of
+//! `parallel_differential.rs`: a served analysis must be **byte-identical**
+//! to the direct library call, at any worker count, from any cache tier —
+//! and the server's backpressure, budget and deadline behavior must be
+//! structured, not stringly.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wait_free_consensus::prelude::*;
+use wfc_service::{serve, Client, QueryKind, QueryOptions, Response, ServeConfig, WorkerGate};
+use wfc_spec::text::format_type;
+
+fn tas_text() -> String {
+    format_type(&spec::canonical::test_and_set(2))
+}
+
+fn local_config() -> ServeConfig {
+    ServeConfig::default()
+}
+
+fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The headline acceptance criterion: for **every** query kind, `wfc
+/// query` against a running server returns the same bytes as the direct
+/// library call — with 1 worker and with 4.
+#[test]
+fn served_results_are_byte_identical_to_direct_calls() {
+    let tas = tas_text();
+    let options = QueryOptions::default();
+    for workers in [1usize, 4] {
+        let handle = serve(ServeConfig {
+            workers,
+            ..local_config()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for kind in QueryKind::ALL {
+            let direct = wfc_service::run_query_text(kind, &tas, &options)
+                .unwrap_or_else(|e| panic!("direct {kind} failed: {e}"))
+                .render();
+            match client.query(kind, &tas, &options).unwrap() {
+                Response::Ok { cached, result, .. } => {
+                    assert!(!cached, "{kind}: first query must compute fresh");
+                    assert_eq!(
+                        result.render(),
+                        direct,
+                        "{kind}: served bytes differ from direct call at {workers} workers"
+                    );
+                }
+                other => panic!("{kind}: unexpected response {other:?}"),
+            }
+            // And again, now from the cache: still the same bytes.
+            match client.query(kind, &tas, &options).unwrap() {
+                Response::Ok { cached, result, .. } => {
+                    assert!(cached, "{kind}: repeat query must hit the cache");
+                    assert_eq!(result.render(), direct, "{kind}: cached bytes differ");
+                }
+                other => panic!("{kind}: unexpected repeat response {other:?}"),
+            }
+        }
+        handle.shutdown();
+    }
+}
+
+/// Responses are matched by id, so a client may pipeline requests and
+/// collect out-of-order completions.
+#[test]
+fn pipelined_requests_complete_and_match_by_id() {
+    let handle = serve(ServeConfig {
+        workers: 2,
+        ..local_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let tas = tas_text();
+    let options = QueryOptions::default();
+    let mut expected: Vec<u64> = Vec::new();
+    for kind in [
+        QueryKind::Classify,
+        QueryKind::Witness,
+        QueryKind::AccessBounds,
+    ] {
+        expected.push(client.send(kind, &tas, &options).unwrap());
+    }
+    let mut seen = Vec::new();
+    for _ in 0..expected.len() {
+        match client.recv().unwrap() {
+            Response::Ok { id, .. } => seen.push(id),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    seen.sort_unstable();
+    expected.sort_unstable();
+    assert_eq!(seen, expected);
+    handle.shutdown();
+}
+
+/// The bounded queue rejects overflow with an explicit `busy` response
+/// carrying the observed depth and the capacity — it never buffers
+/// without bound. The worker gate makes the saturation deterministic.
+#[test]
+fn saturated_queue_returns_busy_with_quantities() {
+    let gate = WorkerGate::new();
+    gate.close();
+    let handle = serve(ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        gate: Some(Arc::clone(&gate)),
+        ..local_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let tas = tas_text();
+    let options = QueryOptions::default();
+
+    // First request: dequeued, then held at the gate.
+    let id1 = client.send(QueryKind::Classify, &tas, &options).unwrap();
+    wait_until("worker to hold at the gate", || gate.held() == 1);
+    // Two more fill the queue; distinct budgets dodge the result cache.
+    let id2 = client
+        .send(QueryKind::Classify, &tas, &options.with_max_configs(1001))
+        .unwrap();
+    let id3 = client
+        .send(QueryKind::Classify, &tas, &options.with_max_configs(1002))
+        .unwrap();
+    // Queue enqueues are asynchronous to this thread; the fourth send
+    // must observe a full queue, which it does because one reader thread
+    // handles this connection's frames strictly in order.
+    let id4 = client
+        .send(QueryKind::Classify, &tas, &options.with_max_configs(1003))
+        .unwrap();
+
+    // The busy rejection is written by the reader thread immediately,
+    // while everything else is stuck behind the closed gate.
+    match client.recv().unwrap() {
+        Response::Busy { id, used, budget } => {
+            assert_eq!(id, id4);
+            assert_eq!(budget, 2, "capacity must be reported");
+            assert_eq!(used, 2, "observed depth must be reported");
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    gate.open();
+    let mut completed = Vec::new();
+    for _ in 0..3 {
+        match client.recv().unwrap() {
+            Response::Ok { id, .. } => completed.push(id),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    completed.sort_unstable();
+    let mut expected = vec![id1, id2, id3];
+    expected.sort_unstable();
+    assert_eq!(completed, expected);
+    handle.shutdown();
+}
+
+/// Budget failures keep `ExplorerError::BudgetExceeded`'s quantities all
+/// the way across the wire — `budget` and `used` as numbers, not prose.
+#[test]
+fn budget_errors_carry_quantities_on_the_wire() {
+    let handle = serve(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let tas = tas_text();
+    let options = QueryOptions::default().with_max_configs(3);
+    let direct = wfc_service::run_query_text(QueryKind::VerifyConsensus, &tas, &options)
+        .expect_err("a 3-config budget cannot fit the TAS protocol");
+    let (direct_budget, direct_used) = direct.budget_used().unwrap();
+    match client
+        .query(QueryKind::VerifyConsensus, &tas, &options)
+        .unwrap()
+    {
+        Response::Error {
+            code, budget, used, ..
+        } => {
+            assert_eq!(code, "budget-exceeded");
+            assert_eq!(budget, Some(direct_budget));
+            assert_eq!(used, Some(direct_used));
+            assert_eq!(budget, Some(3));
+            assert!(used.unwrap() > 3);
+        }
+        other => panic!("expected budget error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Unsupported and malformed queries come back as structured errors with
+/// stable codes.
+#[test]
+fn structured_errors_for_bad_inputs() {
+    let handle = serve(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let options = QueryOptions::default();
+    match client
+        .query(QueryKind::Classify, "not a type", &options)
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, "parse-error"),
+        other => panic!("unexpected {other:?}"),
+    }
+    let one_use = format_type(&spec::canonical::one_use_bit());
+    match client
+        .query(QueryKind::AccessBounds, &one_use, &options)
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, "unsupported"),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// The disk tier makes results outlive the server: a fresh instance on
+/// the same cache directory serves the same bytes without recomputing.
+#[test]
+fn disk_cache_survives_server_restart() {
+    let dir = std::env::temp_dir().join(format!("wfc-svc-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tas = tas_text();
+    let options = QueryOptions::default();
+
+    let first = {
+        let handle = serve(ServeConfig {
+            cache_dir: Some(dir.clone()),
+            ..local_config()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let result = match client
+            .query(QueryKind::AccessBounds, &tas, &options)
+            .unwrap()
+        {
+            Response::Ok { cached, result, .. } => {
+                assert!(!cached);
+                result.render()
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        handle.shutdown();
+        result
+    };
+
+    let handle = serve(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..local_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client
+        .query(QueryKind::AccessBounds, &tas, &options)
+        .unwrap()
+    {
+        Response::Ok { cached, result, .. } => {
+            assert!(cached, "restart must serve from disk, not recompute");
+            assert_eq!(result.render(), first, "disk tier changed the bytes");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The reaper turns an expired per-request deadline into a `cancelled`
+/// error by flagging the worker's cancel token; the gate holds the
+/// worker past its deadline to make the expiry deterministic.
+#[test]
+fn deadline_expiry_cancels_the_exploration() {
+    let gate = WorkerGate::new();
+    gate.close();
+    let handle = serve(ServeConfig {
+        workers: 1,
+        request_timeout: Some(Duration::from_millis(50)),
+        gate: Some(Arc::clone(&gate)),
+        ..local_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let tas = tas_text();
+    client
+        .send(QueryKind::VerifyConsensus, &tas, &QueryOptions::default())
+        .unwrap();
+    wait_until("worker to hold at the gate", || gate.held() == 1);
+    // The deadline was armed before the gate; let it lapse, give the
+    // reaper (10 ms tick) time to flag the worker, then release.
+    std::thread::sleep(Duration::from_millis(150));
+    gate.open();
+    match client.recv().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, "cancelled"),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    handle.shutdown();
+}
