@@ -13,30 +13,28 @@
 //! Linearizability: a successful read's payload copy is bracketed by two
 //! equal even counter loads, so it observed the state of exactly one
 //! completed write; that write is the linearisation point.
+//!
+//! The cell is generic over a [`CellProvider`]: with the default
+//! [`RealProvider`] it compiles to exactly the hardware atomics above;
+//! under the `wfc-sched` model checker's provider every counter access
+//! and payload copy becomes a scheduler yield point, so the protocol is
+//! checked under all bounded interleavings.
 
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use crate::provider::{CellProvider, RawAtomicUsize, RawData, RealProvider};
 
 /// An atomic cell holding a `Copy` value of any size, readable and
 /// writable from any thread.
-pub struct SeqLockCell<T> {
-    seq: AtomicUsize,
-    value: UnsafeCell<T>,
+pub struct SeqLockCell<T: Copy + Send + 'static, P: CellProvider = RealProvider> {
+    seq: P::AtomicUsize,
+    value: P::Data<T>,
 }
 
-// Safety: all access to `value` is mediated by the seqlock protocol —
-// writers are mutually excluded by the odd-counter CAS, and readers
-// validate their snapshot against the counter before using it.
-unsafe impl<T: Copy + Send> Send for SeqLockCell<T> {}
-unsafe impl<T: Copy + Send> Sync for SeqLockCell<T> {}
-
-impl<T: Copy> SeqLockCell<T> {
+impl<T: Copy + Send + 'static, P: CellProvider> SeqLockCell<T, P> {
     /// Creates a cell initialised to `value`.
     pub fn new(value: T) -> Self {
         SeqLockCell {
-            seq: AtomicUsize::new(0),
-            value: UnsafeCell::new(value),
+            seq: P::AtomicUsize::new(0),
+            value: P::Data::new(value),
         }
     }
 
@@ -44,57 +42,48 @@ impl<T: Copy> SeqLockCell<T> {
     pub fn store(&self, value: T) {
         wfc_obs::counter!("registers.cell.stores");
         // Acquire the write side: CAS the counter from even to odd.
-        let mut seq = self.seq.load(Ordering::Relaxed);
+        let mut seq = self.seq.load_relaxed();
         loop {
             if seq.is_multiple_of(2) {
-                match self.seq.compare_exchange_weak(
-                    seq,
-                    seq.wrapping_add(1),
-                    Ordering::Acquire,
-                    Ordering::Relaxed,
-                ) {
+                match self.seq.cas_weak_acquire(seq, seq.wrapping_add(1)) {
                     Ok(_) => break,
                     Err(actual) => seq = actual,
                 }
             } else {
-                std::hint::spin_loop();
-                seq = self.seq.load(Ordering::Relaxed);
+                P::spin_hint();
+                seq = self.seq.load_relaxed();
             }
         }
-        // Safety: the odd counter excludes other writers; readers that
-        // overlap this plain write will observe an odd or changed counter
-        // and retry rather than use the torn snapshot.
-        unsafe { std::ptr::write_volatile(self.value.get(), value) };
-        self.seq.store(seq.wrapping_add(2), Ordering::Release);
+        // The odd counter excludes other writers; readers that overlap
+        // this plain write will observe an odd or changed counter and
+        // retry rather than use the torn snapshot.
+        self.value.write(value);
+        self.seq.store_release(seq.wrapping_add(2));
     }
 
     /// Atomically loads the value.
     pub fn load(&self) -> T {
         wfc_obs::counter!("registers.cell.loads");
         loop {
-            let before = self.seq.load(Ordering::Acquire);
+            let before = self.seq.load_acquire();
             if !before.is_multiple_of(2) {
-                std::hint::spin_loop();
+                P::spin_hint();
                 continue;
             }
-            // Safety: the snapshot may be torn if a write overlaps, but a
-            // torn snapshot is never *used*: the re-check below rejects
-            // it, and `MaybeUninit` keeps the copy itself free of
-            // validity requirements.
-            let snapshot =
-                unsafe { std::ptr::read_volatile(self.value.get().cast::<MaybeUninit<T>>()) };
-            fence(Ordering::Acquire);
-            if self.seq.load(Ordering::Relaxed) == before {
-                // Safety: no write overlapped, so the snapshot is a copy
-                // of a fully initialised value.
+            let snapshot = self.value.read_maybe_torn();
+            P::fence_acquire();
+            if self.seq.load_relaxed() == before {
+                // Safety: the counter did not move across the copy, so no
+                // write overlapped and the snapshot is a copy of a fully
+                // initialised value (the `RawData` contract).
                 return unsafe { snapshot.assume_init() };
             }
-            std::hint::spin_loop();
+            P::spin_hint();
         }
     }
 }
 
-impl<T: Copy + std::fmt::Debug> std::fmt::Debug for SeqLockCell<T> {
+impl<T: Copy + Send + std::fmt::Debug, P: CellProvider> std::fmt::Debug for SeqLockCell<T, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SeqLockCell")
             .field("value", &self.load())
@@ -108,7 +97,7 @@ mod tests {
 
     #[test]
     fn round_trips_large_values() {
-        let cell = SeqLockCell::new([1u64, 2, 3, 4]);
+        let cell = SeqLockCell::<_>::new([1u64, 2, 3, 4]);
         assert_eq!(cell.load(), [1, 2, 3, 4]);
         cell.store([5, 6, 7, 8]);
         assert_eq!(cell.load(), [5, 6, 7, 8]);
@@ -118,7 +107,7 @@ mod tests {
     fn concurrent_reads_never_tear() {
         // Writer alternates between two self-consistent pairs; readers
         // must never observe a mixed pair.
-        let cell = SeqLockCell::new((0u64, 0u64));
+        let cell = SeqLockCell::<_>::new((0u64, 0u64));
         std::thread::scope(|s| {
             for _ in 0..3 {
                 s.spawn(|| {
@@ -138,7 +127,7 @@ mod tests {
 
     #[test]
     fn concurrent_writers_serialize() {
-        let cell = SeqLockCell::new((0u64, 0u64));
+        let cell = SeqLockCell::<_>::new((0u64, 0u64));
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let cell = &cell;

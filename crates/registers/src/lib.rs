@@ -23,6 +23,12 @@
 //! Every layer carries unit tests, concurrent stress tests, and — via
 //! `wfc-runtime` history recording and the `wfc-explorer` checker —
 //! linearizability/regularity verification of recorded executions.
+//!
+//! The base cells are generic over a [`CellProvider`]: [`RealProvider`]
+//! (the default everywhere) is real hardware atomics, and the
+//! `wfc-sched` model checker substitutes scheduler-instrumented shims to
+//! check the same construction code under exhaustively enumerated
+//! interleavings (DESIGN.md §2.10).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -31,6 +37,7 @@ mod cell;
 mod mrmw;
 mod mrsw_atomic;
 mod mrsw_regular;
+mod provider;
 mod queue;
 mod register;
 mod srsw;
@@ -41,10 +48,12 @@ pub use cell::SeqLockCell;
 pub use mrmw::{mrmw_atomic_register, Labelled, MrmwReader, MrmwWriter};
 pub use mrsw_atomic::{mrsw_atomic_register, MrswAtomicReader, MrswAtomicWriter};
 pub use mrsw_regular::{mrsw_regular_bit, MrswRegularReader, MrswRegularWriter};
+pub use provider::{CellProvider, RawAtomicBool, RawAtomicUsize, RawData, RealData, RealProvider};
 pub use queue::ArrayQueue;
 pub use register::{Register, RegisterReader, RegisterWriter};
 pub use srsw::{
-    atomic_bit, atomic_reg, AtomicBitReader, AtomicBitWriter, AtomicRegReader, AtomicRegWriter,
+    atomic_bit, atomic_bit_in, atomic_reg, atomic_reg_in, AtomicBitReader, AtomicBitWriter,
+    AtomicRegReader, AtomicRegWriter,
 };
 pub use traits::{BitReader, BitWriter, RegReader, RegWriter, Stamped};
 pub use unary::{unary_regular_register, UnaryReader, UnaryWriter};

@@ -1,0 +1,184 @@
+//! The cell-provider abstraction: one trait family describing the raw
+//! shared-memory cells the register constructions are built from.
+//!
+//! Every concrete implementation in this crate bottoms out in three kinds
+//! of shared cell: an atomic `usize` (the seqlock counter), an atomic
+//! `bool` (the base SRSW bit), and an unsynchronised data slot whose reads
+//! may be torn when a write overlaps (the seqlock payload). A
+//! [`CellProvider`] supplies all three. In production the provider is
+//! [`RealProvider`] — `std::sync::atomic` plus a volatile `UnsafeCell` —
+//! and the abstraction compiles away entirely: every trait method is a
+//! `#[inline]` wrapper around the exact instruction the pre-refactor code
+//! issued (the *zero-cost-when-real* contract, see DESIGN.md §2.10).
+//! Under the `wfc-sched` model checker the provider is a set of shims
+//! that yield to a deterministic scheduler at every shared access, so the
+//! same unmodified construction code runs under exhaustively enumerated
+//! interleavings.
+//!
+//! Memory orderings are baked into the method names (`load_acquire`,
+//! `store_release`, …) rather than passed as parameters: the
+//! constructions use a fixed, audited set of orderings, and shim
+//! providers — which simulate sequential consistency — can ignore them
+//! without carrying unused parameters.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+
+/// A shared atomic `usize` cell.
+pub trait RawAtomicUsize: Send + Sync {
+    /// Creates a cell holding `value`.
+    fn new(value: usize) -> Self;
+    /// Loads with acquire ordering.
+    fn load_acquire(&self) -> usize;
+    /// Loads with relaxed ordering.
+    fn load_relaxed(&self) -> usize;
+    /// Stores with release ordering.
+    fn store_release(&self, value: usize);
+    /// Weak compare-exchange, acquire on success, relaxed on failure.
+    /// Returns the previous value as `Ok` on success, `Err` on failure
+    /// (spurious failure allowed).
+    fn cas_weak_acquire(&self, current: usize, new: usize) -> Result<usize, usize>;
+}
+
+/// A shared atomic `bool` cell.
+pub trait RawAtomicBool: Send + Sync {
+    /// Creates a cell holding `value`.
+    fn new(value: bool) -> Self;
+    /// Loads with acquire ordering.
+    fn load_acquire(&self) -> bool;
+    /// Stores with release ordering.
+    fn store_release(&self, value: bool);
+}
+
+/// A shared, unsynchronised data slot for a `Copy` payload.
+///
+/// # Contract
+///
+/// `write` must never race another `write` (callers provide mutual
+/// exclusion — the seqlock's odd counter). `read_maybe_torn` may overlap
+/// a `write`; the returned bytes are then unspecified, and the caller
+/// must discard them without calling `assume_init` unless it can prove
+/// (e.g. by seqlock validation) that no write overlapped.
+pub trait RawData<T: Copy>: Send + Sync {
+    /// Creates a slot holding `value`.
+    fn new(value: T) -> Self;
+    /// Copies the slot's bytes; torn if a `write` overlapped.
+    fn read_maybe_torn(&self) -> MaybeUninit<T>;
+    /// Overwrites the slot. Must not race another `write`.
+    fn write(&self, value: T);
+}
+
+/// A family of raw shared cells for the register constructions.
+///
+/// The default provider everywhere is [`RealProvider`]; the `wfc-sched`
+/// crate supplies a scheduler-instrumented provider for model checking.
+pub trait CellProvider: 'static {
+    /// The atomic `usize` cell (seqlock counters).
+    type AtomicUsize: RawAtomicUsize;
+    /// The atomic `bool` cell (base SRSW bits).
+    type AtomicBool: RawAtomicBool;
+    /// The unsynchronised payload slot (seqlock payloads).
+    type Data<T: Copy + Send + 'static>: RawData<T>;
+
+    /// An acquire fence, ordering a preceding data read before a
+    /// subsequent validation load.
+    fn fence_acquire();
+    /// A spin-wait hint for retry loops.
+    fn spin_hint();
+}
+
+/// The production provider: real hardware atomics and volatile payload
+/// access. Every method inlines to exactly the code the constructions
+/// used before they were made generic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealProvider;
+
+impl RawAtomicUsize for AtomicUsize {
+    #[inline]
+    fn new(value: usize) -> Self {
+        AtomicUsize::new(value)
+    }
+    #[inline]
+    fn load_acquire(&self) -> usize {
+        self.load(Ordering::Acquire)
+    }
+    #[inline]
+    fn load_relaxed(&self) -> usize {
+        self.load(Ordering::Relaxed)
+    }
+    #[inline]
+    fn store_release(&self, value: usize) {
+        self.store(value, Ordering::Release)
+    }
+    #[inline]
+    fn cas_weak_acquire(&self, current: usize, new: usize) -> Result<usize, usize> {
+        self.compare_exchange_weak(current, new, Ordering::Acquire, Ordering::Relaxed)
+    }
+}
+
+impl RawAtomicBool for AtomicBool {
+    #[inline]
+    fn new(value: bool) -> Self {
+        AtomicBool::new(value)
+    }
+    #[inline]
+    fn load_acquire(&self) -> bool {
+        self.load(Ordering::Acquire)
+    }
+    #[inline]
+    fn store_release(&self, value: bool) {
+        self.store(value, Ordering::Release)
+    }
+}
+
+/// The production payload slot: an `UnsafeCell` accessed with volatile
+/// copies, exactly as the pre-refactor `SeqLockCell` did.
+pub struct RealData<T>(UnsafeCell<T>);
+
+// Safety: the `RawData` contract makes callers responsible for the
+// synchronisation — writes are mutually excluded by the seqlock counter,
+// and torn reads are discarded after validation, never inspected.
+unsafe impl<T: Copy + Send> Send for RealData<T> {}
+unsafe impl<T: Copy + Send> Sync for RealData<T> {}
+
+impl<T: Copy + Send> RawData<T> for RealData<T> {
+    #[inline]
+    fn new(value: T) -> Self {
+        RealData(UnsafeCell::new(value))
+    }
+    #[inline]
+    fn read_maybe_torn(&self) -> MaybeUninit<T> {
+        // Safety: reading through `MaybeUninit` places no validity
+        // requirement on the (possibly torn) bytes; volatile keeps the
+        // copy from being elided or reordered by the compiler.
+        unsafe { std::ptr::read_volatile(self.0.get().cast::<MaybeUninit<T>>()) }
+    }
+    #[inline]
+    fn write(&self, value: T) {
+        // Safety: the contract excludes concurrent `write`s; overlapping
+        // readers discard their torn snapshot after seqlock validation.
+        unsafe { std::ptr::write_volatile(self.0.get(), value) }
+    }
+}
+
+impl<T> std::fmt::Debug for RealData<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealData").finish_non_exhaustive()
+    }
+}
+
+impl CellProvider for RealProvider {
+    type AtomicUsize = AtomicUsize;
+    type AtomicBool = AtomicBool;
+    type Data<T: Copy + Send + 'static> = RealData<T>;
+
+    #[inline]
+    fn fence_acquire() {
+        fence(Ordering::Acquire);
+    }
+    #[inline]
+    fn spin_hint() {
+        std::hint::spin_loop();
+    }
+}

@@ -10,11 +10,17 @@
 //! handles of [`crate::traits`], so the restricted access pattern the
 //! literature assumes is faithfully observed. (See DESIGN.md,
 //! substitutions table.)
+//!
+//! Both primitives come in provider-generic form ([`atomic_bit_in`],
+//! [`atomic_reg_in`]) so the `wfc-sched` model checker can build the same
+//! handles over scheduler-instrumented cells; the plain constructors are
+//! the [`RealProvider`] instantiation and cost exactly what they did
+//! before the refactor.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::cell::SeqLockCell;
+use crate::provider::{CellProvider, RawAtomicBool, RealProvider};
 use crate::traits::{BitReader, BitWriter, RegReader, RegWriter};
 
 /// Creates a single-reader single-writer atomic bit, returning its two
@@ -31,7 +37,13 @@ use crate::traits::{BitReader, BitWriter, RegReader, RegWriter};
 /// assert!(r.read());
 /// ```
 pub fn atomic_bit(init: bool) -> (AtomicBitWriter, AtomicBitReader) {
-    let cell = Arc::new(AtomicBool::new(init));
+    atomic_bit_in::<RealProvider>(init)
+}
+
+/// [`atomic_bit`], generic over the [`CellProvider`] supplying the
+/// underlying atomic cell.
+pub fn atomic_bit_in<P: CellProvider>(init: bool) -> (AtomicBitWriter<P>, AtomicBitReader<P>) {
+    let cell = Arc::new(P::AtomicBool::new(init));
     (
         AtomicBitWriter {
             cell: Arc::clone(&cell),
@@ -41,26 +53,36 @@ pub fn atomic_bit(init: bool) -> (AtomicBitWriter, AtomicBitReader) {
 }
 
 /// Writer handle of an [`atomic_bit`].
-#[derive(Debug)]
-pub struct AtomicBitWriter {
-    cell: Arc<AtomicBool>,
+pub struct AtomicBitWriter<P: CellProvider = RealProvider> {
+    cell: Arc<P::AtomicBool>,
 }
 
 /// Reader handle of an [`atomic_bit`].
-#[derive(Debug)]
-pub struct AtomicBitReader {
-    cell: Arc<AtomicBool>,
+pub struct AtomicBitReader<P: CellProvider = RealProvider> {
+    cell: Arc<P::AtomicBool>,
 }
 
-impl BitWriter for AtomicBitWriter {
-    fn write(&mut self, v: bool) {
-        self.cell.store(v, Ordering::Release);
+impl<P: CellProvider> std::fmt::Debug for AtomicBitWriter<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBitWriter").finish_non_exhaustive()
     }
 }
 
-impl BitReader for AtomicBitReader {
+impl<P: CellProvider> std::fmt::Debug for AtomicBitReader<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBitReader").finish_non_exhaustive()
+    }
+}
+
+impl<P: CellProvider> BitWriter for AtomicBitWriter<P> {
+    fn write(&mut self, v: bool) {
+        self.cell.store_release(v);
+    }
+}
+
+impl<P: CellProvider> BitReader for AtomicBitReader<P> {
     fn read(&mut self) -> bool {
-        self.cell.load(Ordering::Acquire)
+        self.cell.load_acquire()
     }
 }
 
@@ -71,7 +93,15 @@ impl BitReader for AtomicBitReader {
 /// readers retry only when a write actually overlaps, and the read of a
 /// quiescent cell is wait-free.
 pub fn atomic_reg<T: Copy + Send + 'static>(init: T) -> (AtomicRegWriter<T>, AtomicRegReader<T>) {
-    let cell = Arc::new(SeqLockCell::new(init));
+    atomic_reg_in::<T, RealProvider>(init)
+}
+
+/// [`atomic_reg`], generic over the [`CellProvider`] supplying the
+/// seqlock's counter and payload cells.
+pub fn atomic_reg_in<T: Copy + Send + 'static, P: CellProvider>(
+    init: T,
+) -> (AtomicRegWriter<T, P>, AtomicRegReader<T, P>) {
+    let cell = Arc::new(SeqLockCell::<T, P>::new(init));
     (
         AtomicRegWriter {
             cell: Arc::clone(&cell),
@@ -81,34 +111,34 @@ pub fn atomic_reg<T: Copy + Send + 'static>(init: T) -> (AtomicRegWriter<T>, Ato
 }
 
 /// Writer handle of an [`atomic_reg`].
-pub struct AtomicRegWriter<T> {
-    cell: Arc<SeqLockCell<T>>,
+pub struct AtomicRegWriter<T: Copy + Send + 'static, P: CellProvider = RealProvider> {
+    cell: Arc<SeqLockCell<T, P>>,
 }
 
-impl<T> std::fmt::Debug for AtomicRegWriter<T> {
+impl<T: Copy + Send + 'static, P: CellProvider> std::fmt::Debug for AtomicRegWriter<T, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AtomicRegWriter").finish_non_exhaustive()
     }
 }
 
 /// Reader handle of an [`atomic_reg`].
-pub struct AtomicRegReader<T> {
-    cell: Arc<SeqLockCell<T>>,
+pub struct AtomicRegReader<T: Copy + Send + 'static, P: CellProvider = RealProvider> {
+    cell: Arc<SeqLockCell<T, P>>,
 }
 
-impl<T> std::fmt::Debug for AtomicRegReader<T> {
+impl<T: Copy + Send + 'static, P: CellProvider> std::fmt::Debug for AtomicRegReader<T, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AtomicRegReader").finish_non_exhaustive()
     }
 }
 
-impl<T: Copy + Send> RegWriter<T> for AtomicRegWriter<T> {
+impl<T: Copy + Send + 'static, P: CellProvider> RegWriter<T> for AtomicRegWriter<T, P> {
     fn write(&mut self, v: T) {
         self.cell.store(v);
     }
 }
 
-impl<T: Copy + Send> RegReader<T> for AtomicRegReader<T> {
+impl<T: Copy + Send + 'static, P: CellProvider> RegReader<T> for AtomicRegReader<T, P> {
     fn read(&mut self) -> T {
         self.cell.load()
     }

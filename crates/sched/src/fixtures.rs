@@ -1,0 +1,446 @@
+//! Named model-checking targets: the repo's concrete register
+//! implementations rebuilt over [`SchedProvider`] cells, plus a
+//! deliberately broken register that the checker must catch.
+//!
+//! Each fixture is a small closed concurrent program — a writer and one
+//! or two readers exchanging values through a register implementation —
+//! whose operation history is recorded with [`OpLog`] and judged after
+//! the execution, usually by linearizability against the matching
+//! [`wfc_spec::canonical`] register type. The fixtures marked
+//! `expect_violation` are the negative controls: `regular` tolerates the
+//! new/old inversion an atomic register forbids, and `broken` writes its
+//! value as two independent words with no seqlock validation, so a
+//! reader overlapping the write observes a torn value.
+
+use std::sync::{Arc, Mutex};
+
+use wfc_core::{bounded_bit_with, OneUseRead, OneUseWrite};
+use wfc_explorer::linearizability::is_linearizable;
+use wfc_registers::{
+    atomic_bit_in, atomic_reg_in, mrsw_atomic_register, mrsw_regular_bit, BitReader, BitWriter,
+    RawAtomicBool, RegReader, RegWriter, SeqLockCell, Stamped,
+};
+use wfc_spec::{canonical, FiniteType, PortId};
+
+use crate::exec::Execution;
+use crate::log::{render_history, OpLog};
+use crate::shim::{self, Cell, SchedProvider};
+
+/// A named model-checking target.
+#[derive(Clone, Copy, Debug)]
+pub struct Fixture {
+    /// The target name accepted by [`build`] and `wfc sched`.
+    pub name: &'static str,
+    /// One-line description of the scenario.
+    pub summary: &'static str,
+    /// Number of virtual threads the scenario spawns.
+    pub threads: usize,
+    /// `true` if exploring the fixture is expected to find a violation.
+    pub expect_violation: bool,
+}
+
+/// Every fixture, in presentation order.
+pub const ALL: &[Fixture] = &[
+    Fixture {
+        name: "srsw",
+        summary: "SRSW seqlock register, 1 write vs 2 sequential reads (exhaustive-feasible)",
+        threads: 2,
+        expect_violation: false,
+    },
+    Fixture {
+        name: "seqlock",
+        summary: "SeqLockCell over a two-word payload, 2 writes vs 2 reads",
+        threads: 2,
+        expect_violation: false,
+    },
+    Fixture {
+        name: "t4",
+        summary: "Section 4.3 bounded bit over one-use bits, 1 write vs 2 reads",
+        threads: 2,
+        expect_violation: false,
+    },
+    Fixture {
+        name: "mrsw",
+        summary: "MRSW atomic register over SRSW seqlocks, 1 write vs 2 readers",
+        threads: 3,
+        expect_violation: false,
+    },
+    Fixture {
+        name: "regular",
+        summary: "MRSW *regular* bit vs the atomic spec: new/old inversion across readers",
+        threads: 3,
+        expect_violation: true,
+    },
+    Fixture {
+        name: "broken",
+        summary: "broken register: torn two-word write, no seqlock validation",
+        threads: 2,
+        expect_violation: true,
+    },
+];
+
+/// Looks up a fixture by name.
+pub fn find(name: &str) -> Option<&'static Fixture> {
+    ALL.iter().find(|f| f.name == name)
+}
+
+/// A reusable scenario builder: called once per explored schedule.
+pub type Builder = Box<dyn FnMut() -> Execution + Send>;
+
+/// The scenario builder for a fixture name, or `None` if unknown.
+pub fn build(name: &str) -> Option<Builder> {
+    match name {
+        "srsw" => Some(Box::new(build_srsw)),
+        "seqlock" => Some(Box::new(build_seqlock)),
+        "t4" => Some(Box::new(build_t4)),
+        "mrsw" => Some(Box::new(build_mrsw)),
+        "regular" => Some(Box::new(build_regular)),
+        "broken" => Some(Box::new(build_broken)),
+        _ => None,
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The standard verdict: the recorded history must linearize against
+/// `ty` from the state named `init`.
+fn not_linearizable(ty: &FiniteType, init: &str, log: &OpLog) -> Option<String> {
+    let init = ty.state_id(init).expect("fixture init state exists");
+    if is_linearizable(ty, init, &log.history()) {
+        None
+    } else {
+        Some(format!(
+            "history is not linearizable against {}:\n{}",
+            ty.name(),
+            render_history(ty, &log.snapshot())
+        ))
+    }
+}
+
+/// `srsw`: one writer stores 1 into an SRSW seqlock register while the
+/// reader reads twice in sequence. The acceptance property of the whole
+/// subsystem: no schedule shows the new/old inversion `(1, 0)`.
+fn build_srsw() -> Execution {
+    let ty = canonical::register(2, 2);
+    let read_inv = ty.invocation_id("read").expect("read");
+    let write1 = ty.invocation_id("write1").expect("write1");
+    let ok = ty.response_id("ok").expect("ok");
+    let resp = [
+        ty.response_id("0").expect("resp 0"),
+        ty.response_id("1").expect("resp 1"),
+    ];
+    let (mut w, mut r) = atomic_reg_in::<usize, SchedProvider>(0);
+    let log = Arc::new(OpLog::new());
+    let reads: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let writer = {
+        let log = Arc::clone(&log);
+        Box::new(move || {
+            let t0 = log.stamp();
+            w.write(1);
+            let t1 = log.stamp();
+            log.record(PortId::new(0), write1, ok, t0, t1);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = {
+        let log = Arc::clone(&log);
+        let reads = Arc::clone(&reads);
+        Box::new(move || {
+            for _ in 0..2 {
+                let t0 = log.stamp();
+                let v = r.read();
+                let t1 = log.stamp();
+                log.record(PortId::new(1), read_inv, resp[v.min(1)], t0, t1);
+                lock(&reads).push(v);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![writer, reader],
+        check: Box::new(move || {
+            if lock(&reads)[..] == [1, 0] {
+                return Some(format!(
+                    "new/old inversion (1, 0): the first read returned the new value 1, \
+                     the second the old value 0\n{}",
+                    render_history(&ty, &log.snapshot())
+                ));
+            }
+            not_linearizable(&ty, "v0", &log)
+        }),
+    }
+}
+
+/// `seqlock`: a [`SeqLockCell`] over a two-word payload, driven directly:
+/// the writer stores `(1, 1)` then `(2, 2)`, the reader loads twice.
+/// Every loaded pair must be intact, and the history must linearize
+/// against a three-valued register.
+fn build_seqlock() -> Execution {
+    let ty = canonical::register(3, 2);
+    let read_inv = ty.invocation_id("read").expect("read");
+    let writes = [
+        ty.invocation_id("write1").expect("write1"),
+        ty.invocation_id("write2").expect("write2"),
+    ];
+    let ok = ty.response_id("ok").expect("ok");
+    let resp: Vec<_> = (0..3)
+        .map(|v| ty.response_id(&v.to_string()).expect("value response"))
+        .collect();
+    let cell = Arc::new(SeqLockCell::<(usize, usize), SchedProvider>::new((0, 0)));
+    let log = Arc::new(OpLog::new());
+    let torn: Arc<Mutex<Option<(usize, usize)>>> = Arc::new(Mutex::new(None));
+    let writer = {
+        let cell = Arc::clone(&cell);
+        let log = Arc::clone(&log);
+        Box::new(move || {
+            for (k, &inv) in writes.iter().enumerate() {
+                let v = k + 1;
+                let t0 = log.stamp();
+                cell.store((v, v));
+                let t1 = log.stamp();
+                log.record(PortId::new(0), inv, ok, t0, t1);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = {
+        let cell = Arc::clone(&cell);
+        let log = Arc::clone(&log);
+        let torn = Arc::clone(&torn);
+        Box::new(move || {
+            for _ in 0..2 {
+                let t0 = log.stamp();
+                let (a, b) = cell.load();
+                let t1 = log.stamp();
+                if a != b {
+                    lock(&torn).get_or_insert((a, b));
+                }
+                log.record(PortId::new(1), read_inv, resp[a.min(2)], t0, t1);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![writer, reader],
+        check: Box::new(move || {
+            if let Some((a, b)) = *lock(&torn) {
+                return Some(format!(
+                    "seqlock returned a torn pair ({a}, {b})\n{}",
+                    render_history(&ty, &log.snapshot())
+                ));
+            }
+            not_linearizable(&ty, "v0", &log)
+        }),
+    }
+}
+
+/// `t4`: the paper's Section 4.3 bounded SRSW bit, built from one-use
+/// bits over scheduler-instrumented flags. One value-changing write
+/// against two reads; the history must linearize as a boolean register.
+fn build_t4() -> Execution {
+    let ty = canonical::register(2, 2);
+    let read_inv = ty.invocation_id("read").expect("read");
+    let write1 = ty.invocation_id("write1").expect("write1");
+    let ok = ty.response_id("ok").expect("ok");
+    let resp = [
+        ty.response_id("0").expect("resp 0"),
+        ty.response_id("1").expect("resp 1"),
+    ];
+    let (mut w, mut r) = bounded_bit_with(false, 2, 1, sched_one_use_bit);
+    let log = Arc::new(OpLog::new());
+    let writer = {
+        let log = Arc::clone(&log);
+        Box::new(move || {
+            let t0 = log.stamp();
+            w.write(true).expect("within write budget");
+            let t1 = log.stamp();
+            log.record(PortId::new(0), write1, ok, t0, t1);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = {
+        let log = Arc::clone(&log);
+        Box::new(move || {
+            for _ in 0..2 {
+                let t0 = log.stamp();
+                let v = r.read().expect("within read budget");
+                let t1 = log.stamp();
+                log.record(PortId::new(1), read_inv, resp[usize::from(v)], t0, t1);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![writer, reader],
+        check: Box::new(move || not_linearizable(&ty, "v0", &log)),
+    }
+}
+
+/// `mrsw`: the stamped MRSW atomic register over SRSW seqlocks. One
+/// write of 1 against two concurrent readers (ports 1 and 2); readers
+/// help each other, so the history must linearize.
+fn build_mrsw() -> Execution {
+    let ty = canonical::register(2, 3);
+    let read_inv = ty.invocation_id("read").expect("read");
+    let write1 = ty.invocation_id("write1").expect("write1");
+    let ok = ty.response_id("ok").expect("ok");
+    let resp = [
+        ty.response_id("0").expect("resp 0"),
+        ty.response_id("1").expect("resp 1"),
+    ];
+    let (mut w, readers) = mrsw_atomic_register(0usize, 2, |init| {
+        atomic_reg_in::<Stamped<usize>, SchedProvider>(init)
+    });
+    let log = Arc::new(OpLog::new());
+    let mut threads: Vec<Box<dyn FnOnce() + Send>> = vec![{
+        let log = Arc::clone(&log);
+        Box::new(move || {
+            let t0 = log.stamp();
+            w.write(1);
+            let t1 = log.stamp();
+            log.record(PortId::new(0), write1, ok, t0, t1);
+        })
+    }];
+    for (j, mut r) in readers.into_iter().enumerate() {
+        let log = Arc::clone(&log);
+        threads.push(Box::new(move || {
+            let t0 = log.stamp();
+            let v = r.read();
+            let t1 = log.stamp();
+            log.record(PortId::new(j + 1), read_inv, resp[v.min(1)], t0, t1);
+        }));
+    }
+    Execution {
+        threads,
+        check: Box::new(move || not_linearizable(&ty, "v0", &log)),
+    }
+}
+
+/// `regular`: the MRSW *regular* bit (one copy per reader, updated in
+/// order, no helping) judged against the *atomic* spec. There is a
+/// schedule where reader 0 sees the new value and finishes before
+/// reader 1 starts, yet reader 1 still reads its stale copy — the
+/// new/old inversion regularity tolerates and atomicity forbids.
+fn build_regular() -> Execution {
+    let ty = canonical::register(2, 3);
+    let read_inv = ty.invocation_id("read").expect("read");
+    let write1 = ty.invocation_id("write1").expect("write1");
+    let ok = ty.response_id("ok").expect("ok");
+    let resp = [
+        ty.response_id("0").expect("resp 0"),
+        ty.response_id("1").expect("resp 1"),
+    ];
+    let (mut w, readers) = mrsw_regular_bit(false, 2, atomic_bit_in::<SchedProvider>);
+    let log = Arc::new(OpLog::new());
+    let mut threads: Vec<Box<dyn FnOnce() + Send>> = vec![{
+        let log = Arc::clone(&log);
+        Box::new(move || {
+            let t0 = log.stamp();
+            w.write(true);
+            let t1 = log.stamp();
+            log.record(PortId::new(0), write1, ok, t0, t1);
+        })
+    }];
+    for (j, mut r) in readers.into_iter().enumerate() {
+        let log = Arc::clone(&log);
+        threads.push(Box::new(move || {
+            let t0 = log.stamp();
+            let v = r.read();
+            let t1 = log.stamp();
+            log.record(PortId::new(j + 1), read_inv, resp[usize::from(v)], t0, t1);
+        }));
+    }
+    Execution {
+        threads,
+        check: Box::new(move || not_linearizable(&ty, "v0", &log)),
+    }
+}
+
+/// `broken`: the planted bug. The register's value is stored as two
+/// independent words with no sequence counter and no validation, so a
+/// read overlapping the write observes a torn pair. Word pairs map to
+/// the values of a four-valued register — `(0,0) → 0`, `(1,1) → 1`,
+/// `(1,0) → 2`, `(0,1) → 3` — and the writer only ever writes value 1,
+/// so any response of 2 or 3 is unserializable.
+fn build_broken() -> Execution {
+    let ty = canonical::register(4, 2);
+    let read_inv = ty.invocation_id("read").expect("read");
+    let write1 = ty.invocation_id("write1").expect("write1");
+    let ok = ty.response_id("ok").expect("ok");
+    let resp: Vec<_> = (0..4)
+        .map(|v| ty.response_id(&v.to_string()).expect("value response"))
+        .collect();
+    let word0 = Arc::new(Cell::new(0usize));
+    let word1 = Arc::new(Cell::new(0usize));
+    let log = Arc::new(OpLog::new());
+    let torn: Arc<Mutex<Option<(usize, usize)>>> = Arc::new(Mutex::new(None));
+    let writer = {
+        let (word0, word1) = (Arc::clone(&word0), Arc::clone(&word1));
+        let log = Arc::clone(&log);
+        Box::new(move || {
+            let t0 = log.stamp();
+            word0.store(1);
+            word1.store(1);
+            let t1 = log.stamp();
+            log.record(PortId::new(0), write1, ok, t0, t1);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = {
+        let log = Arc::clone(&log);
+        let torn = Arc::clone(&torn);
+        Box::new(move || {
+            for _ in 0..2 {
+                let t0 = log.stamp();
+                let a = word0.load();
+                let b = word1.load();
+                let t1 = log.stamp();
+                let value = match (a, b) {
+                    (0, 0) => 0,
+                    (1, 1) => 1,
+                    (1, 0) => 2,
+                    _ => 3,
+                };
+                if value >= 2 {
+                    lock(&torn).get_or_insert((a, b));
+                }
+                log.record(PortId::new(1), read_inv, resp[value], t0, t1);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![writer, reader],
+        check: Box::new(move || {
+            if let Some((a, b)) = *lock(&torn) {
+                return Some(format!(
+                    "torn read ({a}, {b}): the two words of the register disagree\n{}",
+                    render_history(&ty, &log.snapshot())
+                ));
+            }
+            not_linearizable(&ty, "v0", &log)
+        }),
+    }
+}
+
+/// A one-use bit over a scheduler-instrumented atomic flag, feeding the
+/// Section 4.3 construction in [`build_t4`].
+fn sched_one_use_bit() -> (SchedOneUseWriter, SchedOneUseReader) {
+    let cell = Arc::new(<shim::AtomicBool as RawAtomicBool>::new(false));
+    (
+        SchedOneUseWriter(Arc::clone(&cell)),
+        SchedOneUseReader(cell),
+    )
+}
+
+/// Write capability of a scheduler-instrumented one-use bit.
+pub struct SchedOneUseWriter(Arc<shim::AtomicBool>);
+
+/// Read capability of a scheduler-instrumented one-use bit.
+pub struct SchedOneUseReader(Arc<shim::AtomicBool>);
+
+impl OneUseWrite for SchedOneUseWriter {
+    fn write(self) {
+        self.0.store_release(true);
+    }
+}
+
+impl OneUseRead for SchedOneUseReader {
+    fn read(self) -> bool {
+        self.0.load_acquire()
+    }
+}

@@ -1,0 +1,110 @@
+//! Operation-history recording under the scheduler.
+//!
+//! [`OpLog`] mirrors `wfc_runtime::EventLog` — stamp, run the operation,
+//! stamp, record — but its clock is the execution's logical step
+//! counter, and **taking a stamp is itself a scheduler event**: a write
+//! access to a dedicated clock cell, dependent with every other stamp.
+//!
+//! That last property is what makes sleep-set pruning sound for history
+//! checking. Swapping two adjacent *data*-independent accesses can still
+//! reorder operation invocation/response events and change which
+//! operations overlap — i.e. change the linearizability verdict — so
+//! schedules that differ in stamp order must never be identified.
+//! Because every stamp conflicts with every other stamp, the pruner
+//! only ever merges schedules with byte-identical histories.
+
+use std::sync::Mutex;
+
+use wfc_explorer::linearizability::{ConcurrentHistory, OpRecord};
+use wfc_spec::{FiniteType, InvId, PortId, RespId};
+
+use crate::exec::AccessKind;
+use crate::shim::SharedCell;
+
+/// A log of completed operations stamped by the scheduler's logical
+/// clock. Create one per execution, inside the scenario builder.
+#[derive(Debug)]
+pub struct OpLog {
+    clock: SharedCell<u64>,
+    ops: Mutex<Vec<OpRecord>>,
+}
+
+#[allow(clippy::new_without_default)] // construction requires an ambient execution
+impl OpLog {
+    /// Creates an empty log (inside an execution only).
+    pub fn new() -> OpLog {
+        OpLog {
+            clock: SharedCell::new(0),
+            ops: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Draws a strictly-increasing timestamp. This is a scheduler event
+    /// (a write of the clock cell): call once when an operation is
+    /// invoked and once when it responds.
+    pub fn stamp(&self) -> i64 {
+        self.clock.perform(AccessKind::Write, |clock, step| {
+            *clock = step;
+            (step as i64, true)
+        })
+    }
+
+    /// Records a completed operation.
+    pub fn record(
+        &self,
+        port: PortId,
+        inv: InvId,
+        resp: RespId,
+        invoked_at: i64,
+        responded_at: i64,
+    ) {
+        assert!(invoked_at <= responded_at, "response precedes invocation");
+        self.ops
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(OpRecord {
+                port,
+                inv,
+                resp,
+                invoked_at,
+                responded_at,
+            });
+    }
+
+    /// The recorded operations, sorted by `(invoked_at, responded_at,
+    /// port)` — a deterministic order since stamps are unique.
+    pub fn snapshot(&self) -> Vec<OpRecord> {
+        let mut ops = self.ops.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        ops.sort_by_key(|o| (o.invoked_at, o.responded_at, o.port.index()));
+        ops
+    }
+
+    /// The recorded operations as a [`ConcurrentHistory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 operations were recorded (checker limit).
+    pub fn history(&self) -> ConcurrentHistory {
+        ConcurrentHistory::new(self.snapshot())
+    }
+}
+
+/// Renders a history deterministically with the type's names, e.g.
+/// `P1 read -> 1 @[4,9]` — the text embedded in counterexample messages.
+pub fn render_history(ty: &FiniteType, ops: &[OpRecord]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "  P{} {} -> {} @[{},{}]",
+            op.port.index(),
+            ty.invocation_name(op.inv),
+            ty.response_name(op.resp),
+            op.invoked_at,
+            op.responded_at
+        ));
+    }
+    out
+}

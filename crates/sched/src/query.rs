@@ -1,0 +1,282 @@
+//! The textual sched-query format shared by `wfc sched` and the
+//! `wfc-service` `sched` query kind.
+//!
+//! A query is one line: a fixture name followed by optional `key=value`
+//! settings, e.g. `srsw mode=dfs budget=100000` or
+//! `broken replay=101001`. Parsing resolves every default, so
+//! [`SchedSpec::canonical_text`] renders the *complete* configuration —
+//! the string the service hashes for its cache key — and
+//! [`SchedSpec::run`] produces a deterministic JSON document, so served
+//! and direct results are byte-identical.
+
+use std::str::FromStr;
+
+use wfc_obs::json::Json;
+
+use crate::explore::{explore, replay, Mode, SchedError, SchedOptions};
+use crate::fixtures;
+use crate::schedule::Schedule;
+
+/// The exploration strategy named in a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpecMode {
+    /// Exhaustive DFS (`mode=dfs`).
+    Dfs,
+    /// Iterative preemption bounding (`mode=preempt`).
+    Preempt,
+    /// Seeded PCT random walks (`mode=pct`).
+    Pct,
+}
+
+impl SpecMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            SpecMode::Dfs => "dfs",
+            SpecMode::Preempt => "preempt",
+            SpecMode::Pct => "pct",
+        }
+    }
+}
+
+/// A fully resolved sched query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SchedSpec {
+    /// The fixture to check (see [`fixtures::ALL`]).
+    pub target: String,
+    /// The exploration strategy (`mode=`, default `dfs`).
+    pub mode: SpecMode,
+    /// PCT seed (`seed=`, default 1).
+    pub seed: u64,
+    /// PCT run count (`runs=`, default 64).
+    pub runs: u64,
+    /// PCT depth (`depth=`, default 3).
+    pub depth: u32,
+    /// Largest preemption bound (`preemptions=`, default 2).
+    pub preemptions: u32,
+    /// Schedule budget (`budget=`, default 200000).
+    pub budget: u64,
+    /// Per-execution step cap (`steps=`, default 10000).
+    pub steps: u64,
+    /// Sleep-set pruning for DFS (`sleep=on|off`, default on).
+    pub sleep: bool,
+    /// Replay this schedule instead of exploring (`replay=`).
+    pub replay: Option<Schedule>,
+}
+
+impl SchedSpec {
+    /// A spec for `target` with every setting at its default.
+    pub fn new(target: &str) -> SchedSpec {
+        SchedSpec {
+            target: target.to_owned(),
+            mode: SpecMode::Dfs,
+            seed: 1,
+            runs: 64,
+            depth: 3,
+            preemptions: 2,
+            budget: 200_000,
+            steps: 10_000,
+            sleep: true,
+            replay: None,
+        }
+    }
+
+    /// The canonical rendering: every setting resolved, fixed order.
+    /// Equal canonical texts mean equal results — the service hashes
+    /// this string for its cache key.
+    pub fn canonical_text(&self) -> String {
+        let mut out = format!(
+            "{} mode={} seed={} runs={} depth={} preemptions={} budget={} steps={} sleep={}",
+            self.target,
+            self.mode.as_str(),
+            self.seed,
+            self.runs,
+            self.depth,
+            self.preemptions,
+            self.budget,
+            self.steps,
+            if self.sleep { "on" } else { "off" },
+        );
+        if let Some(r) = &self.replay {
+            out.push_str(&format!(" replay={r}"));
+        }
+        out
+    }
+
+    /// Runs the query to a deterministic JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::BudgetExceeded`] when exploration outgrows
+    /// `budget`, [`SchedError::Replay`] on a schedule mismatch, and
+    /// [`SchedError::StepLimit`] when one execution exceeds `steps`.
+    pub fn run(&self) -> Result<Json, SchedError> {
+        let fixture = fixtures::find(&self.target).ok_or_else(|| unknown_target(&self.target))?;
+        let mut build = fixtures::build(&self.target).expect("found fixtures have builders");
+        let common = vec![
+            ("query", Json::Str("sched".to_owned())),
+            ("target", Json::Str(self.target.to_owned())),
+            ("canonical", Json::Str(self.canonical_text())),
+        ];
+        if let Some(schedule) = &self.replay {
+            let rep = replay(schedule, &mut build)?;
+            let mut pairs = common;
+            pairs.extend([
+                ("replay", Json::Str(rep.schedule.to_string())),
+                ("steps", Json::U64(rep.steps)),
+                ("preemptions", Json::U64(rep.preemptions.into())),
+                ("violation", rep.violation.map_or(Json::Null, Json::Str)),
+            ]);
+            return Ok(Json::obj(pairs));
+        }
+        let options = SchedOptions {
+            mode: match self.mode {
+                SpecMode::Dfs => Mode::Exhaustive {
+                    sleep_sets: self.sleep,
+                },
+                SpecMode::Preempt => Mode::Preemption {
+                    max_preemptions: self.preemptions,
+                },
+                SpecMode::Pct => Mode::Pct {
+                    seed: self.seed,
+                    runs: self.runs,
+                    depth: self.depth,
+                },
+            },
+            max_schedules: self.budget,
+            max_steps: self.steps,
+        };
+        let found = explore(&options, &mut build)?;
+        let violation = found.counterexample.is_some();
+        let mut pairs = common;
+        pairs.extend([
+            ("mode", Json::Str(self.mode.as_str().to_owned())),
+            ("schedules", Json::U64(found.schedules)),
+            ("pruned", Json::U64(found.pruned)),
+            ("max_depth", Json::U64(found.max_depth)),
+            ("max_preemptions", Json::U64(found.max_preemptions.into())),
+            ("rounds", Json::U64(found.rounds.into())),
+            ("complete", Json::Bool(found.complete)),
+            (
+                "verdict",
+                Json::Str(if violation { "violation" } else { "pass" }.to_owned()),
+            ),
+            (
+                "counterexample",
+                found.counterexample.map_or(Json::Null, |cx| {
+                    Json::obj(vec![
+                        ("schedule", Json::Str(cx.schedule.to_string())),
+                        ("message", Json::Str(cx.message)),
+                    ])
+                }),
+            ),
+            ("expect_violation", Json::Bool(fixture.expect_violation)),
+            (
+                "as_expected",
+                Json::Bool(violation == fixture.expect_violation),
+            ),
+        ]);
+        Ok(Json::obj(pairs))
+    }
+}
+
+fn unknown_target(target: &str) -> SchedError {
+    let known: Vec<_> = fixtures::ALL.iter().map(|f| f.name).collect();
+    SchedError::Parse(format!(
+        "unknown target {target:?}; known targets: {}",
+        known.join(", ")
+    ))
+}
+
+impl FromStr for SchedSpec {
+    type Err = SchedError;
+
+    fn from_str(text: &str) -> Result<SchedSpec, SchedError> {
+        let mut words = text.split_whitespace();
+        let target = words
+            .next()
+            .ok_or_else(|| SchedError::Parse("empty sched query; expected a target".into()))?;
+        if fixtures::find(target).is_none() {
+            return Err(unknown_target(target));
+        }
+        let mut spec = SchedSpec::new(target);
+        for word in words {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| SchedError::Parse(format!("expected key=value, got {word:?}")))?;
+            let bad = |what: &str| SchedError::Parse(format!("{key}={value:?} is not {what}"));
+            match key {
+                "mode" => {
+                    spec.mode = match value {
+                        "dfs" => SpecMode::Dfs,
+                        "preempt" => SpecMode::Preempt,
+                        "pct" => SpecMode::Pct,
+                        _ => return Err(bad("dfs, preempt or pct")),
+                    }
+                }
+                "seed" => spec.seed = value.parse().map_err(|_| bad("a number"))?,
+                "runs" => spec.runs = value.parse().map_err(|_| bad("a number"))?,
+                "depth" => spec.depth = value.parse().map_err(|_| bad("a number"))?,
+                "preemptions" => spec.preemptions = value.parse().map_err(|_| bad("a number"))?,
+                "budget" => spec.budget = value.parse().map_err(|_| bad("a number"))?,
+                "steps" => spec.steps = value.parse().map_err(|_| bad("a number"))?,
+                "sleep" => {
+                    spec.sleep = match value {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(bad("on or off")),
+                    }
+                }
+                "replay" => {
+                    spec.replay = Some(
+                        value
+                            .parse::<Schedule>()
+                            .map_err(|e| SchedError::Parse(e.to_string()))?,
+                    )
+                }
+                _ => {
+                    return Err(SchedError::Parse(format!(
+                        "unknown key {key:?}; expected mode, seed, runs, depth, preemptions, \
+                         budget, steps, sleep or replay"
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve_into_canonical_text() {
+        let spec: SchedSpec = "srsw".parse().unwrap();
+        assert_eq!(
+            spec.canonical_text(),
+            "srsw mode=dfs seed=1 runs=64 depth=3 preemptions=2 budget=200000 steps=10000 sleep=on"
+        );
+    }
+
+    #[test]
+    fn overrides_and_replay_round_trip() {
+        let spec: SchedSpec = "broken mode=pct seed=7 runs=9 replay=0101".parse().unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.runs, 9);
+        assert_eq!(spec.replay.as_ref().unwrap().to_string(), "0101");
+        let again: SchedSpec = spec.canonical_text().parse().unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn rejects_unknown_targets_and_keys() {
+        assert!(matches!(
+            "nonesuch".parse::<SchedSpec>(),
+            Err(SchedError::Parse(_))
+        ));
+        assert!(matches!(
+            "srsw zoom=3".parse::<SchedSpec>(),
+            Err(SchedError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,111 @@
+//! Compact serialized schedules.
+//!
+//! A schedule is the sequence of thread indices granted at each step of
+//! one execution. It serializes to one base-36 character per step
+//! (thread 0 → `'0'`, …, thread 35 → `'z'`), so a failing run prints a
+//! short replayable string like `102021101` that tests can pin and
+//! `wfc sched --replay` can re-execute deterministically.
+
+use std::fmt;
+use std::str::FromStr;
+
+const DIGITS: &[u8; 36] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// A serialized schedule: the thread index chosen at every step.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Schedule(Vec<u8>);
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Appends a choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= 36` (the base-36 encoding's limit).
+    pub fn push(&mut self, thread: usize) {
+        assert!(thread < 36, "schedule encoding supports at most 36 threads");
+        self.0.push(thread as u8);
+    }
+
+    /// The number of steps.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if no steps are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The choices as thread indices.
+    pub fn choices(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Builds a schedule from raw thread indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= 36`.
+    pub fn from_choices(choices: impl IntoIterator<Item = usize>) -> Schedule {
+        let mut s = Schedule::new();
+        for c in choices {
+            s.push(c);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &c in &self.0 {
+            f.write_str(
+                std::str::from_utf8(&DIGITS[c as usize..=c as usize]).expect("ascii digit"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Schedule, String> {
+        let mut out = Vec::with_capacity(s.len());
+        for (i, ch) in s.chars().enumerate() {
+            let d = match ch {
+                '0'..='9' => ch as u8 - b'0',
+                'a'..='z' => ch as u8 - b'a' + 10,
+                other => {
+                    return Err(format!(
+                        "schedule char {i} is {other:?}; expected base-36 digit 0-9/a-z"
+                    ))
+                }
+            };
+            out.push(d);
+        }
+        Ok(Schedule(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_display() {
+        let s = Schedule::from_choices([0, 1, 2, 10, 35]);
+        assert_eq!(s.to_string(), "012az");
+        assert_eq!("012az".parse::<Schedule>().unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        let err = "01!".parse::<Schedule>().unwrap_err();
+        assert!(err.contains("char 2"), "{err}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Scheduler-instrumented shared-state shims, mirroring the
+//! `wfc_registers::cell` provider API.
+//!
+//! Each shim holds its value behind the execution's engine lock and
+//! yields to the scheduler at every access, so fixture code written
+//! against the [`CellProvider`] abstraction (or against [`Cell`]
+//! directly) runs under controlled interleavings. Shims can only be
+//! created inside an execution ([`crate::explore`] / [`crate::replay`])
+//! — construction allocates a deterministic cell id from the ambient
+//! execution context.
+
+use std::mem::MaybeUninit;
+use std::sync::{Arc, Mutex};
+
+use wfc_registers::{CellProvider, RawAtomicBool, RawAtomicUsize, RawData};
+
+use crate::exec::{self, AccessKind, ExecCtx};
+
+pub(crate) struct SharedCell<V> {
+    exec: Arc<ExecCtx>,
+    id: u32,
+    value: Mutex<V>,
+}
+
+impl<V: Send> SharedCell<V> {
+    pub(crate) fn new(value: V) -> SharedCell<V> {
+        let (exec, _) = exec::current().expect(
+            "sched cells must be created inside an execution \
+             (wfc_sched::explore / wfc_sched::replay scenario)",
+        );
+        let id = exec.alloc_cell();
+        SharedCell {
+            exec,
+            id,
+            value: Mutex::new(value),
+        }
+    }
+
+    /// One scheduler-visible access. `op` gets the value and the logical
+    /// step of the grant, and reports whether it modified the cell.
+    pub(crate) fn perform<R>(
+        &self,
+        kind: AccessKind,
+        op: impl FnOnce(&mut V, u64) -> (R, bool),
+    ) -> R {
+        self.exec.access(self.id, kind, |step| {
+            let mut value = self.value.lock().unwrap_or_else(|e| e.into_inner());
+            op(&mut value, step)
+        })
+    }
+}
+
+impl<V> std::fmt::Debug for SharedCell<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCell").field("id", &self.id).finish()
+    }
+}
+
+/// A scheduler-instrumented atomic cell for `Copy` values: one yield
+/// point per load or store (the model-checking counterpart of a
+/// hardware atomic register).
+#[derive(Debug)]
+pub struct Cell<T>(SharedCell<T>);
+
+impl<T: Copy + Send> Cell<T> {
+    /// Creates a cell initialised to `value` (inside an execution only).
+    pub fn new(value: T) -> Cell<T> {
+        Cell(SharedCell::new(value))
+    }
+
+    /// Atomically loads the value (one scheduler event).
+    pub fn load(&self) -> T {
+        self.0.perform(AccessKind::Read, |v, _| (*v, false))
+    }
+
+    /// Atomically stores the value (one scheduler event).
+    pub fn store(&self, value: T) {
+        self.0.perform(AccessKind::Write, |v, _| {
+            *v = value;
+            ((), true)
+        })
+    }
+}
+
+/// The shim atomic `usize` ([`RawAtomicUsize`] under the scheduler).
+#[derive(Debug)]
+pub struct AtomicUsize(SharedCell<usize>);
+
+impl RawAtomicUsize for AtomicUsize {
+    fn new(value: usize) -> Self {
+        AtomicUsize(SharedCell::new(value))
+    }
+    fn load_acquire(&self) -> usize {
+        self.0.perform(AccessKind::Read, |v, _| (*v, false))
+    }
+    fn load_relaxed(&self) -> usize {
+        self.0.perform(AccessKind::Read, |v, _| (*v, false))
+    }
+    fn store_release(&self, value: usize) {
+        self.0.perform(AccessKind::Write, |v, _| {
+            *v = value;
+            ((), true)
+        })
+    }
+    fn cas_weak_acquire(&self, current: usize, new: usize) -> Result<usize, usize> {
+        // Announced as a write even when it fails: a failing CAS still
+        // must not commute with writes of the same cell.
+        self.0.perform(AccessKind::Write, |v, _| {
+            if *v == current {
+                *v = new;
+                (Ok(current), true)
+            } else {
+                (Err(*v), false)
+            }
+        })
+    }
+}
+
+/// The shim atomic `bool` ([`RawAtomicBool`] under the scheduler).
+#[derive(Debug)]
+pub struct AtomicBool(SharedCell<bool>);
+
+impl RawAtomicBool for AtomicBool {
+    fn new(value: bool) -> Self {
+        AtomicBool(SharedCell::new(value))
+    }
+    fn load_acquire(&self) -> bool {
+        self.0.perform(AccessKind::Read, |v, _| (*v, false))
+    }
+    fn store_release(&self, value: bool) {
+        self.0.perform(AccessKind::Write, |v, _| {
+            *v = value;
+            ((), true)
+        })
+    }
+}
+
+/// The shim payload slot ([`RawData`] under the scheduler).
+///
+/// The model is coarser than hardware in exactly one respect: a payload
+/// write is a single scheduler event, so an overlapping read observes
+/// the old or the new value, never torn bytes. The seqlock protocol
+/// *around* the payload — where the new/old inversion and validation
+/// bugs live — is interleaved in full. Tearing itself is modelled
+/// explicitly by the two-word broken fixture.
+#[derive(Debug)]
+pub struct Data<T>(SharedCell<T>);
+
+impl<T: Copy + Send> RawData<T> for Data<T> {
+    fn new(value: T) -> Self {
+        Data(SharedCell::new(value))
+    }
+    fn read_maybe_torn(&self) -> MaybeUninit<T> {
+        self.0
+            .perform(AccessKind::Read, |v, _| (MaybeUninit::new(*v), false))
+    }
+    fn write(&self, value: T) {
+        self.0.perform(AccessKind::Write, |v, _| {
+            *v = value;
+            ((), true)
+        })
+    }
+}
+
+/// The scheduler-backed [`CellProvider`]: plug into any construction in
+/// `wfc-registers` to run it under the model checker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchedProvider;
+
+impl CellProvider for SchedProvider {
+    type AtomicUsize = AtomicUsize;
+    type AtomicBool = AtomicBool;
+    type Data<T: Copy + Send + 'static> = Data<T>;
+
+    /// The scheduler simulates sequential consistency; fences are no-ops.
+    fn fence_acquire() {}
+    /// Every retry iteration already yields at its atomic access.
+    fn spin_hint() {}
+}

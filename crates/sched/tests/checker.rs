@@ -1,0 +1,220 @@
+//! Acceptance tests for the model checker: exhaustive coverage of the
+//! SRSW conversation, the planted-bug fixture, replay determinism, and
+//! typed budget errors.
+
+use wfc_sched::{explore, fixtures, replay, Mode, SchedError, SchedOptions, SchedSpec};
+
+fn exhaustive(sleep_sets: bool) -> SchedOptions {
+    SchedOptions::default().with_mode(Mode::Exhaustive { sleep_sets })
+}
+
+/// The headline acceptance check: exhaustive mode on the 1-write/2-read
+/// SRSW conversation enumerates every schedule and proves the seqlock
+/// register never exhibits the new/old inversion `(1, 0)`.
+#[test]
+fn srsw_exhaustive_is_complete_and_inversion_free() {
+    let mut build = fixtures::build("srsw").unwrap();
+    let found = explore(&exhaustive(true), &mut build).unwrap();
+    assert!(found.complete, "exhaustive mode must cover the tree");
+    assert!(
+        found.counterexample.is_none(),
+        "the atomic SRSW register must not show the (1, 0) inversion: {:?}",
+        found.counterexample
+    );
+    assert!(found.schedules > 0 && found.pruned > 0);
+}
+
+/// Sleep sets are a pruning, not an approximation: with and without
+/// them, exhaustive DFS reaches the same verdict, and turning them off
+/// only enlarges the schedule count.
+#[test]
+fn sleep_sets_change_cost_not_verdict() {
+    let mut build = fixtures::build("srsw").unwrap();
+    let with = explore(&exhaustive(true), &mut build).unwrap();
+    let without = explore(&exhaustive(false), &mut build).unwrap();
+    assert!(with.complete && without.complete);
+    assert!(with.counterexample.is_none() && without.counterexample.is_none());
+    assert!(
+        without.schedules > with.schedules,
+        "pruning must help: {} !> {}",
+        without.schedules,
+        with.schedules
+    );
+    assert_eq!(without.pruned, 0);
+}
+
+/// Sleep sets agree with plain DFS on a fixture that *does* violate.
+#[test]
+fn sleep_sets_preserve_violations() {
+    let mut build = fixtures::build("regular").unwrap();
+    for sleep in [true, false] {
+        let found = explore(&exhaustive(sleep), &mut build).unwrap();
+        let cx = found
+            .counterexample
+            .unwrap_or_else(|| panic!("regular-vs-atomic violation missed (sleep={sleep})"));
+        assert!(cx.message.contains("not linearizable"), "{}", cx.message);
+    }
+}
+
+/// The planted bug is found, and its schedule replays to the same
+/// violation, byte for byte, twice.
+#[test]
+fn broken_fixture_is_caught_with_a_replayable_schedule() {
+    let mut build = fixtures::build("broken").unwrap();
+    let found = explore(&exhaustive(true), &mut build).unwrap();
+    let cx = found.counterexample.expect("planted bug found");
+    assert!(cx.message.contains("torn read"), "{}", cx.message);
+    assert!(!cx.schedule.is_empty());
+
+    let once = replay(&cx.schedule, &mut build).unwrap();
+    let twice = replay(&cx.schedule, &mut build).unwrap();
+    assert_eq!(once, twice, "replay must be deterministic");
+    assert_eq!(once.schedule, cx.schedule);
+    assert_eq!(once.violation.as_deref(), Some(cx.message.as_str()));
+}
+
+/// All three modes agree on both a passing and a failing fixture.
+#[test]
+fn verdicts_agree_across_modes_and_seeds() {
+    for (target, expect_violation) in [("t4", false), ("broken", true)] {
+        let mut build = fixtures::build(target).unwrap();
+        let dfs = explore(&exhaustive(true), &mut build).unwrap();
+        let preempt = explore(
+            &SchedOptions::default().with_mode(Mode::Preemption { max_preemptions: 4 }),
+            &mut build,
+        )
+        .unwrap();
+        assert_eq!(dfs.counterexample.is_some(), expect_violation, "{target}");
+        assert_eq!(
+            preempt.counterexample.is_some(),
+            expect_violation,
+            "{target}"
+        );
+        for seed in [1, 2, 42] {
+            let pct = explore(
+                &SchedOptions::default().with_mode(Mode::Pct {
+                    seed,
+                    runs: 200,
+                    depth: 3,
+                }),
+                &mut build,
+            )
+            .unwrap();
+            // PCT is probabilistic: it must never report a false
+            // violation, and on these tiny fixtures 200 runs reliably
+            // find the planted bug.
+            assert_eq!(
+                pct.counterexample.is_some(),
+                expect_violation,
+                "{target} seed {seed}"
+            );
+        }
+    }
+}
+
+/// The Section 4.3 bounded bit passes exhaustively: its reader's row
+/// counter is monotone, so no column walk can observe an inversion.
+#[test]
+fn t4_array_passes_exhaustively() {
+    let mut build = fixtures::build("t4").unwrap();
+    let found = explore(&exhaustive(true), &mut build).unwrap();
+    assert!(found.complete);
+    assert!(found.counterexample.is_none(), "{:?}", found.counterexample);
+}
+
+/// The seqlock fixture passes under bounded preemption: every schedule
+/// with at most 2 preemptions is clean. (Completeness is not expected —
+/// the bound is the point of this mode; the tiny fixtures reach
+/// completeness through exhaustive DFS instead.)
+#[test]
+fn seqlock_passes_under_preemption_bounding() {
+    let mut build = fixtures::build("seqlock").unwrap();
+    let found = explore(
+        &SchedOptions::default().with_mode(Mode::Preemption { max_preemptions: 2 }),
+        &mut build,
+    )
+    .unwrap();
+    assert!(found.counterexample.is_none(), "{:?}", found.counterexample);
+    assert_eq!(found.rounds, 3, "bounds 0, 1, 2");
+    assert!(found.schedules > 3, "each round explores its bound");
+}
+
+/// The MRSW atomic register passes a seeded PCT sweep.
+#[test]
+fn mrsw_passes_pct() {
+    let mut build = fixtures::build("mrsw").unwrap();
+    let found = explore(
+        &SchedOptions::default().with_mode(Mode::Pct {
+            seed: 3,
+            runs: 100,
+            depth: 3,
+        }),
+        &mut build,
+    )
+    .unwrap();
+    assert!(found.counterexample.is_none(), "{:?}", found.counterexample);
+    assert_eq!(found.rounds, 100);
+}
+
+/// Budget overflow is a typed error carrying the used/budget pair, like
+/// `ExplorerError::BudgetExceeded`.
+#[test]
+fn budget_overflow_is_a_typed_error() {
+    let mut build = fixtures::build("srsw").unwrap();
+    let err = explore(
+        &SchedOptions {
+            mode: Mode::Exhaustive { sleep_sets: false },
+            max_schedules: 5,
+            max_steps: 10_000,
+        },
+        &mut build,
+    )
+    .unwrap_err();
+    match err {
+        SchedError::BudgetExceeded { budget, used } => {
+            assert_eq!(budget, 5);
+            assert_eq!(used, 5);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+}
+
+/// A schedule that diverges from the scenario is a typed replay error,
+/// not a bogus verdict.
+#[test]
+fn replay_rejects_mismatched_schedules() {
+    let mut build = fixtures::build("srsw").unwrap();
+    let err = replay(&"z".parse().unwrap(), &mut build).unwrap_err();
+    assert!(matches!(err, SchedError::Replay(_)), "{err:?}");
+    let err = replay(&"0".parse().unwrap(), &mut build).unwrap_err();
+    assert!(matches!(err, SchedError::Replay(_)), "{err:?}");
+}
+
+/// The query layer renders deterministic JSON: running the same spec
+/// twice gives byte-identical documents, and the counterexample's
+/// schedule replays through the same layer.
+#[test]
+fn query_documents_are_deterministic_and_replayable() {
+    let spec: SchedSpec = "broken mode=dfs".parse().unwrap();
+    let a = spec.run().unwrap().render();
+    let b = spec.run().unwrap().render();
+    assert_eq!(a, b);
+    assert!(a.contains("\"verdict\":\"violation\""), "{a}");
+    assert!(a.contains("\"as_expected\":true"), "{a}");
+
+    // Extract the schedule and replay it via the query grammar.
+    let doc = spec.run().unwrap();
+    let schedule = doc
+        .get("counterexample")
+        .and_then(|cx| cx.get("schedule"))
+        .and_then(|s| match s {
+            wfc_obs::json::Json::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("counterexample schedule");
+    let replay_spec: SchedSpec = format!("broken replay={schedule}").parse().unwrap();
+    let r1 = replay_spec.run().unwrap().render();
+    let r2 = replay_spec.run().unwrap().render();
+    assert_eq!(r1, r2);
+    assert!(r1.contains("torn read"), "{r1}");
+}

@@ -15,6 +15,7 @@ use wfc_consensus::ConsensusSystem;
 use wfc_core::{DeriveError, TransformError};
 use wfc_explorer::{ExploreOptions, ExplorerError};
 use wfc_obs::json::Json;
+use wfc_sched::{SchedError, SchedSpec};
 use wfc_spec::FiniteType;
 
 use crate::wire::{QueryKind, QueryOptions};
@@ -106,6 +107,42 @@ fn from_transform(e: TransformError) -> QueryError {
         TransformError::Explore(inner) => from_explorer(inner),
         other => QueryError::Analysis(other.to_string()),
     }
+}
+
+fn from_sched(e: SchedError) -> QueryError {
+    match e {
+        SchedError::BudgetExceeded { budget, used } => QueryError::Budget {
+            kind: "schedules".to_owned(),
+            budget,
+            used,
+        },
+        SchedError::Parse(m) => QueryError::Parse(m),
+        other => QueryError::Analysis(other.to_string()),
+    }
+}
+
+/// Parses a sched query line (`<target> [key=value…]`) into its fully
+/// resolved spec. The spec's [`canonical_text`](SchedSpec::canonical_text)
+/// is the string the cache hashes.
+///
+/// # Errors
+///
+/// [`QueryError::Parse`] on an unknown target, key, or malformed value.
+pub fn parse_sched_spec(text: &str) -> Result<SchedSpec, QueryError> {
+    text.parse().map_err(from_sched)
+}
+
+/// Runs a sched spec to its canonical result document — the single code
+/// path shared by `wfc sched`, the server workers, and the differential
+/// tests, so served and direct results are byte-identical.
+///
+/// # Errors
+///
+/// [`QueryError::Budget`] when exploration outgrows the spec's schedule
+/// budget (with `kind = "schedules"`), [`QueryError::Analysis`] on
+/// replay mismatches or step-limit overruns.
+pub fn run_sched(spec: &SchedSpec) -> Result<Json, QueryError> {
+    spec.run().map_err(from_sched)
 }
 
 fn from_derive(e: DeriveError) -> QueryError {
@@ -432,16 +469,29 @@ pub fn run_query(
         QueryKind::AccessBounds => access_bounds(ty, opts),
         QueryKind::Theorem5 => theorem5(ty, opts),
         QueryKind::VerifyConsensus => verify_consensus(ty, opts),
+        QueryKind::Sched => Err(QueryError::Unsupported(
+            "sched queries take a fixture spec, not a type; use run_sched \
+             (or run_query_text, which dispatches on the kind)"
+                .to_owned(),
+        )),
     }
 }
 
-/// Parses the type text and runs the query — the convenience used by
+/// Parses the query text and runs the query — the convenience used by
 /// both the CLI subcommands and the server worker.
+///
+/// For [`QueryKind::Sched`] the text is a sched spec line, not a type,
+/// and `options` is ignored: the checker's budgets travel inside the
+/// spec itself (`budget=`, `steps=`), where they are part of the cache
+/// identity.
 pub fn run_query_text(
     kind: QueryKind,
     type_text: &str,
     options: &QueryOptions,
 ) -> Result<Json, QueryError> {
+    if kind == QueryKind::Sched {
+        return run_sched(&parse_sched_spec(type_text)?);
+    }
     let ty = parse_query_type(type_text)?;
     let opts = explore_options(options);
     run_query(kind, &ty, &opts)

@@ -56,6 +56,21 @@ pub fn cache_key(kind: QueryKind, ty: &FiniteType, options: &QueryOptions) -> Ha
     h.finish()
 }
 
+/// The cache identity of a `sched` query: the protocol version, the
+/// kind, and the spec's canonical text. The canonical rendering already
+/// resolves every default (mode, seed, budgets, replay), so equal keys
+/// mean equal configurations — and the explorer's verdicts are
+/// deterministic, so equal configurations mean equal result bytes.
+/// `QueryOptions` does not participate: the checker's budgets travel
+/// inside the spec.
+pub fn sched_cache_key(canonical_spec: &str) -> Hash128 {
+    let mut h = Hasher128::new();
+    h.write_str(PROTO);
+    h.write_str(QueryKind::Sched.as_str());
+    h.write_str(canonical_spec);
+    h.finish()
+}
+
 struct Shard {
     map: HashMap<u128, (Arc<Json>, u64)>,
     tick: u64,

@@ -51,8 +51,13 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use analysis::{explore_options, parse_query_type, run_query, run_query_text, QueryError};
-pub use cache::{cache_key, validate_cache_json, CacheOutcome, ResultCache, CACHE_SCHEMA};
+pub use analysis::{
+    explore_options, parse_query_type, parse_sched_spec, run_query, run_query_text, run_sched,
+    QueryError,
+};
+pub use cache::{
+    cache_key, sched_cache_key, validate_cache_json, CacheOutcome, ResultCache, CACHE_SCHEMA,
+};
 pub use client::Client;
 pub use server::{serve, ServeConfig, ServerHandle, WorkerGate};
 pub use wire::{QueryKind, QueryOptions, Request, Response, WireError, PROTO};

@@ -34,9 +34,11 @@ use std::time::{Duration, Instant};
 
 use wfc_explorer::CancelToken;
 
-use crate::analysis::{explore_options, parse_query_type, run_query, QueryError};
-use crate::cache::{cache_key, ResultCache};
-use crate::wire::{read_frame, write_frame, QueryOptions, Request, Response, WireError};
+use crate::analysis::{
+    explore_options, parse_query_type, parse_sched_spec, run_query, run_sched, QueryError,
+};
+use crate::cache::{cache_key, sched_cache_key, ResultCache};
+use crate::wire::{read_frame, write_frame, QueryKind, QueryOptions, Request, Response, WireError};
 
 /// Server configuration. `Default` gives a loopback server on an
 /// ephemeral port with two workers.
@@ -483,21 +485,45 @@ fn worker_loop(
         gate.pass();
 
         let options = clamp_options(&request.options, config);
-        let response = match parse_query_type(&request.type_text) {
-            Err(e) => error_response(request.id, &e),
-            Ok(ty) => {
-                let key = cache_key(request.kind, &ty, &options);
-                let opts = explore_options(&options).with_cancel(CancelToken::new(cancel));
-                let computed = cache.get_or_compute(key, request.kind, ty.name(), || {
-                    run_query(request.kind, &ty, &opts)
-                });
-                match computed {
-                    Ok((value, outcome)) => Response::Ok {
-                        id: request.id,
-                        cached: outcome.is_cached(),
-                        result: (*value).clone(),
-                    },
-                    Err(e) => error_response(request.id, &e),
+        let response = if request.kind == QueryKind::Sched {
+            // A sched request carries a fixture spec, not a type, and its
+            // budgets live inside the spec — the canonical rendering is
+            // the whole cache identity. (The deadline reaper cannot
+            // interrupt the checker mid-exploration; the spec's own
+            // `budget=`/`steps=` caps bound the work instead.)
+            match parse_sched_spec(&request.type_text) {
+                Err(e) => error_response(request.id, &e),
+                Ok(spec) => {
+                    let key = sched_cache_key(&spec.canonical_text());
+                    let computed =
+                        cache.get_or_compute(key, request.kind, &spec.target, || run_sched(&spec));
+                    match computed {
+                        Ok((value, outcome)) => Response::Ok {
+                            id: request.id,
+                            cached: outcome.is_cached(),
+                            result: (*value).clone(),
+                        },
+                        Err(e) => error_response(request.id, &e),
+                    }
+                }
+            }
+        } else {
+            match parse_query_type(&request.type_text) {
+                Err(e) => error_response(request.id, &e),
+                Ok(ty) => {
+                    let key = cache_key(request.kind, &ty, &options);
+                    let opts = explore_options(&options).with_cancel(CancelToken::new(cancel));
+                    let computed = cache.get_or_compute(key, request.kind, ty.name(), || {
+                        run_query(request.kind, &ty, &opts)
+                    });
+                    match computed {
+                        Ok((value, outcome)) => Response::Ok {
+                            id: request.id,
+                            cached: outcome.is_cached(),
+                            result: (*value).clone(),
+                        },
+                        Err(e) => error_response(request.id, &e),
+                    }
                 }
             }
         };

@@ -145,16 +145,21 @@ pub enum QueryKind {
     Theorem5,
     /// Wait-freedom + agreement + validity over all `2^n` input vectors.
     VerifyConsensus,
+    /// Schedule exploration of a concrete register implementation under
+    /// the `wfc-sched` model checker. The request's `type` field carries
+    /// a sched spec line (`<target> [key=value…]`), not a type.
+    Sched,
 }
 
 impl QueryKind {
     /// Every query kind, in a fixed order (for tests and smoke scripts).
-    pub const ALL: [QueryKind; 5] = [
+    pub const ALL: [QueryKind; 6] = [
         QueryKind::Classify,
         QueryKind::Witness,
         QueryKind::AccessBounds,
         QueryKind::Theorem5,
         QueryKind::VerifyConsensus,
+        QueryKind::Sched,
     ];
 
     /// The wire name of this kind.
@@ -165,6 +170,7 @@ impl QueryKind {
             QueryKind::AccessBounds => "access-bounds",
             QueryKind::Theorem5 => "theorem5",
             QueryKind::VerifyConsensus => "verify-consensus",
+            QueryKind::Sched => "sched",
         }
     }
 

@@ -9,6 +9,7 @@
 //! wfc type <NAME>                 print one canonical type in the text format
 //! wfc access-bounds <TYPE-FILE>   Section 4.2 bounds (D, r_b, w_b) as JSON
 //! wfc theorem5 <TYPE-FILE>        full Theorem 5 certificate as JSON
+//! wfc sched <TARGET> [key=value…] model-check a register fixture (wfc-sched)
 //! wfc serve [flags]               run the analysis server
 //! wfc query <KIND> <TYPE-FILE> --addr HOST:PORT
 //!                                 ask a running server for any analysis
@@ -33,7 +34,7 @@ use wfc_spec::FiniteType;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [--max-configs N] [--max-depth N] [--threads N]\n  wfc theorem5 <TYPE-FILE> [--max-configs N] [--max-depth N] [--threads N]\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [--max-configs N] [--max-depth N] [--threads N]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus)"
+        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [--max-configs N] [--max-depth N] [--threads N]\n  wfc theorem5 <TYPE-FILE> [--max-configs N] [--max-depth N] [--threads N]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | regular | broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [--max-configs N] [--max-depth N] [--threads N]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)"
     );
     ExitCode::from(2)
 }
@@ -316,9 +317,20 @@ fn cmd_query(kind_name: &str, path: &str, rest: &[String]) -> Result<ExitCode, B
         .get("--addr")
         .ok_or("`wfc query` needs --addr HOST:PORT")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    served_query(kind, &src, &options, addr)
+}
+
+/// Sends one query to a server and prints the response; shared by
+/// `wfc query` and `wfc sched --addr`.
+fn served_query(
+    kind: QueryKind,
+    text: &str,
+    options: &QueryOptions,
+    addr: &str,
+) -> Result<ExitCode, Box<dyn Error>> {
     let mut client = Client::connect_retry(addr, Duration::from_secs(10))
         .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
-    match client.query(kind, &src, &options)? {
+    match client.query(kind, text, options)? {
         Response::Ok { result, cached, .. } => {
             eprintln!("# cached: {cached}");
             println!("{}", result.render());
@@ -344,6 +356,32 @@ fn cmd_query(kind_name: &str, path: &str, rest: &[String]) -> Result<ExitCode, B
     }
 }
 
+/// `sched`: run the `wfc-sched` model checker on a named register
+/// fixture. The spec words (`target key=value …`) form the query text
+/// verbatim, and both paths — direct and `--addr` — go through the one
+/// `QueryKind::Sched` engine, so their result bytes are identical.
+fn cmd_sched(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let split = rest
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(rest.len());
+    let (spec_words, flag_args) = rest.split_at(split);
+    if spec_words.is_empty() {
+        return Err("`wfc sched` needs a target; try `wfc sched srsw` or see `wfc` usage".into());
+    }
+    let text = spec_words.join(" ");
+    let flags = Flags::parse(flag_args)?;
+    match flags.get("--addr") {
+        Some(addr) => served_query(QueryKind::Sched, &text, &QueryOptions::default(), addr),
+        None => {
+            let doc =
+                wfc_service::run_query_text(QueryKind::Sched, &text, &QueryOptions::default())?;
+            println!("{}", doc.render());
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<ExitCode, Box<dyn Error>> = match args.as_slice() {
@@ -365,6 +403,7 @@ fn main() -> ExitCode {
         [cmd, path, rest @ ..] if cmd == "theorem5" => {
             cmd_direct_query(QueryKind::Theorem5, path, rest).map(|()| ExitCode::SUCCESS)
         }
+        [cmd, rest @ ..] if cmd == "sched" => cmd_sched(rest),
         [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest).map(|()| ExitCode::SUCCESS),
         [cmd, kind, path, rest @ ..] if cmd == "query" => cmd_query(kind, path, rest),
         _ => return usage(),

@@ -34,8 +34,9 @@
 //! and valency analyses ([`explorer`]), the classical register
 //! construction chain ([`registers`]), wait-free consensus protocols and
 //! Herlihy's universal construction ([`consensus`]), a real-thread
-//! runtime harness ([`runtime`]), and the certified hierarchy catalog
-//! ([`hierarchy`]).
+//! runtime harness ([`runtime`]), a deterministic schedule-exploration
+//! model checker for the concrete register implementations ([`sched`]),
+//! and the certified hierarchy catalog ([`hierarchy`]).
 //!
 //! ## Quickstart
 //!
@@ -84,6 +85,10 @@ pub use wfc_registers as registers;
 /// (`wfc-runtime`).
 pub use wfc_runtime as runtime;
 
+/// The deterministic schedule-exploration model checker for the
+/// concrete register implementations (`wfc-sched`).
+pub use wfc_sched as sched;
+
 /// The analysis server and client: the `wfc-svc/v1` wire protocol, the
 /// content-hash result cache, and the worker pool (`wfc-service`).
 pub use wfc_service as service;
@@ -94,5 +99,7 @@ pub use wfc_spec as spec;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::{consensus, core, explorer, hierarchy, registers, runtime, service, spec};
+    pub use crate::{
+        consensus, core, explorer, hierarchy, registers, runtime, sched, service, spec,
+    };
 }

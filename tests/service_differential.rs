@@ -41,7 +41,12 @@ fn served_results_are_byte_identical_to_direct_calls() {
         })
         .unwrap();
         let mut client = Client::connect(handle.addr()).unwrap();
-        for kind in QueryKind::ALL {
+        // `sched` takes a fixture spec, not a type text; it gets its own
+        // differential test below.
+        for kind in QueryKind::ALL
+            .into_iter()
+            .filter(|k| *k != QueryKind::Sched)
+        {
             let direct = wfc_service::run_query_text(kind, &tas, &options)
                 .unwrap_or_else(|e| panic!("direct {kind} failed: {e}"))
                 .render();
@@ -212,6 +217,76 @@ fn structured_errors_for_bad_inputs() {
         .unwrap()
     {
         Response::Error { code, .. } => assert_eq!(code, "unsupported"),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// The `sched` query kind: a served model-checking run returns the same
+/// bytes as the direct `SchedSpec` call, a repeat is served from cache,
+/// and spellings that resolve to the same canonical spec share a cache
+/// line.
+#[test]
+fn served_sched_results_are_byte_identical_to_direct_calls() {
+    let handle = serve(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let options = QueryOptions::default();
+    // The broken fixture exercises the richest document (a
+    // counterexample object with a replayable schedule).
+    let spec_text = "broken mode=dfs";
+    let direct = wfc_service::run_query_text(QueryKind::Sched, spec_text, &options)
+        .expect("direct sched query")
+        .render();
+    assert!(direct.contains("\"verdict\":\"violation\""), "{direct}");
+    match client.query(QueryKind::Sched, spec_text, &options).unwrap() {
+        Response::Ok { cached, result, .. } => {
+            assert!(!cached, "first sched query must compute fresh");
+            assert_eq!(result.render(), direct, "served sched bytes differ");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // A different spelling of the same resolved spec hits the cache:
+    // the key hashes the canonical text, not the submitted text.
+    let respelled = "broken sleep=on mode=dfs";
+    match client.query(QueryKind::Sched, respelled, &options).unwrap() {
+        Response::Ok { cached, result, .. } => {
+            assert!(cached, "equal canonical specs must share a cache line");
+            assert_eq!(result.render(), direct, "cached sched bytes differ");
+        }
+        other => panic!("unexpected repeat response {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Bad sched specs come back as structured `parse-error`s, and sched
+/// budget overruns keep their quantities on the wire like every other
+/// budget failure.
+#[test]
+fn sched_errors_are_structured_on_the_wire() {
+    let handle = serve(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let options = QueryOptions::default();
+    match client
+        .query(QueryKind::Sched, "nonesuch mode=dfs", &options)
+        .unwrap()
+    {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, "parse-error");
+            assert!(message.contains("nonesuch"), "{message}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match client
+        .query(QueryKind::Sched, "srsw sleep=off budget=5", &options)
+        .unwrap()
+    {
+        Response::Error {
+            code, budget, used, ..
+        } => {
+            assert_eq!(code, "budget-exceeded");
+            assert_eq!(budget, Some(5));
+            assert_eq!(used, Some(5));
+        }
         other => panic!("unexpected {other:?}"),
     }
     handle.shutdown();
