@@ -1,0 +1,83 @@
+//! E12 — control-plane poll overhead: what does threading a
+//! `Budget`/`CancelToken`/`Wall` through the hot loops cost when the
+//! signals never fire?
+//!
+//! Two engines, two arms each: the explorer's BFS over the TAS
+//! consensus tree and the sched DFS over the SRSW conversation, run
+//! once with a no-op token (`CancelToken::NONE`, no wall — the poll
+//! short-circuits on a `None` flag) and once *armed* (a real
+//! `AtomicBool` that never flips plus a far-future wall deadline, so
+//! every poll does its full load-and-compare work). The acceptance
+//! budget is **< 2 % median overhead** for the armed arm — the polls
+//! sit at sync points (BFS level, per-pop stride, schedule boundary),
+//! not in the inner step loop, which is what keeps them cheap. The
+//! footer prints the measured ratios; with `WFC_OBS_JSON` set the group
+//! emits `BENCH_control.json` for `wfc-report`'s trajectory table.
+
+use std::hint::black_box;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+use wfc_bench::harness::Criterion;
+use wfc_bench::{criterion_group, criterion_main};
+use wfc_consensus::tas_consensus_system;
+use wfc_explorer::ExploreOptions;
+use wfc_sched::{fixtures, Mode, SchedOptions};
+use wfc_spec::control::{CancelToken, Wall};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// An explorer configuration whose control signals are live but never
+/// fire: every poll pays for a real atomic load and a clock compare.
+fn armed_explore_options() -> ExploreOptions {
+    let mut opts = ExploreOptions::default().with_cancel(CancelToken::new(&ARMED));
+    opts.budget.wall = Some(Wall::expires_in(Duration::from_secs(3600)));
+    opts
+}
+
+fn armed_sched_options(base: SchedOptions) -> SchedOptions {
+    let mut opts = base.with_cancel(CancelToken::new(&ARMED));
+    opts.budget.wall = Some(Wall::expires_in(Duration::from_secs(3600)));
+    opts
+}
+
+fn bench_control(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control");
+    g.sample_size(10);
+
+    let sys = tas_consensus_system([false, true]).system;
+    g.bench_function("explore/noop_token", |b| {
+        let opts = ExploreOptions::default();
+        b.iter(|| black_box(wfc_explorer::explore(&sys, &opts).unwrap()))
+    });
+    g.bench_function("explore/armed_token", |b| {
+        let opts = armed_explore_options();
+        b.iter(|| black_box(wfc_explorer::explore(&sys, &opts).unwrap()))
+    });
+
+    let base = SchedOptions::default().with_mode(Mode::Exhaustive { sleep_sets: true });
+    let mut build = fixtures::build("srsw").expect("srsw fixture exists");
+    g.bench_function("sched/noop_token", |b| {
+        b.iter(|| black_box(wfc_sched::explore(&base, &mut build).unwrap()))
+    });
+    g.bench_function("sched/armed_token", |b| {
+        let opts = armed_sched_options(base);
+        b.iter(|| black_box(wfc_sched::explore(&opts, &mut build).unwrap()))
+    });
+
+    // Footer: the measured overhead ratios against the 2 % budget. The
+    // results land pairwise (noop, armed) per engine.
+    for pair in g.results().chunks(2) {
+        let [noop, armed] = pair else { continue };
+        if noop.median_ns <= 0.0 {
+            continue;
+        }
+        let overhead = (armed.median_ns - noop.median_ns) / noop.median_ns * 100.0;
+        let engine = noop.id.split('/').next().unwrap_or("?");
+        println!("control/{engine:<40} armed-token overhead: {overhead:+.2}% (budget < 2%)");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_control);
+criterion_main!(benches);

@@ -62,14 +62,19 @@ fn json_files(dir: &Path, prefix: &str) -> Vec<PathBuf> {
 }
 
 /// Parses and schema-validates one JSON artifact, dispatching on its
-/// `schema` field: `wfc-svc-cache/v1` files (the service's disk cache
-/// entries and `cache-meta.json`) go to the service validator, anything
-/// else must be a `wfc-obs/v1` run report.
+/// `schema`/`proto` field: `wfc-svc-cache/v1` files (the service's disk
+/// cache entries and `cache-meta.json`) go to the cache validator,
+/// `wfc-svc/v1` frames (responses captured by smoke scripts — notably
+/// `deadline-exceeded` errors, whose `budget`/`used`/`resource`/
+/// `partial` shape the wire validator enforces) go to the response
+/// validator, anything else must be a `wfc-obs/v1` run report.
 fn load_report(path: &Path) -> Result<wfc_obs::json::Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = wfc_obs::json::parse(&text).map_err(|e| e.to_string())?;
     if doc.get("schema").and_then(|s| s.as_str()) == Some(wfc_service::CACHE_SCHEMA) {
         wfc_service::validate_cache_json(&doc)?;
+    } else if doc.get("proto").and_then(|s| s.as_str()) == Some(wfc_service::PROTO) {
+        wfc_service::validate_response_json(&doc)?;
     } else {
         wfc_obs::report::validate(&doc)?;
     }
@@ -77,7 +82,8 @@ fn load_report(path: &Path) -> Result<wfc_obs::json::Json, String> {
 }
 
 /// `--check [dir]`: every `.json` file in `dir` must be a valid
-/// `wfc-obs/v1` run report or `wfc-svc-cache/v1` cache document.
+/// `wfc-obs/v1` run report, `wfc-svc-cache/v1` cache document, or
+/// `wfc-svc/v1` response frame.
 fn check_reports(dir: &Path) -> Result<(), Box<dyn Error>> {
     if !dir.is_dir() {
         return Err(format!(

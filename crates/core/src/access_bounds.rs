@@ -222,9 +222,9 @@ fn emit_report(n: usize, result: &Result<AccessBounds, ExplorerError>) {
                 ("n", Json::U64(n as u64)),
                 ("error", Json::Str(e.to_string())),
             ];
-            if let ExplorerError::BudgetExceeded { budget, used, .. } = e {
-                fields.push(("budget", Json::U64(*budget as u64)));
-                fields.push(("used", Json::U64(*used as u64)));
+            if let ExplorerError::Exhausted(e) = e {
+                fields.push(("budget", Json::U64(e.budget)));
+                fields.push(("used", Json::U64(e.used)));
             }
             Json::obj(fields)
         }

@@ -83,8 +83,7 @@ pub fn check_crash_tolerance(
             for mask in 1..(1u32 << n) {
                 let survivors: Vec<usize> = (0..n).filter(|p| mask & (1 << p) != 0).collect();
                 partial.scenarios += 1;
-                let (stuck, decision_sets) =
-                    survivor_outcomes(system, cfg, &survivors, opts.max_configs)?;
+                let (stuck, decision_sets) = survivor_outcomes(system, cfg, &survivors, opts)?;
                 if stuck {
                     partial.stuck_scenarios += 1;
                 }
@@ -135,20 +134,32 @@ fn survivor_outcomes(
     system: &System,
     start: &Config,
     survivors: &[usize],
-    budget: usize,
+    opts: &ExploreOptions,
 ) -> Result<(bool, BTreeSet<Vec<i64>>), ExplorerError> {
     let mut outcomes = BTreeSet::new();
     let mut seen: HashSet<Config> = HashSet::new();
     let mut stack = vec![start.clone()];
     seen.insert(start.clone());
     let mut stuck = false;
+    let mut pops = 0u64;
     while let Some(cfg) = stack.pop() {
-        if seen.len() > budget {
-            return Err(ExplorerError::BudgetExceeded {
-                kind: crate::error::BudgetKind::Configs,
-                budget,
-                used: seen.len(),
-            });
+        let progress = wfc_spec::control::Progress {
+            configs: seen.len() as u64,
+            ..Default::default()
+        };
+        if opts.cancel.is_cancelled() {
+            progress.record();
+            return Err(ExplorerError::Cancelled { progress });
+        }
+        // Clock reads dominate a pop; amortize the deadline poll.
+        if pops & 0xFF == 0 {
+            if let Some(e) = opts.budget.wall_exceeded(progress) {
+                return Err(ExplorerError::Exhausted(e));
+            }
+        }
+        pops += 1;
+        if let Some(e) = opts.budget.configs_exceeded(seen.len() as u64, progress) {
+            return Err(ExplorerError::Exhausted(e));
         }
         let mut enabled = false;
         for &p in survivors {

@@ -40,26 +40,6 @@ impl fmt::Display for ProgramError {
 
 impl Error for ProgramError {}
 
-/// The resource whose budget an exploration exhausted.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum BudgetKind {
-    /// Distinct configurations interned
-    /// ([`ExploreOptions::max_configs`](crate::ExploreOptions)).
-    Configs,
-    /// Execution-tree depth
-    /// ([`ExploreOptions::max_depth`](crate::ExploreOptions)).
-    Depth,
-}
-
-impl fmt::Display for BudgetKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BudgetKind::Configs => write!(f, "configurations"),
-            BudgetKind::Depth => write!(f, "depth levels"),
-        }
-    }
-}
-
 /// An error raised while exploring a [`System`](crate::System).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExplorerError {
@@ -94,20 +74,14 @@ pub enum ExplorerError {
         /// The object index.
         obj: usize,
     },
-    /// Exploration exceeded one of its budgets
-    /// ([`ExploreOptions`](crate::ExploreOptions)).
-    BudgetExceeded {
-        /// Which budget was exhausted.
-        kind: BudgetKind,
-        /// The configured budget.
-        budget: usize,
-        /// The observed value when the budget fired — how many
-        /// configurations were actually interned, or how deep the
-        /// exploration actually got. Deterministic across thread counts:
-        /// budgets are checked only at level-sync points, never
-        /// mid-level.
-        used: usize,
-    },
+    /// Exploration exhausted one of its [`Budget`](crate::Budget) axes
+    /// ([`ExploreOptions`](crate::ExploreOptions)). The payload carries
+    /// the exact usage at the tripping sync point and a
+    /// [`Progress`](wfc_spec::control::Progress) snapshot; both are
+    /// deterministic across thread counts — budgets are checked only at
+    /// level-sync points, and interning happens at the coordinator in
+    /// frontier order.
+    Exhausted(wfc_spec::control::Exhausted),
     /// The system admits an infinite execution (a cycle in the
     /// configuration graph), so access bounds do not exist. This is
     /// exactly the failure of wait-freedom (Section 4.2).
@@ -115,8 +89,12 @@ pub enum ExplorerError {
     /// The exploration's [`CancelToken`](crate::CancelToken) was set
     /// (server-side deadline or shutdown). Checked only at level-sync
     /// points, like the budgets, so a run either completes or is
-    /// cancelled — it never returns partial quantities.
-    Cancelled,
+    /// cancelled — completed quantities are never partial, and the
+    /// attached snapshot reports exactly the work done.
+    Cancelled {
+        /// Work completed when the token was observed.
+        progress: wfc_spec::control::Progress,
+    },
 }
 
 impl fmt::Display for ExplorerError {
@@ -137,19 +115,14 @@ impl fmt::Display for ExplorerError {
             ExplorerError::NoPortAssigned { process, obj } => {
                 write!(f, "process {process} has no port on object {obj}")
             }
-            ExplorerError::BudgetExceeded { kind, budget, used } => {
-                write!(
-                    f,
-                    "exploration exceeded the budget of {budget} {kind} (observed {used})"
-                )
-            }
+            ExplorerError::Exhausted(e) => write!(f, "{e}"),
             ExplorerError::NotWaitFree => {
                 write!(
                     f,
                     "system admits an infinite execution; access bounds are undefined"
                 )
             }
-            ExplorerError::Cancelled => {
+            ExplorerError::Cancelled { .. } => {
                 write!(f, "exploration cancelled before completion")
             }
         }
@@ -164,6 +137,12 @@ impl From<ProgramError> for ExplorerError {
             process: usize::MAX,
             source,
         }
+    }
+}
+
+impl From<wfc_spec::control::Exhausted> for ExplorerError {
+    fn from(e: wfc_spec::control::Exhausted) -> Self {
+        ExplorerError::Exhausted(e)
     }
 }
 
@@ -184,20 +163,23 @@ mod tests {
 
     #[test]
     fn budget_errors_render_both_budget_and_observed() {
-        let e = ExplorerError::BudgetExceeded {
-            kind: BudgetKind::Configs,
+        use wfc_spec::control::{Exhausted, Progress, Resource};
+        let e = ExplorerError::Exhausted(Exhausted {
+            resource: Resource::Configs,
             budget: 100,
             used: 135,
-        };
+            progress: Progress::default(),
+        });
         assert_eq!(
             e.to_string(),
             "exploration exceeded the budget of 100 configurations (observed 135)"
         );
-        let e = ExplorerError::BudgetExceeded {
-            kind: BudgetKind::Depth,
+        let e = ExplorerError::Exhausted(Exhausted {
+            resource: Resource::Depth,
             budget: 4,
             used: 5,
-        };
+            progress: Progress::default(),
+        });
         assert_eq!(
             e.to_string(),
             "exploration exceeded the budget of 4 depth levels (observed 5)"

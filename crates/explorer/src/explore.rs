@@ -16,43 +16,12 @@
 //!   agreement and validity are checked.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::error::{BudgetKind, ExplorerError};
+use crate::error::ExplorerError;
 use crate::graph::ConfigGraph;
 use crate::system::System;
 
-/// A cooperative cancellation flag for explorations.
-///
-/// Serving layers impose wall-clock deadlines that budgets alone cannot
-/// express (budgets count work, not time). A token wraps a shared
-/// [`AtomicBool`]; the explorer polls it at the same level-sync points
-/// where budgets are checked and aborts with
-/// [`ExplorerError::Cancelled`] once it is set. Like budgets, the check
-/// happens only *between* BFS levels, so a cancelled run never returns
-/// partial results — it returns the error or nothing.
-///
-/// The flag is `&'static` so the token stays `Copy` (and
-/// [`ExploreOptions`] with it). Long-lived owners such as server worker
-/// threads allocate their flag once (e.g. via `Box::leak`) and re-arm
-/// it per request.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct CancelToken(Option<&'static AtomicBool>);
-
-impl CancelToken {
-    /// The inert token: never cancelled. This is the default.
-    pub const NONE: CancelToken = CancelToken(None);
-
-    /// A token observing `flag`.
-    pub fn new(flag: &'static AtomicBool) -> CancelToken {
-        CancelToken(Some(flag))
-    }
-
-    /// `true` once the underlying flag has been set.
-    pub fn is_cancelled(&self) -> bool {
-        self.0.is_some_and(|f| f.load(Ordering::Relaxed))
-    }
-}
+pub use wfc_spec::control::{Budget, CancelToken, Progress, Wall};
 
 /// Per-call observability knobs: which kinds of instrumentation an
 /// exploration records into the `wfc-obs` global registry.
@@ -108,15 +77,13 @@ impl Default for ObsOptions {
 /// [`ConfigGraph::build`].
 #[derive(Clone, Copy, Debug)]
 pub struct ExploreOptions {
-    /// Maximum number of distinct configurations to visit before giving up
-    /// with [`ExplorerError::BudgetExceeded`]
-    /// ([`BudgetKind::Configs`](crate::error::BudgetKind)).
-    pub max_configs: usize,
-    /// Maximum execution-tree depth before giving up with
-    /// [`ExplorerError::BudgetExceeded`]
-    /// ([`BudgetKind::Depth`](crate::error::BudgetKind)). A system whose
-    /// longest execution is exactly `max_depth` steps still succeeds.
-    pub max_depth: usize,
+    /// The control-plane budget: the explorer meters the `configs` and
+    /// `depth` axes (exactly — see [`Budget::configs_exceeded`]) plus
+    /// the optional wall-clock deadline, raising
+    /// [`ExplorerError::Exhausted`] at the level-sync point that trips.
+    /// A system whose longest execution is exactly `budget.depth` steps
+    /// still succeeds.
+    pub budget: Budget,
     /// Worker threads for graph discovery: `1` (the default) explores
     /// on the calling thread, `0` means one per available core. Every
     /// quantity [`explore`] computes is bit-identical across thread
@@ -135,8 +102,7 @@ pub struct ExploreOptions {
 impl Default for ExploreOptions {
     fn default() -> Self {
         ExploreOptions {
-            max_configs: 4_000_000,
-            max_depth: usize::MAX,
+            budget: Budget::default(),
             threads: 1,
             obs: ObsOptions::default(),
             cancel: CancelToken::NONE,
@@ -151,15 +117,27 @@ impl ExploreOptions {
         self
     }
 
-    /// This configuration with a `max_configs` budget.
-    pub fn with_max_configs(mut self, max_configs: usize) -> Self {
-        self.max_configs = max_configs;
+    /// This configuration with a whole replacement [`Budget`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
-    /// This configuration with a `max_depth` budget.
+    /// This configuration with a `configs` budget axis.
+    pub fn with_max_configs(mut self, max_configs: usize) -> Self {
+        self.budget.configs = max_configs as u64;
+        self
+    }
+
+    /// This configuration with a `depth` budget axis.
     pub fn with_max_depth(mut self, max_depth: usize) -> Self {
-        self.max_depth = max_depth;
+        self.budget.depth = max_depth as u64;
+        self
+    }
+
+    /// This configuration with a wall-clock deadline.
+    pub fn with_wall(mut self, wall: Wall) -> Self {
+        self.budget.wall = Some(wall);
         self
     }
 
@@ -292,26 +270,39 @@ pub struct Violation {
 /// # Errors
 ///
 /// Returns [`ExplorerError`] on malformed programs; the search visits at
-/// most `opts.max_configs` path prefixes.
+/// most `opts.budget.configs` path prefixes.
 pub fn find_violation(
     system: &System,
     allowed: &[i64],
     opts: &ExploreOptions,
 ) -> Result<Option<Violation>, ExplorerError> {
     let init = system.initial_config()?;
-    let mut visited = 0usize;
+    let mut visited = 0u64;
     let mut stack = vec![(init, Vec::new())];
     while let Some((cfg, schedule)) = stack.pop() {
+        let progress = Progress {
+            configs: visited,
+            ..Progress::default()
+        };
         if opts.cancel.is_cancelled() {
-            return Err(ExplorerError::Cancelled);
+            progress.record();
+            return Err(ExplorerError::Cancelled { progress });
+        }
+        // Clock reads are much costlier than the pop itself; amortize.
+        if visited & 0x3FF == 0 {
+            if let Some(e) = opts.budget.wall_exceeded(progress) {
+                return Err(ExplorerError::Exhausted(e));
+            }
         }
         visited += 1;
-        if visited > opts.max_configs {
-            return Err(ExplorerError::BudgetExceeded {
-                kind: BudgetKind::Configs,
-                budget: opts.max_configs,
-                used: visited,
-            });
+        if let Some(e) = opts.budget.configs_exceeded(
+            visited,
+            Progress {
+                configs: visited,
+                ..Progress::default()
+            },
+        ) {
+            return Err(ExplorerError::Exhausted(e));
         }
         if cfg.is_terminal() {
             let decisions = cfg.decisions();
@@ -433,12 +424,15 @@ pub fn explore(system: &System, opts: &ExploreOptions) -> Result<Exploration, Ex
         reg.counter("explorer.terminals").add(terminals as u64);
     }
 
-    if depth[graph.root] as usize > opts.max_depth {
-        return Err(ExplorerError::BudgetExceeded {
-            kind: BudgetKind::Depth,
-            budget: opts.max_depth,
-            used: depth[graph.root] as usize,
-        });
+    if let Some(e) = opts.budget.depth_exceeded(
+        depth[graph.root] as u64,
+        Progress {
+            configs: graph.len() as u64,
+            depth: depth[graph.root] as u64,
+            ..Progress::default()
+        },
+    ) {
+        return Err(ExplorerError::Exhausted(e));
     }
 
     let per_object = system
@@ -475,8 +469,19 @@ mod tests {
     use super::*;
     use crate::program::{Operand, ProgramBuilder};
     use crate::system::ObjectInstance;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     use wfc_spec::canonical;
+    use wfc_spec::control::Resource;
+
+    /// Unwraps an [`ExplorerError::Exhausted`] into its
+    /// `(resource, budget, used)` triple for exact assertions.
+    fn exhausted(e: ExplorerError) -> (Resource, u64, u64) {
+        match e {
+            ExplorerError::Exhausted(e) => (e.resource, e.budget, e.used),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
 
     /// Two processes each test-and-set once and decide the response.
     fn tas_race() -> System {
@@ -562,28 +567,22 @@ mod tests {
         assert_eq!(base, format!("{:?}", explore(&tas_race(), &opts).unwrap()));
         // Token set: both the explorer and the violation search abort.
         FLAG.store(true, Ordering::Relaxed);
-        assert_eq!(
+        assert!(matches!(
             explore(&tas_race(), &opts).unwrap_err(),
-            ExplorerError::Cancelled
-        );
-        assert_eq!(
+            ExplorerError::Cancelled { .. }
+        ));
+        assert!(matches!(
             find_violation(&tas_race(), &[0, 1], &opts).unwrap_err(),
-            ExplorerError::Cancelled
-        );
+            ExplorerError::Cancelled { .. }
+        ));
         FLAG.store(false, Ordering::Relaxed);
     }
 
     #[test]
     fn budget_is_enforced() {
-        let e = explore(&tas_race(), &ExploreOptions::default().with_max_configs(2));
-        assert!(matches!(
-            e,
-            Err(ExplorerError::BudgetExceeded {
-                kind: BudgetKind::Configs,
-                budget: 2,
-                ..
-            })
-        ));
+        let e = explore(&tas_race(), &ExploreOptions::default().with_max_configs(2)).unwrap_err();
+        let (resource, budget, _) = exhausted(e);
+        assert_eq!((resource, budget), (Resource::Configs, 2));
     }
 
     #[test]
@@ -595,24 +594,16 @@ mod tests {
         for threads in [1, 4] {
             let opts = ExploreOptions::default().with_threads(threads);
             assert!(explore(&tas_race(), &opts.with_max_configs(5)).is_ok());
+            // The coordinator interns children one at a time, so the
+            // trip reports exactly budget + 1 — no level overshoot.
             assert_eq!(
-                explore(&tas_race(), &opts.with_max_configs(4)).unwrap_err(),
-                ExplorerError::BudgetExceeded {
-                    kind: BudgetKind::Configs,
-                    budget: 4,
-                    // The level that overflows interns all 5 configs
-                    // before the budget is checked at the sync point.
-                    used: 5
-                }
+                exhausted(explore(&tas_race(), &opts.with_max_configs(4)).unwrap_err()),
+                (Resource::Configs, 4, 5)
             );
             assert!(explore(&tas_race(), &opts.with_max_depth(2)).is_ok());
             assert_eq!(
-                explore(&tas_race(), &opts.with_max_depth(1)).unwrap_err(),
-                ExplorerError::BudgetExceeded {
-                    kind: BudgetKind::Depth,
-                    budget: 1,
-                    used: 2
-                }
+                exhausted(explore(&tas_race(), &opts.with_max_depth(1)).unwrap_err()),
+                (Resource::Depth, 1, 2)
             );
         }
     }
@@ -649,12 +640,8 @@ mod tests {
         let sys = System::new(vec![obj], vec![writer, reader]);
         assert!(explore(&sys, &ExploreOptions::default().with_max_depth(5)).is_ok());
         assert_eq!(
-            explore(&sys, &ExploreOptions::default().with_max_depth(4)).unwrap_err(),
-            ExplorerError::BudgetExceeded {
-                kind: BudgetKind::Depth,
-                budget: 4,
-                used: 5
-            }
+            exhausted(explore(&sys, &ExploreOptions::default().with_max_depth(4)).unwrap_err()),
+            (Resource::Depth, 4, 5)
         );
     }
 

@@ -7,26 +7,28 @@
 //! Depth, access bounds, decision sets and valency are all computed over
 //! this graph.
 //!
-//! Discovery is a level-synchronised breadth-first search over a
-//! lock-striped hash-consed configuration table; with
+//! Discovery is a level-synchronised breadth-first search; with
 //! [`ExploreOptions::threads`] > 1 each frontier is sharded across a
-//! scoped thread pool. Node *numbering* may then depend on the thread
-//! count, but the set of nodes, the edge multiset, depth, access bounds
-//! and decision sets are all invariant — every quantity
-//! [`explore`](crate::explore) derives is bit-identical to a
-//! single-threaded run. Cycle detection and the post-order are computed
-//! afterwards by a cheap sequential pass over the already-built
-//! adjacency, which touches no program state.
+//! scoped thread pool. Workers only *expand* configurations — all
+//! interning happens on the coordinator, in frontier order, after the
+//! level joins. Node numbering is therefore identical at every thread
+//! count (not merely the node *set*), and the configs budget is exact:
+//! the build aborts the moment the `budget.configs + 1`-st distinct
+//! configuration appears, with no end-of-level overshoot. Cycle
+//! detection and the post-order are computed afterwards by a cheap
+//! sequential pass over the already-built adjacency, which touches no
+//! program state.
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, DefaultHasher, Hash, Hasher};
+use std::hash::{BuildHasherDefault, DefaultHasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use wfc_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use wfc_spec::control::Progress;
 
-use crate::error::{BudgetKind, ExplorerError};
+use crate::error::ExplorerError;
 use crate::explore::ExploreOptions;
 use crate::system::{Config, System};
 
@@ -53,73 +55,13 @@ pub struct ConfigGraph {
 /// `threads > 1`: per-level thread spawns would dominate the work.
 const PARALLEL_FRONTIER_MIN: usize = 64;
 
-/// Deterministic (fixed-key) hash used both for stripe selection and
-/// the intern maps themselves.
-fn config_hash(c: &Config) -> u64 {
-    let mut h = DefaultHasher::new();
-    c.hash(&mut h);
-    h.finish()
-}
-
-/// A lock-striped hash-consed configuration table: configurations map to
-/// dense node ids, allocated from a shared atomic counter. Stripes are
-/// selected by configuration hash, so concurrent interning of distinct
-/// configurations rarely contends.
-struct StripedInterner {
-    stripes: Vec<Mutex<HashMap<Config, usize, BuildHasherDefault<DefaultHasher>>>>,
-    counter: AtomicUsize,
-    mask: usize,
-}
-
-impl StripedInterner {
-    fn new(threads: usize) -> Self {
-        let stripes = (threads * 8).next_power_of_two().max(1);
-        StripedInterner {
-            stripes: (0..stripes)
-                .map(|_| Mutex::new(HashMap::default()))
-                .collect(),
-            counter: AtomicUsize::new(0),
-            mask: stripes - 1,
-        }
-    }
-
-    /// Returns the node id of `c` and whether this call created it.
-    fn intern(&self, c: &Config) -> (usize, bool) {
-        let stripe = &self.stripes[(config_hash(c) as usize) & self.mask];
-        let mut map = stripe.lock().expect("interner stripe poisoned");
-        if let Some(&id) = map.get(c) {
-            (id, false)
-        } else {
-            let id = self.counter.fetch_add(1, Ordering::Relaxed);
-            map.insert(c.clone(), id);
-            (id, true)
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.counter.load(Ordering::Relaxed)
-    }
-
-    /// Consumes the table into a dense id-indexed configuration vector.
-    fn into_configs(self) -> Vec<Config> {
-        let mut out: Vec<Option<Config>> = vec![None; self.len()];
-        for stripe in self.stripes {
-            for (cfg, id) in stripe.into_inner().expect("interner stripe poisoned") {
-                out[id] = Some(cfg);
-            }
-        }
-        out.into_iter()
-            .map(|c| c.expect("every allocated id was inserted"))
-            .collect()
-    }
-}
-
-/// What one worker contributes to a frontier level: expanded adjacency,
-/// newly discovered nodes, and the minimal error encountered (keyed so
-/// the choice is independent of scheduling).
+/// What one worker contributes to a frontier level: for each claimed
+/// frontier position, the raw `(process, child configuration)` pairs it
+/// expands to, plus the minimal error encountered (keyed so the choice
+/// is independent of scheduling). Nothing is interned here — the
+/// coordinator does that in frontier order.
 struct LevelPart {
-    children: Vec<(usize, Vec<(usize, usize)>)>,
-    discovered: Vec<(usize, Config)>,
+    children: Vec<(usize, Vec<(usize, Config)>)>,
     error: Option<(String, usize, ExplorerError)>,
 }
 
@@ -136,23 +78,18 @@ fn merge_error(
     }
 }
 
-/// Expands the slice of `frontier` this worker claims via `next`,
-/// interning children into the shared table.
-///
-/// Workers always finish their whole level: the configs budget is
-/// checked only at the level-sync point in [`ConfigGraph::build`], so
-/// the interned total a budget error reports is a schedule-independent
-/// quantity (the cost is an overshoot of at most one level's worth of
-/// configurations past `max_configs`).
+/// Expands the slice of `frontier` this worker claims via `next`. Pure
+/// expansion: the result depends only on which positions were claimed,
+/// never on scheduling, so any partition of a level across workers
+/// yields the same merged level.
 fn expand_worker(
     system: &System,
-    frontier: &[(usize, Config)],
+    configs: &[Config],
+    frontier: &[usize],
     next: &AtomicUsize,
-    interner: &StripedInterner,
 ) -> LevelPart {
     let mut part = LevelPart {
         children: Vec::new(),
-        discovered: Vec::new(),
         error: None,
     };
     loop {
@@ -160,23 +97,15 @@ fn expand_worker(
         if i >= frontier.len() {
             return part;
         }
-        let (v, cfg) = &frontier[i];
+        let cfg = &configs[frontier[i]];
         let mut kids = Vec::new();
         for p in 0..system.processes() {
             match system.step(cfg, p) {
-                Ok(steps) => {
-                    for child in steps {
-                        let (id, new) = interner.intern(&child);
-                        if new {
-                            part.discovered.push((id, child));
-                        }
-                        kids.push((p, id));
-                    }
-                }
+                Ok(steps) => kids.extend(steps.into_iter().map(|child| (p, child))),
                 Err(e) => merge_error(&mut part.error, (format!("{e:?}"), p, e)),
             }
         }
-        part.children.push((*v, kids));
+        part.children.push((i, kids));
     }
 }
 
@@ -214,37 +143,49 @@ impl ConfigGraph {
     ///
     /// # Errors
     ///
-    /// Returns [`ExplorerError`] on malformed programs, or
-    /// [`ExplorerError::BudgetExceeded`] when the number of
-    /// configurations exceeds `opts.max_configs` or the breadth-first
-    /// level count exceeds `opts.max_depth` (the BFS level of a node
+    /// Returns [`ExplorerError`] on malformed programs,
+    /// [`ExplorerError::Exhausted`] when the control-plane budget trips
+    /// (the configs axis is exact — the reported usage is always
+    /// `budget + 1`; the depth axis fires when the breadth-first level
+    /// count exceeds `opts.budget.depth`, and the BFS level of a node
     /// never exceeds its execution depth, so this fires only on systems
-    /// genuinely deeper than the budget).
+    /// genuinely deeper than the budget), or
+    /// [`ExplorerError::Cancelled`] once `opts.cancel` is observed at a
+    /// level-sync point.
     pub fn build(system: &System, opts: &ExploreOptions) -> Result<ConfigGraph, ExplorerError> {
         let init = system.initial_config()?;
         let threads = opts.effective_threads();
-        let interner = StripedInterner::new(threads);
-        let (root, _) = interner.intern(&init);
         let metrics = opts.obs.metrics.then(BuildMetrics::new);
+
+        let mut map: HashMap<Config, usize, BuildHasherDefault<DefaultHasher>> = HashMap::default();
+        let mut configs: Vec<Config> = Vec::new();
+        let root = 0usize;
+        map.insert(init.clone(), root);
+        configs.push(init);
         if let Some(m) = &metrics {
             m.misses.add(1); // the root's intern
         }
 
-        let mut frontier: Vec<(usize, Config)> = vec![(root, init)];
+        let mut frontier: Vec<usize> = vec![root];
         let mut adjacency: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
         let mut edges = 0usize;
         let mut level = 0usize;
 
         while !frontier.is_empty() {
+            let progress = Progress {
+                configs: configs.len() as u64,
+                depth: level as u64,
+                ..Progress::default()
+            };
             if opts.cancel.is_cancelled() {
-                return Err(ExplorerError::Cancelled);
+                progress.record();
+                return Err(ExplorerError::Cancelled { progress });
             }
-            if level > opts.max_depth {
-                return Err(ExplorerError::BudgetExceeded {
-                    kind: BudgetKind::Depth,
-                    budget: opts.max_depth,
-                    used: level,
-                });
+            if let Some(e) = opts.budget.wall_exceeded(progress) {
+                return Err(ExplorerError::Exhausted(e));
+            }
+            if let Some(e) = opts.budget.depth_exceeded(level as u64, progress) {
+                return Err(ExplorerError::Exhausted(e));
             }
             let _level_span =
                 wfc_obs::span::enter_lazy(opts.obs.spans, "bfs_level", || format!("level={level}"));
@@ -260,11 +201,11 @@ impl ConfigGraph {
                 threads
             };
             let parts: Vec<LevelPart> = if level_workers <= 1 {
-                vec![expand_worker(system, &frontier, &next, &interner)]
+                vec![expand_worker(system, &configs, &frontier, &next)]
             } else {
                 std::thread::scope(|s| {
                     let workers: Vec<_> = (0..level_workers)
-                        .map(|_| s.spawn(|| expand_worker(system, &frontier, &next, &interner)))
+                        .map(|_| s.spawn(|| expand_worker(system, &configs, &frontier, &next)))
                         .collect();
                     workers
                         .into_iter()
@@ -273,21 +214,60 @@ impl ConfigGraph {
                 })
             };
 
+            // Reassemble the level in frontier order: slot the expansions
+            // by frontier position, surface the (deterministically
+            // merged) error first, then intern on this thread.
             let mut error: Option<(String, usize, ExplorerError)> = None;
-            let mut next_frontier = Vec::new();
-            let mut level_edges = 0usize;
+            let mut slots: Vec<Option<Vec<(usize, Config)>>> =
+                (0..frontier.len()).map(|_| None).collect();
             for part in parts {
-                level_edges += part.children.iter().map(|(_, k)| k.len()).sum::<usize>();
-                adjacency.extend(part.children);
-                next_frontier.extend(part.discovered);
+                for (i, kids) in part.children {
+                    slots[i] = Some(kids);
+                }
                 if let Some(e) = part.error {
                     merge_error(&mut error, e);
                 }
             }
+            if let Some((_, _, e)) = error {
+                return Err(e);
+            }
+
+            let mut next_frontier = Vec::new();
+            let mut level_edges = 0usize;
+            for (i, slot) in slots.into_iter().enumerate() {
+                let kids = slot.expect("every frontier position was expanded");
+                let mut kid_ids = Vec::with_capacity(kids.len());
+                for (p, child) in kids {
+                    level_edges += 1;
+                    let id = match map.get(&child) {
+                        Some(&id) => id,
+                        None => {
+                            let used = configs.len() as u64 + 1;
+                            if let Some(e) = opts.budget.configs_exceeded(
+                                used,
+                                Progress {
+                                    configs: used,
+                                    depth: level as u64,
+                                    ..Progress::default()
+                                },
+                            ) {
+                                return Err(ExplorerError::Exhausted(e));
+                            }
+                            let id = configs.len();
+                            map.insert(child.clone(), id);
+                            configs.push(child);
+                            next_frontier.push(id);
+                            id
+                        }
+                    };
+                    kid_ids.push((p, id));
+                }
+                adjacency.push((frontier[i], kid_ids));
+            }
             edges += level_edges;
             if let Some(m) = &metrics {
-                // Every edge is one intern call; the calls that did not
-                // discover a new node were hits.
+                // Every edge is one intern lookup; the lookups that did
+                // not discover a new node were hits.
                 m.frontier.record(frontier.len() as u64);
                 m.misses.add(next_frontier.len() as u64);
                 m.hits.add((level_edges - next_frontier.len()) as u64);
@@ -296,27 +276,16 @@ impl ConfigGraph {
                     m.level_ns.record(t0.elapsed().as_nanos() as u64);
                 }
             }
-            if let Some((_, _, e)) = error {
-                return Err(e);
-            }
-            if interner.len() > opts.max_configs {
-                return Err(ExplorerError::BudgetExceeded {
-                    kind: BudgetKind::Configs,
-                    budget: opts.max_configs,
-                    used: interner.len(),
-                });
-            }
             frontier = next_frontier;
             level += 1;
         }
 
         if opts.obs.metrics {
             let reg = Registry::global();
-            reg.counter("explorer.configs").add(interner.len() as u64);
+            reg.counter("explorer.configs").add(configs.len() as u64);
             reg.counter("explorer.edges").add(edges as u64);
         }
 
-        let configs = interner.into_configs();
         let mut children: Vec<Vec<(usize, usize)>> = vec![Vec::new(); configs.len()];
         for (v, kids) in adjacency {
             children[v] = kids;
@@ -430,7 +399,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_build_matches_sequential_shape() {
+    fn parallel_build_is_bit_identical_to_sequential() {
         let tas = Arc::new(canonical::test_and_set(2));
         let init = tas.state_id("unset").unwrap();
         let tas_inv = tas.invocation_id("test_and_set").unwrap();
@@ -447,11 +416,9 @@ mod tests {
         for threads in [2, 4, 8] {
             let par =
                 ConfigGraph::build(&sys, &ExploreOptions::default().with_threads(threads)).unwrap();
-            assert_eq!(par.len(), seq.len());
-            assert_eq!(par.edges, seq.edges);
-            assert_eq!(par.has_cycle, seq.has_cycle);
-            assert_eq!(par.terminals().count(), seq.terminals().count());
-            assert_eq!(par.post_order.len(), seq.post_order.len());
+            // Coordinator-side interning makes even the node *numbering*
+            // thread-invariant, so whole graphs compare equal.
+            assert_eq!(format!("{par:?}"), format!("{seq:?}"));
         }
     }
 }

@@ -61,10 +61,10 @@ pub mod simulate;
 mod system;
 pub mod trace;
 
-pub use error::{BudgetKind, ExplorerError, ProgramError};
+pub use error::{ExplorerError, ProgramError};
 pub use explore::{
-    explore, find_violation, AccessTable, CancelToken, Exploration, ExploreOptions, ObsOptions,
-    Violation,
+    explore, find_violation, AccessTable, Budget, CancelToken, Exploration, ExploreOptions,
+    ObsOptions, Progress, Violation, Wall,
 };
 pub use system::{Access, Config, ObjectInstance, System};
 

@@ -168,12 +168,16 @@ pub fn collect_histories(
     let mut stack: Vec<(Config, Vec<usize>)> = vec![(init, Vec::new())];
     while let Some((cfg, schedule)) = stack.pop() {
         if cfg.is_terminal() {
-            if out.len() >= max_paths {
-                return Err(ExplorerError::BudgetExceeded {
-                    kind: crate::error::BudgetKind::Configs,
-                    budget: max_paths,
-                    used: out.len() + 1,
-                });
+            let used = out.len() as u64 + 1;
+            let budget = wfc_spec::control::Budget::default().with_configs(max_paths as u64);
+            if let Some(e) = budget.configs_exceeded(
+                used,
+                wfc_spec::control::Progress {
+                    configs: used,
+                    ..Default::default()
+                },
+            ) {
+                return Err(ExplorerError::Exhausted(e));
             }
             let history = history_of(system, &cfg, &schedule, labels);
             out.push((schedule, history));

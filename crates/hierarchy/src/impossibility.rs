@@ -22,8 +22,27 @@
 use std::sync::Arc;
 
 use wfc_explorer::program::{BinOp, ProgramBuilder};
-use wfc_explorer::{explore, ExploreOptions, ExplorerError, ObjectInstance, System};
+use wfc_explorer::{explore, ExploreOptions, ExplorerError, ObjectInstance, Progress, System};
 use wfc_spec::{canonical, PortId};
+
+/// The sweep-level control poll, once per candidate pair: each inner
+/// exploration is tiny, so the sweep loop is the sync point that bounds
+/// cancellation latency. Progress is reported on the `steps` axis
+/// (explorations performed so far).
+fn sweep_poll(opts: &ExploreOptions, explorations: usize) -> Result<(), ExplorerError> {
+    let progress = Progress {
+        steps: explorations as u64,
+        ..Progress::default()
+    };
+    if opts.cancel.is_cancelled() {
+        progress.record();
+        return Err(ExplorerError::Cancelled { progress });
+    }
+    if let Some(e) = opts.budget.wall_exceeded(progress) {
+        return Err(ExplorerError::Exhausted(e));
+    }
+    Ok(())
+}
 
 /// One process's strategy in the one-round family.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -142,6 +161,7 @@ pub fn search_one_round_protocols(opts: &ExploreOptions) -> Result<SearchOutcome
     let mut candidates = 0;
     for &s0 in &strategies {
         for &s1 in &strategies {
+            sweep_poll(opts, explorations)?;
             candidates += 1;
             if pair_is_consensus(s0, s1, opts, &mut explorations)? {
                 survivors.push((s0, s1));
@@ -283,6 +303,7 @@ pub fn search_two_read_protocols(opts: &ExploreOptions) -> Result<TwoReadOutcome
     let mut candidates = 0usize;
     for &s0 in &strategies {
         for &s1 in &strategies {
+            sweep_poll(opts, explorations)?;
             candidates += 1;
             let mut ok = true;
             for mask in 0..4u8 {

@@ -26,6 +26,7 @@
 
 use std::fmt;
 
+use wfc_spec::control::{Budget, CancelToken, Progress};
 use wfc_spec::prng::SplitMix64;
 
 use crate::exec::{self, Access, Decider, Execution, Pool};
@@ -58,24 +59,28 @@ pub enum Mode {
 }
 
 /// Budgets and strategy for one exploration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct SchedOptions {
     /// The exploration strategy.
     pub mode: Mode,
-    /// Hard cap on executed schedules across the whole exploration
-    /// (all preemption rounds / all PCT runs). Exceeding it is a typed
-    /// [`SchedError::BudgetExceeded`].
-    pub max_schedules: u64,
-    /// Per-execution step cap (defense against unbounded fixtures).
-    pub max_steps: u64,
+    /// The control-plane budget: the checker meters `schedules` (a hard
+    /// cap across the whole exploration — all preemption rounds / all
+    /// PCT runs; exceeding it is [`SchedError::Exhausted`]) and `steps`
+    /// (a per-execution cap, defense against unbounded fixtures —
+    /// exceeding it is [`SchedError::StepLimit`]), plus the optional
+    /// wall-clock deadline.
+    pub budget: Budget,
+    /// Cooperative cancellation, polled at schedule boundaries
+    /// (defaults to [`CancelToken::NONE`]).
+    pub cancel: CancelToken,
 }
 
 impl Default for SchedOptions {
     fn default() -> Self {
         SchedOptions {
             mode: Mode::Exhaustive { sleep_sets: true },
-            max_schedules: 200_000,
-            max_steps: 10_000,
+            budget: Budget::default(),
+            cancel: CancelToken::NONE,
         }
     }
 }
@@ -87,9 +92,27 @@ impl SchedOptions {
         self
     }
 
+    /// This configuration with a whole replacement [`Budget`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// This configuration with a schedule budget.
     pub fn with_max_schedules(mut self, max_schedules: u64) -> Self {
-        self.max_schedules = max_schedules;
+        self.budget.schedules = max_schedules;
+        self
+    }
+
+    /// This configuration with a per-execution step cap.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.budget.steps = max_steps;
+        self
+    }
+
+    /// This configuration with a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }
@@ -98,20 +121,25 @@ impl SchedOptions {
 /// reported inside [`Exploration`]).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SchedError {
-    /// The schedule budget was exhausted before the exploration
-    /// completed. Mirrors `ExplorerError::BudgetExceeded`.
-    BudgetExceeded {
-        /// The configured `max_schedules`.
-        budget: u64,
-        /// Schedules executed when the budget fired.
-        used: u64,
-    },
-    /// One execution exceeded `max_steps` scheduler grants.
+    /// A control-plane budget axis (schedules, or the wall-clock
+    /// deadline) was exhausted before the exploration completed. The
+    /// same [`Exhausted`](wfc_spec::control::Exhausted) the explorer
+    /// raises, carrying the exact usage and a [`Progress`] snapshot.
+    Exhausted(wfc_spec::control::Exhausted),
+    /// One execution exceeded the per-execution `budget.steps` cap.
     StepLimit {
-        /// The configured `max_steps`.
+        /// The configured `budget.steps`.
         limit: u64,
         /// The schedule prefix that was abandoned.
         schedule: Schedule,
+    },
+    /// The exploration's [`CancelToken`] was set (server-side deadline
+    /// or shutdown). Polled at schedule boundaries, so cancellation
+    /// latency is at most one schedule execution and the snapshot
+    /// counts only fully executed schedules.
+    Cancelled {
+        /// Work completed when the token was observed.
+        progress: Progress,
     },
     /// A replayed schedule did not match the scenario.
     Replay(String),
@@ -123,10 +151,10 @@ pub enum SchedError {
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedError::BudgetExceeded { budget, used } => write!(
-                f,
-                "exploration exceeded the budget of {budget} schedules (executed {used})"
-            ),
+            SchedError::Exhausted(e) => write!(f, "{e}"),
+            SchedError::Cancelled { .. } => {
+                write!(f, "exploration cancelled before completion")
+            }
             SchedError::StepLimit { limit, schedule } => write!(
                 f,
                 "execution exceeded {limit} steps (schedule prefix {schedule})"
@@ -153,6 +181,10 @@ pub struct Counterexample {
 pub struct Exploration {
     /// Schedules executed (including sleep-redundant continuations).
     pub schedules: u64,
+    /// Scheduler steps executed, summed over all schedules — the
+    /// `steps` axis of the [`Progress`] this exploration would report
+    /// if preempted.
+    pub steps: u64,
     /// Sibling branches skipped by sleep-set pruning.
     pub pruned: u64,
     /// Longest schedule seen, in steps.
@@ -208,18 +240,13 @@ pub fn explore<F: FnMut() -> Execution>(
             // the previous run's actual length.
             let mut horizon: u64 = 32;
             for _ in 0..runs {
-                if stats.schedules >= options.max_schedules {
-                    return Err(SchedError::BudgetExceeded {
-                        budget: options.max_schedules,
-                        used: stats.schedules,
-                    });
-                }
+                poll(options, &stats)?;
                 stats.rounds += 1;
                 let mut decider = PctDecider::new(&mut rng, depth, horizon);
-                let res = exec::run_one(&mut pool, &mut build, &mut decider, options.max_steps);
+                let res = exec::run_one(&mut pool, &mut build, &mut decider, options.budget.steps);
                 if res.aborted {
                     return Err(SchedError::StepLimit {
-                        limit: options.max_steps,
+                        limit: options.budget.steps,
                         schedule: res.schedule,
                     });
                 }
@@ -237,6 +264,34 @@ pub fn explore<F: FnMut() -> Execution>(
     }
     wfc_obs::gauge_max!("sched.max_depth", stats.max_depth);
     Ok(stats)
+}
+
+/// The per-schedule-boundary control poll. The schedules axis is
+/// checked unconditionally (so `max_schedules = 0` still refuses to
+/// run, and a budget equal to the tree size still completes), while
+/// cancellation and the wall deadline wait until at least one schedule
+/// has run — a preempted exploration therefore always reports nonzero,
+/// resumable [`Progress`], and cancellation latency is bounded by one
+/// schedule execution.
+fn poll(options: &SchedOptions, stats: &Exploration) -> Result<(), SchedError> {
+    let progress = Progress {
+        schedules: stats.schedules,
+        steps: stats.steps,
+        ..Progress::default()
+    };
+    if let Some(e) = options.budget.schedules_exceeded(stats.schedules, progress) {
+        return Err(SchedError::Exhausted(e));
+    }
+    if stats.schedules > 0 {
+        if options.cancel.is_cancelled() {
+            progress.record();
+            return Err(SchedError::Cancelled { progress });
+        }
+        if let Some(e) = options.budget.wall_exceeded(progress) {
+            return Err(SchedError::Exhausted(e));
+        }
+    }
+    Ok(())
 }
 
 /// The outcome of re-running one recorded schedule.
@@ -292,6 +347,7 @@ pub fn replay<F: FnMut() -> Execution>(
 
 fn tally(stats: &mut Exploration, steps: u64, preemptions: u32) {
     stats.schedules += 1;
+    stats.steps += steps;
     stats.max_depth = stats.max_depth.max(steps);
     stats.max_preemptions = stats.max_preemptions.max(preemptions);
     wfc_obs::counter!("sched.schedules");
@@ -315,12 +371,7 @@ fn dfs<F: FnMut() -> Execution>(
     let mut bounded = false;
     let mut stack: Vec<Branch> = vec![(Vec::new(), Vec::new())];
     while let Some((prefix, sleep)) = stack.pop() {
-        if stats.schedules >= options.max_schedules {
-            return Err(SchedError::BudgetExceeded {
-                budget: options.max_schedules,
-                used: stats.schedules,
-            });
-        }
+        poll(options, stats)?;
         let mut decider = DfsDecider {
             prefix: &prefix,
             sleep,
@@ -333,7 +384,7 @@ fn dfs<F: FnMut() -> Execution>(
             taken: Vec::new(),
             siblings: Vec::new(),
         };
-        let res = exec::run_one(pool, build, &mut decider, options.max_steps);
+        let res = exec::run_one(pool, build, &mut decider, options.budget.steps);
         if let Some(msg) = res.decider_error {
             // A prefix generated by a previous run must replay cleanly;
             // failure means the scenario is not deterministic.
@@ -343,7 +394,7 @@ fn dfs<F: FnMut() -> Execution>(
         }
         if res.aborted {
             return Err(SchedError::StepLimit {
-                limit: options.max_steps,
+                limit: options.budget.steps,
                 schedule: res.schedule,
             });
         }

@@ -12,6 +12,7 @@
 use std::str::FromStr;
 
 use wfc_obs::json::Json;
+use wfc_spec::control::{Budget, CancelToken, Wall};
 
 use crate::explore::{explore, replay, Mode, SchedError, SchedOptions};
 use crate::fixtures;
@@ -106,10 +107,19 @@ impl SchedSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`SchedError::BudgetExceeded`] when exploration outgrows
+    /// Returns [`SchedError::Exhausted`] when exploration outgrows
     /// `budget`, [`SchedError::Replay`] on a schedule mismatch, and
     /// [`SchedError::StepLimit`] when one execution exceeds `steps`.
     pub fn run(&self) -> Result<Json, SchedError> {
+        self.run_with(CancelToken::NONE, None)
+    }
+
+    /// [`SchedSpec::run`] under external control: a serving layer's
+    /// cancellation token and/or wall-clock deadline, polled at
+    /// schedule boundaries. `run_with(CancelToken::NONE, None)` is
+    /// exactly `run` — control signals never change a completed
+    /// query's document.
+    pub fn run_with(&self, cancel: CancelToken, wall: Option<Wall>) -> Result<Json, SchedError> {
         let fixture = fixtures::find(&self.target).ok_or_else(|| unknown_target(&self.target))?;
         let mut build = fixtures::build(&self.target).expect("found fixtures have builders");
         let common = vec![
@@ -128,6 +138,10 @@ impl SchedSpec {
             ]);
             return Ok(Json::obj(pairs));
         }
+        let mut budget = Budget::default()
+            .with_schedules(self.budget)
+            .with_steps(self.steps);
+        budget.wall = wall;
         let options = SchedOptions {
             mode: match self.mode {
                 SpecMode::Dfs => Mode::Exhaustive {
@@ -142,8 +156,8 @@ impl SchedSpec {
                     depth: self.depth,
                 },
             },
-            max_schedules: self.budget,
-            max_steps: self.steps,
+            budget,
+            cancel,
         };
         let found = explore(&options, &mut build)?;
         let violation = found.counterexample.is_some();

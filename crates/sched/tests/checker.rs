@@ -156,26 +156,28 @@ fn mrsw_passes_pct() {
     assert_eq!(found.rounds, 100);
 }
 
-/// Budget overflow is a typed error carrying the used/budget pair, like
-/// `ExplorerError::BudgetExceeded`.
+/// Budget overflow is a typed error carrying the used/budget pair — the
+/// same `control::Exhausted` the explorer raises, with a `Progress`
+/// snapshot counting the schedules actually executed.
 #[test]
 fn budget_overflow_is_a_typed_error() {
     let mut build = fixtures::build("srsw").unwrap();
     let err = explore(
-        &SchedOptions {
-            mode: Mode::Exhaustive { sleep_sets: false },
-            max_schedules: 5,
-            max_steps: 10_000,
-        },
+        &SchedOptions::default()
+            .with_mode(Mode::Exhaustive { sleep_sets: false })
+            .with_max_schedules(5),
         &mut build,
     )
     .unwrap_err();
     match err {
-        SchedError::BudgetExceeded { budget, used } => {
-            assert_eq!(budget, 5);
-            assert_eq!(used, 5);
+        SchedError::Exhausted(e) => {
+            assert_eq!(e.resource, wfc_spec::control::Resource::Schedules);
+            assert_eq!(e.budget, 5);
+            assert_eq!(e.used, 5);
+            assert_eq!(e.progress.schedules, 5);
+            assert!(e.progress.steps > 0, "executed schedules took steps");
         }
-        other => panic!("expected BudgetExceeded, got {other:?}"),
+        other => panic!("expected Exhausted, got {other:?}"),
     }
 }
 

@@ -16,14 +16,16 @@ use wfc_core::{DeriveError, TransformError};
 use wfc_explorer::{ExploreOptions, ExplorerError};
 use wfc_obs::json::Json;
 use wfc_sched::{SchedError, SchedSpec};
+use wfc_spec::control::{CancelToken, Exhausted, Progress, Resource, Wall};
 use wfc_spec::FiniteType;
 
 use crate::wire::{QueryKind, QueryOptions};
 
 /// A query failure, structured so the wire layer can preserve the
-/// `budget`/`used` quantities of
-/// [`ExplorerError::BudgetExceeded`] instead of flattening them into a
-/// message string.
+/// control-plane quantities of
+/// [`Exhausted`](wfc_spec::control::Exhausted) — resource, budget, used
+/// and the partial [`Progress`] snapshot — instead of flattening them
+/// into a message string.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryError {
     /// The type text did not parse.
@@ -34,20 +36,17 @@ pub enum QueryError {
     Unsupported(String),
     /// The analysis itself failed (not wait-free, SRSW violation, …).
     Analysis(String),
-    /// An exploration budget fired. `kind` names the exhausted resource
-    /// (`configurations` or `depth levels`); `budget`/`used` mirror
-    /// [`ExplorerError::BudgetExceeded`] exactly.
-    Budget {
-        /// The exhausted resource.
-        kind: String,
-        /// The configured budget.
-        budget: u64,
-        /// The observed consumption when the budget fired.
-        used: u64,
+    /// A control-plane budget axis fired — a work budget
+    /// (`budget-exceeded` on the wire) or the wall-clock deadline
+    /// (`deadline-exceeded`). Carries the engine's
+    /// [`Exhausted`](wfc_spec::control::Exhausted) unchanged.
+    Exhausted(Exhausted),
+    /// The request's cancellation token fired (server shutdown), with
+    /// the partial progress at the abort.
+    Cancelled {
+        /// Work completed when the token was observed.
+        progress: Progress,
     },
-    /// The request's cancellation token fired (server deadline or
-    /// shutdown).
-    Cancelled,
 }
 
 impl QueryError {
@@ -57,15 +56,35 @@ impl QueryError {
             QueryError::Parse(_) => "parse-error",
             QueryError::Unsupported(_) => "unsupported",
             QueryError::Analysis(_) => "analysis-error",
-            QueryError::Budget { .. } => "budget-exceeded",
-            QueryError::Cancelled => "cancelled",
+            QueryError::Exhausted(e) if e.resource == Resource::WallMs => "deadline-exceeded",
+            QueryError::Exhausted(_) => "budget-exceeded",
+            QueryError::Cancelled { .. } => "cancelled",
         }
     }
 
-    /// For `budget-exceeded`: the `(budget, used)` pair.
+    /// For `budget-exceeded`/`deadline-exceeded`: the `(budget, used)`
+    /// pair.
     pub fn budget_used(&self) -> Option<(u64, u64)> {
         match self {
-            QueryError::Budget { budget, used, .. } => Some((*budget, *used)),
+            QueryError::Exhausted(e) => Some((e.budget, e.used)),
+            _ => None,
+        }
+    }
+
+    /// The wire slug of the exhausted resource, if any.
+    pub fn resource(&self) -> Option<&'static str> {
+        match self {
+            QueryError::Exhausted(e) => Some(e.resource.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The partial [`Progress`] snapshot a preempted query reports, if
+    /// this error carries one.
+    pub fn partial(&self) -> Option<Progress> {
+        match self {
+            QueryError::Exhausted(e) => Some(e.progress),
+            QueryError::Cancelled { progress } => Some(*progress),
             _ => None,
         }
     }
@@ -77,13 +96,8 @@ impl fmt::Display for QueryError {
             QueryError::Parse(m) => write!(f, "cannot parse type: {m}"),
             QueryError::Unsupported(m) => write!(f, "unsupported query: {m}"),
             QueryError::Analysis(m) => write!(f, "analysis failed: {m}"),
-            QueryError::Budget { kind, budget, used } => {
-                write!(
-                    f,
-                    "exploration exceeded the budget of {budget} {kind} (observed {used})"
-                )
-            }
-            QueryError::Cancelled => write!(f, "query cancelled before completion"),
+            QueryError::Exhausted(e) => write!(f, "{e}"),
+            QueryError::Cancelled { .. } => write!(f, "query cancelled before completion"),
         }
     }
 }
@@ -92,12 +106,8 @@ impl std::error::Error for QueryError {}
 
 fn from_explorer(e: ExplorerError) -> QueryError {
     match e {
-        ExplorerError::BudgetExceeded { kind, budget, used } => QueryError::Budget {
-            kind: kind.to_string(),
-            budget: budget as u64,
-            used: used as u64,
-        },
-        ExplorerError::Cancelled => QueryError::Cancelled,
+        ExplorerError::Exhausted(e) => QueryError::Exhausted(e),
+        ExplorerError::Cancelled { progress } => QueryError::Cancelled { progress },
         other => QueryError::Analysis(other.to_string()),
     }
 }
@@ -111,11 +121,8 @@ fn from_transform(e: TransformError) -> QueryError {
 
 fn from_sched(e: SchedError) -> QueryError {
     match e {
-        SchedError::BudgetExceeded { budget, used } => QueryError::Budget {
-            kind: "schedules".to_owned(),
-            budget,
-            used,
-        },
+        SchedError::Exhausted(e) => QueryError::Exhausted(e),
+        SchedError::Cancelled { progress } => QueryError::Cancelled { progress },
         SchedError::Parse(m) => QueryError::Parse(m),
         other => QueryError::Analysis(other.to_string()),
     }
@@ -138,11 +145,24 @@ pub fn parse_sched_spec(text: &str) -> Result<SchedSpec, QueryError> {
 ///
 /// # Errors
 ///
-/// [`QueryError::Budget`] when exploration outgrows the spec's schedule
-/// budget (with `kind = "schedules"`), [`QueryError::Analysis`] on
-/// replay mismatches or step-limit overruns.
+/// [`QueryError::Exhausted`] when exploration outgrows the spec's
+/// schedule budget (resource `schedules`) or an imposed deadline,
+/// [`QueryError::Analysis`] on replay mismatches or step-limit
+/// overruns.
 pub fn run_sched(spec: &SchedSpec) -> Result<Json, QueryError> {
-    spec.run().map_err(from_sched)
+    run_sched_with(spec, CancelToken::NONE, None)
+}
+
+/// [`run_sched`] under external control: a serving layer's cancellation
+/// token and wall-clock deadline, polled at schedule boundaries. With
+/// an inert token and no deadline this is exactly `run_sched` —
+/// control signals never change a completed query's document.
+pub fn run_sched_with(
+    spec: &SchedSpec,
+    cancel: CancelToken,
+    wall: Option<Wall>,
+) -> Result<Json, QueryError> {
+    spec.run_with(cancel, wall).map_err(from_sched)
 }
 
 fn from_derive(e: DeriveError) -> QueryError {
@@ -350,9 +370,14 @@ fn classify(ty: &Arc<FiniteType>) -> Result<Json, QueryError> {
     Ok(Json::obj(doc))
 }
 
-fn witness(ty: &Arc<FiniteType>) -> Result<Json, QueryError> {
-    let found =
-        wfc_spec::witness::find_witness(ty).map_err(|e| QueryError::Unsupported(e.to_string()))?;
+fn witness(ty: &Arc<FiniteType>, opts: &ExploreOptions) -> Result<Json, QueryError> {
+    let found = wfc_spec::witness::find_witness_with(ty, opts.cancel, &opts.budget).map_err(
+        |e| match e {
+            wfc_spec::AnalysisError::Exhausted(e) => QueryError::Exhausted(e),
+            wfc_spec::AnalysisError::Cancelled { progress } => QueryError::Cancelled { progress },
+            other => QueryError::Unsupported(other.to_string()),
+        },
+    )?;
     let witness = match found {
         None => Json::Null,
         Some(w) => {
@@ -465,7 +490,7 @@ pub fn run_query(
 ) -> Result<Json, QueryError> {
     match kind {
         QueryKind::Classify => classify(ty),
-        QueryKind::Witness => witness(ty),
+        QueryKind::Witness => witness(ty, opts),
         QueryKind::AccessBounds => access_bounds(ty, opts),
         QueryKind::Theorem5 => theorem5(ty, opts),
         QueryKind::VerifyConsensus => verify_consensus(ty, opts),
@@ -489,11 +514,28 @@ pub fn run_query_text(
     type_text: &str,
     options: &QueryOptions,
 ) -> Result<Json, QueryError> {
+    run_query_text_with(kind, type_text, options, CancelToken::NONE, None)
+}
+
+/// [`run_query_text`] under external control: the serving layer's
+/// cancellation token and per-request wall-clock deadline are threaded
+/// into whichever engine the query kind dispatches to — the explorer,
+/// the sched checker, or the witness search — and polled at that
+/// engine's sync points. With an inert token and no deadline this is
+/// exactly `run_query_text`.
+pub fn run_query_text_with(
+    kind: QueryKind,
+    type_text: &str,
+    options: &QueryOptions,
+    cancel: CancelToken,
+    wall: Option<Wall>,
+) -> Result<Json, QueryError> {
     if kind == QueryKind::Sched {
-        return run_sched(&parse_sched_spec(type_text)?);
+        return run_sched_with(&parse_sched_spec(type_text)?, cancel, wall);
     }
     let ty = parse_query_type(type_text)?;
-    let opts = explore_options(options);
+    let mut opts = explore_options(options).with_cancel(cancel);
+    opts.budget.wall = wall;
     run_query(kind, &ty, &opts)
 }
 

@@ -18,8 +18,11 @@
 //!   the sharded in-memory LRU, the append-only disk tier, and
 //!   single-flight deduplication.
 //! * [`server`] — accept loop, bounded queue with explicit
-//!   backpressure, fixed worker pool, deadline reaper driving explorer
-//!   [`CancelToken`](wfc_explorer::CancelToken)s.
+//!   backpressure, fixed worker pool, deadline reaper driving the
+//!   unified control plane
+//!   ([`wfc_spec::control`](wfc_spec::control)) — every query kind,
+//!   sched included, cancels mid-run and answers `deadline-exceeded`
+//!   with partial progress.
 //! * [`client`] — a blocking client with split send/receive for
 //!   pipelining.
 //!
@@ -52,12 +55,14 @@ pub mod server;
 pub mod wire;
 
 pub use analysis::{
-    explore_options, parse_query_type, parse_sched_spec, run_query, run_query_text, run_sched,
-    QueryError,
+    explore_options, parse_query_type, parse_sched_spec, run_query, run_query_text,
+    run_query_text_with, run_sched, run_sched_with, QueryError,
 };
 pub use cache::{
     cache_key, sched_cache_key, validate_cache_json, CacheOutcome, ResultCache, CACHE_SCHEMA,
 };
 pub use client::Client;
 pub use server::{serve, ServeConfig, ServerHandle, WorkerGate};
-pub use wire::{QueryKind, QueryOptions, Request, Response, WireError, PROTO};
+pub use wire::{
+    validate_response_json, QueryKind, QueryOptions, Request, Response, WireError, PROTO,
+};

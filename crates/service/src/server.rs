@@ -16,8 +16,14 @@
 //!   may keep many requests in flight and workers may complete them out
 //!   of order;
 //! * a **reaper thread** enforcing the per-request deadline by setting
-//!   the owning worker's [`CancelToken`] flag — explorations abort at
-//!   their next level-sync point with a `cancelled` error.
+//!   the owning worker's [`CancelToken`] flag. Every query kind —
+//!   explorer-backed analyses *and* sched model checking — polls the
+//!   same `wfc_spec::control` plane at its sync points (BFS level,
+//!   per-path pop, schedule boundary), so any in-flight computation
+//!   stops within one sync interval. A reaper-cancelled query answers
+//!   with a structured `deadline-exceeded` error carrying the deadline
+//!   as `budget`, the elapsed milliseconds as `used`, and a `partial`
+//!   progress snapshot of the work completed before the cut.
 //!
 //! Worker cancellation flags are leaked `AtomicBool`s (one per worker
 //! per server start — a bounded, intentional leak) because
@@ -32,10 +38,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use wfc_explorer::CancelToken;
+use wfc_spec::control::{CancelToken, Exhausted, Resource, Wall};
 
 use crate::analysis::{
-    explore_options, parse_query_type, parse_sched_spec, run_query, run_sched, QueryError,
+    explore_options, parse_query_type, parse_sched_spec, run_query, run_sched_with, QueryError,
 };
 use crate::cache::{cache_key, sched_cache_key, ResultCache};
 use crate::wire::{read_frame, write_frame, QueryKind, QueryOptions, Request, Response, WireError};
@@ -422,6 +428,8 @@ fn connection_loop(mut stream: TcpStream, shutdown: &AtomicBool, queue: &JobQueu
                     message,
                     budget: None,
                     used: None,
+                    resource: None,
+                    partial: None,
                 });
                 return;
             }
@@ -440,6 +448,8 @@ fn connection_loop(mut stream: TcpStream, shutdown: &AtomicBool, queue: &JobQueu
                     message: e.to_string(),
                     budget: None,
                     used: None,
+                    resource: None,
+                    partial: None,
                 });
                 continue;
             }
@@ -478,32 +488,37 @@ fn worker_loop(
         let Job { request, conn } = job;
         let started = Instant::now();
         cancel.store(false, Ordering::SeqCst);
-        // Arm the deadline before passing the gate, so time a test
-        // spends holding the worker counts against the deadline — that
-        // is what makes the cancellation test deterministic.
+        // Arm the deadline — and the in-engine wall clock — before
+        // passing the gate, so time a test spends holding the worker
+        // counts against the deadline; that is what makes the
+        // cancellation tests deterministic.
         *inflight[idx].deadline.lock().unwrap() = config.request_timeout.map(|t| started + t);
+        let wall = config.request_timeout.map(Wall::expires_in);
         gate.pass();
 
         let options = clamp_options(&request.options, config);
+        let token = CancelToken::new(cancel);
         let response = if request.kind == QueryKind::Sched {
             // A sched request carries a fixture spec, not a type, and its
             // budgets live inside the spec — the canonical rendering is
-            // the whole cache identity. (The deadline reaper cannot
-            // interrupt the checker mid-exploration; the spec's own
-            // `budget=`/`steps=` caps bound the work instead.)
+            // the whole cache identity. The request deadline rides along
+            // out-of-band (cancel token + wall clock, polled at schedule
+            // boundaries) and is deliberately *not* part of the key:
+            // control signals never change a completed query's document.
             match parse_sched_spec(&request.type_text) {
                 Err(e) => error_response(request.id, &e),
                 Ok(spec) => {
                     let key = sched_cache_key(&spec.canonical_text());
-                    let computed =
-                        cache.get_or_compute(key, request.kind, &spec.target, || run_sched(&spec));
+                    let computed = cache.get_or_compute(key, request.kind, &spec.target, || {
+                        run_sched_with(&spec, token, wall)
+                    });
                     match computed {
                         Ok((value, outcome)) => Response::Ok {
                             id: request.id,
                             cached: outcome.is_cached(),
                             result: (*value).clone(),
                         },
-                        Err(e) => error_response(request.id, &e),
+                        Err(e) => error_response(request.id, &as_deadline(e, started, config)),
                     }
                 }
             }
@@ -512,7 +527,8 @@ fn worker_loop(
                 Err(e) => error_response(request.id, &e),
                 Ok(ty) => {
                     let key = cache_key(request.kind, &ty, &options);
-                    let opts = explore_options(&options).with_cancel(CancelToken::new(cancel));
+                    let mut opts = explore_options(&options).with_cancel(token);
+                    opts.budget.wall = wall;
                     let computed = cache.get_or_compute(key, request.kind, ty.name(), || {
                         run_query(request.kind, &ty, &opts)
                     });
@@ -522,7 +538,7 @@ fn worker_loop(
                             cached: outcome.is_cached(),
                             result: (*value).clone(),
                         },
-                        Err(e) => error_response(request.id, &e),
+                        Err(e) => error_response(request.id, &as_deadline(e, started, config)),
                     }
                 }
             }
@@ -551,6 +567,26 @@ fn clamp_options(requested: &QueryOptions, config: &ServeConfig) -> QueryOptions
     }
 }
 
+/// Normalizes a cancellation whose request deadline has elapsed into a
+/// wall-clock [`Exhausted`] so clients see one `deadline-exceeded`
+/// shape whether the engine noticed its own wall budget or the reaper's
+/// token reached it first (the two race at every sync point). A
+/// cancellation with time still on the clock — server shutdown — stays
+/// `cancelled`.
+fn as_deadline(e: QueryError, started: Instant, config: &ServeConfig) -> QueryError {
+    match (e, config.request_timeout) {
+        (QueryError::Cancelled { progress }, Some(timeout)) if started.elapsed() >= timeout => {
+            QueryError::Exhausted(Exhausted {
+                resource: Resource::WallMs,
+                budget: timeout.as_millis() as u64,
+                used: started.elapsed().as_millis() as u64,
+                progress,
+            })
+        }
+        (e, _) => e,
+    }
+}
+
 fn error_response(id: u64, e: &QueryError) -> Response {
     let (budget, used) = match e.budget_used() {
         Some((b, u)) => (Some(b), Some(u)),
@@ -562,5 +598,7 @@ fn error_response(id: u64, e: &QueryError) -> Response {
         message: e.to_string(),
         budget,
         used,
+        resource: e.resource().map(str::to_owned),
+        partial: e.partial(),
     }
 }

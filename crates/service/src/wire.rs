@@ -10,15 +10,18 @@
 //! order when a server runs several workers).
 //!
 //! Error and busy responses are structured, not bare strings: a budget
-//! failure carries the same `budget`/`used` pair as
-//! [`ExplorerError::BudgetExceeded`](wfc_explorer::ExplorerError), and a
-//! backpressure rejection carries the observed queue depth as `used`
-//! against the configured capacity as `budget`.
+//! or deadline failure carries the same `budget`/`used`/`resource` triple
+//! as [`control::Exhausted`](wfc_spec::control::Exhausted) plus a
+//! `partial` [`Progress`](wfc_spec::control::Progress) snapshot of the
+//! work done before the control plane stopped it, and a backpressure
+//! rejection carries the observed queue depth as `used` against the
+//! configured capacity as `budget`.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
 use wfc_obs::json::Json;
+use wfc_spec::control::Progress;
 
 /// The protocol identifier carried by every frame.
 pub const PROTO: &str = "wfc-svc/v1";
@@ -206,8 +209,8 @@ impl Default for QueryOptions {
     fn default() -> Self {
         let d = wfc_explorer::ExploreOptions::default();
         QueryOptions {
-            max_configs: d.max_configs,
-            max_depth: d.max_depth,
+            max_configs: usize::try_from(d.budget.configs).unwrap_or(usize::MAX),
+            max_depth: usize::try_from(d.budget.depth).unwrap_or(usize::MAX),
             threads: 1,
         }
     }
@@ -315,6 +318,92 @@ impl Request {
     }
 }
 
+/// The stable error codes a `wfc-svc/v1` error response may carry.
+pub const ERROR_CODES: [&str; 7] = [
+    "parse-error",
+    "unsupported",
+    "analysis-error",
+    "budget-exceeded",
+    "deadline-exceeded",
+    "cancelled",
+    "bad-request",
+];
+
+/// Validates a captured `wfc-svc/v1` **response** document (as saved by
+/// smoke scripts or `wfc query`) against the wire schema. Beyond what
+/// [`Response::from_json`] enforces structurally, error responses must
+/// use a code from [`ERROR_CODES`], and `budget-exceeded`/
+/// `deadline-exceeded` errors must carry the full `Exhausted` shape:
+/// `budget`, `used`, a known `resource` slug, and `partial` progress.
+/// `wfc-report --check` dispatches frames with this `proto` here.
+pub fn validate_response_json(doc: &Json) -> Result<(), String> {
+    let response = Response::from_json(doc).map_err(|e| e.to_string())?;
+    let Response::Error {
+        code,
+        budget,
+        used,
+        resource,
+        partial,
+        ..
+    } = &response
+    else {
+        return Ok(());
+    };
+    if !ERROR_CODES.contains(&code.as_str()) {
+        return Err(format!("unknown error code {code:?}"));
+    }
+    if code == "budget-exceeded" || code == "deadline-exceeded" {
+        if budget.is_none() || used.is_none() {
+            return Err(format!("{code} errors must carry `budget` and `used`"));
+        }
+        let slug = resource
+            .as_deref()
+            .ok_or_else(|| format!("{code} errors must carry `resource`"))?;
+        if !["configs", "depth", "schedules", "steps", "wall-ms"].contains(&slug) {
+            return Err(format!("unknown resource slug {slug:?}"));
+        }
+        if code == "deadline-exceeded" && slug != "wall-ms" {
+            return Err(format!("deadline-exceeded must be wall-ms, got {slug:?}"));
+        }
+        if partial.is_none() {
+            return Err(format!("{code} errors must carry `partial` progress"));
+        }
+    }
+    Ok(())
+}
+
+/// Renders a [`Progress`] snapshot as the wire's `partial` object. All
+/// four counters are always present (deterministic key set), zeros
+/// included, so clients need no per-field probing.
+pub fn progress_to_json(p: Progress) -> Json {
+    Json::obj(vec![
+        ("configs", Json::U64(p.configs)),
+        ("depth", Json::U64(p.depth)),
+        ("schedules", Json::U64(p.schedules)),
+        ("steps", Json::U64(p.steps)),
+    ])
+}
+
+/// Parses a wire `partial` object back into a [`Progress`] snapshot.
+/// Absent counters read as zero; a counter that is present but not an
+/// integer is a protocol error.
+pub fn progress_from_json(doc: &Json) -> Result<Progress, WireError> {
+    let field = |name: &str| -> Result<u64, WireError> {
+        match doc.get(name) {
+            None => Ok(0),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| proto_err(format!("partial.{name} is not an integer"))),
+        }
+    };
+    Ok(Progress {
+        configs: field("configs")?,
+        depth: field("depth")?,
+        schedules: field("schedules")?,
+        steps: field("steps")?,
+    })
+}
+
 fn check_proto(doc: &Json) -> Result<(), WireError> {
     let proto = doc
         .get("proto")
@@ -346,17 +435,27 @@ pub enum Response {
         /// Echo of the request id.
         id: u64,
         /// A stable machine-readable code (`parse-error`,
-        /// `unsupported`, `budget-exceeded`, `cancelled`,
-        /// `analysis-error`, `bad-request`).
+        /// `unsupported`, `budget-exceeded`, `deadline-exceeded`,
+        /// `cancelled`, `analysis-error`, `bad-request`).
         code: String,
         /// Human-readable description.
         message: String,
-        /// For `budget-exceeded`: the configured budget.
+        /// For `budget-exceeded`/`deadline-exceeded`: the configured
+        /// budget (the wall allowance in milliseconds for deadlines).
         budget: Option<u64>,
-        /// For `budget-exceeded`: the observed consumption when the
-        /// budget fired (same semantics as
-        /// [`ExplorerError::BudgetExceeded`](wfc_explorer::ExplorerError)).
+        /// For `budget-exceeded`/`deadline-exceeded`: the observed
+        /// consumption when the limit fired (same semantics as
+        /// [`control::Exhausted`](wfc_spec::control::Exhausted)).
         used: Option<u64>,
+        /// For `budget-exceeded`/`deadline-exceeded`: which resource
+        /// ran out, as its wire slug (`configs`, `depth`, `schedules`,
+        /// `steps`, `wall-ms`).
+        resource: Option<String>,
+        /// For `budget-exceeded`/`deadline-exceeded`/`cancelled`: the
+        /// monotonic progress counters at the moment the control plane
+        /// stopped the run — enough for a client to see a preempted
+        /// query did real work and to resize its budgets.
+        partial: Option<Progress>,
     },
     /// Backpressure: the bounded request queue is full. The request was
     /// **not** enqueued; the client may retry later.
@@ -394,6 +493,8 @@ impl Response {
                 message,
                 budget,
                 used,
+                resource,
+                partial,
             } => {
                 let mut fields = vec![
                     ("proto", Json::Str(PROTO.to_owned())),
@@ -407,6 +508,12 @@ impl Response {
                 }
                 if let Some(u) = used {
                     fields.push(("used", Json::U64(*u)));
+                }
+                if let Some(r) = resource {
+                    fields.push(("resource", Json::Str(r.clone())));
+                }
+                if let Some(p) = partial {
+                    fields.push(("partial", progress_to_json(*p)));
                 }
                 Json::obj(fields)
             }
@@ -454,6 +561,11 @@ impl Response {
                     .to_owned(),
                 budget: doc.get("budget").and_then(Json::as_u64),
                 used: doc.get("used").and_then(Json::as_u64),
+                resource: doc
+                    .get("resource")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+                partial: doc.get("partial").map(progress_from_json).transpose()?,
             }),
             "busy" => Ok(Response::Busy {
                 id,
@@ -524,6 +636,13 @@ mod tests {
                 message: "exploration exceeded the budget".to_owned(),
                 budget: Some(100),
                 used: Some(135),
+                resource: Some("configs".to_owned()),
+                partial: Some(Progress {
+                    configs: 135,
+                    depth: 4,
+                    schedules: 0,
+                    steps: 0,
+                }),
             },
             Response::Error {
                 id: 3,
@@ -531,6 +650,21 @@ mod tests {
                 message: "line 2".to_owned(),
                 budget: None,
                 used: None,
+                resource: None,
+                partial: None,
+            },
+            Response::Error {
+                id: 5,
+                code: "deadline-exceeded".to_owned(),
+                message: "exploration exceeded the deadline of 50 ms".to_owned(),
+                budget: Some(50),
+                used: Some(61),
+                resource: Some("wall-ms".to_owned()),
+                partial: Some(Progress {
+                    schedules: 1,
+                    steps: 17,
+                    ..Progress::default()
+                }),
             },
             Response::Busy {
                 id: 4,
@@ -543,6 +677,50 @@ mod tests {
             assert_eq!(back, r);
             assert_eq!(back.id(), r.id());
         }
+    }
+
+    #[test]
+    fn response_validator_enforces_the_error_schema() {
+        let ok = Response::Ok {
+            id: 1,
+            cached: false,
+            result: Json::obj(vec![("D", Json::U64(5))]),
+        };
+        assert!(validate_response_json(&ok.to_json()).is_ok());
+
+        let full = Response::Error {
+            id: 2,
+            code: "deadline-exceeded".to_owned(),
+            message: "too slow".to_owned(),
+            budget: Some(50),
+            used: Some(61),
+            resource: Some("wall-ms".to_owned()),
+            partial: Some(Progress::default()),
+        };
+        assert!(validate_response_json(&full.to_json()).is_ok());
+
+        // A deadline error without its quantities fails the check.
+        let mut stripped = full.clone();
+        if let Response::Error {
+            resource, partial, ..
+        } = &mut stripped
+        {
+            *resource = None;
+            *partial = None;
+        }
+        assert!(validate_response_json(&stripped.to_json()).is_err());
+
+        // Unknown codes and mismatched resources fail too.
+        let mut bad_code = full.clone();
+        if let Response::Error { code, .. } = &mut bad_code {
+            *code = "out-of-cheese".to_owned();
+        }
+        assert!(validate_response_json(&bad_code.to_json()).is_err());
+        let mut bad_resource = full;
+        if let Response::Error { resource, .. } = &mut bad_resource {
+            *resource = Some("configs".to_owned());
+        }
+        assert!(validate_response_json(&bad_resource.to_json()).is_err());
     }
 
     #[test]

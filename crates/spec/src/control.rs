@@ -1,0 +1,387 @@
+//! The unified control plane: budgets, wall-clock deadlines, and
+//! cooperative cancellation for every long-running engine in the
+//! workspace.
+//!
+//! The explorer's BFS, the sched checker's DFS/PCT loops, the witness
+//! search and the hierarchy sweep are all exponential in the worst case;
+//! a serving layer must be able to preempt any of them. Before this
+//! module each engine grew its own budget error
+//! (`ExplorerError::BudgetExceeded`, `SchedError::BudgetExceeded`) and
+//! the service deadline reaper could only cancel explorer-backed
+//! queries. Now there is exactly one vocabulary:
+//!
+//! * [`Budget`] — per-resource work caps plus an optional wall-clock
+//!   deadline, carried inside every engine's options struct;
+//! * [`CancelToken`] — a `Copy` handle on a shared flag that a reaper
+//!   (or a signal handler) sets to abort a run from outside;
+//! * [`Progress`] — monotonic counters snapshotable at any sync point,
+//!   returned inside every abort so callers see how far the run got;
+//! * [`Exhausted`] — the single typed "ran out of `resource`" error all
+//!   engines raise and the `wfc-svc/v1` wire protocol round-trips.
+//!
+//! ## The poll-point contract
+//!
+//! Engines poll the control plane only at their *sync points* — the BFS
+//! level boundary, the per-path pop, the schedule boundary, the
+//! candidate-pair boundary. Between sync points a run is never
+//! interrupted, so a completed run's outputs are bit-identical whether
+//! or not a token was armed, at any thread count. Cancellation latency
+//! is therefore bounded by one sync interval (one BFS level, one
+//! schedule execution, …), and every abort carries the exact
+//! [`Progress`] at the sync point that tripped.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// The resource a [`Budget`] axis counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resource {
+    /// Distinct configurations interned by an explorer BFS (or states
+    /// visited by a path search).
+    Configs,
+    /// Execution-tree depth levels.
+    Depth,
+    /// Schedules executed by the sched model checker.
+    Schedules,
+    /// Scheduler steps (or search iterations for sweep-style engines).
+    Steps,
+    /// Wall-clock milliseconds against [`Budget::wall`].
+    WallMs,
+}
+
+impl Resource {
+    /// The stable wire spelling used by `wfc-svc/v1` error responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Resource::Configs => "configs",
+            Resource::Depth => "depth",
+            Resource::Schedules => "schedules",
+            Resource::Steps => "steps",
+            Resource::WallMs => "wall-ms",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Configs => write!(f, "configurations"),
+            Resource::Depth => write!(f, "depth levels"),
+            Resource::Schedules => write!(f, "schedules"),
+            Resource::Steps => write!(f, "steps"),
+            Resource::WallMs => write!(f, "milliseconds"),
+        }
+    }
+}
+
+/// Monotonic work counters, snapshotable at any sync point.
+///
+/// Each engine fills the axes it meters and leaves the rest at zero:
+/// the explorer reports `configs`/`depth`, the sched checker
+/// `schedules`/`steps`, sweep-style engines `steps`. A snapshot taken
+/// at an abort is *exact* for the tripping sync point — no in-flight
+/// work is unaccounted — which is what makes the figure resumable: a
+/// caller can re-issue the run with budgets raised past the snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Progress {
+    /// Distinct configurations interned / states visited.
+    pub configs: u64,
+    /// BFS levels begun (explorer) or tree depth reached.
+    pub depth: u64,
+    /// Schedules fully executed.
+    pub schedules: u64,
+    /// Scheduler steps or search iterations performed.
+    pub steps: u64,
+}
+
+impl Progress {
+    /// Mirrors the snapshot into the `wfc-obs` global metrics registry
+    /// (max-gauges `control.progress.*`); zero-cost when observability
+    /// is off. Engines call this at every abort so run reports show how
+    /// far a preempted query got.
+    pub fn record(&self) {
+        wfc_obs::gauge_max!("control.progress.configs", self.configs);
+        wfc_obs::gauge_max!("control.progress.depth", self.depth);
+        wfc_obs::gauge_max!("control.progress.schedules", self.schedules);
+        wfc_obs::gauge_max!("control.progress.steps", self.steps);
+    }
+}
+
+/// The single typed "ran out of `resource`" abort shared by every
+/// engine, carrying both the configured cap and the exact usage at the
+/// sync point that tripped, plus the full [`Progress`] snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Exhausted {
+    /// Which budget axis fired.
+    pub resource: Resource,
+    /// The configured cap (for [`Resource::WallMs`]: the deadline in
+    /// milliseconds).
+    pub budget: u64,
+    /// Exact usage observed at the tripping sync point (for
+    /// [`Resource::WallMs`]: elapsed milliseconds).
+    pub used: u64,
+    /// Work completed when the budget fired.
+    pub progress: Progress,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resource {
+            Resource::WallMs => write!(
+                f,
+                "exploration exceeded the deadline of {} ms (observed {} ms)",
+                self.budget, self.used
+            ),
+            r => write!(
+                f,
+                "exploration exceeded the budget of {} {} (observed {})",
+                self.budget, r, self.used
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
+/// A cooperative cancellation flag.
+///
+/// Serving layers impose wall-clock deadlines that budgets alone cannot
+/// express from outside a run. A token wraps a shared [`AtomicBool`];
+/// engines poll it at their sync points and abort with their
+/// `Cancelled` error (carrying a [`Progress`] snapshot) once it is set.
+///
+/// The flag is `&'static` so the token stays `Copy` (and every options
+/// struct with it). Long-lived owners such as server worker threads
+/// allocate their flag once (e.g. via `Box::leak`) and re-arm it per
+/// request.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CancelToken(Option<&'static AtomicBool>);
+
+impl CancelToken {
+    /// The inert token: never cancelled. This is the default.
+    pub const NONE: CancelToken = CancelToken(None);
+
+    /// A token observing `flag`.
+    pub fn new(flag: &'static AtomicBool) -> CancelToken {
+        CancelToken(Some(flag))
+    }
+
+    /// `true` once the underlying flag has been set.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
+
+/// A wall-clock deadline with its start instant, so aborts can report
+/// both the configured allowance and the elapsed time in milliseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Wall {
+    /// When the allowance started counting.
+    pub started: Instant,
+    /// The instant past which the run must abort.
+    pub deadline: Instant,
+}
+
+impl Wall {
+    /// A deadline `allowance` from now.
+    pub fn expires_in(allowance: Duration) -> Wall {
+        let started = Instant::now();
+        Wall {
+            started,
+            deadline: started + allowance,
+        }
+    }
+}
+
+/// Per-resource work caps plus an optional wall-clock deadline — the
+/// one budget type threaded through every engine's options.
+///
+/// Axes an engine does not meter are simply never checked; the defaults
+/// are the workspace-wide conventions (4 M configurations, unlimited
+/// depth, 200 k schedules, 10 k steps per execution, no deadline).
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Cap on distinct configurations (explorer; exact — see
+    /// [`Budget::configs_exceeded`]).
+    pub configs: u64,
+    /// Cap on execution-tree depth.
+    pub depth: u64,
+    /// Cap on executed schedules (sched checker).
+    pub schedules: u64,
+    /// Per-execution step cap (sched checker).
+    pub steps: u64,
+    /// Optional wall-clock deadline, polled at sync points.
+    pub wall: Option<Wall>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            configs: 4_000_000,
+            depth: u64::MAX,
+            schedules: 200_000,
+            steps: 10_000,
+            wall: None,
+        }
+    }
+}
+
+impl Budget {
+    /// This budget with a `configs` cap.
+    pub fn with_configs(mut self, configs: u64) -> Self {
+        self.configs = configs;
+        self
+    }
+
+    /// This budget with a `depth` cap.
+    pub fn with_depth(mut self, depth: u64) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// This budget with a `schedules` cap.
+    pub fn with_schedules(mut self, schedules: u64) -> Self {
+        self.schedules = schedules;
+        self
+    }
+
+    /// This budget with a per-execution `steps` cap.
+    pub fn with_steps(mut self, steps: u64) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// This budget with a wall-clock deadline.
+    pub fn with_wall(mut self, wall: Wall) -> Self {
+        self.wall = Some(wall);
+        self
+    }
+
+    /// The configs axis, checked as the `used`-th configuration is
+    /// about to be interned: fires iff `used > configs`, so the
+    /// reported figure is exactly `configs + 1` — no overshoot.
+    pub fn configs_exceeded(&self, used: u64, progress: Progress) -> Option<Exhausted> {
+        (used > self.configs).then(|| self.trip(Resource::Configs, self.configs, used, progress))
+    }
+
+    /// The depth axis: fires iff `used > depth` (a run whose longest
+    /// execution is exactly `depth` still succeeds).
+    pub fn depth_exceeded(&self, used: u64, progress: Progress) -> Option<Exhausted> {
+        (used > self.depth).then(|| self.trip(Resource::Depth, self.depth, used, progress))
+    }
+
+    /// The schedules axis, checked before starting another schedule:
+    /// fires iff `used >= schedules` executions have already run.
+    pub fn schedules_exceeded(&self, used: u64, progress: Progress) -> Option<Exhausted> {
+        (used >= self.schedules)
+            .then(|| self.trip(Resource::Schedules, self.schedules, used, progress))
+    }
+
+    /// The wall axis: fires once `Instant::now()` passes the deadline,
+    /// reporting allowance and elapsed time in milliseconds.
+    pub fn wall_exceeded(&self, progress: Progress) -> Option<Exhausted> {
+        let wall = self.wall?;
+        let now = Instant::now();
+        (now >= wall.deadline).then(|| {
+            self.trip(
+                Resource::WallMs,
+                wall.deadline.duration_since(wall.started).as_millis() as u64,
+                now.duration_since(wall.started).as_millis() as u64,
+                progress,
+            )
+        })
+    }
+
+    fn trip(&self, resource: Resource, budget: u64, used: u64, progress: Progress) -> Exhausted {
+        progress.record();
+        Exhausted {
+            resource,
+            budget,
+            used,
+            progress,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhausted_renders_budget_and_observed() {
+        let e = Exhausted {
+            resource: Resource::Configs,
+            budget: 100,
+            used: 135,
+            progress: Progress::default(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "exploration exceeded the budget of 100 configurations (observed 135)"
+        );
+        let w = Exhausted {
+            resource: Resource::WallMs,
+            budget: 100,
+            used: 182,
+            ..e
+        };
+        assert_eq!(
+            w.to_string(),
+            "exploration exceeded the deadline of 100 ms (observed 182 ms)"
+        );
+    }
+
+    #[test]
+    fn configs_axis_is_exact() {
+        let b = Budget::default().with_configs(4);
+        let p = Progress::default();
+        assert!(b.configs_exceeded(4, p).is_none(), "at the cap is fine");
+        let e = b.configs_exceeded(5, p).expect("one past the cap fires");
+        assert_eq!((e.budget, e.used), (4, 5));
+        assert_eq!(e.resource, Resource::Configs);
+    }
+
+    #[test]
+    fn schedules_axis_fires_at_the_cap() {
+        let b = Budget::default().with_schedules(5);
+        let p = Progress {
+            schedules: 5,
+            ..Progress::default()
+        };
+        assert!(b.schedules_exceeded(4, p).is_none());
+        let e = b.schedules_exceeded(5, p).expect("cap reached");
+        assert_eq!((e.budget, e.used), (5, 5));
+        assert_eq!(e.progress.schedules, 5);
+    }
+
+    #[test]
+    fn expired_wall_fires_with_millisecond_figures() {
+        let started = Instant::now() - Duration::from_millis(50);
+        let b = Budget {
+            wall: Some(Wall {
+                started,
+                deadline: started + Duration::from_millis(10),
+            }),
+            ..Budget::default()
+        };
+        let e = b.wall_exceeded(Progress::default()).expect("expired");
+        assert_eq!(e.resource, Resource::WallMs);
+        assert_eq!(e.budget, 10);
+        assert!(e.used >= 50);
+        assert!(Budget::default()
+            .wall_exceeded(Progress::default())
+            .is_none());
+    }
+
+    #[test]
+    fn cancel_token_observes_its_flag() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        assert!(!CancelToken::NONE.is_cancelled());
+        let t = CancelToken::new(&FLAG);
+        assert!(!t.is_cancelled());
+        FLAG.store(true, Ordering::Relaxed);
+        assert!(t.is_cancelled());
+        FLAG.store(false, Ordering::Relaxed);
+    }
+}

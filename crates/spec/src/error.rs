@@ -96,6 +96,15 @@ pub enum AnalysisError {
         /// Name of the offending type.
         type_name: String,
     },
+    /// The search exhausted a [`control::Budget`](crate::control::Budget)
+    /// axis before completing.
+    Exhausted(crate::control::Exhausted),
+    /// The search's [`CancelToken`](crate::control::CancelToken) was set
+    /// before completion.
+    Cancelled {
+        /// Work completed when the token was observed.
+        progress: crate::control::Progress,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -121,6 +130,10 @@ impl fmt::Display for AnalysisError {
                     f,
                     "`{type_name}` has fewer than two ports; reader/writer derivation needs two"
                 )
+            }
+            AnalysisError::Exhausted(e) => write!(f, "{e}"),
+            AnalysisError::Cancelled { .. } => {
+                write!(f, "witness search cancelled before completion")
             }
         }
     }

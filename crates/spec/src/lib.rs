@@ -21,6 +21,9 @@
 //!   compare-and-swap, sticky bit, consensus, one-use bit, …).
 //! * [`hash`] — canonical 128-bit content hashing of types (the cache-key
 //!   substrate of the `wfc-service` serving layer).
+//! * [`control`] — the workspace-wide control plane: budgets, wall-clock
+//!   deadlines, cancellation tokens and progress snapshots, polled by
+//!   every long-running engine at its sync points.
 //!
 //! ## Example: classify a type and extract a witness
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod canonical;
+pub mod control;
 mod error;
 pub mod hash;
 mod history;

@@ -21,6 +21,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::control::{Budget, CancelToken, Progress};
 use crate::error::AnalysisError;
 use crate::history::SequentialHistory;
 use crate::ids::{InvId, PortId, RespId, StateId};
@@ -118,6 +119,25 @@ impl NonTrivialWitness {
 /// one port there are no "other ports" to observe, so the general
 /// definition makes every single-port deterministic type trivial).
 pub fn find_witness(ty: &FiniteType) -> Result<Option<NonTrivialWitness>, AnalysisError> {
+    find_witness_with(ty, CancelToken::NONE, &Budget::default())
+}
+
+/// [`find_witness`] under the workspace control plane: the token and the
+/// budget's wall deadline are polled at every `(start, reader_port)`
+/// sync point, so a serving layer can preempt the search mid-sweep.
+///
+/// # Errors
+///
+/// In addition to [`find_witness`]'s errors, returns
+/// [`AnalysisError::Cancelled`] once the token is set and
+/// [`AnalysisError::Exhausted`] past the wall deadline, both carrying
+/// the number of sync points passed in
+/// [`Progress::steps`](crate::control::Progress).
+pub fn find_witness_with(
+    ty: &FiniteType,
+    cancel: CancelToken,
+    budget: &Budget,
+) -> Result<Option<NonTrivialWitness>, AnalysisError> {
     wfc_obs::counter!("spec.witness_searches");
     if !ty.is_deterministic() {
         return Err(AnalysisError::RequiresDeterministic {
@@ -130,8 +150,21 @@ pub fn find_witness(ty: &FiniteType) -> Result<Option<NonTrivialWitness>, Analys
         });
     }
     let mut best: Option<NonTrivialWitness> = None;
+    let mut polls: u64 = 0;
     for start in ty.states() {
         for reader_port in ty.port_ids() {
+            let progress = Progress {
+                steps: polls,
+                ..Progress::default()
+            };
+            polls += 1;
+            if cancel.is_cancelled() {
+                progress.record();
+                return Err(AnalysisError::Cancelled { progress });
+            }
+            if let Some(e) = budget.wall_exceeded(progress) {
+                return Err(AnalysisError::Exhausted(e));
+            }
             for writer_port in ty.port_ids() {
                 if reader_port == writer_port {
                     continue;
@@ -337,6 +370,23 @@ mod tests {
             find_witness(&t),
             Err(AnalysisError::NeedsTwoPorts { .. })
         ));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_search() {
+        use std::sync::atomic::AtomicBool;
+        static FLAG: AtomicBool = AtomicBool::new(true);
+        let t = settable_bit();
+        assert!(matches!(
+            find_witness_with(&t, CancelToken::new(&FLAG), &Budget::default()),
+            Err(AnalysisError::Cancelled { .. })
+        ));
+        // An armed-but-unset token changes nothing.
+        static CLEAR: AtomicBool = AtomicBool::new(false);
+        assert_eq!(
+            find_witness_with(&t, CancelToken::new(&CLEAR), &Budget::default()).unwrap(),
+            find_witness(&t).unwrap()
+        );
     }
 
     #[test]

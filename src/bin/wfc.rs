@@ -29,12 +29,13 @@ use std::time::Duration;
 
 use wait_free_consensus::prelude::*;
 use wfc_service::{Client, QueryKind, QueryOptions, Response, ServeConfig, PROTO};
+use wfc_spec::control::{CancelToken, Wall};
 use wfc_spec::text::{format_type, parse_type};
 use wfc_spec::FiniteType;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [--max-configs N] [--max-depth N] [--threads N]\n  wfc theorem5 <TYPE-FILE> [--max-configs N] [--max-depth N] [--threads N]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | regular | broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [--max-configs N] [--max-depth N] [--threads N]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)"
+        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | regular | broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
     );
     ExitCode::from(2)
 }
@@ -215,24 +216,89 @@ impl Flags {
                 .map_err(|_| format!("flag `{name}` wants an integer, got `{v}`").into()),
         }
     }
+
+    fn get_u64_opt(&self, name: &str) -> Result<Option<u64>, Box<dyn Error>> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag `{name}` wants an integer, got `{v}`").into()),
+        }
+    }
 }
 
-fn query_options(flags: &Flags) -> Result<QueryOptions, Box<dyn Error>> {
-    let d = QueryOptions::default();
-    Ok(QueryOptions {
-        max_configs: flags.get_usize("--max-configs", d.max_configs)?,
-        max_depth: flags.get_usize("--max-depth", d.max_depth)?,
-        threads: flags.get_usize("--threads", d.threads)?,
-    })
+/// The uniform control-plane flags shared by every analysis subcommand
+/// (`access-bounds`, `theorem5`, `query`, `sched`): explorer budgets
+/// `--budget-configs` / `--budget-depth` (with `--max-configs` /
+/// `--max-depth` kept as aliases), sched budgets `--budget-schedules` /
+/// `--budget-steps`, a wall-clock `--timeout-ms`, and `--threads`. One
+/// parser, so every subcommand spells its limits the same way.
+struct ControlFlags {
+    options: QueryOptions,
+    schedules: Option<u64>,
+    steps: Option<u64>,
+    timeout: Option<Duration>,
+}
+
+impl ControlFlags {
+    fn parse(flags: &Flags) -> Result<ControlFlags, Box<dyn Error>> {
+        let d = QueryOptions::default();
+        let aliased = |new: &str, old: &str, default: usize| -> Result<usize, Box<dyn Error>> {
+            match flags.get(new) {
+                Some(_) => flags.get_usize(new, default),
+                None => flags.get_usize(old, default),
+            }
+        };
+        Ok(ControlFlags {
+            options: QueryOptions {
+                max_configs: aliased("--budget-configs", "--max-configs", d.max_configs)?,
+                max_depth: aliased("--budget-depth", "--max-depth", d.max_depth)?,
+                threads: flags.get_usize("--threads", d.threads)?,
+            },
+            schedules: flags.get_u64_opt("--budget-schedules")?,
+            steps: flags.get_u64_opt("--budget-steps")?,
+            timeout: flags
+                .get_u64_opt("--timeout-ms")?
+                .map(Duration::from_millis),
+        })
+    }
+
+    /// The wall-clock deadline for a *direct* run, armed at call time.
+    /// (Served runs are governed by the server's own `--timeout-ms`.)
+    fn wall(&self) -> Option<Wall> {
+        self.timeout.map(Wall::expires_in)
+    }
+
+    /// Sched budgets as `key=value` words appended after the user's own
+    /// spec words — the spec grammar resolves later keys last, so the
+    /// flags win over in-line spellings, and the canonical text (hence
+    /// the cache key) comes out the same however the budget was spelled.
+    fn sched_suffix(&self) -> String {
+        let mut out = String::new();
+        if let Some(n) = self.schedules {
+            out.push_str(&format!(" budget={n}"));
+        }
+        if let Some(n) = self.steps {
+            out.push_str(&format!(" steps={n}"));
+        }
+        out
+    }
 }
 
 /// `access-bounds` / `theorem5`: the same engine the server workers
 /// run, printed as the canonical JSON document.
 fn cmd_direct_query(kind: QueryKind, path: &str, rest: &[String]) -> Result<(), Box<dyn Error>> {
     let flags = Flags::parse(rest)?;
-    let options = query_options(&flags)?;
+    let control = ControlFlags::parse(&flags)?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let doc = wfc_service::run_query_text(kind, &src, &options)?;
+    let doc = wfc_service::run_query_text_with(
+        kind,
+        &src,
+        &control.options,
+        CancelToken::NONE,
+        control.wall(),
+    )?;
     println!("{}", doc.render());
     Ok(())
 }
@@ -312,12 +378,12 @@ fn cmd_query(kind_name: &str, path: &str, rest: &[String]) -> Result<ExitCode, B
     let kind =
         QueryKind::parse(kind_name).ok_or_else(|| format!("unknown query kind `{kind_name}`"))?;
     let flags = Flags::parse(rest)?;
-    let options = query_options(&flags)?;
+    let control = ControlFlags::parse(&flags)?;
     let addr = flags
         .get("--addr")
         .ok_or("`wfc query` needs --addr HOST:PORT")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    served_query(kind, &src, &options, addr)
+    served_query(kind, &src, &control.options, addr)
 }
 
 /// Sends one query to a server and prints the response; shared by
@@ -330,7 +396,8 @@ fn served_query(
 ) -> Result<ExitCode, Box<dyn Error>> {
     let mut client = Client::connect_retry(addr, Duration::from_secs(10))
         .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
-    match client.query(kind, text, options)? {
+    let response = client.query(kind, text, options)?;
+    match &response {
         Response::Ok { result, cached, .. } => {
             eprintln!("# cached: {cached}");
             println!("{}", result.render());
@@ -343,6 +410,11 @@ fn served_query(
             used,
             ..
         } => {
+            // The full structured error — code, quantities, resource,
+            // partial progress — goes to stdout so scripts can capture
+            // and validate it (`wfc-report --check`); the summary goes
+            // to stderr for humans.
+            println!("{}", response.to_json().render());
             match (budget, used) {
                 (Some(b), Some(u)) => eprintln!("error [{code}]: {message} (budget {b}, used {u})"),
                 _ => eprintln!("error [{code}]: {message}"),
@@ -369,13 +441,21 @@ fn cmd_sched(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     if spec_words.is_empty() {
         return Err("`wfc sched` needs a target; try `wfc sched srsw` or see `wfc` usage".into());
     }
-    let text = spec_words.join(" ");
     let flags = Flags::parse(flag_args)?;
+    let control = ControlFlags::parse(&flags)?;
+    // Budget flags append `key=value` words; last key wins in the spec
+    // grammar, so the flags override any in-line spelling.
+    let text = spec_words.join(" ") + &control.sched_suffix();
     match flags.get("--addr") {
         Some(addr) => served_query(QueryKind::Sched, &text, &QueryOptions::default(), addr),
         None => {
-            let doc =
-                wfc_service::run_query_text(QueryKind::Sched, &text, &QueryOptions::default())?;
+            let doc = wfc_service::run_query_text_with(
+                QueryKind::Sched,
+                &text,
+                &QueryOptions::default(),
+                CancelToken::NONE,
+                control.wall(),
+            )?;
             println!("{}", doc.render());
             Ok(ExitCode::SUCCESS)
         }

@@ -203,19 +203,21 @@ fn budget_errors_are_identical_across_thread_counts() {
     }
     // Sanity: the one-below cases actually error, at-threshold succeed.
     assert!(explorer::explore(&sys, &cases[0].1).is_ok());
-    assert!(matches!(
-        explorer::explore(&sys, &cases[1].1),
-        Err(explorer::ExplorerError::BudgetExceeded {
-            kind: explorer::BudgetKind::Configs,
-            ..
-        })
-    ));
+    match explorer::explore(&sys, &cases[1].1) {
+        Err(explorer::ExplorerError::Exhausted(e)) => {
+            assert_eq!(e.resource, wfc_spec::control::Resource::Configs);
+            // Exact accounting: the budget fires at exactly one config
+            // over, never at some thread-dependent overshoot.
+            assert_eq!(e.used, e.budget + 1);
+        }
+        other => panic!("expected a configs Exhausted error, got {other:?}"),
+    }
     assert!(explorer::explore(&sys, &cases[2].1).is_ok());
-    assert!(matches!(
-        explorer::explore(&sys, &cases[3].1),
-        Err(explorer::ExplorerError::BudgetExceeded {
-            kind: explorer::BudgetKind::Depth,
-            ..
-        })
-    ));
+    match explorer::explore(&sys, &cases[3].1) {
+        Err(explorer::ExplorerError::Exhausted(e)) => {
+            assert_eq!(e.resource, wfc_spec::control::Resource::Depth);
+            assert_eq!(e.used, e.budget + 1);
+        }
+        other => panic!("expected a depth Exhausted error, got {other:?}"),
+    }
 }

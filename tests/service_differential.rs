@@ -168,8 +168,9 @@ fn saturated_queue_returns_busy_with_quantities() {
     handle.shutdown();
 }
 
-/// Budget failures keep `ExplorerError::BudgetExceeded`'s quantities all
-/// the way across the wire — `budget` and `used` as numbers, not prose.
+/// Budget failures keep `control::Exhausted`'s quantities all the way
+/// across the wire — `budget`, `used`, the exhausted `resource`, and a
+/// `partial` progress snapshot as structured data, not prose.
 #[test]
 fn budget_errors_carry_quantities_on_the_wire() {
     let handle = serve(local_config()).unwrap();
@@ -184,13 +185,23 @@ fn budget_errors_carry_quantities_on_the_wire() {
         .unwrap()
     {
         Response::Error {
-            code, budget, used, ..
+            code,
+            budget,
+            used,
+            resource,
+            partial,
+            ..
         } => {
             assert_eq!(code, "budget-exceeded");
             assert_eq!(budget, Some(direct_budget));
             assert_eq!(used, Some(direct_used));
             assert_eq!(budget, Some(3));
-            assert!(used.unwrap() > 3);
+            // Exact accounting: the budget fires at exactly one config
+            // over the limit, not at some batch-shaped overshoot.
+            assert_eq!(used, Some(4));
+            assert_eq!(resource.as_deref(), Some("configs"));
+            let partial = partial.expect("budget errors carry partial progress");
+            assert_eq!(partial.configs, 4);
         }
         other => panic!("expected budget error, got {other:?}"),
     }
@@ -251,6 +262,20 @@ fn served_sched_results_are_byte_identical_to_direct_calls() {
     match client.query(QueryKind::Sched, respelled, &options).unwrap() {
         Response::Ok { cached, result, .. } => {
             assert!(cached, "equal canonical specs must share a cache line");
+            assert_eq!(result.render(), direct, "cached sched bytes differ");
+        }
+        other => panic!("unexpected repeat response {other:?}"),
+    }
+    // Spelling the *budgets* out at their defaults resolves to the same
+    // canonical text too — budget knobs are part of the spec, and equal
+    // resolved budgets must share the line, however they were written.
+    let with_budgets = "broken budget=200000 steps=10000 mode=dfs";
+    match client
+        .query(QueryKind::Sched, with_budgets, &options)
+        .unwrap()
+    {
+        Response::Ok { cached, result, .. } => {
+            assert!(cached, "equal resolved budgets must share a cache line");
             assert_eq!(result.render(), direct, "cached sched bytes differ");
         }
         other => panic!("unexpected repeat response {other:?}"),
@@ -342,9 +367,11 @@ fn disk_cache_survives_server_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// The reaper turns an expired per-request deadline into a `cancelled`
-/// error by flagging the worker's cancel token; the gate holds the
-/// worker past its deadline to make the expiry deterministic.
+/// The reaper turns an expired per-request deadline into a structured
+/// `deadline-exceeded` error: the deadline as `budget`, the elapsed
+/// milliseconds as `used`, `wall-ms` as the resource, and a `partial`
+/// progress snapshot of the exploration's work before the cut. The gate
+/// holds the worker past its deadline to make the expiry deterministic.
 #[test]
 fn deadline_expiry_cancels_the_exploration() {
     let gate = WorkerGate::new();
@@ -367,8 +394,70 @@ fn deadline_expiry_cancels_the_exploration() {
     std::thread::sleep(Duration::from_millis(150));
     gate.open();
     match client.recv().unwrap() {
-        Response::Error { code, .. } => assert_eq!(code, "cancelled"),
-        other => panic!("expected cancellation, got {other:?}"),
+        Response::Error {
+            code,
+            budget,
+            used,
+            resource,
+            partial,
+            ..
+        } => {
+            assert_eq!(code, "deadline-exceeded");
+            assert_eq!(budget, Some(50), "budget is the deadline in ms");
+            assert!(used.unwrap() >= 50, "used is the elapsed ms: {used:?}");
+            assert_eq!(resource.as_deref(), Some("wall-ms"));
+            assert!(partial.is_some(), "deadline errors carry partial progress");
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// The reaper reaches **sched** explorations too: the model checker
+/// polls the same control plane at every schedule boundary, so an
+/// in-flight DFS whose deadline lapses stops after the schedule it is
+/// on and reports how far it got — the `partial` snapshot shows real,
+/// resumable progress (exactly the one schedule that ran before the
+/// first boundary poll saw the flag).
+#[test]
+fn deadline_expiry_cancels_sched_exploration_mid_run() {
+    let gate = WorkerGate::new();
+    gate.close();
+    let handle = serve(ServeConfig {
+        workers: 1,
+        request_timeout: Some(Duration::from_millis(50)),
+        gate: Some(Arc::clone(&gate)),
+        ..local_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .send(QueryKind::Sched, "srsw sleep=off", &QueryOptions::default())
+        .unwrap();
+    wait_until("worker to hold at the gate", || gate.held() == 1);
+    std::thread::sleep(Duration::from_millis(150));
+    gate.open();
+    match client.recv().unwrap() {
+        Response::Error {
+            code,
+            budget,
+            used,
+            resource,
+            partial,
+            ..
+        } => {
+            assert_eq!(code, "deadline-exceeded");
+            assert_eq!(budget, Some(50));
+            assert!(used.unwrap() >= 50, "{used:?}");
+            assert_eq!(resource.as_deref(), Some("wall-ms"));
+            let partial = partial.expect("sched deadline errors carry partial progress");
+            assert_eq!(
+                partial.schedules, 1,
+                "the cut lands at the first boundary after the flag"
+            );
+            assert!(partial.steps > 0, "the completed schedule took steps");
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
     }
     handle.shutdown();
 }
