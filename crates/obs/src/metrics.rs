@@ -134,6 +134,28 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the bound of
+    /// the first bucket at which the cumulative count reaches
+    /// `ceil(q · count)`. With power-of-two buckets the true value lies
+    /// within 2× below the returned bound. `None` on an empty
+    /// histogram or a `q` outside the unit interval.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(upper_bound, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(upper_bound);
+            }
+        }
+        self.buckets.last().map(|&(upper_bound, _)| upper_bound)
+    }
+}
+
 /// A point-in-time copy of the whole registry, sorted by name.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -219,6 +241,36 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_upper_bound_walks_cumulative_buckets() {
+        let reg = Registry::default();
+        let h = reg.histogram("t.quantile");
+        // 10 observations in bucket ub=1, 80 in ub=127ish, 10 larger.
+        for _ in 0..10 {
+            h.record(1);
+        }
+        for _ in 0..80 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(5_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        let p50 = snap.quantile_upper_bound(0.50).unwrap();
+        let p99 = snap.quantile_upper_bound(0.99).unwrap();
+        assert!((100..1_000).contains(&p50), "p50 bound {p50}");
+        assert!(p99 >= 5_000, "p99 bound {p99}");
+        assert_eq!(snap.quantile_upper_bound(0.0).unwrap(), snap.buckets[0].0);
+        assert_eq!(snap.quantile_upper_bound(1.5), None);
+        let empty = HistogramSnapshot {
+            count: 0,
+            total: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile_upper_bound(0.5), None);
+    }
 
     #[test]
     fn concurrent_counter_increments_sum_exactly() {

@@ -1,0 +1,528 @@
+//! Request batching and coalescing between the readiness frontend and
+//! the worker pool.
+//!
+//! The IO loop never hands individual requests to the queue. It feeds
+//! them to a [`Batcher`], which
+//!
+//! * **coalesces** syntactically identical queries — same kind, same
+//!   raw type/spec text, same result-affecting budgets — onto one
+//!   pending [`Entry`] while that entry has not yet started computing.
+//!   Followers cost no queue capacity and are answered from the
+//!   leader's single computation with `cached: true` (the semantic
+//!   layer below, the cache's single-flight, still catches duplicates
+//!   this syntactic check misses);
+//! * **batches** distinct entries arriving close together into one
+//!   queue push under [`BatchConfig`], amortizing queue wakeups at high
+//!   arrival rates. The default `max_batch_delay` of zero never holds a
+//!   request back: a batch is whatever accumulated within a single
+//!   readiness iteration.
+//!
+//! Capacity accounting is per *entry* (not per batch, not per
+//! request): the `busy` depth a rejected client sees is the number of
+//! distinct computations ahead of it, preserving the backpressure
+//! semantics of the old thread-per-connection queue.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use wfc_spec::hash::Hasher128;
+
+use crate::conn::ConnShared;
+use crate::wire::{QueryKind, QueryOptions, Request, PROTO};
+
+/// Knobs for the frontend's batching layer.
+///
+/// The defaults (`max_batch_size: 16`, `max_batch_delay: 0`,
+/// `adaptive: true`) add no latency: entries are dispatched at the end
+/// of the readiness iteration that produced them. A nonzero delay
+/// trades a bounded wait for larger batches; with `adaptive` set the
+/// delay is skipped whenever the queue is empty (workers are starving —
+/// holding requests back buys nothing).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// A batch is dispatched as soon as it holds this many entries.
+    pub max_batch_size: usize,
+    /// How long an open batch may wait for company before dispatch.
+    pub max_batch_delay: Duration,
+    /// Skip the delay while the queue is empty.
+    pub adaptive: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            max_batch_size: 16,
+            max_batch_delay: Duration::ZERO,
+            adaptive: true,
+        }
+    }
+}
+
+/// One requester awaiting an entry's result: where to queue the
+/// response, and the request id to stamp on it.
+pub(crate) struct Respondent {
+    pub(crate) conn: Arc<ConnShared>,
+    pub(crate) id: u64,
+}
+
+struct EntryState {
+    respondents: Vec<Respondent>,
+    started: bool,
+}
+
+/// One distinct computation: the query to run plus every requester
+/// coalesced onto it. New respondents may attach until a worker calls
+/// [`begin`](Entry::begin); the first respondent is the one whose
+/// request created the entry.
+pub(crate) struct Entry {
+    pub(crate) kind: QueryKind,
+    pub(crate) type_text: String,
+    pub(crate) options: QueryOptions,
+    state: Mutex<EntryState>,
+}
+
+impl Entry {
+    fn new(request: Request, conn: Arc<ConnShared>) -> Arc<Entry> {
+        let id = request.id;
+        Arc::new(Entry {
+            kind: request.kind,
+            type_text: request.type_text,
+            options: request.options,
+            state: Mutex::new(EntryState {
+                respondents: vec![Respondent { conn, id }],
+                started: false,
+            }),
+        })
+    }
+
+    /// Attaches a follower; fails once a worker has begun computing
+    /// (the follower must then become its own entry).
+    fn attach(&self, respondent: Respondent) -> bool {
+        let mut state = self.state.lock().unwrap();
+        if state.started {
+            return false;
+        }
+        state.respondents.push(respondent);
+        true
+    }
+
+    /// Claims the entry for computation and takes its respondents; no
+    /// further attaches can succeed.
+    pub(crate) fn begin(&self) -> Vec<Respondent> {
+        let mut state = self.state.lock().unwrap();
+        state.started = true;
+        std::mem::take(&mut state.respondents)
+    }
+
+    fn started(&self) -> bool {
+        self.state.lock().unwrap().started
+    }
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A dispatched batch: distinct entries a worker processes in order.
+pub(crate) type Batch = Vec<Arc<Entry>>;
+
+/// The bounded batch queue between the IO loop and the worker pool.
+/// Depth is counted in *entries* so `busy` responses report how many
+/// computations are actually pending.
+pub(crate) struct JobQueue {
+    capacity: usize,
+    state: Mutex<(VecDeque<Batch>, bool)>, // (batches, closed)
+    entries: AtomicUsize,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    pub(crate) fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            capacity,
+            state: Mutex::new((VecDeque::new(), false)),
+            entries: AtomicUsize::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries queued and not yet claimed by a worker.
+    pub(crate) fn depth(&self) -> usize {
+        self.entries.load(Ordering::SeqCst)
+    }
+
+    /// Unconditional push — the [`Batcher`] enforces capacity *before*
+    /// admitting an entry, so dispatch can never overflow.
+    fn push(&self, batch: Batch) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock().unwrap();
+        self.entries.fetch_add(batch.len(), Ordering::SeqCst);
+        state.0.push_back(batch);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next batch; `None` once closed and drained.
+    pub(crate) fn pop(&self) -> Option<Batch> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(batch) = state.0.pop_front() {
+                self.entries.fetch_sub(batch.len(), Ordering::SeqCst);
+                return Some(batch);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .field("depth", &self.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The syntactic coalescing identity: kind, raw text, and the budgets
+/// that shape the result. `threads` is excluded for the same reason
+/// the cache excludes it — parallelism never changes the answer.
+pub(crate) fn coalesce_key(kind: QueryKind, type_text: &str, options: &QueryOptions) -> u128 {
+    let mut h = Hasher128::new();
+    h.write_str(PROTO);
+    h.write_str(kind.as_str());
+    h.write_str(type_text);
+    h.write_u64(options.max_configs as u64);
+    h.write_u64(options.max_depth as u64);
+    h.finish().0
+}
+
+/// What [`Batcher::submit`] did with a request.
+#[derive(Debug)]
+pub(crate) enum Submit {
+    /// Joined an existing pending entry; answered by its computation.
+    Coalesced,
+    /// Became a new entry in the open batch.
+    Accepted,
+    /// Queue (plus open batch) at capacity; `used` is the observed
+    /// entry depth for the `busy` response.
+    Rejected {
+        /// Pending distinct computations observed at rejection.
+        used: usize,
+    },
+}
+
+/// Owned by the IO thread; accumulates entries and dispatches batches.
+/// Not `Sync` — all mutation happens on the one readiness loop, which
+/// is what keeps admission (capacity check → push) race-free.
+pub(crate) struct Batcher {
+    config: BatchConfig,
+    open: Vec<Arc<Entry>>,
+    opened_at: Option<Instant>,
+    /// Pending entries by coalescing key. `Weak` so a finished entry
+    /// (worker done, `Arc` dropped) can never absorb a new request;
+    /// pruned on every dispatch.
+    pending: HashMap<u128, Weak<Entry>>,
+}
+
+impl Batcher {
+    pub(crate) fn new(config: BatchConfig) -> Batcher {
+        Batcher {
+            config: BatchConfig {
+                max_batch_size: config.max_batch_size.max(1),
+                ..config
+            },
+            open: Vec::new(),
+            opened_at: None,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Admits one decoded request. `now` is injected so tests can step
+    /// time deterministically.
+    pub(crate) fn submit(
+        &mut self,
+        request: Request,
+        conn: &Arc<ConnShared>,
+        queue: &JobQueue,
+        now: Instant,
+    ) -> Submit {
+        let key = coalesce_key(request.kind, &request.type_text, &request.options);
+        if let Some(weak) = self.pending.get(&key) {
+            let attached = weak.upgrade().is_some_and(|entry| {
+                entry.attach(Respondent {
+                    conn: Arc::clone(conn),
+                    id: request.id,
+                })
+            });
+            if attached {
+                return Submit::Coalesced;
+            }
+            self.pending.remove(&key);
+        }
+        let used = queue.depth() + self.open.len();
+        if used >= queue.capacity() {
+            return Submit::Rejected { used };
+        }
+        let entry = Entry::new(request, Arc::clone(conn));
+        self.pending.insert(key, Arc::downgrade(&entry));
+        self.open.push(entry);
+        if self.opened_at.is_none() {
+            self.opened_at = Some(now);
+        }
+        if self.open.len() >= self.config.max_batch_size {
+            self.dispatch(queue);
+        }
+        Submit::Accepted
+    }
+
+    /// When the open batch must be force-dispatched, for the IO loop's
+    /// poll timeout. `None` when nothing is waiting on a delay.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        let opened = self.opened_at?;
+        Some(opened + self.config.max_batch_delay)
+    }
+
+    /// Dispatches the open batch if its delay has run out (or the
+    /// adaptive rule short-circuits it). Called once per IO iteration.
+    pub(crate) fn flush_due(&mut self, queue: &JobQueue, now: Instant) {
+        let Some(opened) = self.opened_at else {
+            return;
+        };
+        let wait = if self.config.adaptive && queue.depth() == 0 {
+            Duration::ZERO
+        } else {
+            self.config.max_batch_delay
+        };
+        if now.duration_since(opened) >= wait {
+            self.dispatch(queue);
+        }
+    }
+
+    /// Dispatches whatever is open, delay or not (shutdown path).
+    pub(crate) fn flush_all(&mut self, queue: &JobQueue) {
+        self.dispatch(queue);
+    }
+
+    fn dispatch(&mut self, queue: &JobQueue) {
+        self.opened_at = None;
+        if self.open.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.open);
+        wfc_obs::histogram!("service.batch.entries", batch.len() as u64);
+        wfc_obs::counter!("service.batch.dispatched");
+        queue.push(batch);
+        // Keys stay live while their entry is queued-but-unstarted (so
+        // late duplicates still coalesce); everything else is garbage.
+        self.pending
+            .retain(|_, weak| weak.upgrade().is_some_and(|entry| !entry.started()));
+    }
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("open", &self.open.len())
+            .field("pending_keys", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, text: &str) -> Request {
+        Request {
+            id,
+            kind: QueryKind::Classify,
+            type_text: text.to_owned(),
+            options: QueryOptions::default(),
+        }
+    }
+
+    fn conn() -> Arc<ConnShared> {
+        Arc::new(ConnShared::new())
+    }
+
+    #[test]
+    fn identical_requests_coalesce_onto_one_entry() {
+        let queue = JobQueue::new(8);
+        let mut batcher = Batcher::new(BatchConfig::default());
+        let c = conn();
+        let now = Instant::now();
+        assert!(matches!(
+            batcher.submit(request(1, "t"), &c, &queue, now),
+            Submit::Accepted
+        ));
+        for id in 2..=5 {
+            assert!(matches!(
+                batcher.submit(request(id, "t"), &c, &queue, now),
+                Submit::Coalesced
+            ));
+        }
+        batcher.flush_due(&queue, now);
+        assert_eq!(queue.depth(), 1, "five requests, one computation");
+        let batch = queue.pop().unwrap();
+        assert_eq!(batch.len(), 1);
+        let respondents = batch[0].begin();
+        assert_eq!(
+            respondents.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn coalescing_still_reaches_a_queued_batch_but_not_a_started_entry() {
+        let queue = JobQueue::new(8);
+        let mut batcher = Batcher::new(BatchConfig::default());
+        let c = conn();
+        let now = Instant::now();
+        batcher.submit(request(1, "t"), &c, &queue, now);
+        batcher.flush_due(&queue, now);
+        // Dispatched but unstarted: still joinable.
+        assert!(matches!(
+            batcher.submit(request(2, "t"), &c, &queue, now),
+            Submit::Coalesced
+        ));
+        let batch = queue.pop().unwrap();
+        let respondents = batch[0].begin();
+        assert_eq!(respondents.len(), 2);
+        // Started: a repeat becomes a fresh entry.
+        assert!(matches!(
+            batcher.submit(request(3, "t"), &c, &queue, now),
+            Submit::Accepted
+        ));
+    }
+
+    #[test]
+    fn distinct_budgets_do_not_coalesce_but_threads_do() {
+        let queue = JobQueue::new(8);
+        let mut batcher = Batcher::new(BatchConfig::default());
+        let c = conn();
+        let now = Instant::now();
+        let mut shallow = request(1, "t");
+        shallow.options.max_depth = 3;
+        let mut deep = request(2, "t");
+        deep.options.max_depth = 9;
+        let mut wide = request(3, "t");
+        wide.options.max_depth = 3;
+        wide.options.threads = 7;
+        batcher.submit(shallow, &c, &queue, now);
+        assert!(matches!(
+            batcher.submit(deep, &c, &queue, now),
+            Submit::Accepted
+        ));
+        assert!(matches!(
+            batcher.submit(wide, &c, &queue, now),
+            Submit::Coalesced
+        ));
+    }
+
+    #[test]
+    fn capacity_counts_entries_and_reports_observed_depth() {
+        let queue = JobQueue::new(2);
+        let mut batcher = Batcher::new(BatchConfig::default());
+        let c = conn();
+        let now = Instant::now();
+        batcher.submit(request(1, "a"), &c, &queue, now);
+        batcher.submit(request(2, "b"), &c, &queue, now);
+        match batcher.submit(request(3, "c"), &c, &queue, now) {
+            Submit::Rejected { used } => assert_eq!(used, 2),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Coalescing is free even at capacity: no new computation.
+        assert!(matches!(
+            batcher.submit(request(4, "a"), &c, &queue, now),
+            Submit::Coalesced
+        ));
+    }
+
+    #[test]
+    fn max_batch_size_dispatches_immediately() {
+        let queue = JobQueue::new(16);
+        let mut batcher = Batcher::new(BatchConfig {
+            max_batch_size: 2,
+            max_batch_delay: Duration::from_secs(3600),
+            adaptive: false,
+        });
+        let c = conn();
+        let now = Instant::now();
+        batcher.submit(request(1, "a"), &c, &queue, now);
+        assert_eq!(queue.depth(), 0, "below max_batch_size, delay holds it");
+        batcher.submit(request(2, "b"), &c, &queue, now);
+        assert_eq!(queue.depth(), 2, "full batch dispatches despite delay");
+    }
+
+    #[test]
+    fn delay_holds_until_deadline_and_adaptive_skips_it_when_idle() {
+        let queue = JobQueue::new(16);
+        let delay = Duration::from_millis(50);
+        let mut batcher = Batcher::new(BatchConfig {
+            max_batch_size: 16,
+            max_batch_delay: delay,
+            adaptive: false,
+        });
+        let c = conn();
+        let t0 = Instant::now();
+        batcher.submit(request(1, "a"), &c, &queue, t0);
+        batcher.flush_due(&queue, t0);
+        assert_eq!(queue.depth(), 0, "delay not yet elapsed");
+        assert_eq!(batcher.next_deadline(), Some(t0 + delay));
+        batcher.flush_due(&queue, t0 + delay);
+        assert_eq!(queue.depth(), 1, "deadline reached, batch dispatched");
+
+        // Adaptive: an empty queue short-circuits the same delay.
+        let queue = JobQueue::new(16);
+        let mut batcher = Batcher::new(BatchConfig {
+            max_batch_size: 16,
+            max_batch_delay: delay,
+            adaptive: true,
+        });
+        batcher.submit(request(2, "b"), &c, &queue, t0);
+        batcher.flush_due(&queue, t0);
+        assert_eq!(queue.depth(), 1, "idle workers: no reason to wait");
+    }
+
+    #[test]
+    fn pending_keys_are_pruned_after_entries_complete() {
+        let queue = JobQueue::new(64);
+        let mut batcher = Batcher::new(BatchConfig::default());
+        let c = conn();
+        let now = Instant::now();
+        for id in 0..32 {
+            batcher.submit(request(id, &format!("t{id}")), &c, &queue, now);
+            batcher.flush_due(&queue, now);
+            // Worker claims and finishes the entry.
+            let batch = queue.pop().unwrap();
+            batch[0].begin();
+        }
+        batcher.submit(request(99, "fresh"), &c, &queue, now);
+        batcher.flush_due(&queue, now);
+        assert!(
+            batcher.pending.len() <= 1,
+            "stale keys must not accumulate: {}",
+            batcher.pending.len()
+        );
+    }
+}

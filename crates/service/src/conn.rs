@@ -1,0 +1,113 @@
+//! The write half of a frontend connection, shared between the IO loop
+//! (which owns the socket and performs the actual nonblocking writes)
+//! and the workers (which only *queue* rendered response frames).
+//!
+//! Workers never touch a socket: enqueueing appends pre-framed bytes to
+//! an outbound buffer under a short lock and the IO loop drains it when
+//! `poll(2)` says the peer can absorb more. That is what lets responses
+//! to pipelined requests complete out of order without per-connection
+//! threads, and what keeps a slow-reading client from ever blocking a
+//! worker.
+
+use std::io::{self, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use wfc_obs::json::Json;
+
+use crate::wire::write_frame;
+
+#[derive(Default)]
+struct OutBuf {
+    bytes: Vec<u8>,
+    pos: usize,
+}
+
+/// Shared per-connection response channel. See the module docs.
+pub(crate) struct ConnShared {
+    outbound: Mutex<OutBuf>,
+    has_output: AtomicBool,
+    closed: AtomicBool,
+}
+
+impl ConnShared {
+    pub(crate) fn new() -> ConnShared {
+        ConnShared {
+            outbound: Mutex::new(OutBuf::default()),
+            has_output: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Frames `doc` and appends it to the outbound buffer. A no-op once
+    /// the connection closed — late worker responses to a departed peer
+    /// are dropped, matching the old frontend's failed-write behavior.
+    pub(crate) fn enqueue_json(&self, doc: &Json) {
+        if self.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut out = self.outbound.lock().unwrap();
+        // Vec<u8> as Write is infallible; the only error is an
+        // over-MAX_FRAME response, which is dropped like a dead peer.
+        let _ = write_frame(&mut out.bytes, doc);
+        self.has_output.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether buffered response bytes are waiting for the socket.
+    pub(crate) fn has_output(&self) -> bool {
+        self.has_output.load(Ordering::SeqCst)
+    }
+
+    /// Writes buffered bytes until the buffer empties or the socket
+    /// pushes back. Returns `Ok(true)` when fully flushed, `Ok(false)`
+    /// on `WouldBlock` (the IO loop then polls for writability).
+    ///
+    /// # Errors
+    ///
+    /// Any real socket error; the caller closes the connection.
+    pub(crate) fn flush(&self, stream: &mut TcpStream) -> io::Result<bool> {
+        let mut out = self.outbound.lock().unwrap();
+        while out.pos < out.bytes.len() {
+            let pos = out.pos;
+            match stream.write(&out.bytes[pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => out.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if out.pos == out.bytes.len() {
+            out.bytes.clear();
+            out.pos = 0;
+            self.has_output.store(false, Ordering::SeqCst);
+            return Ok(true);
+        }
+        // Reclaim large written prefixes so a persistently slow reader
+        // doesn't pin already-delivered bytes forever.
+        if out.pos > 256 * 1024 {
+            let pos = out.pos;
+            out.bytes.drain(..pos);
+            out.pos = 0;
+        }
+        Ok(false)
+    }
+
+    /// Marks the connection gone; subsequent enqueues are dropped.
+    pub(crate) fn set_closed(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for ConnShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnShared")
+            .field("closed", &self.is_closed())
+            .finish_non_exhaustive()
+    }
+}

@@ -17,14 +17,20 @@
 //! * [`cache`] — [`cache_key`] over `wfc_spec::hash` content hashes,
 //!   the sharded in-memory LRU, the append-only disk tier, and
 //!   single-flight deduplication.
-//! * [`server`] — accept loop, bounded queue with explicit
-//!   backpressure, fixed worker pool, deadline reaper driving the
-//!   unified control plane
+//! * [`server`] — a readiness-driven frontend (one IO thread
+//!   multiplexing every socket over a std-only `poll(2)` wrapper, so
+//!   idle connections cost zero threads), a batching/coalescing layer
+//!   ([`BatchConfig`]) in front of a bounded entry queue with explicit
+//!   backpressure, a fixed worker pool, and a deadline reaper driving
+//!   the unified control plane
 //!   ([`wfc_spec::control`](wfc_spec::control)) — every query kind,
 //!   sched included, cancels mid-run and answers `deadline-exceeded`
 //!   with partial progress.
 //! * [`client`] — a blocking client with split send/receive for
 //!   pipelining.
+//! * [`loadgen`] — open/closed-loop traffic generation against a
+//!   running server, reporting latency percentiles and throughput as a
+//!   `BENCH_service` document.
 //!
 //! ## Example: in-process round trip
 //!
@@ -49,8 +55,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod batch;
 pub mod cache;
 pub mod client;
+mod conn;
+pub mod loadgen;
+mod poller;
 pub mod server;
 pub mod wire;
 
@@ -58,11 +68,13 @@ pub use analysis::{
     explore_options, parse_query_type, parse_sched_spec, run_query, run_query_text,
     run_query_text_with, run_sched, run_sched_with, QueryError,
 };
+pub use batch::BatchConfig;
 pub use cache::{
     cache_key, sched_cache_key, validate_cache_json, CacheOutcome, ResultCache, CACHE_SCHEMA,
 };
 pub use client::Client;
-pub use server::{serve, ServeConfig, ServerHandle, WorkerGate};
+pub use server::{accept_backoff, serve, ServeConfig, ServerHandle, WorkerGate};
 pub use wire::{
-    validate_response_json, QueryKind, QueryOptions, Request, Response, WireError, PROTO,
+    validate_response_json, FrameBuffer, QueryKind, QueryOptions, Request, Response, WireError,
+    PROTO,
 };

@@ -1,0 +1,242 @@
+//! Readiness polling for the server frontend — a minimal, `std`-only
+//! wrapper over `poll(2)` plus a self-pipe [`Waker`], following the
+//! workspace convention of tiny `extern "C"` shims (the CLI already
+//! declares `signal(2)` the same way) instead of external crates.
+//!
+//! The interface is level-triggered: [`wait`] reports, for every file
+//! descriptor handed to it, whether it is currently readable/writable,
+//! and keeps reporting so until the condition is consumed. That lets
+//! the IO loop stay stateless about edge bookkeeping — it simply
+//! rebuilds its interest set each iteration.
+//!
+//! On non-Unix targets (no `poll`, no raw fds) the same API degrades
+//! to a short-sleep scan that reports everything ready; the caller's
+//! nonblocking reads/writes then sort out reality via `WouldBlock`.
+//! Correctness is preserved, only latency and idle cost degrade.
+
+/// What [`wait`] observed for one registered descriptor.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Readiness {
+    /// Data (or EOF, or an error) can be read without blocking.
+    pub readable: bool,
+    /// A write would make progress.
+    pub writable: bool,
+    /// The peer hung up or the descriptor is invalid; close it.
+    pub hangup: bool,
+}
+
+/// Interest in one descriptor: `(fd, want_read, want_write)`.
+pub(crate) type Interest = (Fd, bool, bool);
+
+#[cfg(unix)]
+pub(crate) use unix_impl::{fd_of, wait, Fd, Waker};
+
+#[cfg(not(unix))]
+pub(crate) use fallback_impl::{fd_of, wait, Fd, Waker};
+
+#[cfg(unix)]
+mod unix_impl {
+    use super::{Interest, Readiness};
+    use std::fs::File;
+    use std::io::{self, Read as _, Write as _};
+    use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+    use std::os::raw::{c_int, c_ulong};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    /// A raw descriptor as `poll(2)` sees it.
+    pub(crate) type Fd = RawFd;
+
+    /// The descriptor behind any socket/listener.
+    pub(crate) fn fd_of<T: AsRawFd>(t: &T) -> Fd {
+        t.as_raw_fd()
+    }
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+    }
+
+    /// Level-triggered wait over `interests`, filling `out` (one
+    /// [`Readiness`] per interest, same order) and returning how many
+    /// descriptors are ready. A signal interruption reads as a timeout.
+    ///
+    /// Error conditions (`POLLERR`/`POLLHUP`/`POLLNVAL`) are folded
+    /// into `readable` so the owner's next `read` surfaces the actual
+    /// `io::Error` (or EOF) and closes the connection through the one
+    /// teardown path.
+    pub(crate) fn wait(
+        interests: &[Interest],
+        timeout: Duration,
+        out: &mut Vec<Readiness>,
+    ) -> io::Result<usize> {
+        let mut fds: Vec<PollFd> = interests
+            .iter()
+            .map(|&(fd, read, write)| {
+                let mut events = 0i16;
+                if read {
+                    events |= POLLIN;
+                }
+                if write {
+                    events |= POLLOUT;
+                }
+                PollFd {
+                    fd,
+                    events,
+                    revents: 0,
+                }
+            })
+            .collect();
+        let ms = timeout.as_millis().min(i32::MAX as u128) as c_int;
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, ms) };
+        out.clear();
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                out.resize(interests.len(), Readiness::default());
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        out.extend(fds.iter().map(|p| Readiness {
+            readable: p.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0,
+            writable: p.revents & (POLLOUT | POLLERR) != 0,
+            hangup: p.revents & (POLLHUP | POLLNVAL) != 0,
+        }));
+        Ok(rc as usize)
+    }
+
+    /// Self-pipe waker: worker threads call [`wake`](Waker::wake) after
+    /// queuing response bytes, which makes a blocked [`wait`] return
+    /// immediately (the read end is registered as an interest). The
+    /// `pending` flag dedups wakes so the pipe never holds more than a
+    /// byte or two regardless of response volume.
+    pub(crate) struct Waker {
+        pending: AtomicBool,
+        read: File,
+        write: File,
+    }
+
+    impl Waker {
+        pub(crate) fn new() -> io::Result<Waker> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: both fds were just created by pipe(2) and are
+            // exclusively owned by the two File wrappers.
+            let (read, write) = unsafe { (File::from_raw_fd(fds[0]), File::from_raw_fd(fds[1])) };
+            Ok(Waker {
+                pending: AtomicBool::new(false),
+                read,
+                write,
+            })
+        }
+
+        pub(crate) fn wake(&self) {
+            if !self.pending.swap(true, Ordering::SeqCst) {
+                let _ = (&self.write).write_all(&[1]);
+            }
+        }
+
+        /// The read end, for the IO loop's interest set.
+        pub(crate) fn fd(&self) -> Fd {
+            self.read.as_raw_fd()
+        }
+
+        /// Consumes pending wake bytes. Only call when [`wait`] reported
+        /// the read end readable — the pipe is a blocking descriptor.
+        ///
+        /// Clearing `pending` *after* the read keeps wakes lossless: a
+        /// racing `wake` either wrote its byte before the read (consumed
+        /// here, flag re-set is harmless) or after (the byte survives
+        /// and the next `wait` returns immediately).
+        pub(crate) fn drain(&self) {
+            let mut buf = [0u8; 64];
+            let _ = (&self.read).read(&mut buf);
+            self.pending.store(false, Ordering::SeqCst);
+        }
+    }
+
+    impl std::fmt::Debug for Waker {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Waker").finish_non_exhaustive()
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod fallback_impl {
+    use super::{Interest, Readiness};
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    /// Placeholder descriptor; the fallback never inspects it.
+    pub(crate) type Fd = i32;
+
+    pub(crate) fn fd_of<T>(_t: &T) -> Fd {
+        0
+    }
+
+    /// Degraded level-triggered wait: naps briefly, then reports every
+    /// descriptor readable and writable. The caller's nonblocking
+    /// syscalls turn the optimism into `WouldBlock` where it is wrong.
+    pub(crate) fn wait(
+        interests: &[Interest],
+        timeout: Duration,
+        out: &mut Vec<Readiness>,
+    ) -> io::Result<usize> {
+        std::thread::sleep(timeout.min(Duration::from_millis(2)));
+        out.clear();
+        out.resize(
+            interests.len(),
+            Readiness {
+                readable: true,
+                writable: true,
+                hangup: false,
+            },
+        );
+        Ok(interests.len())
+    }
+
+    /// Flag-only waker: the fallback `wait` sleeps at most 2 ms, so a
+    /// set flag is observed promptly without a pipe.
+    #[derive(Debug)]
+    pub(crate) struct Waker {
+        pending: AtomicBool,
+    }
+
+    impl Waker {
+        pub(crate) fn new() -> io::Result<Waker> {
+            Ok(Waker {
+                pending: AtomicBool::new(false),
+            })
+        }
+
+        pub(crate) fn wake(&self) {
+            self.pending.store(true, Ordering::SeqCst);
+        }
+
+        pub(crate) fn fd(&self) -> Fd {
+            0
+        }
+
+        pub(crate) fn drain(&self) {
+            self.pending.store(false, Ordering::SeqCst);
+        }
+    }
+}

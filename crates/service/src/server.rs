@@ -2,19 +2,30 @@
 //!
 //! Architecture (all std, no external dependencies):
 //!
-//! * an **accept loop** on a nonblocking [`TcpListener`], polling a
-//!   shutdown flag between accepts;
-//! * one **reader thread** per connection, decoding frames and pushing
-//!   jobs onto a **bounded queue** — when the queue is full the request
-//!   is rejected *immediately* with a `busy` response carrying the
-//!   observed depth and the configured capacity (explicit backpressure,
-//!   never unbounded buffering);
-//! * a **fixed worker pool** draining the queue through the
+//! * a single **readiness-driven IO thread** multiplexes the listener
+//!   and every connection over nonblocking sockets via a small
+//!   `poll(2)` wrapper ([`crate::poller`]). Each connection is a pair
+//!   of buffers — an incremental [`FrameBuffer`] assembling inbound
+//!   frames across partial reads, and an outbound byte queue drained
+//!   as the peer can absorb it — so a thousand idle pipelined clients
+//!   cost zero threads and no worker ever blocks on a slow socket.
+//!   This is the paper's own posture applied to the frontend: no
+//!   participant waits on another, progress rides on readiness;
+//! * a **batching/coalescing layer** ([`crate::batch`]) between the IO
+//!   loop and the workers: syntactically identical in-flight queries
+//!   collapse onto one pending entry (answered from a single
+//!   computation), and distinct entries arriving together are
+//!   dispatched as one batch under [`BatchConfig`]. When the entry
+//!   queue is full the request is rejected *immediately* with a `busy`
+//!   response carrying the observed entry depth and the configured
+//!   capacity (explicit backpressure, never unbounded buffering);
+//! * a **fixed worker pool** draining batches through the
 //!   [`ResultCache`] (memory → disk → single-flight → compute);
-//! * per-connection **pipelining**: responses are written back under a
-//!   per-connection lock and matched to requests by id, so one client
-//!   may keep many requests in flight and workers may complete them out
-//!   of order;
+//!   workers queue rendered response frames on the owning connection
+//!   and nudge the IO thread through a self-pipe waker;
+//! * per-connection **pipelining**: responses are matched to requests
+//!   by id, so one client may keep many requests in flight and workers
+//!   may complete them out of order;
 //! * a **reaper thread** enforcing the per-request deadline by setting
 //!   the owning worker's [`CancelToken`] flag. Every query kind —
 //!   explorer-backed analyses *and* sched model checking — polls the
@@ -25,12 +36,19 @@
 //!   as `budget`, the elapsed milliseconds as `used`, and a `partial`
 //!   progress snapshot of the work completed before the cut.
 //!
+//! The thread total is **fixed at startup** — one IO thread, `workers`
+//! workers, and the optional reaper — independent of connection count
+//! ([`ServerHandle::thread_count`] reports it). Accept failures are
+//! counted (`service.accept.errors`) and retried under a capped
+//! exponential backoff; connections beyond `max_connections` are
+//! answered with a structured `busy` frame and closed rather than
+//! silently dropped.
+//!
 //! Worker cancellation flags are leaked `AtomicBool`s (one per worker
 //! per server start — a bounded, intentional leak) because
 //! `ExploreOptions` is `Copy` and its token borrows `'static`.
 
-use std::collections::VecDeque;
-use std::io;
+use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -38,13 +56,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use wfc_obs::json::Json;
 use wfc_spec::control::{CancelToken, Exhausted, Resource, Wall};
 
 use crate::analysis::{
     explore_options, parse_query_type, parse_sched_spec, run_query, run_sched_with, QueryError,
 };
+use crate::batch::{BatchConfig, Batcher, Entry, JobQueue, Submit};
 use crate::cache::{cache_key, sched_cache_key, ResultCache};
-use crate::wire::{read_frame, write_frame, QueryKind, QueryOptions, Request, Response, WireError};
+use crate::conn::ConnShared;
+use crate::poller::{fd_of, wait, Readiness, Waker};
+use crate::wire::{write_frame, FrameBuffer, QueryKind, QueryOptions, Request, Response};
 
 /// Server configuration. `Default` gives a loopback server on an
 /// ephemeral port with two workers.
@@ -54,7 +76,7 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads computing queries.
     pub workers: usize,
-    /// Bounded request-queue capacity; beyond it, requests get `busy`.
+    /// Bounded entry-queue capacity; beyond it, requests get `busy`.
     pub queue_capacity: usize,
     /// In-memory result-cache capacity (entries).
     pub cache_capacity: usize,
@@ -68,6 +90,10 @@ pub struct ServeConfig {
     pub max_threads_limit: usize,
     /// Per-request wall-clock deadline; `None` disables the reaper.
     pub request_timeout: Option<Duration>,
+    /// Frontend batching/coalescing knobs.
+    pub batch: BatchConfig,
+    /// Connections beyond this are answered `busy` and closed.
+    pub max_connections: usize,
     /// Test hook: workers pass this gate after dequeuing a job and
     /// before computing, letting tests hold a worker deterministically.
     pub gate: Option<Arc<WorkerGate>>,
@@ -85,6 +111,8 @@ impl Default for ServeConfig {
             max_depth_limit: usize::MAX,
             max_threads_limit: 8,
             request_timeout: None,
+            batch: BatchConfig::default(),
+            max_connections: 8192,
             gate: None,
         }
     }
@@ -150,73 +178,6 @@ impl WorkerGate {
     }
 }
 
-struct Job {
-    request: Request,
-    conn: Arc<ConnWriter>,
-}
-
-struct JobQueue {
-    capacity: usize,
-    state: Mutex<(VecDeque<Job>, bool)>, // (jobs, closed)
-    cv: Condvar,
-}
-
-impl JobQueue {
-    fn new(capacity: usize) -> JobQueue {
-        JobQueue {
-            capacity,
-            state: Mutex::new((VecDeque::new(), false)),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Enqueues, or reports the observed depth if the queue is full.
-    fn try_push(&self, job: Job) -> Result<usize, usize> {
-        let mut state = self.state.lock().unwrap();
-        if state.0.len() >= self.capacity {
-            return Err(state.0.len());
-        }
-        state.0.push_back(job);
-        let depth = state.0.len();
-        self.cv.notify_one();
-        Ok(depth)
-    }
-
-    fn pop(&self) -> Option<Job> {
-        let mut state = self.state.lock().unwrap();
-        loop {
-            if let Some(job) = state.0.pop_front() {
-                return Some(job);
-            }
-            if state.1 {
-                return None;
-            }
-            state = self.cv.wait(state).unwrap();
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().unwrap().1 = true;
-        self.cv.notify_all();
-    }
-}
-
-/// The write half of a connection, shared by the reader thread (busy
-/// and protocol-error responses) and every worker (results). Responses
-/// are matched to requests by id, so interleaving across requests is
-/// fine; the lock only keeps individual frames intact.
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
-}
-
-impl ConnWriter {
-    fn write(&self, response: &Response) {
-        let mut stream = self.stream.lock().unwrap();
-        // A failed write means the peer is gone; workers just move on.
-        let _ = write_frame(&mut *stream, &response.to_json());
-    }
-}
-
 /// Per-worker deadline slot, scanned by the reaper.
 struct InFlight {
     deadline: Mutex<Option<Instant>>,
@@ -229,17 +190,20 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     queue: Arc<JobQueue>,
     gate: Arc<WorkerGate>,
+    waker: Arc<Waker>,
     cancel_flags: Vec<&'static AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    conn_count: Arc<AtomicUsize>,
+    thread_count: usize,
+    io_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
     reaper_thread: Option<JoinHandle<()>>,
-    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.addr)
+            .field("threads", &self.thread_count)
             .finish_non_exhaustive()
     }
 }
@@ -248,6 +212,21 @@ impl ServerHandle {
     /// The address the server actually bound (resolves `:0` ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connections currently held open by the IO loop. Rises on accept,
+    /// falls when a peer disconnects — the value tests watch to prove
+    /// connection lifecycles leak nothing.
+    pub fn connections(&self) -> usize {
+        self.conn_count.load(Ordering::SeqCst)
+    }
+
+    /// The server's total thread count: one IO thread, the workers, and
+    /// the optional reaper. Fixed at startup — independent of how many
+    /// connections are open, which is the readiness frontend's whole
+    /// claim.
+    pub fn thread_count(&self) -> usize {
+        self.thread_count
     }
 
     /// Stops the server: cancels in-flight explorations, drains the
@@ -260,7 +239,8 @@ impl ServerHandle {
         }
         self.gate.open(); // never strand a worker behind a test gate
         self.queue.close();
-        if let Some(t) = self.accept_thread.take() {
+        self.waker.wake(); // pop the IO thread out of poll immediately
+        if let Some(t) = self.io_thread.take() {
             let _ = t.join();
         }
         for t in self.worker_threads.drain(..) {
@@ -269,11 +249,15 @@ impl ServerHandle {
         if let Some(t) = self.reaper_thread.take() {
             let _ = t.join();
         }
-        let readers = std::mem::take(&mut *self.reader_threads.lock().unwrap());
-        for t in readers {
-            let _ = t.join();
-        }
     }
+}
+
+/// Capped exponential backoff after `consecutive` accept failures:
+/// 2 ms, 4 ms, 8 ms, … capped at 1024 ms. Persistent accept errors
+/// (EMFILE being the classic) must not spin the IO loop, but recovery
+/// should be quick once descriptors free up.
+pub fn accept_backoff(consecutive: u32) -> Duration {
+    Duration::from_millis(1u64 << consecutive.clamp(1, 10))
 }
 
 /// Starts a server and returns once it is listening.
@@ -293,6 +277,8 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(JobQueue::new(config.queue_capacity.max(1)));
     let gate = config.gate.clone().unwrap_or_default();
+    let waker = Arc::new(Waker::new()?);
+    let conn_count = Arc::new(AtomicUsize::new(0));
     let workers = config.workers.max(1);
 
     // One leaked cancellation flag per worker (bounded: workers × server
@@ -316,13 +302,16 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
         let queue = Arc::clone(&queue);
         let cache = Arc::clone(&cache);
         let gate = Arc::clone(&gate);
+        let waker = Arc::clone(&waker);
         let inflight = Arc::clone(&inflight);
         let config = config.clone();
         worker_threads.push(
             std::thread::Builder::new()
                 .name(format!("wfc-svc-worker-{idx}"))
                 .spawn(move || {
-                    worker_loop(idx, &queue, &cache, &gate, &inflight, cancel, &config)
+                    worker_loop(
+                        idx, &queue, &cache, &gate, &waker, &inflight, cancel, &config,
+                    )
                 })?,
         );
     }
@@ -354,209 +343,425 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
         None
     };
 
-    let reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let accept_thread = {
+    let io_thread = {
         let shutdown = Arc::clone(&shutdown);
         let queue = Arc::clone(&queue);
-        let readers = Arc::clone(&reader_threads);
+        let waker = Arc::clone(&waker);
+        let conn_count = Arc::clone(&conn_count);
+        let config = config.clone();
         std::thread::Builder::new()
-            .name("wfc-svc-accept".to_owned())
-            .spawn(move || {
-                while !shutdown.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let shutdown = Arc::clone(&shutdown);
-                            let queue = Arc::clone(&queue);
-                            let spawned = std::thread::Builder::new()
-                                .name("wfc-svc-conn".to_owned())
-                                .spawn(move || connection_loop(stream, &shutdown, &queue));
-                            if let Ok(handle) = spawned {
-                                readers.lock().unwrap().push(handle);
-                            }
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                    }
-                }
-            })?
+            .name("wfc-svc-io".to_owned())
+            .spawn(move || io_loop(&listener, &shutdown, &queue, &waker, &conn_count, &config))?
     };
 
+    let thread_count = 1 + workers + usize::from(reaper_thread.is_some());
     Ok(ServerHandle {
         addr,
         shutdown,
         queue,
         gate,
+        waker,
         cancel_flags,
-        accept_thread: Some(accept_thread),
+        conn_count,
+        thread_count,
+        io_thread: Some(io_thread),
         worker_threads,
         reaper_thread,
-        reader_threads,
     })
 }
 
-fn connection_loop(mut stream: TcpStream, shutdown: &AtomicBool, queue: &JobQueue) {
-    // Short read timeouts let this thread observe shutdown while idle;
-    // the wire layer resumes partial frames across timeouts, so framing
-    // stays intact.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let conn = Arc::new(ConnWriter {
-        stream: Mutex::new(write_half),
-    });
+/// One multiplexed connection: the socket, the inbound frame assembler,
+/// and the shared outbound channel workers write responses into.
+struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuffer,
+    shared: Arc<ConnShared>,
+    /// Protocol violation seen: stop reading, flush what is queued
+    /// (the `bad-request` answer), then close.
+    closing: bool,
+    /// Last flush hit `WouldBlock`; don't retry until poll reports the
+    /// socket writable again.
+    write_blocked: bool,
+    dead: bool,
+}
+
+/// Reads at most this much per connection per iteration so one
+/// firehose peer cannot starve the rest; level-triggered polling
+/// re-reports the leftover on the next pass.
+const READ_FAIRNESS_LIMIT: usize = 256 * 1024;
+
+/// At most this many accepts per iteration, for the same reason.
+const ACCEPT_BURST: usize = 128;
+
+fn io_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    queue: &JobQueue,
+    waker: &Waker,
+    conn_count: &AtomicUsize,
+    config: &ServeConfig,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut batcher = Batcher::new(config.batch);
+    let mut consecutive_accept_errors: u32 = 0;
+    let mut accept_resume: Option<Instant> = None;
+    let mut interests = Vec::new();
+    let mut ready: Vec<Readiness> = Vec::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+
     while !shutdown.load(Ordering::SeqCst) {
-        let doc = match read_frame(&mut stream) {
-            Ok(Some(doc)) => doc,
-            Ok(None) => return, // clean EOF
-            Err(WireError::Io(e))
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue; // idle; poll shutdown again
+        let now = Instant::now();
+        if accept_resume.is_some_and(|resume| now >= resume) {
+            accept_resume = None;
+        }
+        let accept_paused = accept_resume.is_some();
+
+        // Interest set: [listener, waker, conns...] in stable order.
+        interests.clear();
+        interests.push((fd_of(listener), !accept_paused, false));
+        interests.push((waker.fd(), true, false));
+        for conn in &conns {
+            interests.push((fd_of(&conn.stream), !conn.closing, conn.shared.has_output()));
+        }
+
+        let mut timeout = Duration::from_millis(50);
+        if let Some(deadline) = batcher.next_deadline() {
+            timeout = timeout.min(deadline.saturating_duration_since(now));
+        }
+        if let Some(resume) = accept_resume {
+            timeout = timeout.min(resume.saturating_duration_since(now));
+        }
+        if wait(&interests, timeout, &mut ready).is_err() {
+            // A failed poll is unrecoverable for this design; degrade
+            // to a paced retry rather than a busy spin.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if ready.get(1).is_some_and(|r| r.readable) {
+            waker.drain();
+        }
+
+        // Accept new peers.
+        if !accept_paused && ready.first().is_some_and(|r| r.readable) {
+            for _ in 0..ACCEPT_BURST {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        consecutive_accept_errors = 0;
+                        if conns.len() >= config.max_connections {
+                            reject_connection(stream, conns.len(), config.max_connections);
+                            continue;
+                        }
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        conns.push(Conn {
+                            stream,
+                            inbuf: FrameBuffer::new(),
+                            shared: Arc::new(ConnShared::new()),
+                            closing: false,
+                            write_blocked: false,
+                            dead: false,
+                        });
+                        conn_count.fetch_add(1, Ordering::SeqCst);
+                        wfc_obs::counter!("service.connections.opened");
+                        wfc_obs::gauge_max!("service.connections.open", conns.len() as i64);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        // EMFILE and friends: count it, back off with a
+                        // cap, and let poll resume accepting later.
+                        wfc_obs::counter!("service.accept.errors");
+                        consecutive_accept_errors = consecutive_accept_errors.saturating_add(1);
+                        accept_resume =
+                            Some(Instant::now() + accept_backoff(consecutive_accept_errors));
+                        break;
+                    }
+                }
             }
-            Err(WireError::Io(_)) => return,
-            Err(WireError::Protocol(message)) => {
-                // Framing is no longer trustworthy; answer and hang up.
-                conn.write(&Response::Error {
-                    id: 0,
-                    code: "bad-request".to_owned(),
-                    message,
-                    budget: None,
-                    used: None,
-                    resource: None,
-                    partial: None,
-                });
-                return;
-            }
-        };
-        let request = match Request::from_json(&doc) {
-            Ok(request) => request,
-            Err(e) => {
-                // The frame itself was sound; only this message is bad.
-                let id = doc
-                    .get("id")
-                    .and_then(wfc_obs::json::Json::as_u64)
-                    .unwrap_or(0);
-                conn.write(&Response::Error {
-                    id,
-                    code: "bad-request".to_owned(),
-                    message: e.to_string(),
-                    budget: None,
-                    used: None,
-                    resource: None,
-                    partial: None,
-                });
+        }
+
+        // Drain readable connections into the batcher.
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let readiness = ready.get(i + 2).copied().unwrap_or_default();
+            if conn.closing {
+                if readiness.hangup {
+                    conn.dead = true;
+                }
                 continue;
             }
-        };
-        wfc_obs::counter!("service.requests");
-        let id = request.id;
-        match queue.try_push(Job {
-            request,
-            conn: Arc::clone(&conn),
-        }) {
-            Ok(depth) => {
-                wfc_obs::gauge_max!("service.queue.depth", depth as i64);
+            if readiness.readable {
+                read_connection(conn, &mut read_buf, &mut batcher, queue);
             }
-            Err(depth) => {
-                wfc_obs::counter!("service.responses.busy");
-                conn.write(&Response::Busy {
-                    id,
-                    used: depth as u64,
-                    budget: queue.capacity as u64,
-                });
+        }
+
+        batcher.flush_due(queue, Instant::now());
+
+        // Push queued response bytes to whoever can take them. New
+        // output is try-written immediately; a connection whose last
+        // flush hit WouldBlock waits for poll to report it writable
+        // (its interest set includes POLLOUT while output is pending).
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if conn.dead {
+                continue;
+            }
+            let readiness = ready.get(i + 2).copied().unwrap_or_default();
+            let pending = conn.shared.has_output();
+            if pending && (!conn.write_blocked || readiness.writable) {
+                match conn.shared.flush(&mut conn.stream) {
+                    Ok(flushed_all) => {
+                        conn.write_blocked = !flushed_all;
+                        if flushed_all && conn.closing {
+                            conn.dead = true;
+                        }
+                    }
+                    Err(_) => conn.dead = true,
+                }
+            } else if !pending && conn.closing {
+                conn.dead = true;
+            }
+        }
+
+        conns.retain(|conn| {
+            if conn.dead {
+                conn.shared.set_closed();
+                conn_count.fetch_sub(1, Ordering::SeqCst);
+                wfc_obs::counter!("service.connections.closed");
+            }
+            !conn.dead
+        });
+    }
+
+    // Shutdown: hand any straggling entries to the draining workers,
+    // then drop every socket (peers see EOF).
+    batcher.flush_all(queue);
+    for conn in &conns {
+        conn.shared.set_closed();
+    }
+    conn_count.store(0, Ordering::SeqCst);
+}
+
+/// Answers an over-capacity connection with a structured `busy` frame
+/// (id 0 — no request was read) and closes it. The accepted-then-
+/// dropped stream of the old frontend left clients hanging forever;
+/// an explicit refusal lets them back off and retry.
+fn reject_connection(stream: TcpStream, open: usize, limit: usize) {
+    wfc_obs::counter!("service.accept.rejected");
+    let busy = Response::Busy {
+        id: 0,
+        used: open as u64,
+        budget: limit as u64,
+    };
+    // Freshly accepted socket, empty send buffer: a bounded blocking
+    // write is safe, and best-effort is fine — the close is the point.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut stream = stream;
+    let _ = write_frame(&mut stream, &busy.to_json());
+}
+
+/// Reads until the socket is drained (or the fairness cap), feeding
+/// bytes through the frame assembler into the batcher.
+fn read_connection(conn: &mut Conn, read_buf: &mut [u8], batcher: &mut Batcher, queue: &JobQueue) {
+    let mut total = 0usize;
+    loop {
+        match conn.stream.read(read_buf) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&read_buf[..n]);
+                total += n;
+                decode_frames(conn, batcher, queue);
+                if conn.closing || conn.dead {
+                    return;
+                }
+                if total >= READ_FAIRNESS_LIMIT || n < read_buf.len() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
             }
         }
     }
 }
 
+/// Pulls every complete frame out of the connection's buffer and
+/// submits it. A framing violation answers `bad-request` and flags the
+/// connection for flush-then-close — the byte stream is untrustworthy
+/// past that point.
+fn decode_frames(conn: &mut Conn, batcher: &mut Batcher, queue: &JobQueue) {
+    loop {
+        match conn.inbuf.next_frame() {
+            Ok(Some(doc)) => handle_request(&doc, &conn.shared, batcher, queue),
+            Ok(None) => return,
+            Err(e) => {
+                conn.shared
+                    .enqueue_json(&bad_request(0, &format!("protocol error: {e}")).to_json());
+                conn.closing = true;
+                return;
+            }
+        }
+    }
+}
+
+fn bad_request(id: u64, message: &str) -> Response {
+    Response::Error {
+        id,
+        code: "bad-request".to_owned(),
+        message: message.to_owned(),
+        budget: None,
+        used: None,
+        resource: None,
+        partial: None,
+    }
+}
+
+fn handle_request(doc: &Json, conn: &Arc<ConnShared>, batcher: &mut Batcher, queue: &JobQueue) {
+    let request = match Request::from_json(doc) {
+        Ok(request) => request,
+        Err(e) => {
+            // The frame itself was sound; only this message is bad.
+            let id = doc.get("id").and_then(Json::as_u64).unwrap_or(0);
+            conn.enqueue_json(&bad_request(id, &e.to_string()).to_json());
+            return;
+        }
+    };
+    wfc_obs::counter!("service.requests");
+    let id = request.id;
+    match batcher.submit(request, conn, queue, Instant::now()) {
+        Submit::Coalesced => {
+            wfc_obs::counter!("service.batch.coalesced");
+        }
+        Submit::Accepted => {
+            wfc_obs::gauge_max!("service.queue.depth", (queue.depth() + 1) as i64);
+        }
+        Submit::Rejected { used } => {
+            wfc_obs::counter!("service.responses.busy");
+            conn.enqueue_json(
+                &Response::Busy {
+                    id,
+                    used: used as u64,
+                    budget: queue.capacity() as u64,
+                }
+                .to_json(),
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the server's fixed wiring
 fn worker_loop(
     idx: usize,
     queue: &JobQueue,
     cache: &ResultCache,
     gate: &WorkerGate,
+    waker: &Waker,
     inflight: &[InFlight],
     cancel: &'static AtomicBool,
     config: &ServeConfig,
 ) {
-    while let Some(job) = queue.pop() {
-        let Job { request, conn } = job;
-        let started = Instant::now();
-        cancel.store(false, Ordering::SeqCst);
-        // Arm the deadline — and the in-engine wall clock — before
-        // passing the gate, so time a test spends holding the worker
-        // counts against the deadline; that is what makes the
-        // cancellation tests deterministic.
-        *inflight[idx].deadline.lock().unwrap() = config.request_timeout.map(|t| started + t);
-        let wall = config.request_timeout.map(Wall::expires_in);
-        gate.pass();
+    while let Some(batch) = queue.pop() {
+        for entry in batch {
+            compute_entry(&entry, idx, cache, gate, waker, inflight, cancel, config);
+        }
+    }
+}
 
-        let options = clamp_options(&request.options, config);
-        let token = CancelToken::new(cancel);
-        let response = if request.kind == QueryKind::Sched {
-            // A sched request carries a fixture spec, not a type, and its
-            // budgets live inside the spec — the canonical rendering is
-            // the whole cache identity. The request deadline rides along
-            // out-of-band (cancel token + wall clock, polled at schedule
-            // boundaries) and is deliberately *not* part of the key:
-            // control signals never change a completed query's document.
-            match parse_sched_spec(&request.type_text) {
-                Err(e) => error_response(request.id, &e),
-                Ok(spec) => {
-                    let key = sched_cache_key(&spec.canonical_text());
-                    let computed = cache.get_or_compute(key, request.kind, &spec.target, || {
-                        run_sched_with(&spec, token, wall)
-                    });
-                    match computed {
-                        Ok((value, outcome)) => Response::Ok {
-                            id: request.id,
-                            cached: outcome.is_cached(),
-                            result: (*value).clone(),
-                        },
-                        Err(e) => error_response(request.id, &as_deadline(e, started, config)),
-                    }
-                }
-            }
-        } else {
-            match parse_query_type(&request.type_text) {
-                Err(e) => error_response(request.id, &e),
-                Ok(ty) => {
-                    let key = cache_key(request.kind, &ty, &options);
-                    let mut opts = explore_options(&options).with_cancel(token);
-                    opts.budget.wall = wall;
-                    let computed = cache.get_or_compute(key, request.kind, ty.name(), || {
-                        run_query(request.kind, &ty, &opts)
-                    });
-                    match computed {
-                        Ok((value, outcome)) => Response::Ok {
-                            id: request.id,
-                            cached: outcome.is_cached(),
-                            result: (*value).clone(),
-                        },
-                        Err(e) => error_response(request.id, &as_deadline(e, started, config)),
-                    }
-                }
-            }
+/// Computes one entry and fans the result out to every coalesced
+/// respondent. The leader (first respondent) reports the cache's
+/// verdict on `cached`; followers were answered without a computation
+/// of their own, so they are `cached` by construction.
+#[allow(clippy::too_many_arguments)] // mirrors the server's fixed wiring
+fn compute_entry(
+    entry: &Entry,
+    idx: usize,
+    cache: &ResultCache,
+    gate: &WorkerGate,
+    waker: &Waker,
+    inflight: &[InFlight],
+    cancel: &'static AtomicBool,
+    config: &ServeConfig,
+) {
+    let respondents = entry.begin();
+    if respondents.is_empty() {
+        return;
+    }
+    let started = Instant::now();
+    cancel.store(false, Ordering::SeqCst);
+    // Arm the deadline — and the in-engine wall clock — before
+    // passing the gate, so time a test spends holding the worker
+    // counts against the deadline; that is what makes the
+    // cancellation tests deterministic.
+    *inflight[idx].deadline.lock().unwrap() = config.request_timeout.map(|t| started + t);
+    let wall = config.request_timeout.map(Wall::expires_in);
+    gate.pass();
+
+    let options = clamp_options(&entry.options, config);
+    let token = CancelToken::new(cancel);
+    let outcome: Result<(Arc<Json>, bool), QueryError> = if entry.kind == QueryKind::Sched {
+        // A sched request carries a fixture spec, not a type, and its
+        // budgets live inside the spec — the canonical rendering is
+        // the whole cache identity. The request deadline rides along
+        // out-of-band (cancel token + wall clock, polled at schedule
+        // boundaries) and is deliberately *not* part of the key:
+        // control signals never change a completed query's document.
+        parse_sched_spec(&entry.type_text).and_then(|spec| {
+            let key = sched_cache_key(&spec.canonical_text());
+            cache
+                .get_or_compute(key, entry.kind, &spec.target, || {
+                    run_sched_with(&spec, token, wall)
+                })
+                .map(|(value, outcome)| (value, outcome.is_cached()))
+                .map_err(|e| as_deadline(e, started, config))
+        })
+    } else {
+        parse_query_type(&entry.type_text).and_then(|ty| {
+            let key = cache_key(entry.kind, &ty, &options);
+            let mut opts = explore_options(&options).with_cancel(token);
+            opts.budget.wall = wall;
+            cache
+                .get_or_compute(key, entry.kind, ty.name(), || {
+                    run_query(entry.kind, &ty, &opts)
+                })
+                .map(|(value, outcome)| (value, outcome.is_cached()))
+                .map_err(|e| as_deadline(e, started, config))
+        })
+    };
+    *inflight[idx].deadline.lock().unwrap() = None;
+
+    let obs = wfc_obs::enabled();
+    for (i, respondent) in respondents.iter().enumerate() {
+        let response = match &outcome {
+            Ok((value, cached)) => Response::Ok {
+                id: respondent.id,
+                cached: *cached || i > 0,
+                result: (**value).clone(),
+            },
+            Err(e) => error_response(respondent.id, e),
         };
-        *inflight[idx].deadline.lock().unwrap() = None;
-
-        if wfc_obs::enabled() {
+        if obs {
             let name = match &response {
                 Response::Ok { .. } => "service.responses.ok",
                 _ => "service.responses.error",
             };
             wfc_obs::metrics::Registry::global().counter(name).add(1);
             wfc_obs::metrics::Registry::global()
-                .histogram(&format!("service.latency_us.{}", request.kind))
+                .histogram(&format!("service.latency_us.{}", entry.kind))
                 .record(started.elapsed().as_micros() as u64);
         }
-        conn.write(&response);
+        if !respondent.conn.is_closed() {
+            respondent.conn.enqueue_json(&response.to_json());
+        }
     }
+    waker.wake();
 }
 
 fn clamp_options(requested: &QueryOptions, config: &ServeConfig) -> QueryOptions {
@@ -600,5 +805,28 @@ fn error_response(id: u64, e: &QueryError) -> Response {
         used,
         resource: e.resource().map(str::to_owned),
         partial: e.partial(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_grows_and_caps() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(2));
+        assert_eq!(accept_backoff(2), Duration::from_millis(4));
+        assert_eq!(accept_backoff(5), Duration::from_millis(32));
+        assert_eq!(accept_backoff(10), Duration::from_millis(1024));
+        assert_eq!(
+            accept_backoff(u32::MAX),
+            Duration::from_millis(1024),
+            "backoff must cap, not overflow"
+        );
+        assert_eq!(
+            accept_backoff(0),
+            Duration::from_millis(2),
+            "even a first error backs off a little"
+        );
     }
 }

@@ -108,6 +108,79 @@ pub fn read_frame(input: &mut impl Read) -> Result<Option<Json>, WireError> {
     Ok(Some(value))
 }
 
+/// An incremental frame decoder for nonblocking sockets: the readiness
+/// frontend feeds it whatever bytes `read(2)` produced, and pulls out
+/// complete frames as they materialize. A frame trickling in one byte
+/// per readiness event yields exactly one document once its last byte
+/// arrives — the buffer is the resumption state, so partial reads can
+/// never desynchronize the framing.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame, or `Ok(None)` when the buffered
+    /// bytes end mid-frame (call again after the next read).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on an oversized declared length, invalid
+    /// UTF-8, or malformed JSON; the stream is not trustworthy past that
+    /// point and the connection should be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Json>, WireError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(proto_err(format!(
+                "incoming frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+            )));
+        }
+        if pending.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = &pending[4..4 + len];
+        let text = std::str::from_utf8(payload).map_err(|_| proto_err("frame is not UTF-8"))?;
+        let value = wfc_obs::json::parse(text).map_err(|e| proto_err(format!("bad JSON: {e}")))?;
+        self.start += 4 + len;
+        self.compact();
+        Ok(Some(value))
+    }
+
+    /// Reclaims consumed space: cheap truncation when fully drained, an
+    /// occasional shift when the dead prefix grows large.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 /// Reads until `buf` is full or EOF; returns the bytes read. Always
 /// retries `Interrupted`. `WouldBlock`/`TimedOut` are retried once at
 /// least one byte has been read — or unconditionally when `retry_idle`
@@ -612,6 +685,48 @@ mod tests {
         assert_eq!(got, resp);
         // Clean EOF at the boundary.
         assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_buffer_decodes_across_arbitrary_read_boundaries() {
+        let first = Request {
+            id: 1,
+            kind: QueryKind::Classify,
+            type_text: "type t ports 2\n".to_owned(),
+            options: QueryOptions::default(),
+        };
+        let second = Request {
+            id: 2,
+            kind: QueryKind::Witness,
+            type_text: "type u ports 3\n".to_owned(),
+            options: QueryOptions::default().with_max_depth(9),
+        };
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &first.to_json()).unwrap();
+        write_frame(&mut stream, &second.to_json()).unwrap();
+
+        // Feed the stream one byte at a time: no frame may surface
+        // early, and both must surface exactly once, in order.
+        let mut fb = FrameBuffer::new();
+        let mut decoded = Vec::new();
+        for (i, byte) in stream.iter().enumerate() {
+            fb.extend_from_slice(std::slice::from_ref(byte));
+            while let Some(doc) = fb.next_frame().unwrap() {
+                decoded.push((i, Request::from_json(&doc).unwrap()));
+            }
+        }
+        assert_eq!(
+            decoded.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            vec![first, second]
+        );
+        // Each frame completed only on its final byte.
+        assert_eq!(decoded[1].0, stream.len() - 1);
+        assert_eq!(fb.buffered(), 0, "fully drained");
+
+        // An oversized header is a protocol error, not an allocation.
+        let mut fb = FrameBuffer::new();
+        fb.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(matches!(fb.next_frame(), Err(WireError::Protocol(_))));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! wfc serve [flags]               run the analysis server
 //! wfc query <KIND> <TYPE-FILE> --addr HOST:PORT
 //!                                 ask a running server for any analysis
+//! wfc loadgen --addr HOST:PORT [flags]
+//!                                 drive a server with open/closed-loop
+//!                                 traffic and report latency percentiles
 //! ```
 //!
 //! Type files use the `wfc-spec::text` format; see `wfc zoo` for
@@ -35,7 +38,7 @@ use wfc_spec::FiniteType;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | regular | broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
+        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | regular | broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n            [--batch-size N] [--batch-delay-us N] [--batch-adaptive on|off]\n            [--max-connections N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)\n  wfc loadgen --addr HOST:PORT [--connections N] [--pipeline N]\n              [--duration-ms N] [--rate N] [--mode closed|open|both]\n              [--out FILE]\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
     );
     ExitCode::from(2)
 }
@@ -357,6 +360,22 @@ fn cmd_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
             0 => None,
             ms => Some(Duration::from_millis(ms as u64)),
         },
+        batch: wfc_service::BatchConfig {
+            max_batch_size: flags.get_usize("--batch-size", defaults.batch.max_batch_size)?,
+            max_batch_delay: Duration::from_micros(flags.get_usize(
+                "--batch-delay-us",
+                defaults.batch.max_batch_delay.as_micros() as usize,
+            )? as u64),
+            adaptive: match flags.get("--batch-adaptive") {
+                None => defaults.batch.adaptive,
+                Some("on") => true,
+                Some("off") => false,
+                Some(other) => {
+                    return Err(format!("--batch-adaptive wants on|off, got `{other}`").into())
+                }
+            },
+        },
+        max_connections: flags.get_usize("--max-connections", defaults.max_connections)?,
         ..defaults
     };
     let handle = wfc_service::serve(config)?;
@@ -372,6 +391,48 @@ fn cmd_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
         wfc_obs::report::RunReport::collect("wfc-serve").emit();
     }
     Ok(())
+}
+
+/// `loadgen`: drive a running server with the built-in traffic mixes
+/// and emit the `BENCH_service` latency/throughput report.
+fn cmd_loadgen(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    use wfc_service::loadgen::{self, Mode};
+
+    let flags = Flags::parse(rest)?;
+    let addr = flags
+        .get("--addr")
+        .ok_or("`wfc loadgen` needs --addr HOST:PORT")?
+        .to_owned();
+    let rate = flags.get_usize("--rate", 200)? as u64;
+    let mut mixes = loadgen::default_mixes(rate);
+    match flags.get("--mode").unwrap_or("both") {
+        "both" => {}
+        "closed" => mixes.retain(|m| m.mode == Mode::Closed),
+        "open" => mixes.retain(|m| m.mode != Mode::Closed),
+        other => return Err(format!("--mode wants closed|open|both, got `{other}`").into()),
+    }
+    let opts = loadgen::LoadgenOptions {
+        addr,
+        connections: flags.get_usize("--connections", 4)?,
+        pipeline: flags.get_usize("--pipeline", 4)?,
+        duration: Duration::from_millis(flags.get_usize("--duration-ms", 2000)? as u64),
+        mixes,
+    };
+    let reports = loadgen::run(&opts)?;
+    loadgen::print_summary(&reports);
+    let report = loadgen::to_report(&reports);
+    if let Some(path) = flags.get("--out") {
+        std::fs::write(path, report.render()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("# report written to {path}");
+    }
+    if wfc_obs::emission_requested() {
+        report.emit();
+    }
+    let completed: u64 = reports.iter().map(|r| r.ok).sum();
+    if completed == 0 {
+        return Err("loadgen completed zero successful requests".into());
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_query(kind_name: &str, path: &str, rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
@@ -485,6 +546,7 @@ fn main() -> ExitCode {
         }
         [cmd, rest @ ..] if cmd == "sched" => cmd_sched(rest),
         [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest).map(|()| ExitCode::SUCCESS),
+        [cmd, rest @ ..] if cmd == "loadgen" => cmd_loadgen(rest),
         [cmd, kind, path, rest @ ..] if cmd == "query" => cmd_query(kind, path, rest),
         _ => return usage(),
     };
