@@ -17,6 +17,10 @@
 //! - `--check [dir]` — validate every `.json` file in `dir` against the
 //!   `wfc-obs/v1` schema and exit non-zero if any is invalid. Used by CI
 //!   after a `WFC_OBS_JSON=… cargo bench` smoke run.
+//! - `--diff <dirA> <dirB>` — side-by-side bench trajectory of two
+//!   report directories with percent deltas on the medians; benchmarks
+//!   present in only one directory are marked `new`/`gone`. Compares
+//!   two recorded runs (e.g. before/after an optimisation).
 
 use std::error::Error;
 use std::path::{Path, PathBuf};
@@ -64,6 +68,8 @@ fn json_files(dir: &Path, prefix: &str) -> Vec<PathBuf> {
 /// Parses and schema-validates one JSON artifact, dispatching on its
 /// `schema`/`proto` field: `wfc-svc-cache/v1` files (the service's disk
 /// cache entries and `cache-meta.json`) go to the cache validator,
+/// `wfc-stats/v1` snapshots (scraped from a live server's `stats`
+/// query) go to the stats validator,
 /// `wfc-svc/v1` frames (responses captured by smoke scripts — notably
 /// `deadline-exceeded` errors, whose `budget`/`used`/`resource`/
 /// `partial` shape the wire validator enforces) go to the response
@@ -73,6 +79,8 @@ fn load_report(path: &Path) -> Result<wfc_obs::json::Json, String> {
     let doc = wfc_obs::json::parse(&text).map_err(|e| e.to_string())?;
     if doc.get("schema").and_then(|s| s.as_str()) == Some(wfc_service::CACHE_SCHEMA) {
         wfc_service::validate_cache_json(&doc)?;
+    } else if doc.get("schema").and_then(|s| s.as_str()) == Some(wfc_service::STATS_SCHEMA) {
+        wfc_service::validate_stats_json(&doc)?;
     } else if doc.get("proto").and_then(|s| s.as_str()) == Some(wfc_service::PROTO) {
         wfc_service::validate_response_json(&doc)?;
     } else {
@@ -82,8 +90,9 @@ fn load_report(path: &Path) -> Result<wfc_obs::json::Json, String> {
 }
 
 /// `--check [dir]`: every `.json` file in `dir` must be a valid
-/// `wfc-obs/v1` run report, `wfc-svc-cache/v1` cache document, or
-/// `wfc-svc/v1` response frame.
+/// `wfc-obs/v1` run report, `wfc-svc-cache/v1` cache document,
+/// `wfc-stats/v1` introspection snapshot, or `wfc-svc/v1` response
+/// frame.
 fn check_reports(dir: &Path) -> Result<(), Box<dyn Error>> {
     if !dir.is_dir() {
         return Err(format!(
@@ -169,6 +178,89 @@ fn print_bench_trajectory(dir: &Path) {
     }
 }
 
+/// `group/benchmark → (lo_ns, median_ns, hi_ns)` across every
+/// `BENCH_*.json` report in `dir`; later files win on a duplicate id.
+fn collect_bench_results(dir: &Path) -> std::collections::BTreeMap<String, (f64, f64, f64)> {
+    let mut out = std::collections::BTreeMap::new();
+    for path in json_files(dir, "BENCH_") {
+        let Ok(doc) = load_report(&path) else {
+            eprintln!("(skipping unreadable {})", path.display());
+            continue;
+        };
+        let Some(bench) = doc.get("sections").and_then(|s| s.get("bench")) else {
+            continue;
+        };
+        let group = bench.get("group").and_then(|j| j.as_str()).unwrap_or("?");
+        for r in bench
+            .get("results")
+            .and_then(|j| j.as_arr())
+            .unwrap_or_default()
+        {
+            let id = r.get("id").and_then(|j| j.as_str()).unwrap_or("?");
+            out.insert(
+                format!("{group}/{id}"),
+                (
+                    r.get("lo_ns").and_then(|j| j.as_f64()).unwrap_or(0.0),
+                    r.get("median_ns").and_then(|j| j.as_f64()).unwrap_or(0.0),
+                    r.get("hi_ns").and_then(|j| j.as_f64()).unwrap_or(0.0),
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// `--diff <dirA> <dirB>`: the two trajectories side by side, with the
+/// median's percent change (negative = B is faster).
+fn diff_reports(dir_a: &Path, dir_b: &Path) -> Result<(), Box<dyn Error>> {
+    let a = collect_bench_results(dir_a);
+    let b = collect_bench_results(dir_b);
+    if a.is_empty() && b.is_empty() {
+        return Err(format!(
+            "--diff: no BENCH_*.json reports in {} or {}",
+            dir_a.display(),
+            dir_b.display()
+        )
+        .into());
+    }
+    println!(
+        "bench trajectory diff: A = {}, B = {}",
+        dir_a.display(),
+        dir_b.display()
+    );
+    println!(
+        "{:<56} {:>12} {:>12} {:>9}",
+        "benchmark", "A median", "B median", "delta"
+    );
+    let ids: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    for id in ids {
+        match (a.get(id), b.get(id)) {
+            (Some(&(_, ma, _)), Some(&(_, mb, _))) => {
+                let delta = if ma > 0.0 {
+                    format!("{:+.1}%", (mb - ma) / ma * 100.0)
+                } else {
+                    "n/a".to_owned()
+                };
+                println!(
+                    "{:<56} {:>12} {:>12} {:>9}",
+                    id,
+                    fmt_ns(ma),
+                    fmt_ns(mb),
+                    delta
+                );
+            }
+            (Some(&(_, ma, _)), None) => {
+                println!("{:<56} {:>12} {:>12} {:>9}", id, fmt_ns(ma), "—", "gone");
+            }
+            (None, Some(&(_, mb, _))) => {
+                println!("{:<56} {:>12} {:>12} {:>9}", id, "—", fmt_ns(mb), "new");
+            }
+            (None, None) => unreachable!("id came from one of the maps"),
+        }
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -179,10 +271,17 @@ fn main() -> Result<(), Box<dyn Error>> {
                 .unwrap_or_else(obs_reports_dir);
             return check_reports(&dir);
         }
+        Some("--diff") => {
+            let (Some(dir_a), Some(dir_b)) = (args.get(1), args.get(2)) else {
+                return Err("--diff needs two report directories: --diff <dirA> <dirB>".into());
+            };
+            return diff_reports(Path::new(dir_a), Path::new(dir_b));
+        }
         Some(other) => {
-            return Err(
-                format!("unknown argument {other:?}; usage: report [--check [dir]]").into(),
-            );
+            return Err(format!(
+                "unknown argument {other:?}; usage: report [--check [dir] | --diff <dirA> <dirB>]"
+            )
+            .into());
         }
         None => {}
     }

@@ -14,7 +14,8 @@
 //!
 //! Observability is **off by default**. Every macro site
 //! ([`counter!`](crate::counter), [`gauge_max!`](crate::gauge_max),
-//! [`histogram!`](crate::histogram), [`span!`](crate::span)) first loads
+//! [`gauge_set!`](crate::gauge_set), [`histogram!`](crate::histogram),
+//! [`span!`](crate::span)) first loads
 //! one global `AtomicBool` ([`enabled`], a relaxed load) and does nothing
 //! else when it is `false`: no registry lookup, no allocation, no name
 //! ever registered. A disabled run therefore leaves the registry
@@ -38,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -111,6 +113,21 @@ macro_rules! gauge_max {
     };
 }
 
+/// Sets a named gauge to exactly `$value` when global observability is
+/// enabled; a single relaxed load otherwise. Use for live state that
+/// goes both up and down (queue depth, open entries, in-flight count) —
+/// [`gauge_max!`](crate::gauge_max) for high-water marks.
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::metrics::Registry::global()
+                .gauge($name)
+                .set($value as i64);
+        }
+    };
+}
+
 /// Records `$value` into a named power-of-two histogram when global
 /// observability is enabled; a single relaxed load otherwise.
 #[macro_export]
@@ -179,6 +196,7 @@ mod tests {
             counter!("test.disabled_counter");
             counter!("test.disabled_counter_delta", k);
             gauge_max!("test.disabled_gauge", k);
+            gauge_set!("test.disabled_gauge_set", k);
             histogram!("test.disabled_hist", k);
             let _g = span!("test.disabled_span", k = k);
         }

@@ -499,6 +499,11 @@ pub fn run_query(
              (or run_query_text, which dispatches on the kind)"
                 .to_owned(),
         )),
+        QueryKind::Stats => Err(QueryError::Unsupported(
+            "stats is a live-server introspection query; it is answered \
+             inline by `wfc serve` and has no direct analysis"
+                .to_owned(),
+        )),
     }
 }
 
@@ -532,6 +537,13 @@ pub fn run_query_text_with(
 ) -> Result<Json, QueryError> {
     if kind == QueryKind::Sched {
         return run_sched_with(&parse_sched_spec(type_text)?, cancel, wall);
+    }
+    if kind == QueryKind::Stats {
+        return Err(QueryError::Unsupported(
+            "stats is a live-server introspection query; it is answered \
+             inline by `wfc serve` and has no direct analysis"
+                .to_owned(),
+        ));
     }
     let ty = parse_query_type(type_text)?;
     let mut opts = explore_options(options).with_cancel(cancel);

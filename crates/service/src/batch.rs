@@ -28,8 +28,10 @@ use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use wfc_spec::hash::Hasher128;
+use wfc_spec::stage::Stage;
 
 use crate::conn::ConnShared;
+use crate::stats::RequestTrace;
 use crate::wire::{QueryKind, QueryOptions, Request, PROTO};
 
 /// Knobs for the frontend's batching layer.
@@ -61,14 +63,17 @@ impl Default for BatchConfig {
 }
 
 /// One requester awaiting an entry's result: where to queue the
-/// response, and the request id to stamp on it.
+/// response, the request id to stamp on it, and the request's stage
+/// trace (when observability is on).
 pub(crate) struct Respondent {
     pub(crate) conn: Arc<ConnShared>,
     pub(crate) id: u64,
+    pub(crate) trace: Option<Box<RequestTrace>>,
 }
 
 struct EntryState {
     respondents: Vec<Respondent>,
+    dispatched: bool,
     started: bool,
 }
 
@@ -84,28 +89,52 @@ pub(crate) struct Entry {
 }
 
 impl Entry {
-    fn new(request: Request, conn: Arc<ConnShared>) -> Arc<Entry> {
+    fn new(
+        request: Request,
+        conn: Arc<ConnShared>,
+        trace: Option<Box<RequestTrace>>,
+    ) -> Arc<Entry> {
         let id = request.id;
         Arc::new(Entry {
             kind: request.kind,
             type_text: request.type_text,
             options: request.options,
             state: Mutex::new(EntryState {
-                respondents: vec![Respondent { conn, id }],
+                respondents: vec![Respondent { conn, id, trace }],
+                dispatched: false,
                 started: false,
             }),
         })
     }
 
-    /// Attaches a follower; fails once a worker has begun computing
-    /// (the follower must then become its own entry).
-    fn attach(&self, respondent: Respondent) -> bool {
+    /// Attaches a follower; hands the respondent back once a worker
+    /// has begun computing (the follower must then become its own
+    /// entry). A follower joining an already-dispatched batch inherits
+    /// its position: its `Dispatched` stamp is taken on attach.
+    fn attach(&self, mut respondent: Respondent) -> Result<(), Respondent> {
         let mut state = self.state.lock().unwrap();
         if state.started {
-            return false;
+            return Err(respondent);
+        }
+        if state.dispatched {
+            if let Some(trace) = &mut respondent.trace {
+                trace.stamp(Stage::Dispatched);
+            }
         }
         state.respondents.push(respondent);
-        true
+        Ok(())
+    }
+
+    /// Stamps `Dispatched` on every respondent as the entry's batch is
+    /// pushed to the job queue.
+    fn mark_dispatched(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.dispatched = true;
+        for respondent in &mut state.respondents {
+            if let Some(trace) = &mut respondent.trace {
+                trace.stamp(Stage::Dispatched);
+            }
+        }
     }
 
     /// Claims the entry for computation and takes its respondents; no
@@ -168,7 +197,8 @@ impl JobQueue {
             return;
         }
         let mut state = self.state.lock().unwrap();
-        self.entries.fetch_add(batch.len(), Ordering::SeqCst);
+        let depth = self.entries.fetch_add(batch.len(), Ordering::SeqCst) + batch.len();
+        wfc_obs::gauge_set!("service.queue.depth", depth as i64);
         state.0.push_back(batch);
         self.cv.notify_one();
     }
@@ -178,7 +208,8 @@ impl JobQueue {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(batch) = state.0.pop_front() {
-                self.entries.fetch_sub(batch.len(), Ordering::SeqCst);
+                let depth = self.entries.fetch_sub(batch.len(), Ordering::SeqCst) - batch.len();
+                wfc_obs::gauge_set!("service.queue.depth", depth as i64);
                 return Some(batch);
             }
             if state.1 {
@@ -258,24 +289,36 @@ impl Batcher {
     }
 
     /// Admits one decoded request. `now` is injected so tests can step
-    /// time deterministically.
+    /// time deterministically. The request's stage trace (if tracing is
+    /// on) is taken out of `trace` on admission and travels with the
+    /// respondent; on [`Submit::Rejected`] it is left in place so the
+    /// caller can finalize the busy answer.
     pub(crate) fn submit(
         &mut self,
         request: Request,
         conn: &Arc<ConnShared>,
         queue: &JobQueue,
         now: Instant,
+        trace: &mut Option<Box<RequestTrace>>,
     ) -> Submit {
         let key = coalesce_key(request.kind, &request.type_text, &request.options);
         if let Some(weak) = self.pending.get(&key) {
-            let attached = weak.upgrade().is_some_and(|entry| {
-                entry.attach(Respondent {
+            if let Some(entry) = weak.upgrade() {
+                let mut joined = trace.take();
+                if let Some(t) = &mut joined {
+                    t.stamp(Stage::Enqueued);
+                }
+                match entry.attach(Respondent {
                     conn: Arc::clone(conn),
                     id: request.id,
-                })
-            });
-            if attached {
-                return Submit::Coalesced;
+                    trace: joined,
+                }) {
+                    Ok(()) => return Submit::Coalesced,
+                    // The entry started computing between lookup and
+                    // attach; reclaim the trace and fall through to a
+                    // fresh entry (a later Enqueued stamp overwrites).
+                    Err(respondent) => *trace = respondent.trace,
+                }
             }
             self.pending.remove(&key);
         }
@@ -283,9 +326,14 @@ impl Batcher {
         if used >= queue.capacity() {
             return Submit::Rejected { used };
         }
-        let entry = Entry::new(request, Arc::clone(conn));
+        let mut owned = trace.take();
+        if let Some(t) = &mut owned {
+            t.stamp(Stage::Enqueued);
+        }
+        let entry = Entry::new(request, Arc::clone(conn), owned);
         self.pending.insert(key, Arc::downgrade(&entry));
         self.open.push(entry);
+        wfc_obs::gauge_set!("service.batch.open_entries", self.open.len() as i64);
         if self.opened_at.is_none() {
             self.opened_at = Some(now);
         }
@@ -293,6 +341,11 @@ impl Batcher {
             self.dispatch(queue);
         }
         Submit::Accepted
+    }
+
+    /// Entries accumulated in the open (not yet dispatched) batch.
+    pub(crate) fn open_len(&self) -> usize {
+        self.open.len()
     }
 
     /// When the open batch must be force-dispatched, for the IO loop's
@@ -329,6 +382,10 @@ impl Batcher {
             return;
         }
         let batch = std::mem::take(&mut self.open);
+        wfc_obs::gauge_set!("service.batch.open_entries", 0);
+        for entry in &batch {
+            entry.mark_dispatched();
+        }
         wfc_obs::histogram!("service.batch.entries", batch.len() as u64);
         wfc_obs::counter!("service.batch.dispatched");
         queue.push(batch);
@@ -372,12 +429,12 @@ mod tests {
         let c = conn();
         let now = Instant::now();
         assert!(matches!(
-            batcher.submit(request(1, "t"), &c, &queue, now),
+            batcher.submit(request(1, "t"), &c, &queue, now, &mut None),
             Submit::Accepted
         ));
         for id in 2..=5 {
             assert!(matches!(
-                batcher.submit(request(id, "t"), &c, &queue, now),
+                batcher.submit(request(id, "t"), &c, &queue, now, &mut None),
                 Submit::Coalesced
             ));
         }
@@ -398,11 +455,11 @@ mod tests {
         let mut batcher = Batcher::new(BatchConfig::default());
         let c = conn();
         let now = Instant::now();
-        batcher.submit(request(1, "t"), &c, &queue, now);
+        batcher.submit(request(1, "t"), &c, &queue, now, &mut None);
         batcher.flush_due(&queue, now);
         // Dispatched but unstarted: still joinable.
         assert!(matches!(
-            batcher.submit(request(2, "t"), &c, &queue, now),
+            batcher.submit(request(2, "t"), &c, &queue, now, &mut None),
             Submit::Coalesced
         ));
         let batch = queue.pop().unwrap();
@@ -410,7 +467,7 @@ mod tests {
         assert_eq!(respondents.len(), 2);
         // Started: a repeat becomes a fresh entry.
         assert!(matches!(
-            batcher.submit(request(3, "t"), &c, &queue, now),
+            batcher.submit(request(3, "t"), &c, &queue, now, &mut None),
             Submit::Accepted
         ));
     }
@@ -428,13 +485,13 @@ mod tests {
         let mut wide = request(3, "t");
         wide.options.max_depth = 3;
         wide.options.threads = 7;
-        batcher.submit(shallow, &c, &queue, now);
+        batcher.submit(shallow, &c, &queue, now, &mut None);
         assert!(matches!(
-            batcher.submit(deep, &c, &queue, now),
+            batcher.submit(deep, &c, &queue, now, &mut None),
             Submit::Accepted
         ));
         assert!(matches!(
-            batcher.submit(wide, &c, &queue, now),
+            batcher.submit(wide, &c, &queue, now, &mut None),
             Submit::Coalesced
         ));
     }
@@ -445,15 +502,15 @@ mod tests {
         let mut batcher = Batcher::new(BatchConfig::default());
         let c = conn();
         let now = Instant::now();
-        batcher.submit(request(1, "a"), &c, &queue, now);
-        batcher.submit(request(2, "b"), &c, &queue, now);
-        match batcher.submit(request(3, "c"), &c, &queue, now) {
+        batcher.submit(request(1, "a"), &c, &queue, now, &mut None);
+        batcher.submit(request(2, "b"), &c, &queue, now, &mut None);
+        match batcher.submit(request(3, "c"), &c, &queue, now, &mut None) {
             Submit::Rejected { used } => assert_eq!(used, 2),
             other => panic!("expected rejection, got {other:?}"),
         }
         // Coalescing is free even at capacity: no new computation.
         assert!(matches!(
-            batcher.submit(request(4, "a"), &c, &queue, now),
+            batcher.submit(request(4, "a"), &c, &queue, now, &mut None),
             Submit::Coalesced
         ));
     }
@@ -468,9 +525,9 @@ mod tests {
         });
         let c = conn();
         let now = Instant::now();
-        batcher.submit(request(1, "a"), &c, &queue, now);
+        batcher.submit(request(1, "a"), &c, &queue, now, &mut None);
         assert_eq!(queue.depth(), 0, "below max_batch_size, delay holds it");
-        batcher.submit(request(2, "b"), &c, &queue, now);
+        batcher.submit(request(2, "b"), &c, &queue, now, &mut None);
         assert_eq!(queue.depth(), 2, "full batch dispatches despite delay");
     }
 
@@ -485,7 +542,7 @@ mod tests {
         });
         let c = conn();
         let t0 = Instant::now();
-        batcher.submit(request(1, "a"), &c, &queue, t0);
+        batcher.submit(request(1, "a"), &c, &queue, t0, &mut None);
         batcher.flush_due(&queue, t0);
         assert_eq!(queue.depth(), 0, "delay not yet elapsed");
         assert_eq!(batcher.next_deadline(), Some(t0 + delay));
@@ -499,7 +556,7 @@ mod tests {
             max_batch_delay: delay,
             adaptive: true,
         });
-        batcher.submit(request(2, "b"), &c, &queue, t0);
+        batcher.submit(request(2, "b"), &c, &queue, t0, &mut None);
         batcher.flush_due(&queue, t0);
         assert_eq!(queue.depth(), 1, "idle workers: no reason to wait");
     }
@@ -511,13 +568,13 @@ mod tests {
         let c = conn();
         let now = Instant::now();
         for id in 0..32 {
-            batcher.submit(request(id, &format!("t{id}")), &c, &queue, now);
+            batcher.submit(request(id, &format!("t{id}")), &c, &queue, now, &mut None);
             batcher.flush_due(&queue, now);
             // Worker claims and finishes the entry.
             let batch = queue.pop().unwrap();
             batch[0].begin();
         }
-        batcher.submit(request(99, "fresh"), &c, &queue, now);
+        batcher.submit(request(99, "fresh"), &c, &queue, now, &mut None);
         batcher.flush_due(&queue, now);
         assert!(
             batcher.pending.len() <= 1,

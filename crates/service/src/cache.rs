@@ -106,6 +106,7 @@ pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
     disk_dir: Option<PathBuf>,
+    mem_entries: AtomicU64,
     disk_entries: AtomicU64,
     disk_writes: AtomicU64,
     flights: Mutex<HashMap<u128, Arc<Flight>>>,
@@ -154,6 +155,7 @@ impl ResultCache {
                 .collect(),
             per_shard_capacity,
             disk_dir,
+            mem_entries: AtomicU64::new(0),
             disk_entries: AtomicU64::new(existing),
             disk_writes: AtomicU64::new(0),
             flights: Mutex::new(HashMap::new()),
@@ -189,10 +191,17 @@ impl ResultCache {
                 .map(|(k, _)| k)
             {
                 shard.map.remove(&victim);
+                self.mem_entries.fetch_sub(1, Ordering::Relaxed);
                 wfc_obs::counter!("service.cache.evictions");
             }
         }
-        shard.map.insert(key.0, (value, tick));
+        if shard.map.insert(key.0, (value, tick)).is_none() {
+            self.mem_entries.fetch_add(1, Ordering::Relaxed);
+        }
+        wfc_obs::gauge_set!(
+            "service.cache.mem.entries",
+            self.mem_entries.load(Ordering::Relaxed)
+        );
     }
 
     fn entry_path(dir: &Path, key: Hash128) -> PathBuf {
@@ -233,6 +242,10 @@ impl ResultCache {
         if fresh {
             self.disk_entries.fetch_add(1, Ordering::Relaxed);
         }
+        wfc_obs::gauge_set!(
+            "service.cache.disk.entries",
+            self.disk_entries.load(Ordering::Relaxed)
+        );
         let writes = self.disk_writes.fetch_add(1, Ordering::Relaxed) + 1;
         let meta = Json::obj(vec![
             ("schema", Json::Str(CACHE_SCHEMA.to_owned())),

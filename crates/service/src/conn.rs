@@ -9,19 +9,31 @@
 //! threads, and what keeps a slow-reading client from ever blocking a
 //! worker.
 
+use std::collections::VecDeque;
 use std::io::{self, Write as _};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use wfc_obs::json::Json;
+use wfc_spec::stage::Stage;
 
+use crate::stats::RequestTrace;
 use crate::wire::write_frame;
 
 #[derive(Default)]
 struct OutBuf {
     bytes: Vec<u8>,
     pos: usize,
+    /// Bytes ever framed into this buffer (monotonic across drains).
+    enqueued_total: u64,
+    /// Bytes ever accepted by the socket.
+    flushed_total: u64,
+    /// Traces waiting for their response's last byte to leave, keyed
+    /// by the `enqueued_total` watermark that byte corresponds to;
+    /// watermarks are non-decreasing, so this drains front-first as
+    /// `flushed_total` advances.
+    pending_traces: VecDeque<(u64, Box<RequestTrace>)>,
 }
 
 /// Shared per-connection response channel. See the module docs.
@@ -48,10 +60,41 @@ impl ConnShared {
             return;
         }
         let mut out = self.outbound.lock().unwrap();
+        let before = out.bytes.len();
         // Vec<u8> as Write is infallible; the only error is an
         // over-MAX_FRAME response, which is dropped like a dead peer.
         let _ = write_frame(&mut out.bytes, doc);
+        out.enqueued_total += (out.bytes.len() - before) as u64;
         self.has_output.store(true, Ordering::SeqCst);
+    }
+
+    /// [`enqueue_json`](ConnShared::enqueue_json) for a traced request:
+    /// stamps `ResponseEnqueued` and parks the trace on the buffer's
+    /// byte watermark, to be completed when the frame's last byte is
+    /// actually written. Hands the trace back untouched if the response
+    /// could not be queued (connection closed, frame oversized) so the
+    /// caller can finalize it as dropped.
+    pub(crate) fn enqueue_json_traced(
+        &self,
+        doc: &Json,
+        mut trace: Box<RequestTrace>,
+    ) -> Option<Box<RequestTrace>> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Some(trace);
+        }
+        let mut out = self.outbound.lock().unwrap();
+        let before = out.bytes.len();
+        let _ = write_frame(&mut out.bytes, doc);
+        let appended = (out.bytes.len() - before) as u64;
+        out.enqueued_total += appended;
+        if appended == 0 {
+            return Some(trace); // over-MAX_FRAME response: dropped
+        }
+        trace.stamp(Stage::ResponseEnqueued);
+        let watermark = out.enqueued_total;
+        out.pending_traces.push_back((watermark, trace));
+        self.has_output.store(true, Ordering::SeqCst);
+        None
     }
 
     /// Whether buffered response bytes are waiting for the socket.
@@ -62,36 +105,66 @@ impl ConnShared {
     /// Writes buffered bytes until the buffer empties or the socket
     /// pushes back. Returns `Ok(true)` when fully flushed, `Ok(false)`
     /// on `WouldBlock` (the IO loop then polls for writability).
+    /// Traces whose response's last byte just left are moved into
+    /// `completed` with their `BytesFlushed` stamp taken; the caller
+    /// (the IO thread) finalizes them.
     ///
     /// # Errors
     ///
     /// Any real socket error; the caller closes the connection.
-    pub(crate) fn flush(&self, stream: &mut TcpStream) -> io::Result<bool> {
+    pub(crate) fn flush(
+        &self,
+        stream: &mut TcpStream,
+        completed: &mut Vec<RequestTrace>,
+    ) -> io::Result<bool> {
         let mut out = self.outbound.lock().unwrap();
-        while out.pos < out.bytes.len() {
+        let result = loop {
+            if out.pos >= out.bytes.len() {
+                break Ok(true);
+            }
             let pos = out.pos;
             match stream.write(&out.bytes[pos..]) {
-                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => out.pos += n,
+                Ok(0) => break Err(io::Error::from(io::ErrorKind::WriteZero)),
+                Ok(n) => {
+                    out.pos += n;
+                    out.flushed_total += n as u64;
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) => return Err(e),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(false),
+                Err(e) => break Err(e),
             }
+        };
+        // Complete traces regardless of how the loop ended: partial
+        // progress before an error still delivered those responses.
+        while out
+            .pending_traces
+            .front()
+            .is_some_and(|(watermark, _)| *watermark <= out.flushed_total)
+        {
+            let (_, mut trace) = out.pending_traces.pop_front().unwrap();
+            trace.stamp(Stage::BytesFlushed);
+            completed.push(*trace);
         }
-        if out.pos == out.bytes.len() {
+        if result.as_ref().is_ok_and(|flushed_all| *flushed_all) {
             out.bytes.clear();
             out.pos = 0;
             self.has_output.store(false, Ordering::SeqCst);
-            return Ok(true);
-        }
-        // Reclaim large written prefixes so a persistently slow reader
-        // doesn't pin already-delivered bytes forever.
-        if out.pos > 256 * 1024 {
+        } else if out.pos > 256 * 1024 {
+            // Reclaim large written prefixes so a persistently slow
+            // reader doesn't pin already-delivered bytes forever.
             let pos = out.pos;
             out.bytes.drain(..pos);
             out.pos = 0;
         }
-        Ok(false)
+        result
+    }
+
+    /// Takes every trace still awaiting its flush watermark — the
+    /// connection-teardown path, where those responses will never be
+    /// delivered.
+    pub(crate) fn take_pending_traces(&self) -> Vec<RequestTrace> {
+        let mut out = self.outbound.lock().unwrap();
+        out.pending_traces.drain(..).map(|(_, t)| *t).collect()
     }
 
     /// Marks the connection gone; subsequent enqueues are dropped.

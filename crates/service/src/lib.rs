@@ -31,6 +31,10 @@
 //! * [`loadgen`] — open/closed-loop traffic generation against a
 //!   running server, reporting latency percentiles and throughput as a
 //!   `BENCH_service` document.
+//! * [`stats`] — live introspection: per-request stage traces, the
+//!   flight-recorder ring of recently completed requests, and the
+//!   `wfc-stats/v1` snapshot ([`validate_stats_json`]) that a running
+//!   server answers inline for the `stats` query kind.
 //!
 //! ## Example: in-process round trip
 //!
@@ -62,6 +66,7 @@ mod conn;
 pub mod loadgen;
 mod poller;
 pub mod server;
+pub mod stats;
 pub mod wire;
 
 pub use analysis::{
@@ -74,6 +79,7 @@ pub use cache::{
 };
 pub use client::Client;
 pub use server::{accept_backoff, serve, ServeConfig, ServerHandle, WorkerGate};
+pub use stats::{validate_stats_json, STATS_SCHEMA};
 pub use wire::{
     validate_response_json, FrameBuffer, QueryKind, QueryOptions, Request, Response, WireError,
     PROTO,

@@ -130,6 +130,126 @@ pub struct MixReport {
     pub max_us: u64,
     /// Arithmetic mean latency, microseconds.
     pub mean_us: u64,
+    /// Server-side per-stage latency aggregates over this mix's window,
+    /// scraped from the `stats` introspection query (empty when the
+    /// server runs without observability).
+    pub stages: Vec<StageBreakdown>,
+}
+
+/// Per-stage latency aggregate for one mix: the difference between the
+/// server's stage histograms before and after the mix ran, so each mix
+/// sees only its own window even on a long-lived server.
+#[derive(Clone, Debug, Default)]
+pub struct StageBreakdown {
+    /// Interval name (`decode`, `admit`, …, `flush`) or `total`.
+    pub stage: String,
+    /// Requests that recorded this stage inside the window.
+    pub count: u64,
+    /// Summed stage time, microseconds.
+    pub total_us: u64,
+    /// Mean stage time, microseconds.
+    pub mean_us: u64,
+    /// Median (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// 95th percentile (bucket upper bound), microseconds.
+    pub p95_us: u64,
+    /// 99th percentile (bucket upper bound), microseconds.
+    pub p99_us: u64,
+}
+
+/// `stage histogram name → (count, total, buckets)` from one scrape.
+type StageSnapshot = HashMap<String, (u64, u64, Vec<(u64, u64)>)>;
+
+/// Scrapes the server's `service.stage.*_us` histograms (bucket level,
+/// from the `histograms` section of a `stats` snapshot). `None` when
+/// the server is unreachable or runs without observability.
+fn scrape_stages(addr: &str) -> Option<StageSnapshot> {
+    let mut client = Client::connect(addr).ok()?;
+    let response = client
+        .query(QueryKind::Stats, "", &QueryOptions::default())
+        .ok()?;
+    let Response::Ok { result, .. } = response else {
+        return None;
+    };
+    let mut snapshot = StageSnapshot::new();
+    for (name, hist) in result.get("histograms")?.as_obj()? {
+        let Some(stage) = name
+            .strip_prefix("service.stage.")
+            .and_then(|s| s.strip_suffix("_us"))
+        else {
+            continue;
+        };
+        let count = hist.get("count").and_then(Json::as_u64)?;
+        let total = hist.get("total").and_then(Json::as_u64)?;
+        let buckets = hist
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|pair| {
+                let pair = pair.as_arr()?;
+                Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+            })
+            .collect();
+        snapshot.insert(stage.to_owned(), (count, total, buckets));
+    }
+    if snapshot.is_empty() {
+        None
+    } else {
+        Some(snapshot)
+    }
+}
+
+/// Reduces two scrapes to the per-stage aggregates of the window
+/// between them, in pipeline order (`decode` … `flush`, then `total`).
+fn diff_breakdown(before: &StageSnapshot, after: &StageSnapshot) -> Vec<StageBreakdown> {
+    const ORDER: [&str; 8] = [
+        "decode", "admit", "batch", "queue", "engine", "respond", "flush", "total",
+    ];
+    let mut out = Vec::new();
+    for stage in ORDER {
+        let Some((after_count, after_total, after_buckets)) = after.get(stage) else {
+            continue;
+        };
+        let (before_count, before_total, before_buckets) =
+            before.get(stage).cloned().unwrap_or_default();
+        let count = after_count.saturating_sub(before_count);
+        if count == 0 {
+            continue;
+        }
+        let total_us = after_total.saturating_sub(before_total);
+        let earlier: HashMap<u64, u64> = before_buckets.into_iter().collect();
+        let buckets: Vec<(u64, u64)> = after_buckets
+            .iter()
+            .map(|&(bound, n)| {
+                (
+                    bound,
+                    n.saturating_sub(earlier.get(&bound).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            let rank = ((q * count as f64).ceil() as u64).max(1);
+            let mut seen = 0;
+            for &(bound, n) in &buckets {
+                seen += n;
+                if seen >= rank {
+                    return bound;
+                }
+            }
+            buckets.last().map_or(0, |&(bound, _)| bound)
+        };
+        out.push(StageBreakdown {
+            stage: stage.to_owned(),
+            count,
+            total_us,
+            mean_us: total_us / count,
+            p50_us: quantile(0.50),
+            p95_us: quantile(0.95),
+            p99_us: quantile(0.99),
+        });
+    }
+    out
 }
 
 #[derive(Default)]
@@ -469,6 +589,7 @@ fn run_mix(opts: &LoadgenOptions, mix: &Mix) -> MixReport {
         p99_us: percentile(lat, 99.0),
         max_us: lat.last().copied().unwrap_or(0),
         mean_us: lat.iter().sum::<u64>().checked_div(completed).unwrap_or(0),
+        stages: Vec::new(), // filled by `run` from the stats scrapes
     }
 }
 
@@ -484,7 +605,18 @@ pub fn run(opts: &LoadgenOptions) -> Result<Vec<MixReport>, String> {
         return Err("loadgen needs at least one mix".to_owned());
     }
     warm_caches(&opts.addr, &opts.mixes)?;
-    Ok(opts.mixes.iter().map(|mix| run_mix(opts, mix)).collect())
+    let mut reports = Vec::new();
+    for mix in &opts.mixes {
+        // Bracket each mix with a `stats` scrape so its stage
+        // breakdown covers only its own window.
+        let before = scrape_stages(&opts.addr);
+        let mut report = run_mix(opts, mix);
+        if let (Some(before), Some(after)) = (before, scrape_stages(&opts.addr)) {
+            report.stages = diff_breakdown(&before, &after);
+        }
+        reports.push(report);
+    }
+    Ok(reports)
 }
 
 /// Assembles the `BENCH_service` run report: the `service_loadgen`
@@ -516,6 +648,25 @@ pub fn to_report(reports: &[MixReport]) -> RunReport {
                 ("p99_us", Json::U64(r.p99_us)),
                 ("max_us", Json::U64(r.max_us)),
                 ("mean_us", Json::U64(r.mean_us)),
+                (
+                    "stages",
+                    Json::Arr(
+                        r.stages
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("stage", Json::Str(s.stage.clone())),
+                                    ("count", Json::U64(s.count)),
+                                    ("total_us", Json::U64(s.total_us)),
+                                    ("mean_us", Json::U64(s.mean_us)),
+                                    ("p50_us", Json::U64(s.p50_us)),
+                                    ("p95_us", Json::U64(s.p95_us)),
+                                    ("p99_us", Json::U64(s.p99_us)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ])
         })
         .collect();
@@ -578,6 +729,22 @@ pub fn print_summary(reports: &[MixReport]) {
             r.p95_us,
             r.p99_us,
         );
+    }
+    for r in reports {
+        if r.stages.is_empty() {
+            continue;
+        }
+        println!("\n{} — server-side stage breakdown:", r.name);
+        println!(
+            "  {:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "count", "mean_us", "p50_us", "p95_us", "p99_us"
+        );
+        for s in &r.stages {
+            println!(
+                "  {:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                s.stage, s.count, s.mean_us, s.p50_us, s.p95_us, s.p99_us
+            );
+        }
     }
 }
 
@@ -668,6 +835,35 @@ mod tests {
             bench.get("results").and_then(Json::as_arr).map(|r| r.len()),
             Some(2)
         );
+    }
+
+    #[test]
+    fn diff_breakdown_subtracts_the_earlier_scrape() {
+        let mut before = StageSnapshot::new();
+        let mut after = StageSnapshot::new();
+        // engine: 2 old requests in [0,63], 2 new in (63,127].
+        before.insert("engine".to_owned(), (2, 40, vec![(63, 2)]));
+        after.insert("engine".to_owned(), (4, 240, vec![(63, 2), (127, 2)]));
+        // decode appears only after the window started.
+        after.insert("decode".to_owned(), (1, 10, vec![(15, 1)]));
+        // queue did not move: dropped from the breakdown.
+        before.insert("queue".to_owned(), (3, 30, vec![(15, 3)]));
+        after.insert("queue".to_owned(), (3, 30, vec![(15, 3)]));
+
+        let stages = diff_breakdown(&before, &after);
+        let names: Vec<&str> = stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            ["decode", "engine"],
+            "pipeline order, no idle stages"
+        );
+        let engine = &stages[1];
+        assert_eq!(engine.count, 2);
+        assert_eq!(engine.total_us, 200);
+        assert_eq!(engine.mean_us, 100);
+        // Both window requests landed in the (63,127] bucket.
+        assert_eq!(engine.p50_us, 127);
+        assert_eq!(engine.p99_us, 127);
     }
 
     #[test]

@@ -62,10 +62,13 @@ use wfc_spec::control::{CancelToken, Exhausted, Resource, Wall};
 use crate::analysis::{
     explore_options, parse_query_type, parse_sched_spec, run_query, run_sched_with, QueryError,
 };
+use wfc_spec::stage::Stage;
+
 use crate::batch::{BatchConfig, Batcher, Entry, JobQueue, Submit};
 use crate::cache::{cache_key, sched_cache_key, ResultCache};
 use crate::conn::ConnShared;
 use crate::poller::{fd_of, wait, Readiness, Waker};
+use crate::stats::{Disposition, IntroCtx, RequestTrace, TraceOutcome};
 use crate::wire::{write_frame, FrameBuffer, QueryKind, QueryOptions, Request, Response};
 
 /// Server configuration. `Default` gives a loopback server on an
@@ -94,6 +97,12 @@ pub struct ServeConfig {
     pub batch: BatchConfig,
     /// Connections beyond this are answered `busy` and closed.
     pub max_connections: usize,
+    /// Flight-recorder capacity in records; `0` disables the ring.
+    /// The ring is only allocated when observability is on.
+    pub flight_capacity: usize,
+    /// Requests slower than this end-to-end are flagged as anomalies
+    /// in the flight recorder; `None` disables the latency trigger.
+    pub anomaly_threshold: Option<Duration>,
     /// Test hook: workers pass this gate after dequeuing a job and
     /// before computing, letting tests hold a worker deterministically.
     pub gate: Option<Arc<WorkerGate>>,
@@ -113,6 +122,8 @@ impl Default for ServeConfig {
             request_timeout: None,
             batch: BatchConfig::default(),
             max_connections: 8192,
+            flight_capacity: 256,
+            anomaly_threshold: None,
             gate: None,
         }
     }
@@ -279,6 +290,7 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
     let gate = config.gate.clone().unwrap_or_default();
     let waker = Arc::new(Waker::new()?);
     let conn_count = Arc::new(AtomicUsize::new(0));
+    let intro = IntroCtx::new(&config, Arc::clone(&conn_count));
     let workers = config.workers.max(1);
 
     // One leaked cancellation flag per worker (bounded: workers × server
@@ -304,13 +316,14 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
         let gate = Arc::clone(&gate);
         let waker = Arc::clone(&waker);
         let inflight = Arc::clone(&inflight);
+        let intro = Arc::clone(&intro);
         let config = config.clone();
         worker_threads.push(
             std::thread::Builder::new()
                 .name(format!("wfc-svc-worker-{idx}"))
                 .spawn(move || {
                     worker_loop(
-                        idx, &queue, &cache, &gate, &waker, &inflight, cancel, &config,
+                        idx, &queue, &cache, &gate, &waker, &inflight, &intro, cancel, &config,
                     )
                 })?,
         );
@@ -348,10 +361,21 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
         let queue = Arc::clone(&queue);
         let waker = Arc::clone(&waker);
         let conn_count = Arc::clone(&conn_count);
+        let intro = Arc::clone(&intro);
         let config = config.clone();
         std::thread::Builder::new()
             .name("wfc-svc-io".to_owned())
-            .spawn(move || io_loop(&listener, &shutdown, &queue, &waker, &conn_count, &config))?
+            .spawn(move || {
+                io_loop(
+                    &listener,
+                    &shutdown,
+                    &queue,
+                    &waker,
+                    &conn_count,
+                    &intro,
+                    &config,
+                )
+            })?
     };
 
     let thread_count = 1 + workers + usize::from(reaper_thread.is_some());
@@ -399,6 +423,7 @@ fn io_loop(
     queue: &JobQueue,
     waker: &Waker,
     conn_count: &AtomicUsize,
+    intro: &Arc<IntroCtx>,
     config: &ServeConfig,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
@@ -408,6 +433,7 @@ fn io_loop(
     let mut interests = Vec::new();
     let mut ready: Vec<Readiness> = Vec::new();
     let mut read_buf = vec![0u8; 64 * 1024];
+    let mut completed_traces: Vec<RequestTrace> = Vec::new();
 
     while !shutdown.load(Ordering::SeqCst) {
         let now = Instant::now();
@@ -494,7 +520,7 @@ fn io_loop(
                 continue;
             }
             if readiness.readable {
-                read_connection(conn, &mut read_buf, &mut batcher, queue);
+                read_connection(conn, &mut read_buf, &mut batcher, queue, intro);
             }
         }
 
@@ -511,7 +537,7 @@ fn io_loop(
             let readiness = ready.get(i + 2).copied().unwrap_or_default();
             let pending = conn.shared.has_output();
             if pending && (!conn.write_blocked || readiness.writable) {
-                match conn.shared.flush(&mut conn.stream) {
+                match conn.shared.flush(&mut conn.stream, &mut completed_traces) {
                     Ok(flushed_all) => {
                         conn.write_blocked = !flushed_all;
                         if flushed_all && conn.closing {
@@ -524,9 +550,15 @@ fn io_loop(
                 conn.dead = true;
             }
         }
+        for trace in completed_traces.drain(..) {
+            intro.finalize(&trace);
+        }
 
         conns.retain(|conn| {
             if conn.dead {
+                for trace in conn.shared.take_pending_traces() {
+                    intro.finalize_dropped(trace);
+                }
                 conn.shared.set_closed();
                 conn_count.fetch_sub(1, Ordering::SeqCst);
                 wfc_obs::counter!("service.connections.closed");
@@ -539,6 +571,9 @@ fn io_loop(
     // then drop every socket (peers see EOF).
     batcher.flush_all(queue);
     for conn in &conns {
+        for trace in conn.shared.take_pending_traces() {
+            intro.finalize_dropped(trace);
+        }
         conn.shared.set_closed();
     }
     conn_count.store(0, Ordering::SeqCst);
@@ -564,7 +599,16 @@ fn reject_connection(stream: TcpStream, open: usize, limit: usize) {
 
 /// Reads until the socket is drained (or the fairness cap), feeding
 /// bytes through the frame assembler into the batcher.
-fn read_connection(conn: &mut Conn, read_buf: &mut [u8], batcher: &mut Batcher, queue: &JobQueue) {
+fn read_connection(
+    conn: &mut Conn,
+    read_buf: &mut [u8],
+    batcher: &mut Batcher,
+    queue: &JobQueue,
+    intro: &Arc<IntroCtx>,
+) {
+    // The trace origin for every frame completed by this read pass:
+    // the closest observable moment to the request's bytes arriving.
+    let accepted = Instant::now();
     let mut total = 0usize;
     loop {
         match conn.stream.read(read_buf) {
@@ -575,7 +619,7 @@ fn read_connection(conn: &mut Conn, read_buf: &mut [u8], batcher: &mut Batcher, 
             Ok(n) => {
                 conn.inbuf.extend_from_slice(&read_buf[..n]);
                 total += n;
-                decode_frames(conn, batcher, queue);
+                decode_frames(conn, batcher, queue, intro, accepted);
                 if conn.closing || conn.dead {
                     return;
                 }
@@ -597,10 +641,16 @@ fn read_connection(conn: &mut Conn, read_buf: &mut [u8], batcher: &mut Batcher, 
 /// submits it. A framing violation answers `bad-request` and flags the
 /// connection for flush-then-close — the byte stream is untrustworthy
 /// past that point.
-fn decode_frames(conn: &mut Conn, batcher: &mut Batcher, queue: &JobQueue) {
+fn decode_frames(
+    conn: &mut Conn,
+    batcher: &mut Batcher,
+    queue: &JobQueue,
+    intro: &Arc<IntroCtx>,
+    accepted: Instant,
+) {
     loop {
         match conn.inbuf.next_frame() {
-            Ok(Some(doc)) => handle_request(&doc, &conn.shared, batcher, queue),
+            Ok(Some(doc)) => handle_request(&doc, &conn.shared, batcher, queue, intro, accepted),
             Ok(None) => return,
             Err(e) => {
                 conn.shared
@@ -624,7 +674,14 @@ fn bad_request(id: u64, message: &str) -> Response {
     }
 }
 
-fn handle_request(doc: &Json, conn: &Arc<ConnShared>, batcher: &mut Batcher, queue: &JobQueue) {
+fn handle_request(
+    doc: &Json,
+    conn: &Arc<ConnShared>,
+    batcher: &mut Batcher,
+    queue: &JobQueue,
+    intro: &Arc<IntroCtx>,
+    accepted: Instant,
+) {
     let request = match Request::from_json(doc) {
         Ok(request) => request,
         Err(e) => {
@@ -635,25 +692,72 @@ fn handle_request(doc: &Json, conn: &Arc<ConnShared>, batcher: &mut Batcher, que
         }
     };
     wfc_obs::counter!("service.requests");
+    intro.note_request();
     let id = request.id;
-    match batcher.submit(request, conn, queue, Instant::now()) {
+    let mut trace = intro.trace(id, request.kind, accepted);
+    if let Some(t) = &mut trace {
+        t.stamp(Stage::Decoded);
+    }
+
+    // `stats` is answered right here on the IO thread — structurally
+    // exempt from caching, coalescing, batching, and the job queue, so
+    // introspection works even when every worker is wedged and the
+    // queue is refusing real work.
+    if request.kind == QueryKind::Stats {
+        if let Some(t) = &mut trace {
+            t.stamp(Stage::EngineStart);
+        }
+        let result = intro.build_stats(queue, batcher.open_len());
+        if let Some(t) = &mut trace {
+            t.stamp(Stage::EngineDone);
+            t.disposition = Disposition::Inline;
+            t.outcome = TraceOutcome::Ok;
+        }
+        wfc_obs::counter!("service.responses.ok");
+        let response = Response::Ok {
+            id,
+            cached: false,
+            result,
+        };
+        enqueue_traced(conn, intro, &response.to_json(), trace);
+        return;
+    }
+
+    match batcher.submit(request, conn, queue, Instant::now(), &mut trace) {
         Submit::Coalesced => {
             wfc_obs::counter!("service.batch.coalesced");
         }
-        Submit::Accepted => {
-            wfc_obs::gauge_max!("service.queue.depth", (queue.depth() + 1) as i64);
-        }
+        Submit::Accepted => {}
         Submit::Rejected { used } => {
             wfc_obs::counter!("service.responses.busy");
-            conn.enqueue_json(
-                &Response::Busy {
-                    id,
-                    used: used as u64,
-                    budget: queue.capacity() as u64,
-                }
-                .to_json(),
-            );
+            if let Some(t) = &mut trace {
+                t.outcome = TraceOutcome::Busy;
+            }
+            let busy = Response::Busy {
+                id,
+                used: used as u64,
+                budget: queue.capacity() as u64,
+            };
+            enqueue_traced(conn, intro, &busy.to_json(), trace);
         }
+    }
+}
+
+/// Queues a response with its trace riding on the flush watermark; a
+/// response that cannot be queued finalizes its trace as dropped.
+fn enqueue_traced(
+    conn: &Arc<ConnShared>,
+    intro: &Arc<IntroCtx>,
+    doc: &Json,
+    trace: Option<Box<RequestTrace>>,
+) {
+    match trace {
+        Some(trace) => {
+            if let Some(returned) = conn.enqueue_json_traced(doc, trace) {
+                intro.finalize_dropped(*returned);
+            }
+        }
+        None => conn.enqueue_json(doc),
     }
 }
 
@@ -665,12 +769,15 @@ fn worker_loop(
     gate: &WorkerGate,
     waker: &Waker,
     inflight: &[InFlight],
+    intro: &Arc<IntroCtx>,
     cancel: &'static AtomicBool,
     config: &ServeConfig,
 ) {
     while let Some(batch) = queue.pop() {
         for entry in batch {
-            compute_entry(&entry, idx, cache, gate, waker, inflight, cancel, config);
+            compute_entry(
+                &entry, idx, cache, gate, waker, inflight, intro, cancel, config,
+            );
         }
     }
 }
@@ -687,14 +794,23 @@ fn compute_entry(
     gate: &WorkerGate,
     waker: &Waker,
     inflight: &[InFlight],
+    intro: &Arc<IntroCtx>,
     cancel: &'static AtomicBool,
     config: &ServeConfig,
 ) {
-    let respondents = entry.begin();
+    let mut respondents = entry.begin();
     if respondents.is_empty() {
         return;
     }
+    let _flight = intro.enter_flight();
     let started = Instant::now();
+    for respondent in &mut respondents {
+        if let Some(trace) = &mut respondent.trace {
+            // Before the gate, matching the deadline: time a test
+            // spends holding the worker counts as engine time.
+            trace.stamp(Stage::EngineStart);
+        }
+    }
     cancel.store(false, Ordering::SeqCst);
     // Arm the deadline — and the in-engine wall clock — before
     // passing the gate, so time a test spends holding the worker
@@ -738,7 +854,8 @@ fn compute_entry(
     *inflight[idx].deadline.lock().unwrap() = None;
 
     let obs = wfc_obs::enabled();
-    for (i, respondent) in respondents.iter().enumerate() {
+    let deadline_exceeded = matches!(&outcome, Err(e) if e.code() == "deadline-exceeded");
+    for (i, mut respondent) in respondents.into_iter().enumerate() {
         let response = match &outcome {
             Ok((value, cached)) => Response::Ok {
                 id: respondent.id,
@@ -757,8 +874,33 @@ fn compute_entry(
                 .histogram(&format!("service.latency_us.{}", entry.kind))
                 .record(started.elapsed().as_micros() as u64);
         }
-        if !respondent.conn.is_closed() {
-            respondent.conn.enqueue_json(&response.to_json());
+        if let Some(trace) = &mut respondent.trace {
+            trace.stamp(Stage::EngineDone);
+            trace.disposition = match &outcome {
+                _ if i > 0 => Disposition::Coalesced,
+                Ok((_, cached)) if *cached => Disposition::CacheHit,
+                _ => Disposition::Fresh,
+            };
+            trace.outcome = match &response {
+                Response::Ok { .. } => TraceOutcome::Ok,
+                _ => TraceOutcome::Error,
+            };
+            trace.deadline_exceeded = deadline_exceeded;
+        }
+        if respondent.conn.is_closed() {
+            if let Some(trace) = respondent.trace.take() {
+                intro.finalize_dropped(*trace);
+            }
+        } else {
+            let doc = response.to_json();
+            match respondent.trace.take() {
+                Some(trace) => {
+                    if let Some(returned) = respondent.conn.enqueue_json_traced(&doc, trace) {
+                        intro.finalize_dropped(*returned);
+                    }
+                }
+                None => respondent.conn.enqueue_json(&doc),
+            }
         }
     }
     waker.wake();

@@ -225,17 +225,24 @@ pub enum QueryKind {
     /// the `wfc-sched` model checker. The request's `type` field carries
     /// a sched spec line (`<target> [key=value…]`), not a type.
     Sched,
+    /// Live server introspection: a `wfc-stats/v1` snapshot of registry
+    /// metrics, per-stage latency histograms, connection/worker/batch
+    /// state and the flight-recorder tail. Answered inline on the IO
+    /// thread — never cached, batched, or coalesced; the `type` field
+    /// is ignored.
+    Stats,
 }
 
 impl QueryKind {
     /// Every query kind, in a fixed order (for tests and smoke scripts).
-    pub const ALL: [QueryKind; 6] = [
+    pub const ALL: [QueryKind; 7] = [
         QueryKind::Classify,
         QueryKind::Witness,
         QueryKind::AccessBounds,
         QueryKind::Theorem5,
         QueryKind::VerifyConsensus,
         QueryKind::Sched,
+        QueryKind::Stats,
     ];
 
     /// The wire name of this kind.
@@ -247,6 +254,7 @@ impl QueryKind {
             QueryKind::Theorem5 => "theorem5",
             QueryKind::VerifyConsensus => "verify-consensus",
             QueryKind::Sched => "sched",
+            QueryKind::Stats => "stats",
         }
     }
 

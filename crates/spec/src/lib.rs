@@ -24,6 +24,9 @@
 //! * [`control`] — the workspace-wide control plane: budgets, wall-clock
 //!   deadlines, cancellation tokens and progress snapshots, polled by
 //!   every long-running engine at its sync points.
+//! * [`stage`] — the request-lifecycle stage vocabulary (pipeline stamp
+//!   points and the telescoping latency intervals between them) shared
+//!   by the serving layer's tracing and its introspection surface.
 //!
 //! ## Example: classify a type and extract a witness
 //!
@@ -50,6 +53,7 @@ pub mod hash;
 mod history;
 mod ids;
 pub mod prng;
+pub mod stage;
 pub mod text;
 pub mod triviality;
 mod types;

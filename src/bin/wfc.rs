@@ -16,6 +16,10 @@
 //! wfc loadgen --addr HOST:PORT [flags]
 //!                                 drive a server with open/closed-loop
 //!                                 traffic and report latency percentiles
+//! wfc stats --addr HOST:PORT [--json]
+//!                                 one-shot live-introspection snapshot
+//! wfc top --addr HOST:PORT [flags]
+//!                                 live refreshing view of a server
 //! ```
 //!
 //! Type files use the `wfc-spec::text` format; see `wfc zoo` for
@@ -31,6 +35,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use wait_free_consensus::prelude::*;
+use wfc_obs::json::Json;
 use wfc_service::{Client, QueryKind, QueryOptions, Response, ServeConfig, PROTO};
 use wfc_spec::control::{CancelToken, Wall};
 use wfc_spec::text::{format_type, parse_type};
@@ -38,7 +43,7 @@ use wfc_spec::FiniteType;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | regular | broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n            [--batch-size N] [--batch-delay-us N] [--batch-adaptive on|off]\n            [--max-connections N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)\n  wfc loadgen --addr HOST:PORT [--connections N] [--pipeline N]\n              [--duration-ms N] [--rate N] [--mode closed|open|both]\n              [--out FILE]\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
+        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | regular | broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n            [--batch-size N] [--batch-delay-us N] [--batch-adaptive on|off]\n            [--max-connections N] [--flight-capacity N]\n            [--anomaly-threshold-ms N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)\n  wfc loadgen --addr HOST:PORT [--connections N] [--pipeline N]\n              [--duration-ms N] [--rate N] [--mode closed|open|both]\n              [--out FILE]\n  wfc stats --addr HOST:PORT [--json]\n  wfc top --addr HOST:PORT [--interval-ms N] [--iterations N]\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
     );
     ExitCode::from(2)
 }
@@ -376,6 +381,11 @@ fn cmd_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
             },
         },
         max_connections: flags.get_usize("--max-connections", defaults.max_connections)?,
+        flight_capacity: flags.get_usize("--flight-capacity", defaults.flight_capacity)?,
+        anomaly_threshold: match flags.get_usize("--anomaly-threshold-ms", 0)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms as u64)),
+        },
         ..defaults
     };
     let handle = wfc_service::serve(config)?;
@@ -431,6 +441,193 @@ fn cmd_loadgen(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     let completed: u64 = reports.iter().map(|r| r.ok).sum();
     if completed == 0 {
         return Err("loadgen completed zero successful requests".into());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Fetches and validates one `wfc-stats/v1` snapshot from a server.
+fn fetch_stats(client: &mut Client) -> Result<Json, Box<dyn Error>> {
+    match client.query(QueryKind::Stats, "", &QueryOptions::default())? {
+        Response::Ok { result, .. } => {
+            wfc_service::validate_stats_json(&result)
+                .map_err(|e| format!("malformed stats snapshot: {e}"))?;
+            Ok(result)
+        }
+        other => Err(format!("unexpected stats reply: {other:?}").into()),
+    }
+}
+
+/// Renders a `wfc-stats/v1` snapshot as the human-readable view shared
+/// by `wfc stats` (one shot) and `wfc top` (refreshing).
+fn render_stats(doc: &Json) -> String {
+    use std::fmt::Write as _;
+    fn u(doc: &Json, key: &str) -> u64 {
+        doc.get(key).and_then(Json::as_u64).unwrap_or(0)
+    }
+    let mut out = String::new();
+    let null = Json::Null;
+    let server = doc.get("server").unwrap_or(&null);
+    let obs_on = matches!(server.get("obs_enabled"), Some(Json::Bool(true)));
+    let _ = writeln!(
+        out,
+        "uptime {:.1}s   observability {}",
+        u(doc, "uptime_us") as f64 / 1e6,
+        if obs_on {
+            "on"
+        } else {
+            "off (run the server with WFC_OBS=1 for stage data)"
+        },
+    );
+    let _ = writeln!(
+        out,
+        "workers {}   conns {}/{}   queue {}/{}   batch-open {}   inflight {}   accepted {}",
+        u(server, "workers"),
+        u(server, "connections"),
+        u(server, "max_connections"),
+        u(server, "queue_depth"),
+        u(server, "queue_capacity"),
+        u(server, "batch_open_entries"),
+        u(server, "inflight"),
+        u(server, "requests_accepted"),
+    );
+    if let Some(stages) = doc.get("stages").and_then(Json::as_obj) {
+        if !stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "stage", "count", "mean_us", "p50_us", "p95_us", "p99_us"
+            );
+            for (name, hist) in stages {
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    u(hist, "count"),
+                    u(hist, "mean"),
+                    u(hist, "p50"),
+                    u(hist, "p95"),
+                    u(hist, "p99"),
+                );
+            }
+        }
+    }
+    if let Some(counters) = doc.get("counters").and_then(Json::as_obj) {
+        let mut service: Vec<&(String, Json)> = counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("service."))
+            .collect();
+        service.sort_by(|a, b| a.0.cmp(&b.0));
+        if !service.is_empty() {
+            let _ = writeln!(out);
+            for (name, value) in service {
+                let _ = writeln!(out, "{:<36} {}", name, value.render());
+            }
+        }
+    }
+    if let Some(flight) = doc.get("flight") {
+        let records = flight.get("records").and_then(Json::as_arr).unwrap_or(&[]);
+        let _ = writeln!(
+            out,
+            "\nflight recorder: {} recorded (ring capacity {}), last {}:",
+            u(flight, "recorded"),
+            u(flight, "capacity"),
+            records.len(),
+        );
+        for record in records.iter().rev().take(8) {
+            let anomalies: Vec<&str> = record
+                .get("anomaly")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(Json::as_str)
+                .collect();
+            let _ = writeln!(
+                out,
+                "  #{:<8} {:<14} {:<9} {:<6} {:>8}us{}{}",
+                u(record, "id"),
+                record.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                record
+                    .get("disposition")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?"),
+                record.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+                u(record, "total_us"),
+                if anomalies.is_empty() { "" } else { "  ! " },
+                anomalies.join(","),
+            );
+        }
+    }
+    out
+}
+
+/// `stats`: one snapshot from a running server, human-readable by
+/// default, raw validated JSON with `--json`.
+fn cmd_stats(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    // `--json` is the one valueless switch in the CLI; peel it off
+    // before the uniform `--flag value` parser sees the rest.
+    let mut rest: Vec<String> = rest.to_vec();
+    let json = match rest.iter().position(|a| a == "--json") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    let flags = Flags::parse(&rest)?;
+    let addr = flags
+        .get("--addr")
+        .ok_or("`wfc stats` needs --addr HOST:PORT")?;
+    let mut client = Client::connect_retry(addr, Duration::from_secs(10))
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let doc = fetch_stats(&mut client)?;
+    if json {
+        println!("{}", doc.render());
+    } else {
+        print!("{}", render_stats(&doc));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `top`: refresh the `wfc stats` view in place until interrupted (or
+/// for `--iterations N` rounds, which is what CI uses).
+fn cmd_top(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let flags = Flags::parse(rest)?;
+    let addr = flags
+        .get("--addr")
+        .ok_or("`wfc top` needs --addr HOST:PORT")?;
+    let interval = Duration::from_millis(flags.get_usize("--interval-ms", 1000)? as u64);
+    let iterations = flags.get_usize("--iterations", 0)?; // 0 = until ^C
+    let mut client = Client::connect_retry(addr, Duration::from_secs(10))
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    sig::install();
+    let mut round = 0usize;
+    while !sig::stopped() {
+        let doc = fetch_stats(&mut client)?;
+        // ANSI clear-screen + home; a plain separator when piped would
+        // be nicer, but std has no isatty, and `top` is interactive.
+        let frame = format!(
+            "\x1b[2J\x1b[Hwfc top — {addr}   (^C to quit)\n\n{}",
+            render_stats(&doc)
+        );
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        if stdout
+            .write_all(frame.as_bytes())
+            .and_then(|()| stdout.flush())
+            .is_err()
+        {
+            break; // stdout closed (e.g. piped to a finished reader)
+        }
+        round += 1;
+        if iterations != 0 && round >= iterations {
+            break;
+        }
+        let mut waited = Duration::ZERO;
+        while waited < interval && !sig::stopped() {
+            let step = Duration::from_millis(50).min(interval - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -547,6 +744,8 @@ fn main() -> ExitCode {
         [cmd, rest @ ..] if cmd == "sched" => cmd_sched(rest),
         [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest).map(|()| ExitCode::SUCCESS),
         [cmd, rest @ ..] if cmd == "loadgen" => cmd_loadgen(rest),
+        [cmd, rest @ ..] if cmd == "stats" => cmd_stats(rest),
+        [cmd, rest @ ..] if cmd == "top" => cmd_top(rest),
         [cmd, kind, path, rest @ ..] if cmd == "query" => cmd_query(kind, path, rest),
         _ => return usage(),
     };

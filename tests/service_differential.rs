@@ -42,10 +42,11 @@ fn served_results_are_byte_identical_to_direct_calls() {
         .unwrap();
         let mut client = Client::connect(handle.addr()).unwrap();
         // `sched` takes a fixture spec, not a type text; it gets its own
-        // differential test below.
+        // differential test below. `stats` is live introspection with no
+        // direct-call counterpart; `tests/service_stats.rs` covers it.
         for kind in QueryKind::ALL
             .into_iter()
-            .filter(|k| *k != QueryKind::Sched)
+            .filter(|k| !matches!(k, QueryKind::Sched | QueryKind::Stats))
         {
             let direct = wfc_service::run_query_text(kind, &tas, &options)
                 .unwrap_or_else(|e| panic!("direct {kind} failed: {e}"))
