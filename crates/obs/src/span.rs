@@ -175,7 +175,16 @@ mod tests {
             }
         });
         // Worker thread-locals flushed at thread exit; nothing buffered
-        // on the main thread yet.
+        // on the main thread yet. The flush runs in a thread-local
+        // destructor, which the platform may complete *after* the scope
+        // join observes thread exit — wait for all 12 records to land.
+        for _ in 0..1000 {
+            let landed = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()).len();
+            if landed >= 12 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
         let stats = drain();
         assert_eq!(stats.len(), 3, "{stats:?}");
         for (i, st) in stats.iter().enumerate() {

@@ -1,0 +1,100 @@
+//! Crash-durable file writes: the one helper every persistence path in
+//! the workspace routes through.
+//!
+//! A temp-file + `rename` is only "atomic" against *readers*; against
+//! power loss it guarantees nothing unless the file's bytes are synced
+//! before the rename and the directory entry is synced after it. A
+//! crash between `rename` and the directory fsync can resurface the
+//! old name — or, worse on some filesystems, the new name pointing at
+//! a zero-length inode. [`write_durably`] closes both windows:
+//!
+//! 1. write the contents to a process/thread-unique temp file,
+//! 2. `sync_all` the temp file (data + metadata reach the disk),
+//! 3. `rename` over the destination,
+//! 4. `sync_all` the containing directory (the rename itself is
+//!    durable).
+//!
+//! On non-Unix targets directories cannot be opened for sync; step 4
+//! degrades to best-effort there, which matches what the platform can
+//! express.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Durably replaces `path` (inside `dir`) with `contents` plus a
+/// trailing newline. See the module docs for the exact fsync protocol.
+///
+/// # Errors
+///
+/// Any I/O failure creating, writing, syncing, or renaming the file.
+pub fn write_durably(dir: &Path, path: &Path, contents: &str) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(contents.len() + 1);
+    bytes.extend_from_slice(contents.as_bytes());
+    bytes.push(b'\n');
+    write_durably_bytes(dir, path, &bytes)
+}
+
+/// [`write_durably`] for raw bytes (no trailing newline appended) —
+/// the WAL's compaction rewrite goes through this.
+///
+/// # Errors
+///
+/// Any I/O failure creating, writing, syncing, or renaming the file.
+pub fn write_durably_bytes(dir: &Path, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(format!(
+        ".tmp-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_dir(dir)
+}
+
+/// Fsyncs a directory so a just-renamed entry survives a crash. On
+/// platforms where a directory cannot be opened as a file this is a
+/// no-op — the strongest guarantee the platform offers.
+///
+/// # Errors
+///
+/// The directory's `sync_all` failure (Unix only).
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_durably_replaces_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("wfc-repl-durable-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.json");
+        write_durably(&dir, &path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first\n");
+        write_durably(&dir, &path, "second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second\n");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not accumulate");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

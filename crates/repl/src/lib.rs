@@ -1,0 +1,41 @@
+//! `wfc-repl` — state-machine replication for the analysis result
+//! store.
+//!
+//! The paper's service layer (`wfc serve`) memoises consensus analyses
+//! in a cache; this crate keeps N such nodes *agreed* on that cache's
+//! contents and makes the agreement survive crashes. It is the
+//! distributed-systems dogfood of the paper's own subject matter: the
+//! cluster solves a (crash-stop, majority-quorum) agreement problem so
+//! that a query answered by any node warms every node.
+//!
+//! Four pieces, each its own module:
+//!
+//! - [`durable`] — the fsync-correct temp-file/rename write helper
+//!   (file synced before the rename, directory synced after) that every
+//!   persistence path here *and* the service's disk cache tier uses.
+//! - [`wal`] — the append-only write-ahead log: CRC-framed JSON
+//!   records, fsynced per append, trailing corruption truncated on
+//!   replay.
+//! - [`msg`] — the `wfc-repl/v1` frames (entry, hello/propose/append/
+//!   ack/commit/status) and the status-frame validator.
+//! - [`node`] — the static-sequencer majority-commit state machine,
+//!   pure of IO except its own WAL: inputs are frames, outputs are
+//!   [`node::Effect`]s, which is what makes it checkable.
+//! - [`check`] — exhaustive minority-crash enumeration at N = 3 over
+//!   real on-disk state, asserting agreement, validity, durability.
+//!
+//! The scheduler-level proof obligations (agreement and validity under
+//! adversarial interleaving of proposers) live as fixtures in
+//! `wfc-sched`; this crate's checker covers the crash axis the
+//! scheduler cannot: what the disk holds when the process dies.
+
+pub mod check;
+pub mod durable;
+pub mod msg;
+pub mod node;
+pub mod wal;
+
+pub use check::{check_crash_tolerance, CrashReport};
+pub use msg::Entry;
+pub use node::{Effect, Node, NodeConfig, NodeId, Recovery};
+pub use wfc_spec::repl::{PROTO, SNAPSHOT_SCHEMA};

@@ -1,0 +1,295 @@
+//! `wfc-repl/v1` message shapes: the replicated [`Entry`], the peer
+//! protocol frames, and the status-frame validator `report --check`
+//! dispatches to.
+//!
+//! Every frame is a JSON object with `proto: "wfc-repl/v1"` and a
+//! `type` drawn from [`wfc_spec::repl::msg`]. Frames travel over the
+//! same length-prefixed framing as `wfc-svc/v1` (the service frontend
+//! routes them off the shared listener by the `proto` field), so the
+//! replication layer needs no port, no second listener, and no second
+//! poll loop of its own.
+
+use wfc_obs::json::Json;
+use wfc_spec::hash::Hash128;
+use wfc_spec::repl::{msg, PROTO};
+
+/// One replicated unit: a result-cache insert. `key` is the 128-bit
+/// cache key in hex; `result` is the full result document, so a replica
+/// can apply the insert byte-identically without recomputing anything.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Cache key (32 hex digits).
+    pub key: String,
+    /// Query kind slug (`classify`, `sched`, …).
+    pub kind: String,
+    /// The type (or sched target) name, for the disk tier's metadata.
+    pub type_name: String,
+    /// The cached result document.
+    pub result: Json,
+}
+
+impl Entry {
+    /// Renders the entry as its wire/WAL object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("key", Json::Str(self.key.clone())),
+            ("kind", Json::Str(self.kind.clone())),
+            ("type", Json::Str(self.type_name.clone())),
+            ("result", self.result.clone()),
+        ])
+    }
+
+    /// Parses an entry object, validating the key's shape.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or malformed field.
+    pub fn from_json(doc: &Json) -> Result<Entry, String> {
+        let key = doc
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or("entry: missing string `key`")?;
+        if Hash128::from_hex(key).is_none() {
+            return Err(format!("entry: `key` is not a 128-bit hex hash: `{key}`"));
+        }
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("entry: missing string `kind`")?;
+        let type_name = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("entry: missing string `type`")?;
+        let result = doc
+            .get("result")
+            .cloned()
+            .ok_or("entry: missing `result`")?;
+        Ok(Entry {
+            key: key.to_owned(),
+            kind: kind.to_owned(),
+            type_name: type_name.to_owned(),
+            result,
+        })
+    }
+}
+
+fn base(ty: &str) -> Vec<(&'static str, Json)> {
+    vec![
+        ("proto", Json::Str(PROTO.to_owned())),
+        ("type", Json::Str(ty.to_owned())),
+    ]
+}
+
+/// `hello {from, last_index}` — sent on every fresh outbound link.
+pub fn hello(from: u64, last_index: u64) -> Json {
+    let mut fields = base(msg::HELLO);
+    fields.push(("from", Json::U64(from)));
+    fields.push(("last_index", Json::U64(last_index)));
+    Json::obj(fields)
+}
+
+/// `propose {from, entry}` — a follower asking the sequencer to order.
+pub fn propose(from: u64, entry: &Entry) -> Json {
+    let mut fields = base(msg::PROPOSE);
+    fields.push(("from", Json::U64(from)));
+    fields.push(("entry", entry.to_json()));
+    Json::obj(fields)
+}
+
+/// `append {index, entry}` — the sequencer replicating an ordered entry.
+pub fn append(index: u64, entry: &Entry) -> Json {
+    let mut fields = base(msg::APPEND);
+    fields.push(("index", Json::U64(index)));
+    fields.push(("entry", entry.to_json()));
+    Json::obj(fields)
+}
+
+/// `ack {from, index}` — a follower confirming a durable append.
+pub fn ack(from: u64, index: u64) -> Json {
+    let mut fields = base(msg::ACK);
+    fields.push(("from", Json::U64(from)));
+    fields.push(("index", Json::U64(index)));
+    Json::obj(fields)
+}
+
+/// `commit {index, entry}` — majority reached; the entry rides along so
+/// a replica that missed the append can still apply it.
+pub fn commit(index: u64, entry: &Entry) -> Json {
+    let mut fields = base(msg::COMMIT);
+    fields.push(("index", Json::U64(index)));
+    fields.push(("entry", entry.to_json()));
+    Json::obj(fields)
+}
+
+/// `status {id}` — a client asking a node for its replication status.
+pub fn status_request(id: u64) -> Json {
+    let mut fields = base(msg::STATUS);
+    fields.push(("id", Json::U64(id)));
+    Json::obj(fields)
+}
+
+/// Whether `doc` is a `wfc-repl/v1` frame at all (the frontend's
+/// routing test).
+pub fn is_repl_frame(doc: &Json) -> bool {
+    doc.get("proto").and_then(Json::as_str) == Some(PROTO)
+}
+
+/// The frame's `type` slug, if present.
+pub fn frame_type(doc: &Json) -> Option<&str> {
+    doc.get("type").and_then(Json::as_str)
+}
+
+/// Validates a `status-reply` frame — the shape `wfc cluster-status`
+/// prints and `report --check` verifies for captured cluster-smoke
+/// artifacts.
+///
+/// # Errors
+///
+/// A description of the first structural violation found.
+pub fn validate_status_json(doc: &Json) -> Result<(), String> {
+    if !is_repl_frame(doc) {
+        return Err(format!("proto must be `{PROTO}`"));
+    }
+    match frame_type(doc) {
+        Some(t) if t == msg::STATUS_REPLY => {}
+        other => {
+            return Err(format!(
+                "type must be `{}`, got {other:?}",
+                msg::STATUS_REPLY
+            ))
+        }
+    }
+    doc.get("id")
+        .and_then(Json::as_u64)
+        .ok_or("status-reply: missing u64 `id`")?;
+    let enabled = match doc.get("enabled") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("status-reply: missing bool `enabled`".to_owned()),
+    };
+    if !enabled {
+        return Ok(()); // a non-clustered node reports only that much
+    }
+    for key in [
+        "node_id",
+        "sequencer",
+        "last_index",
+        "committed",
+        "applied",
+        "wal_records",
+    ] {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("status-reply: missing u64 `{key}`"))?;
+    }
+    let members = doc
+        .get("members")
+        .and_then(Json::as_arr)
+        .ok_or("status-reply: missing `members` array")?;
+    if members.is_empty() {
+        return Err("status-reply: `members` must not be empty".to_owned());
+    }
+    let mut ids = Vec::new();
+    for m in members {
+        ids.push(m.as_u64().ok_or("status-reply: members must be u64 ids")?);
+    }
+    let node_id = doc.get("node_id").and_then(Json::as_u64).unwrap_or(0);
+    if !ids.contains(&node_id) {
+        return Err("status-reply: `members` must include `node_id`".to_owned());
+    }
+    let sequencer = doc.get("sequencer").and_then(Json::as_u64).unwrap_or(0);
+    if ids.iter().min() != Some(&sequencer) {
+        return Err("status-reply: `sequencer` must be the lowest member id".to_owned());
+    }
+    let committed = doc.get("committed").and_then(Json::as_u64).unwrap_or(0);
+    let applied = doc.get("applied").and_then(Json::as_u64).unwrap_or(0);
+    if applied > committed {
+        return Err(format!(
+            "status-reply: applied ({applied}) exceeds committed ({committed})"
+        ));
+    }
+    match doc.get("peers_connected") {
+        Some(v) if v.as_u64().is_some() => Ok(()),
+        _ => Err("status-reply: missing u64 `peers_connected`".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Entry {
+        Entry {
+            key: format!("{:032x}", 0xabcdu128),
+            kind: "classify".to_owned(),
+            type_name: "test_and_set".to_owned(),
+            result: Json::obj(vec![("case", Json::U64(2))]),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let e = entry();
+        let parsed = Entry::from_json(&e.to_json()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn entry_rejects_bad_keys() {
+        let mut doc = entry().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str("not-hex".to_owned());
+        }
+        assert!(Entry::from_json(&doc).unwrap_err().contains("hex"));
+    }
+
+    #[test]
+    fn frames_carry_proto_and_type() {
+        let e = entry();
+        for (doc, ty) in [
+            (hello(3, 7), msg::HELLO),
+            (propose(2, &e), msg::PROPOSE),
+            (append(4, &e), msg::APPEND),
+            (ack(1, 4), msg::ACK),
+            (commit(4, &e), msg::COMMIT),
+            (status_request(9), msg::STATUS),
+        ] {
+            assert!(is_repl_frame(&doc));
+            assert_eq!(frame_type(&doc), Some(ty));
+        }
+    }
+
+    #[test]
+    fn status_validator_accepts_good_and_rejects_bad() {
+        let good = Json::obj(vec![
+            ("proto", Json::Str(PROTO.to_owned())),
+            ("type", Json::Str(msg::STATUS_REPLY.to_owned())),
+            ("id", Json::U64(1)),
+            ("enabled", Json::Bool(true)),
+            ("node_id", Json::U64(2)),
+            ("sequencer", Json::U64(1)),
+            (
+                "members",
+                Json::Arr(vec![Json::U64(1), Json::U64(2), Json::U64(3)]),
+            ),
+            ("last_index", Json::U64(5)),
+            ("committed", Json::U64(5)),
+            ("applied", Json::U64(5)),
+            ("wal_records", Json::U64(10)),
+            ("peers_connected", Json::U64(2)),
+        ]);
+        validate_status_json(&good).unwrap();
+        let disabled = Json::obj(vec![
+            ("proto", Json::Str(PROTO.to_owned())),
+            ("type", Json::Str(msg::STATUS_REPLY.to_owned())),
+            ("id", Json::U64(1)),
+            ("enabled", Json::Bool(false)),
+        ]);
+        validate_status_json(&disabled).unwrap();
+        let mut wrong_seq = good.clone();
+        if let Json::Obj(fields) = &mut wrong_seq {
+            fields.iter_mut().find(|(k, _)| k == "sequencer").unwrap().1 = Json::U64(2);
+        }
+        assert!(validate_status_json(&wrong_seq).is_err());
+        assert!(validate_status_json(&Json::Null).is_err());
+    }
+}

@@ -1,0 +1,831 @@
+//! The replication state machine: a static-sequencer, majority-quorum
+//! replicated log over the [`crate::msg`] frames, with write-ahead
+//! durability and snapshot/compaction.
+//!
+//! ## The commit rule
+//!
+//! Membership is static and known to every node; the **sequencer** is
+//! the member with the lowest id. Any node may propose an entry; a
+//! follower forwards the proposal to the sequencer. The sequencer
+//! assigns the next log index, appends the entry to its own WAL
+//! (fsynced), and replicates `append {index, entry}` to every peer.
+//! A follower appends to its WAL, then answers `ack {index}`. When the
+//! sequencer holds acks from a **majority** of members (its own durable
+//! append included), it writes a `commit` record, applies the entry,
+//! and broadcasts `commit {index, entry}`; followers write their own
+//! commit record and apply.
+//!
+//! *Agreement* — no two nodes apply different entries at the same
+//! index — holds because exactly one process assigns indices and every
+//! `append`/`commit` for an index carries that one assignment;
+//! followers never overwrite an occupied slot. *Validity* — every
+//! applied entry was proposed — holds because entries enter the
+//! protocol only through `propose`/`assign`. Both properties are
+//! model-checked at N=3 by the `repl` fixture in `wfc-sched` (with
+//! `repl_broken` as the planted-bug control), and the crash claim —
+//! a committed entry survives any minority of crashes because it is
+//! durable on a majority of WALs — is exercised exhaustively by
+//! [`crate::check`].
+//!
+//! ## What a crash costs
+//!
+//! Nothing that was committed. A committed entry has `append` records
+//! on a majority of WALs, each fsynced before its ack; any surviving
+//! majority therefore holds it, and a restarted node replays its own
+//! WAL over its last snapshot and asks the sequencer (via `hello`) for
+//! whatever it missed. Liveness is another matter: the sequencer is
+//! static, so while it is down no *new* entry commits — reads keep
+//! being served everywhere from the local caches, and replication
+//! resumes when the sequencer returns. That trade (pause, don't fork)
+//! is deliberate: a result cache wants agreement and durability, not
+//! leader election.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use wfc_obs::json::Json;
+use wfc_spec::repl::{msg, PROTO, SNAPSHOT_SCHEMA};
+
+use crate::durable::write_durably;
+use crate::msg::{self as frames, Entry};
+use crate::wal::Wal;
+
+/// A member's identifier. Must be unique within the cluster.
+pub type NodeId = u64;
+
+/// The snapshot file's name inside a node's data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// Static cluster shape for one node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This node's id.
+    pub node_id: NodeId,
+    /// Every member id, this node included. Deduplicated and sorted on
+    /// [`Node::open`]; the lowest id is the sequencer.
+    pub members: Vec<NodeId>,
+    /// Compact once the WAL holds this many records (0 disables).
+    pub compact_threshold: u64,
+}
+
+impl NodeConfig {
+    /// A single-node "cluster" (majority of one; commits immediately).
+    pub fn solo(node_id: NodeId) -> NodeConfig {
+        NodeConfig {
+            node_id,
+            members: vec![node_id],
+            compact_threshold: 1024,
+        }
+    }
+}
+
+/// What the caller must do after a state transition: write `msg` to the
+/// outbound link of `to`, or apply a committed entry to the local
+/// store. Effects are the node's *only* output channel — the state
+/// machine itself never touches a socket, which is what makes it
+/// checkable.
+#[derive(Debug)]
+pub enum Effect {
+    /// Queue `msg` on the link to member `to`.
+    Send {
+        /// Destination member.
+        to: NodeId,
+        /// The rendered `wfc-repl/v1` frame.
+        msg: Json,
+    },
+    /// Apply a committed entry to the local result store.
+    Apply {
+        /// The entry's log index.
+        index: u64,
+        /// The committed entry.
+        entry: Entry,
+    },
+}
+
+/// What [`Node::open`] recovered from disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Re-apply these committed entries to the local store (the store
+    /// insert is idempotent, so replaying twice is harmless).
+    pub effects: Vec<Effect>,
+    /// The WAL had a corrupt suffix (now truncated).
+    pub wal_corrupt: bool,
+    /// Committed entries recovered (snapshot prefix excluded).
+    pub recovered: u64,
+    /// The snapshot's compacted prefix length.
+    pub snapshot_last_index: u64,
+}
+
+/// One replication node. Single-threaded by design: the service drives
+/// it from the IO thread, the checker from a test harness.
+#[derive(Debug)]
+pub struct Node {
+    node_id: NodeId,
+    members: Vec<NodeId>,
+    compact_threshold: u64,
+    data_dir: PathBuf,
+    wal: Wal,
+    /// Entries known, by index (indices start at 1). Pruned ≤ snapshot.
+    log: BTreeMap<u64, Entry>,
+    committed: BTreeSet<u64>,
+    applied: BTreeSet<u64>,
+    /// Sequencer: acks per uncommitted index (own durable append counts).
+    acks: HashMap<u64, BTreeSet<NodeId>>,
+    /// Sequencer: cache keys already ordered, for duplicate suppression.
+    seen_keys: HashSet<String>,
+    /// Sequencer: the next index to assign.
+    next_index: u64,
+    /// Highest index this node has seen in any record.
+    last_seen: u64,
+    /// Indices ≤ this are committed, applied, and compacted away.
+    snapshot_last_index: u64,
+}
+
+fn wal_append_record(index: u64, entry: &Entry) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str("append".to_owned())),
+        ("index", Json::U64(index)),
+        ("entry", entry.to_json()),
+    ])
+}
+
+fn wal_commit_record(index: u64) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str("commit".to_owned())),
+        ("index", Json::U64(index)),
+    ])
+}
+
+impl Node {
+    /// Opens (or creates) a node's durable state under `data_dir` and
+    /// recovers it: snapshot first, then the WAL replayed over it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a config whose members do not include
+    /// `node_id`. Corrupt WAL suffixes and corrupt snapshots are
+    /// *not* errors — they are counted, reported, and survived.
+    pub fn open(config: NodeConfig, data_dir: &Path) -> io::Result<(Node, Recovery)> {
+        let mut members = config.members.clone();
+        members.push(config.node_id);
+        members.sort_unstable();
+        members.dedup();
+        if members.is_empty() {
+            return Err(io::Error::other("replication: empty membership"));
+        }
+        std::fs::create_dir_all(data_dir)?;
+        let snapshot_last_index = read_snapshot(data_dir, config.node_id);
+        let (wal, replay) = Wal::open(data_dir)?;
+
+        let mut log = BTreeMap::new();
+        let mut committed = BTreeSet::new();
+        let mut last_seen = snapshot_last_index;
+        for record in &replay.records {
+            let Some(index) = record.get("index").and_then(Json::as_u64) else {
+                continue;
+            };
+            if index <= snapshot_last_index {
+                continue; // compacted prefix straggler (crash mid-compaction)
+            }
+            last_seen = last_seen.max(index);
+            match record.get("op").and_then(Json::as_str) {
+                Some("append") => {
+                    if let Some(entry) = record.get("entry").and_then(|e| Entry::from_json(e).ok())
+                    {
+                        log.entry(index).or_insert(entry);
+                    }
+                }
+                Some("commit") if log.contains_key(&index) => {
+                    committed.insert(index);
+                }
+                _ => {}
+            }
+        }
+        let applied = committed.clone();
+        let effects: Vec<Effect> = committed
+            .iter()
+            .map(|&index| Effect::Apply {
+                index,
+                entry: log[&index].clone(),
+            })
+            .collect();
+        let recovered = effects.len() as u64;
+        wfc_obs::gauge_set!("repl.recovered.entries", recovered as i64);
+        let seen_keys = log.values().map(|e| e.key.clone()).collect();
+        let node = Node {
+            node_id: config.node_id,
+            members,
+            compact_threshold: config.compact_threshold,
+            data_dir: data_dir.to_path_buf(),
+            wal,
+            log,
+            committed,
+            applied,
+            acks: HashMap::new(),
+            seen_keys,
+            next_index: last_seen + 1,
+            last_seen,
+            snapshot_last_index,
+        };
+        Ok((
+            node,
+            Recovery {
+                effects,
+                wal_corrupt: replay.corrupt,
+                recovered,
+                snapshot_last_index,
+            },
+        ))
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// The cluster membership, sorted.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The sequencer: the lowest member id.
+    pub fn sequencer(&self) -> NodeId {
+        self.members[0]
+    }
+
+    /// Whether this node orders the log.
+    pub fn is_sequencer(&self) -> bool {
+        self.node_id == self.sequencer()
+    }
+
+    fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.node_id;
+        self.members.iter().copied().filter(move |&m| m != me)
+    }
+
+    /// Committed entries, counting the compacted snapshot prefix.
+    pub fn committed_count(&self) -> u64 {
+        self.snapshot_last_index + self.committed.len() as u64
+    }
+
+    /// Applied entries, counting the compacted snapshot prefix.
+    pub fn applied_count(&self) -> u64 {
+        self.snapshot_last_index + self.applied.len() as u64
+    }
+
+    /// The highest log index this node has seen.
+    pub fn last_index(&self) -> u64 {
+        self.last_seen
+    }
+
+    /// The contiguous committed prefix — what `hello` advertises: every
+    /// index up to it is already durable and applied here.
+    fn contiguous_committed(&self) -> u64 {
+        let mut up_to = self.snapshot_last_index;
+        while self.committed.contains(&(up_to + 1)) {
+            up_to += 1;
+        }
+        up_to
+    }
+
+    /// The handshake frame to send on a freshly established link.
+    pub fn hello_msg(&self) -> Json {
+        frames::hello(self.node_id, self.contiguous_committed())
+    }
+
+    /// The `status-reply` frame for a client's `status` request.
+    pub fn status(&self, id: u64, peers_connected: u64) -> Json {
+        Json::obj(vec![
+            ("proto", Json::Str(PROTO.to_owned())),
+            ("type", Json::Str(msg::STATUS_REPLY.to_owned())),
+            ("id", Json::U64(id)),
+            ("enabled", Json::Bool(true)),
+            ("node_id", Json::U64(self.node_id)),
+            ("sequencer", Json::U64(self.sequencer())),
+            (
+                "members",
+                Json::Arr(self.members.iter().map(|&m| Json::U64(m)).collect()),
+            ),
+            ("last_index", Json::U64(self.last_seen)),
+            ("committed", Json::U64(self.committed_count())),
+            ("applied", Json::U64(self.applied_count())),
+            ("wal_records", Json::U64(self.wal.records_since_open())),
+            ("snapshot_last_index", Json::U64(self.snapshot_last_index)),
+            ("peers_connected", Json::U64(peers_connected)),
+        ])
+    }
+
+    /// Proposes an entry: the sequencer orders it directly, a follower
+    /// forwards it to the sequencer.
+    ///
+    /// # Errors
+    ///
+    /// WAL I/O failures (sequencer path only).
+    pub fn propose(&mut self, entry: Entry) -> io::Result<Vec<Effect>> {
+        wfc_obs::counter!("repl.proposed");
+        if self.is_sequencer() {
+            let mut effects = Vec::new();
+            self.assign(entry, &mut effects)?;
+            Ok(effects)
+        } else {
+            Ok(vec![Effect::Send {
+                to: self.sequencer(),
+                msg: frames::propose(self.node_id, &entry),
+            }])
+        }
+    }
+
+    /// Handles one inbound `wfc-repl/v1` frame. Malformed or mis-routed
+    /// frames are counted and ignored, never fatal — a replication peer
+    /// must not be able to crash the service with a bad byte.
+    ///
+    /// # Errors
+    ///
+    /// WAL I/O failures only.
+    pub fn handle(&mut self, doc: &Json) -> io::Result<Vec<Effect>> {
+        let mut effects = Vec::new();
+        match frames::frame_type(doc) {
+            Some(t) if t == msg::HELLO => self.on_hello(doc, &mut effects),
+            Some(t) if t == msg::PROPOSE => self.on_propose(doc, &mut effects)?,
+            Some(t) if t == msg::APPEND => self.on_append(doc, &mut effects)?,
+            Some(t) if t == msg::ACK => self.on_ack(doc, &mut effects)?,
+            Some(t) if t == msg::COMMIT => self.on_commit(doc, &mut effects)?,
+            _ => wfc_obs::counter!("repl.frames.bad"),
+        }
+        Ok(effects)
+    }
+
+    /// Sequencer: assign the next index and start replication.
+    fn assign(&mut self, entry: Entry, effects: &mut Vec<Effect>) -> io::Result<()> {
+        if self.seen_keys.contains(&entry.key) {
+            wfc_obs::counter!("repl.proposals.duplicate");
+            return Ok(());
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        self.wal.append(&wal_append_record(index, &entry))?;
+        self.seen_keys.insert(entry.key.clone());
+        self.last_seen = self.last_seen.max(index);
+        for peer in self.peers().collect::<Vec<_>>() {
+            effects.push(Effect::Send {
+                to: peer,
+                msg: frames::append(index, &entry),
+            });
+        }
+        self.log.insert(index, entry);
+        self.acks.entry(index).or_default().insert(self.node_id);
+        self.maybe_commit(index, effects)
+    }
+
+    fn on_hello(&mut self, doc: &Json, effects: &mut Vec<Effect>) {
+        let (Some(from), Some(last_index)) = (
+            doc.get("from").and_then(Json::as_u64),
+            doc.get("last_index").and_then(Json::as_u64),
+        ) else {
+            wfc_obs::counter!("repl.frames.bad");
+            return;
+        };
+        // Catch-up is sequencer-driven: re-send what the peer is
+        // missing. Committed entries travel as `commit` (append+commit
+        // in one), uncommitted ones as `append` so the ack/commit round
+        // completes normally — that is also how a sequencer restarted
+        // mid-commit re-gathers its lost in-memory acks.
+        if !self.is_sequencer() || !self.members.contains(&from) || from == self.node_id {
+            return;
+        }
+        for (&index, entry) in self.log.range(last_index.saturating_add(1)..) {
+            let msg = if self.committed.contains(&index) {
+                frames::commit(index, entry)
+            } else {
+                frames::append(index, entry)
+            };
+            effects.push(Effect::Send { to: from, msg });
+        }
+    }
+
+    fn on_propose(&mut self, doc: &Json, effects: &mut Vec<Effect>) -> io::Result<()> {
+        if !self.is_sequencer() {
+            wfc_obs::counter!("repl.frames.misrouted");
+            return Ok(());
+        }
+        match doc.get("entry").map(Entry::from_json) {
+            Some(Ok(entry)) => self.assign(entry, effects),
+            _ => {
+                wfc_obs::counter!("repl.frames.bad");
+                Ok(())
+            }
+        }
+    }
+
+    fn on_append(&mut self, doc: &Json, effects: &mut Vec<Effect>) -> io::Result<()> {
+        let (Some(index), Some(Ok(entry))) = (
+            doc.get("index").and_then(Json::as_u64),
+            doc.get("entry").map(Entry::from_json),
+        ) else {
+            wfc_obs::counter!("repl.frames.bad");
+            return Ok(());
+        };
+        if index <= self.snapshot_last_index {
+            // Already durable (and compacted) here; just re-ack.
+            effects.push(Effect::Send {
+                to: self.sequencer(),
+                msg: frames::ack(self.node_id, index),
+            });
+            return Ok(());
+        }
+        match self.log.get(&index) {
+            Some(existing) if *existing != entry => {
+                // A single static sequencer cannot honestly produce
+                // this; refuse to overwrite — agreement over liveness.
+                wfc_obs::counter!("repl.log.conflict");
+                return Ok(());
+            }
+            Some(_) => {} // duplicate append (catch-up): already durable
+            None => {
+                self.wal.append(&wal_append_record(index, &entry))?;
+                self.last_seen = self.last_seen.max(index);
+                self.log.insert(index, entry);
+            }
+        }
+        effects.push(Effect::Send {
+            to: self.sequencer(),
+            msg: frames::ack(self.node_id, index),
+        });
+        Ok(())
+    }
+
+    fn on_ack(&mut self, doc: &Json, effects: &mut Vec<Effect>) -> io::Result<()> {
+        let (Some(from), Some(index)) = (
+            doc.get("from").and_then(Json::as_u64),
+            doc.get("index").and_then(Json::as_u64),
+        ) else {
+            wfc_obs::counter!("repl.frames.bad");
+            return Ok(());
+        };
+        if !self.is_sequencer() || !self.members.contains(&from) {
+            wfc_obs::counter!("repl.frames.misrouted");
+            return Ok(());
+        }
+        if index <= self.snapshot_last_index || self.committed.contains(&index) {
+            return Ok(()); // late ack for an already-committed index
+        }
+        let acks = self.acks.entry(index).or_default();
+        acks.insert(from);
+        if self.log.contains_key(&index) {
+            // Our own WAL copy counts; a restarted sequencer re-gathers
+            // a majority without replaying its in-memory ack set.
+            self.acks.entry(index).or_default().insert(self.node_id);
+        }
+        self.maybe_commit(index, effects)
+    }
+
+    /// Sequencer: commit `index` once a majority has it durably.
+    fn maybe_commit(&mut self, index: u64, effects: &mut Vec<Effect>) -> io::Result<()> {
+        let reached = self
+            .acks
+            .get(&index)
+            .is_some_and(|a| a.len() >= self.majority());
+        if !reached || self.committed.contains(&index) || !self.log.contains_key(&index) {
+            return Ok(());
+        }
+        self.wal.append(&wal_commit_record(index))?;
+        self.committed.insert(index);
+        self.acks.remove(&index);
+        let entry = self.log[&index].clone();
+        wfc_obs::counter!("repl.committed");
+        for peer in self.peers().collect::<Vec<_>>() {
+            effects.push(Effect::Send {
+                to: peer,
+                msg: frames::commit(index, &entry),
+            });
+        }
+        self.apply(index, entry, effects);
+        self.maybe_compact()
+    }
+
+    fn on_commit(&mut self, doc: &Json, effects: &mut Vec<Effect>) -> io::Result<()> {
+        let (Some(index), Some(Ok(entry))) = (
+            doc.get("index").and_then(Json::as_u64),
+            doc.get("entry").map(Entry::from_json),
+        ) else {
+            wfc_obs::counter!("repl.frames.bad");
+            return Ok(());
+        };
+        if index <= self.snapshot_last_index || self.committed.contains(&index) {
+            return Ok(());
+        }
+        if !self.log.contains_key(&index) {
+            self.wal.append(&wal_append_record(index, &entry))?;
+            self.last_seen = self.last_seen.max(index);
+            self.log.insert(index, entry);
+        }
+        self.wal.append(&wal_commit_record(index))?;
+        self.committed.insert(index);
+        wfc_obs::counter!("repl.committed");
+        let entry = self.log[&index].clone();
+        self.apply(index, entry, effects);
+        self.maybe_compact()
+    }
+
+    fn apply(&mut self, index: u64, entry: Entry, effects: &mut Vec<Effect>) {
+        if self.applied.insert(index) {
+            wfc_obs::counter!("repl.applied");
+            effects.push(Effect::Apply { index, entry });
+        }
+    }
+
+    /// Writes a snapshot of the contiguous committed prefix and rewrites
+    /// the WAL to just the records beyond it, once the WAL is long
+    /// enough to be worth it. The snapshot itself is tiny — the *data*
+    /// is already durable in the service's (fsynced) disk cache tier;
+    /// what the snapshot pins is how far the log can be forgotten.
+    fn maybe_compact(&mut self) -> io::Result<()> {
+        if self.compact_threshold == 0 || self.wal.records_since_open() < self.compact_threshold {
+            return Ok(());
+        }
+        let prefix = {
+            // Only indices both committed *and applied* may be dropped.
+            let mut up_to = self.snapshot_last_index;
+            while self.committed.contains(&(up_to + 1)) && self.applied.contains(&(up_to + 1)) {
+                up_to += 1;
+            }
+            up_to
+        };
+        if prefix == self.snapshot_last_index {
+            return Ok(()); // nothing contiguous to drop yet
+        }
+        let snapshot = Json::obj(vec![
+            ("schema", Json::Str(SNAPSHOT_SCHEMA.to_owned())),
+            ("node_id", Json::U64(self.node_id)),
+            ("last_index", Json::U64(prefix)),
+        ]);
+        write_durably(
+            &self.data_dir,
+            &self.data_dir.join(SNAPSHOT_FILE),
+            &snapshot.render(),
+        )?;
+        self.snapshot_last_index = prefix;
+        let mut survivors = Vec::new();
+        for (&index, entry) in self.log.range(prefix + 1..) {
+            survivors.push(wal_append_record(index, entry));
+            if self.committed.contains(&index) {
+                survivors.push(wal_commit_record(index));
+            }
+        }
+        self.wal.rewrite(&survivors)?;
+        let dropped: Vec<u64> = self.log.range(..=prefix).map(|(&i, _)| i).collect();
+        for index in dropped {
+            if let Some(entry) = self.log.remove(&index) {
+                self.seen_keys.remove(&entry.key);
+            }
+            self.committed.remove(&index);
+            self.applied.remove(&index);
+            self.acks.remove(&index);
+        }
+        wfc_obs::gauge_set!("repl.snapshot.last_index", prefix as i64);
+        Ok(())
+    }
+}
+
+/// Reads the snapshot's compacted-prefix length, tolerating a missing
+/// or corrupt file (counted under `repl.snapshot.corrupt`, recovered
+/// as "no snapshot" — the WAL still holds anything not yet compacted,
+/// and compacted entries live in the disk cache tier).
+fn read_snapshot(dir: &Path, node_id: NodeId) -> u64 {
+    let path = dir.join(SNAPSHOT_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(_) => return 0,
+    };
+    let corrupt = |_| {
+        wfc_obs::counter!("repl.snapshot.corrupt");
+        0
+    };
+    let Ok(doc) = wfc_obs::json::parse(&text) else {
+        return corrupt(());
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some(SNAPSHOT_SCHEMA)
+        || doc.get("node_id").and_then(Json::as_u64) != Some(node_id)
+    {
+        return corrupt(());
+    }
+    match doc.get("last_index").and_then(Json::as_u64) {
+        Some(last_index) => last_index,
+        None => corrupt(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wfc-repl-node-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(i: u64) -> Entry {
+        Entry {
+            key: format!("{i:032x}"),
+            kind: "classify".to_owned(),
+            type_name: format!("type-{i}"),
+            result: Json::obj(vec![("value", Json::U64(i))]),
+        }
+    }
+
+    fn config(node_id: NodeId, n: u64) -> NodeConfig {
+        NodeConfig {
+            node_id,
+            members: (1..=n).collect(),
+            compact_threshold: 0,
+        }
+    }
+
+    fn sends(effects: &[Effect]) -> Vec<(NodeId, &Json)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, msg } => Some((*to, msg)),
+                Effect::Apply { .. } => None,
+            })
+            .collect()
+    }
+
+    fn applies(effects: &[Effect]) -> Vec<u64> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Apply { index, .. } => Some(*index),
+                Effect::Send { .. } => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solo_node_commits_immediately_and_recovers() {
+        let dir = tmp_dir("solo");
+        {
+            let (mut node, recovery) = Node::open(NodeConfig::solo(1), &dir).unwrap();
+            assert_eq!(recovery.recovered, 0);
+            let effects = node.propose(entry(1)).unwrap();
+            assert_eq!(applies(&effects), vec![1]);
+            assert!(sends(&effects).is_empty());
+            assert_eq!(node.committed_count(), 1);
+        }
+        let (node, recovery) = Node::open(NodeConfig::solo(1), &dir).unwrap();
+        assert_eq!(recovery.recovered, 1);
+        assert_eq!(applies(&recovery.effects), vec![1]);
+        assert_eq!(node.committed_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Drives a full 3-node round by hand: propose on a follower,
+    /// sequencing, acks, commits — asserting the majority rule fires at
+    /// exactly the right ack.
+    #[test]
+    fn three_node_commit_round() {
+        let dirs: Vec<_> = (1..=3).map(|i| tmp_dir(&format!("trio-{i}"))).collect();
+        let (mut n1, _) = Node::open(config(1, 3), &dirs[0]).unwrap();
+        let (mut n2, _) = Node::open(config(2, 3), &dirs[1]).unwrap();
+        let (mut n3, _) = Node::open(config(3, 3), &dirs[2]).unwrap();
+        assert!(n1.is_sequencer() && !n2.is_sequencer());
+
+        // Follower 2 proposes: one forward to the sequencer.
+        let fx = n2.propose(entry(7)).unwrap();
+        let fwd = sends(&fx);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].0, 1);
+
+        // Sequencer orders it: appends to 2 and 3, no commit yet
+        // (only its own durable copy counts so far).
+        let fx = n1.handle(fwd[0].1).unwrap();
+        assert_eq!(applies(&fx), Vec::<u64>::new());
+        let appends = sends(&fx);
+        assert_eq!(appends.len(), 2);
+
+        // Node 3 acks; with the sequencer's own copy that is a
+        // majority: the sequencer commits, applies, and broadcasts.
+        let to3 = appends.iter().find(|(to, _)| *to == 3).unwrap().1;
+        let fx3 = n3.handle(to3).unwrap();
+        let ack3 = sends(&fx3);
+        assert_eq!(ack3.len(), 1);
+        let fx = n1.handle(ack3[0].1).unwrap();
+        assert_eq!(applies(&fx), vec![1]);
+        let commits = sends(&fx);
+        assert_eq!(commits.len(), 2);
+        assert_eq!(n1.committed_count(), 1);
+
+        // Commit reaches node 3: it applies the same entry at the same
+        // index.
+        let c3 = commits.iter().find(|(to, _)| *to == 3).unwrap().1;
+        let fx = n3.handle(c3).unwrap();
+        assert_eq!(applies(&fx), vec![1]);
+        assert_eq!(n3.committed_count(), 1);
+
+        // Node 2 never saw the append (say it was slow); the commit
+        // alone is enough — it carries the entry.
+        let c2 = commits.iter().find(|(to, _)| *to == 2).unwrap().1;
+        let fx = n2.handle(c2).unwrap();
+        assert_eq!(applies(&fx), vec![1]);
+        assert_eq!(n2.committed_count(), 1);
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn hello_catch_up_resends_missed_commits() {
+        let d1 = tmp_dir("hello-1");
+        let d3 = tmp_dir("hello-3");
+        let (mut n1, _) = Node::open(config(1, 3), &d1).unwrap();
+        let (mut n3, _) = Node::open(config(3, 3), &d3).unwrap();
+        // Commit two entries with node 2's acks (simulated frames);
+        // node 3 misses everything.
+        for i in 1..=2u64 {
+            let fx = n1.propose(entry(i)).unwrap();
+            assert!(applies(&fx).is_empty());
+            let fx = n1.handle(&frames::ack(2, i)).unwrap();
+            assert_eq!(applies(&fx), vec![i]);
+        }
+        // Node 3 comes up and hellos with last_index 0.
+        let fx = n1.handle(&n3.hello_msg()).unwrap();
+        let catch_up = sends(&fx);
+        assert_eq!(catch_up.len(), 2);
+        for (_, msg) in catch_up {
+            let fx = n3.handle(msg).unwrap();
+            assert_eq!(applies(&fx).len(), 1);
+        }
+        assert_eq!(n3.committed_count(), 2);
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d3);
+    }
+
+    #[test]
+    fn duplicate_proposals_are_suppressed() {
+        let dir = tmp_dir("dedup");
+        let (mut node, _) = Node::open(NodeConfig::solo(1), &dir).unwrap();
+        assert_eq!(node.propose(entry(1)).unwrap().len(), 1);
+        assert_eq!(node.propose(entry(1)).unwrap().len(), 0);
+        assert_eq!(node.committed_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_snapshots_and_survives_restart() {
+        let dir = tmp_dir("compact");
+        {
+            let mut cfg = NodeConfig::solo(1);
+            cfg.compact_threshold = 4;
+            let (mut node, _) = Node::open(cfg, &dir).unwrap();
+            for i in 1..=5 {
+                node.propose(entry(i)).unwrap();
+            }
+            assert_eq!(node.committed_count(), 5);
+            assert!(
+                node.snapshot_last_index > 0,
+                "threshold 4 must have compacted"
+            );
+            assert!(dir.join(SNAPSHOT_FILE).exists());
+        }
+        let mut cfg = NodeConfig::solo(1);
+        cfg.compact_threshold = 4;
+        let (node, recovery) = Node::open(cfg, &dir).unwrap();
+        assert_eq!(
+            node.committed_count(),
+            5,
+            "snapshot prefix + WAL tail must add back up"
+        );
+        assert_eq!(recovery.snapshot_last_index, node.snapshot_last_index);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_ignored_not_fatal() {
+        let dir = tmp_dir("badsnap");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(SNAPSHOT_FILE), "{ not json").unwrap();
+        let (mut node, recovery) = Node::open(NodeConfig::solo(1), &dir).unwrap();
+        assert_eq!(recovery.snapshot_last_index, 0);
+        node.propose(entry(1)).unwrap();
+        assert_eq!(node.committed_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_frame_validates() {
+        let dir = tmp_dir("status");
+        let (mut node, _) = Node::open(config(2, 3), &dir).unwrap();
+        let fx = node.handle(&frames::commit(1, &entry(1))).unwrap();
+        assert_eq!(applies(&fx), vec![1]);
+        let status = node.status(42, 2);
+        crate::msg::validate_status_json(&status).unwrap();
+        assert_eq!(status.get("committed").and_then(Json::as_u64), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

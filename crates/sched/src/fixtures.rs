@@ -18,7 +18,7 @@ use wfc_core::{bounded_bit_with, OneUseRead, OneUseWrite};
 use wfc_explorer::linearizability::is_linearizable;
 use wfc_registers::{
     atomic_bit_in, atomic_reg_in, mrsw_atomic_register, mrsw_regular_bit, BitReader, BitWriter,
-    RawAtomicBool, RegReader, RegWriter, SeqLockCell, Stamped,
+    RawAtomicBool, RawAtomicUsize, RegReader, RegWriter, SeqLockCell, Stamped,
 };
 use wfc_spec::{canonical, FiniteType, PortId};
 
@@ -66,6 +66,18 @@ pub const ALL: &[Fixture] = &[
         expect_violation: false,
     },
     Fixture {
+        name: "repl",
+        summary: "wfc-repl commit rule at N=3: CAS-reserved log indices, agreement + validity",
+        threads: 2,
+        expect_violation: false,
+    },
+    Fixture {
+        name: "repl_broken",
+        summary: "planted replication bug: load-then-store index reservation forks the log",
+        threads: 2,
+        expect_violation: true,
+    },
+    Fixture {
         name: "regular",
         summary: "MRSW *regular* bit vs the atomic spec: new/old inversion across readers",
         threads: 3,
@@ -94,6 +106,8 @@ pub fn build(name: &str) -> Option<Builder> {
         "seqlock" => Some(Box::new(build_seqlock)),
         "t4" => Some(Box::new(build_t4)),
         "mrsw" => Some(Box::new(build_mrsw)),
+        "repl" => Some(Box::new(|| build_repl(true))),
+        "repl_broken" => Some(Box::new(|| build_repl(false))),
         "regular" => Some(Box::new(build_regular)),
         "broken" => Some(Box::new(build_broken)),
         _ => None,
@@ -309,6 +323,111 @@ fn build_mrsw() -> Execution {
     Execution {
         threads,
         check: Box::new(move || not_linearizable(&ty, "v0", &log)),
+    }
+}
+
+/// `repl` / `repl_broken`: the `wfc-repl` commit rule's index
+/// assignment as a closed concurrent program — the dogfood fixture the
+/// replication subsystem asked for. Two proposers race to reserve log
+/// indices from a shared counter, then replicate their entry into that
+/// slot on all three simulated nodes and read their slot back from
+/// every replica. The post-state check is the commit rule's contract:
+///
+/// * **agreement** — no two proposals land at the same index, and every
+///   replica's copy of a slot is the value its proposer put there;
+/// * **validity** — every occupied slot holds a proposed value.
+///
+/// With `cas: true` the reservation is a compare-and-swap loop (the
+/// real sequencer's discipline, serialised there by the single IO
+/// thread; CAS is its shared-memory shadow), and no schedule violates
+/// the contract. With `cas: false` the reservation is the planted bug —
+/// a load *then* a store — so two proposers can both read index 0 and
+/// fork the log: either a replica's slot 0 readback disagrees with what
+/// its proposer wrote, or both proposals claim index 0 outright.
+fn build_repl(cas: bool) -> Execution {
+    const NODES: usize = 3;
+    const SLOTS: usize = 2;
+    let next = Arc::new(<shim::AtomicUsize as RawAtomicUsize>::new(0));
+    let logs: Arc<Vec<Vec<Cell<usize>>>> = Arc::new(
+        (0..NODES)
+            .map(|_| (0..SLOTS).map(|_| Cell::new(0)).collect())
+            .collect(),
+    );
+    // (proposed value, assigned index, per-node readback of that slot)
+    type Commit = (usize, usize, Vec<usize>);
+    let commits: Arc<Mutex<Vec<Commit>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for value in 1..=SLOTS {
+        let next = Arc::clone(&next);
+        let logs = Arc::clone(&logs);
+        let commits = Arc::clone(&commits);
+        threads.push(Box::new(move || {
+            let index = if cas {
+                loop {
+                    let cur = next.load_acquire();
+                    if next.cas_weak_acquire(cur, cur + 1).is_ok() {
+                        break cur;
+                    }
+                }
+            } else {
+                // The planted bug: reservation is not atomic.
+                let cur = next.load_acquire();
+                next.store_release(cur + 1);
+                cur
+            };
+            if index < SLOTS {
+                for node in logs.iter() {
+                    node[index].store(value);
+                }
+                let readback = logs.iter().map(|node| node[index].load()).collect();
+                lock(&commits).push((value, index, readback));
+            }
+        }));
+    }
+    Execution {
+        threads,
+        check: Box::new(move || {
+            let commits = lock(&commits);
+            let mut taken = [false; SLOTS];
+            for &(value, index, ref readback) in commits.iter() {
+                if taken[index] {
+                    return Some(format!(
+                        "agreement violated: two proposals were assigned log index {index}"
+                    ));
+                }
+                taken[index] = true;
+                for (node, &seen) in readback.iter().enumerate() {
+                    if seen != value {
+                        return Some(format!(
+                            "agreement violated: node {node} holds {seen} at index {index}, \
+                             its proposer committed {value}"
+                        ));
+                    }
+                }
+            }
+            // Validity over the final replica state: every occupied
+            // slot holds a value some proposer committed there.
+            for (index, &taken) in taken.iter().enumerate() {
+                for (node, log) in logs.iter().enumerate() {
+                    let held = log[index].load();
+                    let committed = commits
+                        .iter()
+                        .find(|&&(_, i, _)| i == index)
+                        .map(|&(v, ..)| v);
+                    let valid = match (taken, committed) {
+                        (true, Some(v)) => held == v,
+                        _ => held == 0,
+                    };
+                    if !valid {
+                        return Some(format!(
+                            "validity violated: node {node} holds {held} at index {index}, \
+                             which no proposal committed"
+                        ));
+                    }
+                }
+            }
+            None
+        }),
     }
 }
 

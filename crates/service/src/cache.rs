@@ -25,12 +25,12 @@
 
 use std::collections::HashMap;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use wfc_obs::json::Json;
+use wfc_repl::durable::write_durably;
 use wfc_spec::hash::{Hash128, Hasher128};
 use wfc_spec::text::format_type;
 use wfc_spec::FiniteType;
@@ -210,15 +210,34 @@ impl ResultCache {
 
     fn disk_get(&self, key: Hash128) -> Option<Json> {
         let dir = self.disk_dir.as_ref()?;
-        let text = fs::read_to_string(Self::entry_path(dir, key)).ok()?;
-        let doc = wfc_obs::json::parse(&text).ok()?;
+        let text = match fs::read_to_string(Self::entry_path(dir, key)) {
+            Ok(text) => text,
+            Err(e) => {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    // Present but unreadable is corruption-shaped, not
+                    // a plain miss.
+                    wfc_obs::counter!("service.cache.disk.corrupt");
+                }
+                return None;
+            }
+        };
+        // A file that exists but does not parse/validate is a truncated
+        // or garbled write from a past crash: count it as corruption and
+        // serve a miss — the entry recomputes and overwrites it.
+        let corrupt = || {
+            wfc_obs::counter!("service.cache.disk.corrupt");
+            None
+        };
+        let Ok(doc) = wfc_obs::json::parse(&text) else {
+            return corrupt();
+        };
         // Only trust well-formed entries whose embedded key matches the
         // file we asked for.
         if validate_cache_json(&doc).is_err() {
-            return None;
+            return corrupt();
         }
         if doc.get("key").and_then(Json::as_str) != Some(key.to_hex().as_str()) {
-            return None;
+            return corrupt();
         }
         doc.get("result").cloned()
     }
@@ -236,7 +255,11 @@ impl ResultCache {
         ]);
         let path = Self::entry_path(dir, key);
         let fresh = !path.exists();
-        if write_atomically(dir, &path, &doc.render()).is_err() {
+        // Durable, not merely atomic: the file is fsynced before the
+        // rename and the directory after it, so a crash cannot leave
+        // the entry name pointing at missing bytes. Replication counts
+        // on this — an applied entry must actually survive.
+        if write_durably(dir, &path, &doc.render()).is_err() {
             return; // disk tier is best-effort; memory still serves
         }
         if fresh {
@@ -255,7 +278,28 @@ impl ResultCache {
             ),
             ("writes", Json::U64(writes)),
         ]);
-        let _ = write_atomically(dir, &dir.join("cache-meta.json"), &meta.render());
+        let _ = write_durably(dir, &dir.join("cache-meta.json"), &meta.render());
+    }
+
+    /// Applies a replication-committed entry to both tiers. Idempotent:
+    /// re-applying the same `(key, result)` is a plain overwrite with
+    /// identical bytes, which is what makes out-of-order and replayed
+    /// commits safe.
+    pub fn apply_replicated(&self, key: Hash128, kind: QueryKind, type_name: &str, result: &Json) {
+        let value = Arc::new(result.clone());
+        self.memory_put(key, value);
+        self.disk_put(key, kind, type_name, result);
+        wfc_obs::counter!("service.cache.replicated");
+    }
+
+    /// Reads an entry's result straight from the tiers (memory, then
+    /// disk) without computing — the differential tests use this to
+    /// prove a replicated insert landed byte-identically.
+    pub fn peek(&self, key: Hash128) -> Option<Arc<Json>> {
+        if let Some(hit) = self.memory_get(key) {
+            return Some(hit);
+        }
+        self.disk_get(key).map(Arc::new)
     }
 
     /// Looks up `key`, or computes it via `compute`, with single-flight
@@ -334,20 +378,6 @@ impl ResultCache {
         self.flights.lock().unwrap().remove(&key.0);
         stored.map(|value| (value, CacheOutcome::Computed))
     }
-}
-
-fn write_atomically(dir: &Path, path: &Path, contents: &str) -> std::io::Result<()> {
-    let tmp = dir.join(format!(
-        ".tmp-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        f.write_all(b"\n")?;
-    }
-    fs::rename(&tmp, path)
 }
 
 /// Validates a `wfc-svc-cache/v1` document — either an
@@ -588,6 +618,86 @@ mod tests {
             checked += 1;
         }
         assert_eq!(checked, 2, "one entry file plus cache-meta.json");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The corruption-tolerance satellite: a disk entry truncated at
+    /// *every* byte offset (and a bit-flipped one) must read as a miss
+    /// — recompute and overwrite — never as an error, and never serve
+    /// mangled bytes.
+    #[test]
+    fn corrupt_disk_entries_read_as_misses_at_every_truncation() {
+        let dir = std::env::temp_dir().join(format!("wfc-svc-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ty = canonical::test_and_set(2);
+        let key = cache_key(QueryKind::Classify, &ty, &opts());
+        let doc = Json::obj(vec![("verdict", Json::Str("case2".to_owned()))]);
+        {
+            let cache = ResultCache::new(16, Some(dir.clone())).unwrap();
+            cache
+                .get_or_compute(key, QueryKind::Classify, ty.name(), || Ok(doc.clone()))
+                .unwrap();
+        }
+        let path = ResultCache::entry_path(&dir, key);
+        let full = fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            // A cut can leave a still-valid document (dropping only the
+            // trailing newline does); serving it is correct. Every
+            // other cut must read as a miss.
+            let prefix_valid = std::str::from_utf8(&full[..cut])
+                .ok()
+                .and_then(|text| wfc_obs::json::parse(text).ok())
+                .is_some_and(|d| validate_cache_json(&d).is_ok());
+            let cache = ResultCache::new(16, Some(dir.clone())).unwrap();
+            let (v, how) = cache
+                .get_or_compute(key, QueryKind::Classify, ty.name(), || Ok(doc.clone()))
+                .unwrap();
+            assert_eq!(*v, doc, "cut at {cut}: result must be intact either way");
+            if prefix_valid {
+                assert_eq!(how, CacheOutcome::Disk, "cut at {cut}: still a valid doc");
+                fs::write(&path, &full).unwrap();
+                continue;
+            }
+            assert_eq!(how, CacheOutcome::Computed, "cut at {cut}: must be a miss");
+            // The recompute repaired the file in place.
+            let restored = ResultCache::new(16, Some(dir.clone())).unwrap();
+            assert_eq!(restored.peek(key).as_deref(), Some(&doc));
+            let repaired = fs::read(&path).unwrap();
+            assert_eq!(repaired, full, "cut at {cut}: rewrite must restore bytes");
+        }
+        // Garbage rather than truncation: flip a byte inside `result`.
+        let mut garbled = full.clone();
+        let last = garbled.len() - 2;
+        garbled[last] = b'!';
+        fs::write(&path, &garbled).unwrap();
+        let cache = ResultCache::new(16, Some(dir.clone())).unwrap();
+        let (_, how) = cache
+            .get_or_compute(key, QueryKind::Classify, ty.name(), || Ok(doc.clone()))
+            .unwrap();
+        assert_eq!(how, CacheOutcome::Computed);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn apply_replicated_lands_in_both_tiers_idempotently() {
+        let dir = std::env::temp_dir().join(format!("wfc-svc-apply-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key = Hash128(0xfeed);
+        let doc = Json::obj(vec![("replicated", Json::Bool(true))]);
+        let cache = ResultCache::new(16, Some(dir.clone())).unwrap();
+        cache.apply_replicated(key, QueryKind::Classify, "t", &doc);
+        cache.apply_replicated(key, QueryKind::Classify, "t", &doc);
+        let (v, how) = cache
+            .get_or_compute(key, QueryKind::Classify, "t", || {
+                panic!("replicated insert must serve this")
+            })
+            .unwrap();
+        assert_eq!(how, CacheOutcome::Memory);
+        assert_eq!(*v, doc);
+        // And it survives a restart via the disk tier.
+        let fresh = ResultCache::new(16, Some(dir.clone())).unwrap();
+        assert_eq!(fresh.peek(key).as_deref(), Some(&doc));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -12,6 +12,9 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use wfc_obs::json::Json;
+
+use crate::server::accept_backoff;
 use crate::wire::{read_frame, write_frame, QueryKind, QueryOptions, Request, Response, WireError};
 
 /// A connection to a `wfc serve` instance.
@@ -50,6 +53,40 @@ impl Client {
         }
     }
 
+    /// Connects to the first reachable address, rotating through
+    /// `addrs` with up to `retries` extra passes and the same capped
+    /// exponential backoff the server's accept loop uses
+    /// ([`accept_backoff`]). One pass over every address counts as one
+    /// attempt, so `retries: 0` still tries each address once — that is
+    /// the failover half of the contract; the backoff is the retry
+    /// half.
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure once every address has been tried
+    /// `retries + 1` times, or `InvalidInput` for an empty list.
+    pub fn connect_failover(addrs: &[String], retries: u32) -> io::Result<Client> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no addresses to connect to",
+            ));
+        }
+        let mut last_err = None;
+        for attempt in 0..=retries {
+            for addr in addrs {
+                match Client::connect(addr.as_str()) {
+                    Ok(client) => return Ok(client),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if attempt < retries {
+                std::thread::sleep(accept_backoff(attempt + 1));
+            }
+        }
+        Err(last_err.unwrap())
+    }
+
     /// Sends one request without waiting; returns the id to match the
     /// eventual response against.
     ///
@@ -83,6 +120,32 @@ impl Client {
     pub fn recv(&mut self) -> Result<Response, WireError> {
         match read_frame(&mut self.stream)? {
             Some(doc) => Response::from_json(&doc),
+            None => Err(WireError::Protocol(
+                "server closed the connection".to_owned(),
+            )),
+        }
+    }
+
+    /// Sends one raw JSON frame — for protocols that share the socket
+    /// with `wfc-svc/v1` but speak their own schema, like the
+    /// `wfc-repl/v1` status exchange behind `wfc cluster-status`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on socket or encoding failures.
+    pub fn send_doc(&mut self, doc: &Json) -> Result<(), WireError> {
+        write_frame(&mut self.stream, doc)
+    }
+
+    /// Receives one raw JSON frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on socket or decoding failures, including the
+    /// server closing the connection.
+    pub fn recv_doc(&mut self) -> Result<Json, WireError> {
+        match read_frame(&mut self.stream)? {
+            Some(doc) => Ok(doc),
             None => Err(WireError::Protocol(
                 "server closed the connection".to_owned(),
             )),

@@ -26,8 +26,13 @@
 //!   ([`wfc_spec::control`](wfc_spec::control)) — every query kind,
 //!   sched included, cancels mid-run and answers `deadline-exceeded`
 //!   with partial progress.
+//! * [`repl_link`] — the service half of `wfc-repl` clustering: peer
+//!   links as extra registrations on the same IO thread (outbound
+//!   frames ride dialed sockets, inbound repl frames arrive on
+//!   ordinary accepted connections), a dialer with capped backoff,
+//!   and recovery/catch-up wiring into the shared [`ResultCache`].
 //! * [`client`] — a blocking client with split send/receive for
-//!   pipelining.
+//!   pipelining, address failover, and capped connect retries.
 //! * [`loadgen`] — open/closed-loop traffic generation against a
 //!   running server, reporting latency percentiles and throughput as a
 //!   `BENCH_service` document.
@@ -65,6 +70,7 @@ pub mod client;
 mod conn;
 pub mod loadgen;
 mod poller;
+pub mod repl_link;
 pub mod server;
 pub mod stats;
 pub mod wire;
@@ -78,6 +84,7 @@ pub use cache::{
     cache_key, sched_cache_key, validate_cache_json, CacheOutcome, ResultCache, CACHE_SCHEMA,
 };
 pub use client::Client;
+pub use repl_link::ReplConfig;
 pub use server::{accept_backoff, serve, ServeConfig, ServerHandle, WorkerGate};
 pub use stats::{validate_stats_json, STATS_SCHEMA};
 pub use wire::{

@@ -65,9 +65,10 @@ use crate::analysis::{
 use wfc_spec::stage::Stage;
 
 use crate::batch::{BatchConfig, Batcher, Entry, JobQueue, Submit};
-use crate::cache::{cache_key, sched_cache_key, ResultCache};
+use crate::cache::{cache_key, sched_cache_key, CacheOutcome, ResultCache};
 use crate::conn::ConnShared;
 use crate::poller::{fd_of, wait, Readiness, Waker};
+use crate::repl_link::{dialer_loop, disabled_status, ReplConfig, ReplRuntime, ReplShared};
 use crate::stats::{Disposition, IntroCtx, RequestTrace, TraceOutcome};
 use crate::wire::{write_frame, FrameBuffer, QueryKind, QueryOptions, Request, Response};
 
@@ -106,6 +107,10 @@ pub struct ServeConfig {
     /// Test hook: workers pass this gate after dequeuing a job and
     /// before computing, letting tests hold a worker deterministically.
     pub gate: Option<Arc<WorkerGate>>,
+    /// Replication: when set, this server is one node of a `wfc-repl`
+    /// cluster — computed results are proposed to the sequencer and
+    /// committed inserts from any node land in this cache too.
+    pub repl: Option<ReplConfig>,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +130,7 @@ impl Default for ServeConfig {
             flight_capacity: 256,
             anomaly_threshold: None,
             gate: None,
+            repl: None,
         }
     }
 }
@@ -208,6 +214,7 @@ pub struct ServerHandle {
     io_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
     reaper_thread: Option<JoinHandle<()>>,
+    dialer_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -260,6 +267,9 @@ impl ServerHandle {
         if let Some(t) = self.reaper_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.dialer_thread.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -293,6 +303,29 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
     let intro = IntroCtx::new(&config, Arc::clone(&conn_count));
     let workers = config.workers.max(1);
 
+    // Replication opens (and recovers) before the listener serves a
+    // single request, so a replica never answers from a cache it has
+    // not finished rebuilding.
+    let repl_runtime = match &config.repl {
+        Some(repl_config) => Some(ReplRuntime::open(repl_config, Arc::clone(&cache))?),
+        None => None,
+    };
+    let repl_shared = repl_runtime.as_ref().map(|r| Arc::clone(&r.shared));
+    let dialer_thread = match (&config.repl, &repl_shared) {
+        (Some(repl_config), Some(shared)) => {
+            let peers: Vec<String> = repl_config.peers.iter().map(|(_, a)| a.clone()).collect();
+            let shared = Arc::clone(shared);
+            let shutdown = Arc::clone(&shutdown);
+            let waker = Arc::clone(&waker);
+            Some(
+                std::thread::Builder::new()
+                    .name("wfc-svc-repl-dial".to_owned())
+                    .spawn(move || dialer_loop(peers, shared, shutdown, waker))?,
+            )
+        }
+        _ => None,
+    };
+
     // One leaked cancellation flag per worker (bounded: workers × server
     // starts). `ExploreOptions` is `Copy`, so its token must be
     // `'static`.
@@ -318,12 +351,22 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
         let inflight = Arc::clone(&inflight);
         let intro = Arc::clone(&intro);
         let config = config.clone();
+        let repl_shared = repl_shared.clone();
         worker_threads.push(
             std::thread::Builder::new()
                 .name(format!("wfc-svc-worker-{idx}"))
                 .spawn(move || {
                     worker_loop(
-                        idx, &queue, &cache, &gate, &waker, &inflight, &intro, cancel, &config,
+                        idx,
+                        &queue,
+                        &cache,
+                        &gate,
+                        &waker,
+                        &inflight,
+                        &intro,
+                        cancel,
+                        &config,
+                        repl_shared.as_deref(),
                     )
                 })?,
         );
@@ -374,11 +417,13 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
                     &conn_count,
                     &intro,
                     &config,
+                    repl_runtime,
                 )
             })?
     };
 
-    let thread_count = 1 + workers + usize::from(reaper_thread.is_some());
+    let thread_count =
+        1 + workers + usize::from(reaper_thread.is_some()) + usize::from(dialer_thread.is_some());
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -391,6 +436,7 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
         io_thread: Some(io_thread),
         worker_threads,
         reaper_thread,
+        dialer_thread,
     })
 }
 
@@ -417,6 +463,7 @@ const READ_FAIRNESS_LIMIT: usize = 256 * 1024;
 /// At most this many accepts per iteration, for the same reason.
 const ACCEPT_BURST: usize = 128;
 
+#[allow(clippy::too_many_arguments)] // mirrors the server's fixed wiring
 fn io_loop(
     listener: &TcpListener,
     shutdown: &AtomicBool,
@@ -425,6 +472,7 @@ fn io_loop(
     conn_count: &AtomicUsize,
     intro: &Arc<IntroCtx>,
     config: &ServeConfig,
+    mut repl: Option<ReplRuntime>,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut batcher = Batcher::new(config.batch);
@@ -434,6 +482,7 @@ fn io_loop(
     let mut ready: Vec<Readiness> = Vec::new();
     let mut read_buf = vec![0u8; 64 * 1024];
     let mut completed_traces: Vec<RequestTrace> = Vec::new();
+    let mut live_links: Vec<usize> = Vec::new();
 
     while !shutdown.load(Ordering::SeqCst) {
         let now = Instant::now();
@@ -442,12 +491,30 @@ fn io_loop(
         }
         let accept_paused = accept_resume.is_some();
 
-        // Interest set: [listener, waker, conns...] in stable order.
+        // Adopt dialer-connected peer links and propose worker-computed
+        // results before building the interest set, so both get their
+        // frames queued (and polled for writability) this same pass.
+        if let Some(r) = repl.as_mut() {
+            r.drain_incoming();
+            r.drain_submits();
+        }
+
+        // Interest set: [listener, waker, conns..., peer links...] in
+        // stable order; `live_links` maps trailing slots back to links.
         interests.clear();
         interests.push((fd_of(listener), !accept_paused, false));
         interests.push((waker.fd(), true, false));
         for conn in &conns {
             interests.push((fd_of(&conn.stream), !conn.closing, conn.shared.has_output()));
+        }
+        live_links.clear();
+        if let Some(r) = repl.as_ref() {
+            for (slot, link) in r.links.iter().enumerate() {
+                if let Some(stream) = &link.stream {
+                    interests.push((fd_of(stream), true, link.shared.has_output()));
+                    live_links.push(slot);
+                }
+            }
         }
 
         let mut timeout = Duration::from_millis(50);
@@ -457,6 +524,7 @@ fn io_loop(
         if let Some(resume) = accept_resume {
             timeout = timeout.min(resume.saturating_duration_since(now));
         }
+        let polled_conns = conns.len();
         if wait(&interests, timeout, &mut ready).is_err() {
             // A failed poll is unrecoverable for this design; degrade
             // to a paced retry rather than a busy spin.
@@ -510,7 +578,8 @@ fn io_loop(
             }
         }
 
-        // Drain readable connections into the batcher.
+        // Drain readable connections into the batcher (peer frames are
+        // routed to the replication node inside the decode path).
         for (i, conn) in conns.iter_mut().enumerate() {
             let readiness = ready.get(i + 2).copied().unwrap_or_default();
             if conn.closing {
@@ -520,7 +589,7 @@ fn io_loop(
                 continue;
             }
             if readiness.readable {
-                read_connection(conn, &mut read_buf, &mut batcher, queue, intro);
+                read_connection(conn, &mut read_buf, &mut batcher, queue, intro, &mut repl);
             }
         }
 
@@ -550,6 +619,54 @@ fn io_loop(
                 conn.dead = true;
             }
         }
+        // Service peer links: a readable outbound link only ever means
+        // EOF or stray bytes (peers answer on their *own* dialed link,
+        // never ours); writability drains the queued frames.
+        if let Some(r) = repl.as_mut() {
+            let mut lost: Vec<usize> = Vec::new();
+            for (pos, &slot) in live_links.iter().enumerate() {
+                let readiness = ready
+                    .get(2 + polled_conns + pos)
+                    .copied()
+                    .unwrap_or_default();
+                let link = &mut r.links[slot];
+                let Some(stream) = link.stream.as_mut() else {
+                    continue;
+                };
+                let mut dead = readiness.hangup;
+                if readiness.readable && !dead {
+                    loop {
+                        match stream.read(&mut read_buf) {
+                            Ok(0) => {
+                                dead = true;
+                                break;
+                            }
+                            Ok(_) => {} // discard: nothing speaks here
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => {
+                                dead = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !dead && link.shared.has_output() && (!link.write_blocked || readiness.writable)
+                {
+                    match link.shared.flush(stream, &mut completed_traces) {
+                        Ok(flushed_all) => link.write_blocked = !flushed_all,
+                        Err(_) => dead = true,
+                    }
+                }
+                if dead {
+                    lost.push(slot);
+                }
+            }
+            for slot in lost {
+                r.drop_link(slot);
+            }
+        }
+
         for trace in completed_traces.drain(..) {
             intro.finalize(&trace);
         }
@@ -605,6 +722,7 @@ fn read_connection(
     batcher: &mut Batcher,
     queue: &JobQueue,
     intro: &Arc<IntroCtx>,
+    repl: &mut Option<ReplRuntime>,
 ) {
     // The trace origin for every frame completed by this read pass:
     // the closest observable moment to the request's bytes arriving.
@@ -619,7 +737,7 @@ fn read_connection(
             Ok(n) => {
                 conn.inbuf.extend_from_slice(&read_buf[..n]);
                 total += n;
-                decode_frames(conn, batcher, queue, intro, accepted);
+                decode_frames(conn, batcher, queue, intro, accepted, repl);
                 if conn.closing || conn.dead {
                     return;
                 }
@@ -647,10 +765,24 @@ fn decode_frames(
     queue: &JobQueue,
     intro: &Arc<IntroCtx>,
     accepted: Instant,
+    repl: &mut Option<ReplRuntime>,
 ) {
     loop {
         match conn.inbuf.next_frame() {
-            Ok(Some(doc)) => handle_request(&doc, &conn.shared, batcher, queue, intro, accepted),
+            Ok(Some(doc)) if wfc_repl::msg::is_repl_frame(&doc) => {
+                // Peer-protocol traffic shares the listener with
+                // clients; the `proto` field is the fork in the road.
+                handle_repl_frame(&conn.shared, &doc, repl);
+            }
+            Ok(Some(doc)) => handle_request(
+                &doc,
+                &conn.shared,
+                batcher,
+                queue,
+                intro,
+                accepted,
+                repl.as_ref(),
+            ),
             Ok(None) => return,
             Err(e) => {
                 conn.shared
@@ -659,6 +791,28 @@ fn decode_frames(
                 return;
             }
         }
+    }
+}
+
+/// Routes one inbound `wfc-repl/v1` frame. `status` is answered inline
+/// on the same connection — including on a server with replication
+/// off, which reports `enabled: false` instead of a protocol error, so
+/// `wfc cluster-status` can probe any node safely. Everything else is
+/// peer traffic for the node.
+fn handle_repl_frame(conn: &Arc<ConnShared>, doc: &Json, repl: &mut Option<ReplRuntime>) {
+    use wfc_spec::repl::msg as repl_msg;
+    if wfc_repl::msg::frame_type(doc) == Some(repl_msg::STATUS) {
+        let id = doc.get("id").and_then(Json::as_u64).unwrap_or(0);
+        let reply = match repl.as_ref() {
+            Some(r) => r.status_doc(id),
+            None => disabled_status(id),
+        };
+        conn.enqueue_json(&reply);
+        return;
+    }
+    match repl.as_mut() {
+        Some(r) => r.handle_frame(doc),
+        None => wfc_obs::counter!("repl.frames.ignored"),
     }
 }
 
@@ -674,6 +828,7 @@ fn bad_request(id: u64, message: &str) -> Response {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the server's fixed wiring
 fn handle_request(
     doc: &Json,
     conn: &Arc<ConnShared>,
@@ -681,6 +836,7 @@ fn handle_request(
     queue: &JobQueue,
     intro: &Arc<IntroCtx>,
     accepted: Instant,
+    repl: Option<&ReplRuntime>,
 ) {
     let request = match Request::from_json(doc) {
         Ok(request) => request,
@@ -707,7 +863,10 @@ fn handle_request(
         if let Some(t) = &mut trace {
             t.stamp(Stage::EngineStart);
         }
-        let result = intro.build_stats(queue, batcher.open_len());
+        let mut result = intro.build_stats(queue, batcher.open_len());
+        if let (Some(r), Json::Obj(fields)) = (repl, &mut result) {
+            fields.push(("repl".to_owned(), r.stats_section()));
+        }
         if let Some(t) = &mut trace {
             t.stamp(Stage::EngineDone);
             t.disposition = Disposition::Inline;
@@ -772,11 +931,12 @@ fn worker_loop(
     intro: &Arc<IntroCtx>,
     cancel: &'static AtomicBool,
     config: &ServeConfig,
+    repl: Option<&ReplShared>,
 ) {
     while let Some(batch) = queue.pop() {
         for entry in batch {
             compute_entry(
-                &entry, idx, cache, gate, waker, inflight, intro, cancel, config,
+                &entry, idx, cache, gate, waker, inflight, intro, cancel, config, repl,
             );
         }
     }
@@ -797,6 +957,7 @@ fn compute_entry(
     intro: &Arc<IntroCtx>,
     cancel: &'static AtomicBool,
     config: &ServeConfig,
+    repl: Option<&ReplShared>,
 ) {
     let mut respondents = entry.begin();
     if respondents.is_empty() {
@@ -822,7 +983,10 @@ fn compute_entry(
 
     let options = clamp_options(&entry.options, config);
     let token = CancelToken::new(cancel);
-    let outcome: Result<(Arc<Json>, bool), QueryError> = if entry.kind == QueryKind::Sched {
+    // The cache key and type name ride along with the result so a
+    // freshly computed entry can be handed to replication verbatim.
+    type Computed = (Arc<Json>, CacheOutcome, wfc_spec::hash::Hash128, String);
+    let outcome: Result<Computed, QueryError> = if entry.kind == QueryKind::Sched {
         // A sched request carries a fixture spec, not a type, and its
         // budgets live inside the spec — the canonical rendering is
         // the whole cache identity. The request deadline rides along
@@ -835,7 +999,7 @@ fn compute_entry(
                 .get_or_compute(key, entry.kind, &spec.target, || {
                     run_sched_with(&spec, token, wall)
                 })
-                .map(|(value, outcome)| (value, outcome.is_cached()))
+                .map(|(value, how)| (value, how, key, spec.target.clone()))
                 .map_err(|e| as_deadline(e, started, config))
         })
     } else {
@@ -847,19 +1011,34 @@ fn compute_entry(
                 .get_or_compute(key, entry.kind, ty.name(), || {
                     run_query(entry.kind, &ty, &opts)
                 })
-                .map(|(value, outcome)| (value, outcome.is_cached()))
+                .map(|(value, how)| (value, how, key, ty.name().to_owned()))
                 .map_err(|e| as_deadline(e, started, config))
         })
     };
     *inflight[idx].deadline.lock().unwrap() = None;
 
+    // A *computed* result is news to the cluster: queue it for the IO
+    // thread to propose. Cache hits were either replicated already or
+    // predate the cluster; re-proposing them would be noise (and the
+    // sequencer's key-dedup would drop it anyway).
+    if let (Some(repl), Ok((value, CacheOutcome::Computed, key, type_name))) = (repl, &outcome) {
+        repl.submit.lock().unwrap().push(wfc_repl::Entry {
+            key: key.to_hex(),
+            kind: entry.kind.as_str().to_owned(),
+            type_name: type_name.clone(),
+            result: (**value).clone(),
+        });
+        // The waker nudge at the end of this function covers the
+        // submit queue too.
+    }
+
     let obs = wfc_obs::enabled();
     let deadline_exceeded = matches!(&outcome, Err(e) if e.code() == "deadline-exceeded");
     for (i, mut respondent) in respondents.into_iter().enumerate() {
         let response = match &outcome {
-            Ok((value, cached)) => Response::Ok {
+            Ok((value, how, ..)) => Response::Ok {
                 id: respondent.id,
-                cached: *cached || i > 0,
+                cached: how.is_cached() || i > 0,
                 result: (**value).clone(),
             },
             Err(e) => error_response(respondent.id, e),
@@ -878,7 +1057,7 @@ fn compute_entry(
             trace.stamp(Stage::EngineDone);
             trace.disposition = match &outcome {
                 _ if i > 0 => Disposition::Coalesced,
-                Ok((_, cached)) if *cached => Disposition::CacheHit,
+                Ok((_, how, ..)) if how.is_cached() => Disposition::CacheHit,
                 _ => Disposition::Fresh,
             };
             trace.outcome = match &response {

@@ -684,6 +684,31 @@ pub fn validate_stats_json(doc: &Json) -> Result<(), String> {
             last_stamp = Some(us);
         }
     }
+    // Clustered servers append a `repl` section; standalone ones omit
+    // it. When present its core counters must be sane.
+    if let Some(repl) = doc.get("repl") {
+        if repl.as_obj().is_none() {
+            return Err("`repl` must be an object".to_owned());
+        }
+        for key in [
+            "node_id",
+            "sequencer",
+            "members",
+            "last_index",
+            "committed",
+            "applied",
+            "peers_connected",
+        ] {
+            field_u64(repl, "repl", key)?;
+        }
+        let committed = field_u64(repl, "repl", "committed")?;
+        let applied = field_u64(repl, "repl", "applied")?;
+        if applied > committed {
+            return Err(format!(
+                "repl: applied {applied} exceeds committed {committed}"
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -53,6 +53,7 @@ pub mod hash;
 mod history;
 mod ids;
 pub mod prng;
+pub mod repl;
 pub mod stage;
 pub mod text;
 pub mod triviality;

@@ -1,0 +1,70 @@
+//! The `wfc-repl/v1` replication wire schema: protocol tags, message
+//! type slugs, and persistence schema identifiers.
+//!
+//! The constants live here — in the bottom-of-stack spec crate — for
+//! the same reason the control plane's resource slugs do: every layer
+//! that touches the replication protocol (`wfc-repl` itself, the
+//! service frontend that routes its frames, the CLI that prints
+//! cluster status, and `report --check` validating captured frames)
+//! must agree on the exact strings, and none of those crates should
+//! have to depend on another's internals to get them.
+
+/// The peer/status protocol tag carried in every replication frame.
+pub const PROTO: &str = "wfc-repl/v1";
+
+/// Schema tag of the durable snapshot file (`snapshot.json`).
+pub const SNAPSHOT_SCHEMA: &str = "wfc-repl-snap/v1";
+
+/// Message `type` slugs of the `wfc-repl/v1` protocol, in protocol
+/// order: handshake, proposal, replication, acknowledgement, commit,
+/// and the two introspection frames.
+pub mod msg {
+    /// Link handshake: `{from, last_index}` — sent on every freshly
+    /// established outbound link; the sequencer answers with catch-up.
+    pub const HELLO: &str = "hello";
+    /// A follower asking the sequencer to order an entry.
+    pub const PROPOSE: &str = "propose";
+    /// The sequencer replicating an ordered entry: `{index, entry}`.
+    pub const APPEND: &str = "append";
+    /// A follower confirming a durable append: `{from, index}`.
+    pub const ACK: &str = "ack";
+    /// The sequencer announcing a majority-durable entry.
+    pub const COMMIT: &str = "commit";
+    /// A client asking a node for its replication status.
+    pub const STATUS: &str = "status";
+    /// The node's answer to [`STATUS`].
+    pub const STATUS_REPLY: &str = "status-reply";
+}
+
+/// Stable error slugs surfaced by the replication layer.
+pub mod error {
+    /// A WAL suffix failed its CRC/framing check and was truncated.
+    pub const WAL_CORRUPT: &str = "wal-corrupt";
+    /// A snapshot file failed validation and was ignored.
+    pub const SNAPSHOT_CORRUPT: &str = "snapshot-corrupt";
+    /// A peer frame that could not be routed (unknown type, bad shape).
+    pub const BAD_PEER_FRAME: &str = "bad-peer-frame";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn slugs_are_distinct_and_stable() {
+        let all = [
+            super::msg::HELLO,
+            super::msg::PROPOSE,
+            super::msg::APPEND,
+            super::msg::ACK,
+            super::msg::COMMIT,
+            super::msg::STATUS,
+            super::msg::STATUS_REPLY,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(super::PROTO, "wfc-repl/v1");
+        assert_eq!(super::SNAPSHOT_SCHEMA, "wfc-repl-snap/v1");
+    }
+}

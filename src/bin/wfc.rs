@@ -20,7 +20,14 @@
 //!                                 one-shot live-introspection snapshot
 //! wfc top --addr HOST:PORT [flags]
 //!                                 live refreshing view of a server
+//! wfc cluster-status --addr HOST:PORT
+//!                                 one node's wfc-repl/v1 replication status
 //! ```
+//!
+//! `query`, `stats`, `sched --addr`, and `cluster-status` accept
+//! `--addr` more than once plus `--retries N`: the client rotates
+//! through the addresses and backs off between passes, so a cluster
+//! answers as long as any one node is up.
 //!
 //! Type files use the `wfc-spec::text` format; see `wfc zoo` for
 //! examples. The JSON-producing subcommands (`access-bounds`,
@@ -36,14 +43,14 @@ use std::time::Duration;
 
 use wait_free_consensus::prelude::*;
 use wfc_obs::json::Json;
-use wfc_service::{Client, QueryKind, QueryOptions, Response, ServeConfig, PROTO};
+use wfc_service::{Client, QueryKind, QueryOptions, ReplConfig, Response, ServeConfig, PROTO};
 use wfc_spec::control::{CancelToken, Wall};
 use wfc_spec::text::{format_type, parse_type};
 use wfc_spec::FiniteType;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | regular | broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n            [--batch-size N] [--batch-delay-us N] [--batch-adaptive on|off]\n            [--max-connections N] [--flight-capacity N]\n            [--anomaly-threshold-ms N]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)\n  wfc loadgen --addr HOST:PORT [--connections N] [--pipeline N]\n              [--duration-ms N] [--rate N] [--mode closed|open|both]\n              [--out FILE]\n  wfc stats --addr HOST:PORT [--json]\n  wfc top --addr HOST:PORT [--interval-ms N] [--iterations N]\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
+        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | repl | regular | broken | repl_broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n            [--batch-size N] [--batch-delay-us N] [--batch-adaptive on|off]\n            [--max-connections N] [--flight-capacity N]\n            [--anomaly-threshold-ms N]\n            [--node-id N --data-dir DIR [--peer ID=HOST:PORT ...]\n             [--compact-threshold N]]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)\n  wfc loadgen --addr HOST:PORT [--connections N] [--pipeline N]\n              [--duration-ms N] [--rate N] [--mode closed|open|both]\n              [--out FILE]\n  wfc stats --addr HOST:PORT [--json]\n  wfc top --addr HOST:PORT [--interval-ms N] [--iterations N]\n  wfc cluster-status --addr HOST:PORT [--json]\n\n  `query`, `stats`, `sched --addr`, and `cluster-status` accept --addr\n  repeatedly plus --retries N: addresses are tried in rotation with a\n  capped exponential backoff between passes.\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
     );
     ExitCode::from(2)
 }
@@ -216,6 +223,16 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every occurrence of a repeatable flag (`--peer`, `--addr`), in
+    /// order.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.0
+            .iter()
+            .filter(|(f, _)| f == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     fn get_usize(&self, name: &str, default: usize) -> Result<usize, Box<dyn Error>> {
         match self.get(name) {
             None => Ok(default),
@@ -386,10 +403,19 @@ fn cmd_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
             0 => None,
             ms => Some(Duration::from_millis(ms as u64)),
         },
+        repl: parse_repl_flags(&flags)?,
         ..defaults
     };
+    let clustered = config.repl.is_some();
     let handle = wfc_service::serve(config)?;
-    println!("listening on {} ({PROTO})", handle.addr());
+    match clustered {
+        true => println!(
+            "listening on {} ({PROTO}, {})",
+            handle.addr(),
+            wfc_repl::PROTO
+        ),
+        false => println!("listening on {} ({PROTO})", handle.addr()),
+    }
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     sig::install();
@@ -401,6 +427,123 @@ fn cmd_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
         wfc_obs::report::RunReport::collect("wfc-serve").emit();
     }
     Ok(())
+}
+
+/// Replication flags for `wfc serve`: `--node-id N --data-dir DIR`
+/// turn clustering on, `--peer ID=HOST:PORT` (repeatable) names the
+/// other members. A solo node (no peers) is a valid one-member cluster
+/// — it still gets the WAL and crash recovery.
+fn parse_repl_flags(flags: &Flags) -> Result<Option<ReplConfig>, Box<dyn Error>> {
+    let node_id = flags.get_u64_opt("--node-id")?;
+    let data_dir = flags.get("--data-dir");
+    let peer_args = flags.get_all("--peer");
+    let (Some(node_id), Some(data_dir)) = (node_id, data_dir) else {
+        if node_id.is_some() || data_dir.is_some() || !peer_args.is_empty() {
+            return Err("clustered serve needs both --node-id N and --data-dir DIR".into());
+        }
+        return Ok(None);
+    };
+    let mut peers = Vec::new();
+    for spec in peer_args {
+        let (id, addr) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--peer wants ID=HOST:PORT, got `{spec}`"))?;
+        let id: u64 = id
+            .parse()
+            .map_err(|_| format!("--peer member id must be an integer, got `{id}`"))?;
+        if id == node_id {
+            return Err(format!("--peer {spec} names this node's own id").into());
+        }
+        peers.push((id, addr.to_owned()));
+    }
+    Ok(Some(ReplConfig {
+        node_id,
+        peers,
+        data_dir: data_dir.into(),
+        compact_threshold: flags.get_usize("--compact-threshold", 1024)? as u64,
+    }))
+}
+
+/// Connects to the first reachable `--addr` (repeatable), retrying
+/// `--retries` extra passes with capped exponential backoff — the
+/// client half of cluster failover.
+fn connect_cluster(flags: &Flags, who: &str) -> Result<Client, Box<dyn Error>> {
+    let addrs: Vec<String> = flags
+        .get_all("--addr")
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    if addrs.is_empty() {
+        return Err(format!("`{who}` needs --addr HOST:PORT").into());
+    }
+    // The default rides out a freshly spawned server's bind (the old
+    // 10-second connect_retry contract): 12 passes back off
+    // 2,4,…,1024 ms (capped), about five seconds in total.
+    let retries = flags.get_usize("--retries", 12)? as u32;
+    Client::connect_failover(&addrs, retries)
+        .map_err(|e| format!("cannot connect to {}: {e}", addrs.join(", ")).into())
+}
+
+/// `cluster-status`: ask one node (with failover) for its `wfc-repl/v1`
+/// status frame, validate it, and print it.
+fn cmd_cluster_status(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let mut rest: Vec<String> = rest.to_vec();
+    let json = match rest.iter().position(|a| a == "--json") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    let flags = Flags::parse(&rest)?;
+    let mut client = connect_cluster(&flags, "wfc cluster-status")?;
+    client.send_doc(&wfc_repl::msg::status_request(1))?;
+    let reply = client.recv_doc()?;
+    wfc_repl::msg::validate_status_json(&reply)
+        .map_err(|e| format!("malformed status reply: {e}"))?;
+    if json {
+        println!("{}", reply.render());
+        return Ok(ExitCode::SUCCESS);
+    }
+    if !matches!(reply.get("enabled"), Some(Json::Bool(true))) {
+        println!("replication: disabled");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let u = |key: &str| reply.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let members = reply
+        .get("members")
+        .and_then(Json::as_arr)
+        .map(|m| {
+            m.iter()
+                .filter_map(Json::as_u64)
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .unwrap_or_default();
+    println!(
+        "node {} of [{}]  sequencer {}{}",
+        u("node_id"),
+        members,
+        u("sequencer"),
+        if u("node_id") == u("sequencer") {
+            " (this node)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "log: last index {}  committed {}  applied {}",
+        u("last_index"),
+        u("committed"),
+        u("applied")
+    );
+    println!(
+        "peers connected: {}  wal records: {}",
+        u("peers_connected"),
+        u("wal_records")
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `loadgen`: drive a running server with the built-in traffic mixes
@@ -574,11 +717,7 @@ fn cmd_stats(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         None => false,
     };
     let flags = Flags::parse(&rest)?;
-    let addr = flags
-        .get("--addr")
-        .ok_or("`wfc stats` needs --addr HOST:PORT")?;
-    let mut client = Client::connect_retry(addr, Duration::from_secs(10))
-        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let mut client = connect_cluster(&flags, "wfc stats")?;
     let doc = fetch_stats(&mut client)?;
     if json {
         println!("{}", doc.render());
@@ -637,23 +776,20 @@ fn cmd_query(kind_name: &str, path: &str, rest: &[String]) -> Result<ExitCode, B
         QueryKind::parse(kind_name).ok_or_else(|| format!("unknown query kind `{kind_name}`"))?;
     let flags = Flags::parse(rest)?;
     let control = ControlFlags::parse(&flags)?;
-    let addr = flags
-        .get("--addr")
-        .ok_or("`wfc query` needs --addr HOST:PORT")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    served_query(kind, &src, &control.options, addr)
+    served_query(kind, &src, &control.options, &flags, "wfc query")
 }
 
-/// Sends one query to a server and prints the response; shared by
-/// `wfc query` and `wfc sched --addr`.
+/// Sends one query to a server (with address failover) and prints the
+/// response; shared by `wfc query` and `wfc sched --addr`.
 fn served_query(
     kind: QueryKind,
     text: &str,
     options: &QueryOptions,
-    addr: &str,
+    flags: &Flags,
+    who: &str,
 ) -> Result<ExitCode, Box<dyn Error>> {
-    let mut client = Client::connect_retry(addr, Duration::from_secs(10))
-        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let mut client = connect_cluster(flags, who)?;
     let response = client.query(kind, text, options)?;
     match &response {
         Response::Ok { result, cached, .. } => {
@@ -705,7 +841,13 @@ fn cmd_sched(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     // grammar, so the flags override any in-line spelling.
     let text = spec_words.join(" ") + &control.sched_suffix();
     match flags.get("--addr") {
-        Some(addr) => served_query(QueryKind::Sched, &text, &QueryOptions::default(), addr),
+        Some(_) => served_query(
+            QueryKind::Sched,
+            &text,
+            &QueryOptions::default(),
+            &flags,
+            "wfc sched",
+        ),
         None => {
             let doc = wfc_service::run_query_text_with(
                 QueryKind::Sched,
@@ -746,6 +888,7 @@ fn main() -> ExitCode {
         [cmd, rest @ ..] if cmd == "loadgen" => cmd_loadgen(rest),
         [cmd, rest @ ..] if cmd == "stats" => cmd_stats(rest),
         [cmd, rest @ ..] if cmd == "top" => cmd_top(rest),
+        [cmd, rest @ ..] if cmd == "cluster-status" => cmd_cluster_status(rest),
         [cmd, kind, path, rest @ ..] if cmd == "query" => cmd_query(kind, path, rest),
         _ => return usage(),
     };

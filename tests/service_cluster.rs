@@ -1,0 +1,323 @@
+//! Acceptance tests for `wfc-repl` clustering: N `wfc serve` nodes
+//! agree on cache contents through the replicated log, recover them
+//! from the WAL after a restart, and stay reachable through client
+//! failover — all pinned against the byte-identical-results contract
+//! of `tests/service_differential.rs`.
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use wfc_obs::json::Json;
+use wfc_service::{
+    serve, Client, QueryKind, QueryOptions, ReplConfig, Response, ServeConfig, ServerHandle,
+};
+use wfc_spec::text::format_type;
+
+fn tas_text() -> String {
+    format_type(&wfc_spec::canonical::test_and_set(2))
+}
+
+fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Reserves `n` distinct loopback addresses. The listeners are dropped
+/// before the servers bind them — a tiny race, standard for tests that
+/// must know peer addresses before any peer exists.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+/// A running N-node cluster over per-node temp data directories.
+struct Cluster {
+    addrs: Vec<String>,
+    handles: Vec<Option<ServerHandle>>,
+    base: PathBuf,
+}
+
+impl Cluster {
+    fn start(tag: &str, n: usize, cache_dirs: bool) -> Cluster {
+        let base = std::env::temp_dir().join(format!("wfc-cluster-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let addrs = reserve_addrs(n);
+        let handles = (0..n)
+            .map(|i| Some(Self::spawn_node(&base, &addrs, i, cache_dirs)))
+            .collect();
+        Cluster {
+            addrs,
+            handles,
+            base,
+        }
+    }
+
+    fn node_config(base: &Path, addrs: &[String], i: usize, cache_dirs: bool) -> ServeConfig {
+        let peers = addrs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(j, addr)| (j as u64 + 1, addr.clone()))
+            .collect();
+        ServeConfig {
+            addr: addrs[i].clone(),
+            workers: 2,
+            cache_dir: cache_dirs.then(|| base.join(format!("cache{i}"))),
+            repl: Some(ReplConfig {
+                node_id: i as u64 + 1,
+                peers,
+                data_dir: base.join(format!("node{i}")),
+                compact_threshold: 1024,
+            }),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn spawn_node(base: &Path, addrs: &[String], i: usize, cache_dirs: bool) -> ServerHandle {
+        serve(Self::node_config(base, addrs, i, cache_dirs)).unwrap()
+    }
+
+    fn client(&self, i: usize) -> Client {
+        Client::connect_retry(self.addrs[i].as_str(), Duration::from_secs(10)).unwrap()
+    }
+
+    /// One node's `repl` stats section (from the `wfc-stats/v1` frame).
+    fn repl_stats(&self, i: usize) -> Json {
+        let mut client = self.client(i);
+        match client
+            .query(QueryKind::Stats, "", &QueryOptions::default())
+            .unwrap()
+        {
+            Response::Ok { result, .. } => {
+                wfc_service::validate_stats_json(&result).expect("stats frame validates");
+                result
+                    .get("repl")
+                    .expect("clustered stats carry repl")
+                    .clone()
+            }
+            other => panic!("unexpected stats reply: {other:?}"),
+        }
+    }
+
+    fn applied(&self, i: usize) -> u64 {
+        self.repl_stats(i)
+            .get("applied")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    }
+
+    fn stop(&mut self, i: usize) {
+        if let Some(handle) = self.handles[i].take() {
+            handle.shutdown();
+        }
+    }
+
+    fn restart(&mut self, i: usize, cache_dirs: bool) {
+        assert!(self.handles[i].is_none(), "stop node {i} before restart");
+        self.handles[i] = Some(Self::spawn_node(&self.base, &self.addrs, i, cache_dirs));
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for handle in self.handles.iter_mut() {
+            if let Some(handle) = handle.take() {
+                handle.shutdown();
+            }
+        }
+        let _ = std::fs::remove_dir_all(&self.base);
+    }
+}
+
+fn query_ok(client: &mut Client, kind: QueryKind, text: &str) -> (bool, String) {
+    match client.query(kind, text, &QueryOptions::default()).unwrap() {
+        Response::Ok { cached, result, .. } => (cached, result.render()),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// The tentpole's acceptance criterion: an entry committed on one node
+/// is readable from every node — a query answered anywhere warms all
+/// replicas, and the replicated bytes are identical to the direct
+/// engine result.
+#[test]
+fn entry_committed_on_one_node_is_readable_from_all() {
+    let mut cluster = Cluster::start("warm", 3, false);
+    let tas = tas_text();
+    let direct =
+        wfc_service::run_query_text(QueryKind::AccessBounds, &tas, &QueryOptions::default())
+            .unwrap()
+            .render();
+
+    let mut c0 = cluster.client(0);
+    let (cached, bytes) = query_ok(&mut c0, QueryKind::AccessBounds, &tas);
+    assert!(!cached, "first query computes fresh");
+    assert_eq!(bytes, direct, "served bytes must match the direct call");
+
+    // The commit pipeline needs every link up and a majority of acks;
+    // wait for the entry to be applied everywhere.
+    for i in 0..3 {
+        wait_until("replication to all nodes", || cluster.applied(i) >= 1);
+    }
+    for i in 1..3 {
+        let mut c = cluster.client(i);
+        let (cached, bytes) = query_ok(&mut c, QueryKind::AccessBounds, &tas);
+        assert!(
+            cached,
+            "node {i} must serve the replicated entry from cache"
+        );
+        assert_eq!(bytes, direct, "node {i} replicated different bytes");
+    }
+    cluster.stop(0);
+}
+
+/// Crash recovery: a node with *no* disk cache tier rebuilds its cache
+/// from the WAL alone — restart it and the committed entry is still
+/// served cached, byte-identical.
+#[test]
+fn restarted_node_recovers_committed_entries_from_wal() {
+    let mut cluster = Cluster::start("recover", 3, false);
+    let tas = tas_text();
+    let mut c0 = cluster.client(0);
+    let (_, bytes) = query_ok(&mut c0, QueryKind::Classify, &tas);
+    for i in 0..3 {
+        wait_until("replication to all nodes", || cluster.applied(i) >= 1);
+    }
+    drop(c0);
+
+    // Bounce node 2 (a follower). Its memory cache dies with it; only
+    // the WAL survives.
+    cluster.stop(2);
+    cluster.restart(2, false);
+    let mut c2 = cluster.client(2);
+    let (cached, recovered) = query_ok(&mut c2, QueryKind::Classify, &tas);
+    assert!(cached, "the entry must come back from WAL recovery");
+    assert_eq!(recovered, bytes, "recovery changed the bytes");
+
+    // And the restarted node reports its recovered log in its status.
+    let stats = cluster.repl_stats(2);
+    assert!(stats.get("applied").and_then(Json::as_u64).unwrap_or(0) >= 1);
+}
+
+/// Restarting the *sequencer* (lowest id) recovers too, and the cluster
+/// commits new entries again once it is back.
+#[test]
+fn restarted_sequencer_resumes_committing() {
+    let mut cluster = Cluster::start("seq", 3, false);
+    let tas = tas_text();
+    let mut c0 = cluster.client(0);
+    let (_, first) = query_ok(&mut c0, QueryKind::Classify, &tas);
+    for i in 0..3 {
+        wait_until("replication of the first entry", || cluster.applied(i) >= 1);
+    }
+    drop(c0);
+    cluster.stop(0);
+    cluster.restart(0, false);
+
+    // The recovered sequencer still serves the old entry...
+    let mut c0 = cluster.client(0);
+    let (cached, recovered) = query_ok(&mut c0, QueryKind::Classify, &tas);
+    assert!(cached && recovered == first, "sequencer lost the entry");
+
+    // ...and commits new ones proposed via a follower.
+    let mut c1 = cluster.client(1);
+    let (cached, _) = query_ok(&mut c1, QueryKind::AccessBounds, &tas);
+    assert!(!cached, "new entry computes fresh on the follower");
+    for i in 0..3 {
+        wait_until("replication of the second entry", || {
+            cluster.applied(i) >= 2
+        });
+    }
+}
+
+/// `Client::connect_failover` rotates past a dead address to a live
+/// node — the client half of crash tolerance.
+#[test]
+fn client_failover_skips_dead_nodes() {
+    // A reserved-then-dropped address refuses connections.
+    let dead = reserve_addrs(1).remove(0);
+    let handle = serve(ServeConfig::default()).unwrap();
+    let live = handle.addr().to_string();
+
+    let addrs = vec![dead.clone(), live];
+    let mut client = Client::connect_failover(&addrs, 2).unwrap();
+    let (_, bytes) = query_ok(&mut client, QueryKind::Classify, &tas_text());
+    assert!(!bytes.is_empty());
+
+    // All-dead fails with the underlying error after the retries.
+    let err = Client::connect_failover(&[dead], 0);
+    assert!(err.is_err(), "a dead address must fail");
+    handle.shutdown();
+}
+
+/// The `wfc-repl/v1` status exchange: a clustered node answers a
+/// `status` frame with a validating `status-reply`; a standalone server
+/// answers `enabled: false`.
+#[test]
+fn status_frames_validate_on_and_off_cluster() {
+    let mut cluster = Cluster::start("status", 3, false);
+    let mut client = cluster.client(1);
+    client.send_doc(&wfc_repl::msg::status_request(7)).unwrap();
+    let reply = client.recv_doc().unwrap();
+    wfc_repl::msg::validate_status_json(&reply).expect("clustered status validates");
+    assert_eq!(reply.get("node_id").and_then(Json::as_u64), Some(2));
+    assert_eq!(reply.get("sequencer").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("id").and_then(Json::as_u64), Some(7));
+    cluster.stop(0);
+
+    let handle = serve(ServeConfig::default()).unwrap();
+    let mut solo = Client::connect(handle.addr()).unwrap();
+    solo.send_doc(&wfc_repl::msg::status_request(1)).unwrap();
+    let reply = solo.recv_doc().unwrap();
+    wfc_repl::msg::validate_status_json(&reply).expect("disabled status validates");
+    assert_eq!(reply.get("enabled"), Some(&Json::Bool(false)));
+    handle.shutdown();
+}
+
+/// With observability off, replication must add **zero** registry
+/// entries — the obs contract every subsystem in this repo keeps.
+#[test]
+fn repl_adds_no_registry_entries_when_obs_is_off() {
+    if wfc_obs::enabled() {
+        return; // an obs-enabled environment invalidates the premise
+    }
+    let cluster = Cluster::start("obs-off", 3, false);
+    let tas = tas_text();
+    let mut c0 = cluster.client(0);
+    let _ = query_ok(&mut c0, QueryKind::Classify, &tas);
+    for i in 0..3 {
+        wait_until("replication to all nodes", || cluster.applied(i) >= 1);
+    }
+    drop(c0);
+    drop(cluster);
+    let snapshot = wfc_obs::metrics::Registry::global().snapshot();
+    let repl_counters: Vec<&String> = snapshot
+        .counters
+        .iter()
+        .map(|(name, _)| name)
+        .filter(|name| name.starts_with("repl."))
+        .collect();
+    assert!(
+        repl_counters.is_empty(),
+        "obs off, yet repl registered: {repl_counters:?}"
+    );
+    let repl_gauges: Vec<&String> = snapshot
+        .gauges
+        .iter()
+        .map(|(name, _)| name)
+        .filter(|name| name.starts_with("repl."))
+        .collect();
+    assert!(
+        repl_gauges.is_empty(),
+        "obs off, yet repl registered: {repl_gauges:?}"
+    );
+}

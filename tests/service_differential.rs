@@ -368,6 +368,80 @@ fn disk_cache_survives_server_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Replication keeps the byte-identity contract across nodes: a query
+/// computed on node A and replicated to node B is served from B's
+/// cache with exactly the bytes of the direct engine call.
+#[test]
+fn replicated_results_are_byte_identical_to_direct_calls() {
+    use wfc_service::ReplConfig;
+    let base = std::env::temp_dir().join(format!("wfc-svc-diff-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    // Two nodes on pre-reserved loopback ports.
+    let addrs: Vec<String> = {
+        let listeners: Vec<std::net::TcpListener> = (0..2)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        listeners
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect()
+    };
+    let node = |i: usize| ServeConfig {
+        addr: addrs[i].clone(),
+        repl: Some(ReplConfig {
+            node_id: i as u64 + 1,
+            peers: vec![(2 - i as u64, addrs[1 - i].clone())],
+            data_dir: base.join(format!("node{i}")),
+            compact_threshold: 1024,
+        }),
+        ..local_config()
+    };
+    let a = serve(node(0)).unwrap();
+    let b = serve(node(1)).unwrap();
+
+    let tas = tas_text();
+    let options = QueryOptions::default();
+    let direct = wfc_service::run_query_text(QueryKind::Theorem5, &tas, &options)
+        .unwrap()
+        .render();
+    let mut client_a = Client::connect_retry(addrs[0].as_str(), Duration::from_secs(10)).unwrap();
+    match client_a.query(QueryKind::Theorem5, &tas, &options).unwrap() {
+        Response::Ok { cached, result, .. } => {
+            assert!(!cached, "node A computes fresh");
+            assert_eq!(result.render(), direct, "node A bytes differ from direct");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Wait for node B to *apply* the replicated entry (visible in its
+    // stats), then query it: the answer must be a cache hit — the
+    // replicated entry, not B recomputing — with the direct bytes.
+    let mut client_b = Client::connect_retry(addrs[1].as_str(), Duration::from_secs(10)).unwrap();
+    wait_until("replication to node B", || {
+        match client_b.query(QueryKind::Stats, "", &options).unwrap() {
+            Response::Ok { result, .. } => result
+                .get("repl")
+                .and_then(|r| r.get("applied"))
+                .and_then(|a| a.as_u64())
+                .unwrap_or(0)
+                .ge(&1),
+            other => panic!("unexpected stats reply {other:?}"),
+        }
+    });
+    match client_b.query(QueryKind::Theorem5, &tas, &options).unwrap() {
+        Response::Ok { cached, result, .. } => {
+            assert!(
+                cached,
+                "node B must serve the replicated entry, not recompute"
+            );
+            assert_eq!(result.render(), direct, "node B bytes differ from direct");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    a.shutdown();
+    b.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// The reaper turns an expired per-request deadline into a structured
 /// `deadline-exceeded` error: the deadline as `budget`, the elapsed
 /// milliseconds as `used`, `wall-ms` as the resource, and a `partial`
