@@ -72,6 +72,8 @@ fn json_files(dir: &Path, prefix: &str) -> Vec<PathBuf> {
 /// query) go to the stats validator,
 /// `wfc-repl/v1` status frames (captured by the cluster smoke script)
 /// go to the replication status validator,
+/// `wfc-scenario/v1` documents (produced by `wfc scenario run` and the
+/// served `scenario` query) go to the scenario validator,
 /// `wfc-svc/v1` frames (responses captured by smoke scripts — notably
 /// `deadline-exceeded` errors, whose `budget`/`used`/`resource`/
 /// `partial` shape the wire validator enforces) go to the response
@@ -83,6 +85,8 @@ fn load_report(path: &Path) -> Result<wfc_obs::json::Json, String> {
         wfc_service::validate_cache_json(&doc)?;
     } else if doc.get("schema").and_then(|s| s.as_str()) == Some(wfc_service::STATS_SCHEMA) {
         wfc_service::validate_stats_json(&doc)?;
+    } else if doc.get("schema").and_then(|s| s.as_str()) == Some(wfc_scenario::SCHEMA) {
+        wfc_scenario::validate_scenario_json(&doc)?;
     } else if doc.get("proto").and_then(|s| s.as_str()) == Some(wfc_repl::PROTO) {
         wfc_repl::msg::validate_status_json(&doc)?;
     } else if doc.get("proto").and_then(|s| s.as_str()) == Some(wfc_service::PROTO) {
@@ -95,8 +99,9 @@ fn load_report(path: &Path) -> Result<wfc_obs::json::Json, String> {
 
 /// `--check [dir]`: every `.json` file in `dir` must be a valid
 /// `wfc-obs/v1` run report, `wfc-svc-cache/v1` cache document,
-/// `wfc-stats/v1` introspection snapshot, `wfc-repl/v1` status frame,
-/// or `wfc-svc/v1` response frame.
+/// `wfc-stats/v1` introspection snapshot, `wfc-scenario/v1` scenario
+/// document, `wfc-repl/v1` status frame, or `wfc-svc/v1` response
+/// frame.
 fn check_reports(dir: &Path) -> Result<(), Box<dyn Error>> {
     if !dir.is_dir() {
         return Err(format!(

@@ -45,9 +45,10 @@ pub use native::{
 };
 pub use spec_protocols::{
     binary_input_vectors, cas_announce_consensus_system, cas_consensus_system,
-    fetch_add_consensus_system, queue_consensus_system, stack_consensus_system,
-    sticky_consensus_system, swap_consensus_system, tas_consensus_system,
-    verify_consensus_protocol, ConsensusSystem, ProtocolVerdict, SrswRegisterInfo,
+    fetch_add_consensus_system, mpr2_consensus_system, queue_consensus_system,
+    shift2_consensus_system, stack_consensus_system, sticky_consensus_system,
+    swap_consensus_system, tas_consensus_system, verify_consensus_protocol, ConsensusSystem,
+    ProtocolVerdict, SrswRegisterInfo,
 };
 pub use universal::{UniversalHandle, UniversalObject};
 

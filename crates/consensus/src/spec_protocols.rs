@@ -377,6 +377,158 @@ pub fn swap_consensus_system(inputs: [bool; 2]) -> ConsensusSystem {
     }
 }
 
+/// Two-process consensus from one 2-bit shift register (init `"01"`) and
+/// two SRSW announce registers (Aspnes 2025: consensus number of a
+/// `w`-bit shift register is exactly `w`).
+///
+/// Process 0 shifts **left**, process 1 shifts **right**; each shift
+/// returns the new contents, which encode who moved first:
+///
+/// * P0 first: `"01" —shl→ "10"` (P0 sees `10`, wins); a later
+///   `shr` yields `"01"` (P1 sees `01`, loses).
+/// * P1 first: `"01" —shr→ "00"` (P1 sees `00`, wins); a later
+///   `shl` stays `"00"` (P0 sees `00`, loses).
+///
+/// The winner decides its own input; the loser reads the winner's
+/// announce register.
+pub fn shift2_consensus_system(inputs: [bool; 2]) -> ConsensusSystem {
+    let reg = Arc::new(canonical::boolean_register(2));
+    let shift = Arc::new(canonical::shift_register(2, 2));
+    let v0 = reg.state_id("v0").unwrap();
+    let init = shift.state_id("01").unwrap();
+    let read = reg.invocation_id("read").unwrap().index() as i64;
+    let write_inv = |v: bool| {
+        reg.invocation_id(if v { "write1" } else { "write0" })
+            .unwrap()
+            .index() as i64
+    };
+    let shl = shift.invocation_id("shl").unwrap().index() as i64;
+    let shr = shift.invocation_id("shr").unwrap().index() as i64;
+    // Losing responses: P0's shl yields "00" iff P1 shifted first;
+    // P1's shr yields "01" iff P0 shifted first.
+    let resp = |name: &str| shift.response_id(name).unwrap().index() as i64;
+    let lost_resp = [resp("00"), resp("01")];
+    let announce = |p: usize| {
+        let mut ports = vec![None, None];
+        ports[p] = Some(PortId::new(0));
+        ports[1 - p] = Some(PortId::new(1));
+        ObjectInstance::new(Arc::clone(&reg), v0, ports)
+    };
+    let objects = vec![
+        announce(0),
+        announce(1),
+        ObjectInstance::identity_ports(shift, init, 2),
+    ];
+    let program = |me: usize, input: bool| {
+        let op = if me == 0 { shl } else { shr };
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        let lost = b.var("lost");
+        let win = b.fresh_label();
+        b.invoke(me as i64, write_inv(input), None);
+        b.invoke(2_i64, op, Some(r));
+        b.compute(lost, r, BinOp::Eq, lost_resp[me]);
+        b.jump_if_zero(lost, win);
+        b.invoke(1 - me as i64, read, Some(r));
+        b.ret(r);
+        b.bind(win);
+        b.ret(i64::from(input));
+        b.build().expect("well-formed protocol program")
+    };
+    ConsensusSystem {
+        system: System::new(objects, vec![program(0, inputs[0]), program(1, inputs[1])]),
+        registers: vec![
+            SrswRegisterInfo {
+                obj: 0,
+                writer_process: 0,
+                reader_process: 1,
+                init: false,
+            },
+            SrswRegisterInfo {
+                obj: 1,
+                writer_process: 1,
+                reader_process: 0,
+                init: false,
+            },
+        ],
+        inputs: inputs.to_vec(),
+    }
+}
+
+/// Two-process consensus from one MPR 2-sliding-window register (init
+/// `"⟨⟩"`) and two SRSW announce registers (Mostéfaoui–Perrin–Raynal:
+/// the `k`-sliding-window register has consensus number exactly `k`).
+///
+/// Each process appends its identity as a marker (`write0` for P0,
+/// `write1` for P1) and reads the window; with at most two writes the
+/// window's **oldest** entry names the first writer, who wins. P0 lost
+/// iff it reads `⟨1,0⟩`; P1 lost iff it reads `⟨0,1⟩`. The loser reads
+/// the winner's announce register.
+pub fn mpr2_consensus_system(inputs: [bool; 2]) -> ConsensusSystem {
+    let reg = Arc::new(canonical::boolean_register(2));
+    let mpr = Arc::new(canonical::mpr(2, 2));
+    let v0 = reg.state_id("v0").unwrap();
+    let empty = mpr.state_id("⟨⟩").unwrap();
+    let read = reg.invocation_id("read").unwrap().index() as i64;
+    let write_inv = |v: bool| {
+        reg.invocation_id(if v { "write1" } else { "write0" })
+            .unwrap()
+            .index() as i64
+    };
+    let mark = [
+        mpr.invocation_id("write0").unwrap().index() as i64,
+        mpr.invocation_id("write1").unwrap().index() as i64,
+    ];
+    let window_read = mpr.invocation_id("read").unwrap().index() as i64;
+    let resp = |name: &str| mpr.response_id(name).unwrap().index() as i64;
+    let lost_resp = [resp("⟨1,0⟩"), resp("⟨0,1⟩")];
+    let announce = |p: usize| {
+        let mut ports = vec![None, None];
+        ports[p] = Some(PortId::new(0));
+        ports[1 - p] = Some(PortId::new(1));
+        ObjectInstance::new(Arc::clone(&reg), v0, ports)
+    };
+    let objects = vec![
+        announce(0),
+        announce(1),
+        ObjectInstance::identity_ports(mpr, empty, 2),
+    ];
+    let program = |me: usize, input: bool| {
+        let mut b = ProgramBuilder::new();
+        let r = b.var("r");
+        let lost = b.var("lost");
+        let win = b.fresh_label();
+        b.invoke(me as i64, write_inv(input), None);
+        b.invoke(2_i64, mark[me], None);
+        b.invoke(2_i64, window_read, Some(r));
+        b.compute(lost, r, BinOp::Eq, lost_resp[me]);
+        b.jump_if_zero(lost, win);
+        b.invoke(1 - me as i64, read, Some(r));
+        b.ret(r);
+        b.bind(win);
+        b.ret(i64::from(input));
+        b.build().expect("well-formed protocol program")
+    };
+    ConsensusSystem {
+        system: System::new(objects, vec![program(0, inputs[0]), program(1, inputs[1])]),
+        registers: vec![
+            SrswRegisterInfo {
+                obj: 0,
+                writer_process: 0,
+                reader_process: 1,
+                init: false,
+            },
+            SrswRegisterInfo {
+                obj: 1,
+                writer_process: 1,
+                reader_process: 0,
+                init: false,
+            },
+        ],
+        inputs: inputs.to_vec(),
+    }
+}
+
 /// `n`-process consensus from a single compare-and-swap object — **no
 /// registers** (`h_1(CAS) = ∞`, Herlihy \[7\]).
 ///
@@ -726,6 +878,31 @@ mod tests {
         let v = verify_consensus_protocol(
             2,
             |i| swap_consensus_system([i[0], i[1]]),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(v.holds(), "{v:?}");
+    }
+
+    #[test]
+    fn shift2_protocol_is_correct_consensus() {
+        let v = verify_consensus_protocol(
+            2,
+            |i| shift2_consensus_system([i[0], i[1]]),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(v.holds(), "{v:?}");
+        // Winner: write + shift = 2 accesses; loser: write + shift +
+        // read = 3; D = 5 across both processes.
+        assert_eq!(v.d_max, 5);
+    }
+
+    #[test]
+    fn mpr2_protocol_is_correct_consensus() {
+        let v = verify_consensus_protocol(
+            2,
+            |i| mpr2_consensus_system([i[0], i[1]]),
             &ExploreOptions::default(),
         )
         .unwrap();

@@ -70,6 +70,25 @@ fn exact_checked(n: u32, check: &'static str, upper: &'static str) -> HierarchyV
     )
 }
 
+/// Exactly level 1 because the type is trivial — the upper bound is
+/// machine-checked (triviality ⇒ locally simulable, Theorem 5 first case).
+fn trivial1() -> HierarchyValue {
+    HierarchyValue::exactly(
+        lv(1),
+        Evidence::ByDefinition,
+        Evidence::Checked {
+            check: "trivial (single reachable response per port history): \
+                    wfc_spec::triviality::is_trivial",
+        },
+    )
+}
+
+const ASPNES_SHIFT: &str =
+    "Aspnes 2025 (arXiv:2507.01955): the consensus number of a w-bit shift register is exactly w";
+
+const MPR_WINDOW: &str = "Mostéfaoui–Perrin–Raynal, DISC 2018: the k-sliding-window register \
+                          has consensus number exactly k";
+
 /// The certified catalog.
 pub fn catalog() -> Vec<CatalogEntry> {
     let herlihy_2 = "Herlihy [7]: read-modify-write objects on two values have consensus number 2";
@@ -282,6 +301,92 @@ pub fn catalog() -> Vec<CatalogEntry> {
                     write); the paper notes such types cannot reach level 2 with or without \
                     registers — values cited, not re-proved",
         },
+        CatalogEntry {
+            ty: Arc::new(canonical::shift_register(1, 2)),
+            h1: trivial1(),
+            h1r: trivial1(),
+            hm: trivial1(),
+            hmr: trivial1(),
+            notes: "a 1-bit shift register is trivial: every shift returns \"0\", so it is \
+                    locally simulable (Theorem 5, first case; triviality machine-checked); \
+                    base case of Aspnes's h(shift_w) = w",
+        },
+        CatalogEntry {
+            ty: Arc::new(canonical::shift_register(2, 2)),
+            h1: HierarchyValue {
+                lower: lv(1),
+                lower_evidence: Evidence::ByDefinition,
+                upper: lv(2),
+                upper_evidence: Evidence::Cited {
+                    source: ASPNES_SHIFT,
+                },
+            },
+            h1r: exact_checked(
+                2,
+                "shift2_consensus_system model-checked for 2 processes",
+                ASPNES_SHIFT,
+            ),
+            hm: exact_checked(
+                2,
+                "Theorem 5 compiler output: register-free shift-register-only consensus, \
+                 model-checked",
+                ASPNES_SHIFT,
+            ),
+            hmr: exact_checked(2, "shift2_consensus_system model-checked", ASPNES_SHIFT),
+            notes: "shl/shr return the new contents, so the 2-bit instance decides races \
+                    (init \"01\": left-winner sees \"10\", right-winner sees \"00\"); \
+                    h_m = h_m^r by Theorem 5; 3-process impossibility swept in \
+                    wfc-hierarchy::families",
+        },
+        CatalogEntry {
+            ty: Arc::new(canonical::mpr(1, 2)),
+            h1: HierarchyValue::exactly(
+                lv(1),
+                Evidence::ByDefinition,
+                Evidence::Cited { source: MPR_WINDOW },
+            ),
+            h1r: HierarchyValue::exactly(
+                lv(1),
+                Evidence::ByDefinition,
+                Evidence::Cited { source: MPR_WINDOW },
+            ),
+            hm: HierarchyValue::exactly(
+                lv(1),
+                Evidence::ByDefinition,
+                Evidence::Cited { source: MPR_WINDOW },
+            ),
+            hmr: HierarchyValue::exactly(
+                lv(1),
+                Evidence::ByDefinition,
+                Evidence::Cited { source: MPR_WINDOW },
+            ),
+            notes: "with window size 1 the object is an atomic read/write register over \
+                    {0,1} plus an initial empty value, so it sits at level 1 like any \
+                    register",
+        },
+        CatalogEntry {
+            ty: Arc::new(canonical::mpr(2, 2)),
+            h1: HierarchyValue {
+                lower: lv(1),
+                lower_evidence: Evidence::ByDefinition,
+                upper: lv(2),
+                upper_evidence: Evidence::Cited { source: MPR_WINDOW },
+            },
+            h1r: exact_checked(
+                2,
+                "mpr2_consensus_system model-checked for 2 processes",
+                MPR_WINDOW,
+            ),
+            hm: exact_checked(
+                2,
+                "Theorem 5 compiler output: register-free sliding-window-only consensus, \
+                 model-checked",
+                MPR_WINDOW,
+            ),
+            hmr: exact_checked(2, "mpr2_consensus_system model-checked", MPR_WINDOW),
+            notes: "the window's oldest entry names the first writer, so two markers decide \
+                    a 2-process race; h_m = h_m^r by Theorem 5",
+        },
     ]
 }
 
@@ -294,7 +399,7 @@ pub fn verify_entry(entry: &CatalogEntry) -> bool {
     use wfc_explorer::ExploreOptions;
     let opts = ExploreOptions::default();
     let name = entry.ty.name();
-    if name.starts_with("register") || name == "mute" || name == "one_use_bit" {
+    if name.starts_with("register") || name == "mute" || name == "one_use_bit" || name == "mpr1" {
         // Level-1 entries: nothing to run; triviality/weakness is either
         // by definition or cited.
         return if name == "mute" {
@@ -302,6 +407,48 @@ pub fn verify_entry(entry: &CatalogEntry) -> bool {
         } else {
             true
         };
+    }
+    if name == "shift1" {
+        // The level-1 upper bound rests on machine-checked triviality.
+        return wfc_spec::triviality::is_trivial(&entry.ty).unwrap_or(false);
+    }
+    if name == "shift2" {
+        let ok_h1r =
+            c::verify_consensus_protocol(2, |i| c::shift2_consensus_system([i[0], i[1]]), &opts)
+                .map(|v| v.holds())
+                .unwrap_or(false);
+        let recipe = match wfc_core::OneUseRecipe::from_type(&entry.ty) {
+            Ok(r) => r,
+            Err(_) => return false,
+        };
+        let ok_hm = wfc_core::check_theorem5(
+            2,
+            |i| c::shift2_consensus_system([i[0], i[1]]),
+            &wfc_core::OneUseSource::Recipe(recipe),
+            &opts,
+        )
+        .map(|cert| cert.holds())
+        .unwrap_or(false);
+        return ok_h1r && ok_hm;
+    }
+    if name == "mpr2" {
+        let ok_h1r =
+            c::verify_consensus_protocol(2, |i| c::mpr2_consensus_system([i[0], i[1]]), &opts)
+                .map(|v| v.holds())
+                .unwrap_or(false);
+        let recipe = match wfc_core::OneUseRecipe::from_type(&entry.ty) {
+            Ok(r) => r,
+            Err(_) => return false,
+        };
+        let ok_hm = wfc_core::check_theorem5(
+            2,
+            |i| c::mpr2_consensus_system([i[0], i[1]]),
+            &wfc_core::OneUseSource::Recipe(recipe),
+            &opts,
+        )
+        .map(|cert| cert.holds())
+        .unwrap_or(false);
+        return ok_h1r && ok_hm;
     }
     if name == "test_and_set" {
         let ok_h1r =
@@ -485,6 +632,8 @@ mod tests {
             if name.starts_with("register")
                 || name == "mute"
                 || name == "one_use_bit"
+                || name == "shift1"
+                || name == "mpr1"
                 || name.starts_with("consensus")
             {
                 assert!(verify_entry(&e), "verification failed for {name}");
@@ -509,6 +658,24 @@ mod tests {
         let e = catalog()
             .into_iter()
             .find(|e| e.ty.name() == "test_and_set")
+            .unwrap();
+        assert!(verify_entry(&e));
+    }
+
+    #[test]
+    fn shift2_entry_verifies_via_theorem5() {
+        let e = catalog()
+            .into_iter()
+            .find(|e| e.ty.name() == "shift2")
+            .unwrap();
+        assert!(verify_entry(&e));
+    }
+
+    #[test]
+    fn mpr2_entry_verifies_via_theorem5() {
+        let e = catalog()
+            .into_iter()
+            .find(|e| e.ty.name() == "mpr2")
             .unwrap();
         assert!(verify_entry(&e));
     }

@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 mod catalog;
+pub mod families;
 pub mod impossibility;
 mod level;
 pub mod robustness;

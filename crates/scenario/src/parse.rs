@@ -1,0 +1,563 @@
+//! The strict line-oriented scenario parser.
+//!
+//! Directives appear in a fixed order — `scenario`, `type`, optional
+//! `protocol`, optional `budget`, then one or more `query` lines — and
+//! every violation is a typed [`ParseError`] carrying the 1-based line
+//! and column of the offending token. Blank lines and full-line `#`
+//! comments are ignored outside `type fsm … end` blocks.
+
+use std::fmt;
+use std::sync::Arc;
+
+use wfc_spec::canonical;
+
+use crate::model::{
+    builtin, canonical_builtin_name, Expectation, Scenario, ScenarioBudget, ScenarioQuery, TypeDecl,
+};
+
+/// A scenario parse failure: what went wrong and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column (byte offset within the line) of the offending
+    /// token.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        col,
+        message: message.into(),
+    }
+}
+
+/// The column of `word` within `line_text` (1-based; first occurrence).
+fn col_of(line_text: &str, word: &str) -> usize {
+    line_text.find(word).map_or(0, |i| i) + 1
+}
+
+const QUERY_KINDS: [&str; 6] = [
+    "classify",
+    "witness",
+    "access-bounds",
+    "theorem5",
+    "verify-consensus",
+    "sched",
+];
+
+fn split_kv<'a>(
+    word: &'a str,
+    line_no: usize,
+    line_text: &str,
+) -> Result<(&'a str, &'a str), ParseError> {
+    word.split_once('=').ok_or_else(|| {
+        err(
+            line_no,
+            col_of(line_text, word),
+            format!("expected key=value, got {word:?}"),
+        )
+    })
+}
+
+fn parse_u64(key: &str, value: &str, line_no: usize, line_text: &str) -> Result<u64, ParseError> {
+    value.parse().map_err(|_| {
+        err(
+            line_no,
+            col_of(line_text, value),
+            format!("{key}={value:?} is not a number"),
+        )
+    })
+}
+
+/// One numbered, significant (non-blank, non-comment) line.
+struct Line<'a> {
+    no: usize,
+    text: &'a str,
+}
+
+/// Parses one scenario file.
+///
+/// # Errors
+///
+/// [`ParseError`] with the line and column of the first violation:
+/// unknown directives or directives out of order, unknown built-in or
+/// query-kind names, malformed or unknown `budget` words, bad
+/// expectations, and — for embedded FSM blocks — `wfc-spec` syntax
+/// errors (re-anchored to file coordinates), non-deterministic
+/// transitions, and states unreachable from the first-declared one.
+pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
+    let all_lines: Vec<&str> = text.lines().collect();
+    let mut lines = Vec::new();
+    let mut i = 0usize;
+    while i < all_lines.len() {
+        let raw = all_lines[i];
+        let no = i + 1;
+        i += 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        lines.push(Line { no, text: raw });
+    }
+    let mut iter = lines.into_iter().peekable();
+
+    // scenario NAME
+    let header = iter
+        .next()
+        .ok_or_else(|| err(1, 1, "empty scenario; expected `scenario NAME`"))?;
+    let mut words = header.text.split_whitespace();
+    if words.next() != Some("scenario") {
+        return Err(err(header.no, 1, "expected `scenario NAME` first"));
+    }
+    let name = words
+        .next()
+        .ok_or_else(|| err(header.no, header.text.len() + 1, "missing scenario name"))?;
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(err(
+            header.no,
+            col_of(header.text, name),
+            format!("scenario name {name:?} may use only [A-Za-z0-9._-]"),
+        ));
+    }
+    if let Some(extra) = words.next() {
+        return Err(err(
+            header.no,
+            col_of(header.text, extra),
+            format!("unexpected word {extra:?} after the scenario name"),
+        ));
+    }
+
+    // type …
+    let ty_line = iter
+        .next()
+        .ok_or_else(|| err(header.no + 1, 1, "expected a `type` declaration"))?;
+    let (decl, resolved) = parse_type_decl(&ty_line, &all_lines, &mut iter)?;
+
+    // [protocol NAME] [budget …] then queries
+    let mut protocol = None;
+    let mut budget = ScenarioBudget::default();
+    let mut queries = Vec::new();
+    for line in iter {
+        let mut words = line.text.split_whitespace();
+        let directive = words.next().expect("significant lines are non-empty");
+        match directive {
+            "protocol" => {
+                if protocol.is_some() {
+                    return Err(err(line.no, 1, "duplicate `protocol` directive"));
+                }
+                if !queries.is_empty() || !budget.is_empty() {
+                    return Err(err(
+                        line.no,
+                        1,
+                        "`protocol` must precede `budget` and `query`",
+                    ));
+                }
+                let p = words
+                    .next()
+                    .ok_or_else(|| err(line.no, line.text.len() + 1, "missing protocol name"))?;
+                if let Some(extra) = words.next() {
+                    return Err(err(
+                        line.no,
+                        col_of(line.text, extra),
+                        format!("unexpected word {extra:?} after the protocol name"),
+                    ));
+                }
+                protocol = Some(p.to_owned());
+            }
+            "budget" => {
+                if !budget.is_empty() {
+                    return Err(err(line.no, 1, "duplicate `budget` directive"));
+                }
+                if !queries.is_empty() {
+                    return Err(err(line.no, 1, "`budget` must precede the queries"));
+                }
+                let mut any = false;
+                for word in words {
+                    any = true;
+                    let (key, value) = split_kv(word, line.no, line.text)?;
+                    let n = parse_u64(key, value, line.no, line.text)?;
+                    match key {
+                        "configs" => budget.configs = Some(n),
+                        "depth" => budget.depth = Some(n),
+                        "schedules" => budget.schedules = Some(n),
+                        "steps" => budget.steps = Some(n),
+                        "wall-ms" => budget.wall_ms = Some(n),
+                        _ => {
+                            return Err(err(
+                                line.no,
+                                col_of(line.text, word),
+                                format!(
+                                    "unknown budget key {key:?}; expected configs, depth, \
+                                     schedules, steps or wall-ms"
+                                ),
+                            ))
+                        }
+                    }
+                }
+                if !any {
+                    return Err(err(
+                        line.no,
+                        line.text.len() + 1,
+                        "empty `budget` directive; give at least one key=value",
+                    ));
+                }
+            }
+            "query" => queries.push(parse_query(&line, words)?),
+            other => {
+                return Err(err(
+                    line.no,
+                    1,
+                    format!("unknown directive {other:?}; expected protocol, budget or query"),
+                ))
+            }
+        }
+    }
+    if queries.is_empty() {
+        return Err(err(
+            all_lines.len().max(1),
+            1,
+            "scenario declares no queries; give at least one `query` line",
+        ));
+    }
+    Ok(Scenario {
+        name: name.to_owned(),
+        ty: decl,
+        resolved: Arc::new(resolved),
+        protocol,
+        budget,
+        queries,
+    })
+}
+
+fn parse_query(
+    line: &Line<'_>,
+    words: std::str::SplitWhitespace<'_>,
+) -> Result<ScenarioQuery, ParseError> {
+    let mut words = words;
+    let kind = words
+        .next()
+        .ok_or_else(|| err(line.no, line.text.len() + 1, "missing query kind"))?;
+    if !QUERY_KINDS.contains(&kind) {
+        return Err(err(
+            line.no,
+            col_of(line.text, kind),
+            format!(
+                "unknown query kind {kind:?}; expected one of {}",
+                QUERY_KINDS.join(", ")
+            ),
+        ));
+    }
+    let mut expect = None;
+    let mut kvs: Vec<(String, String)> = Vec::new();
+    for word in words {
+        let (key, value) = split_kv(word, line.no, line.text)?;
+        if key == "expect" {
+            let bad = |allowed: &str| {
+                err(
+                    line.no,
+                    col_of(line.text, value),
+                    format!("expect={value:?} is not valid for {kind}; expected {allowed}"),
+                )
+            };
+            expect = Some(match (kind, value) {
+                ("classify" | "witness", "trivial") => Expectation::Trivial,
+                ("classify" | "witness", "non-trivial") => Expectation::NonTrivial,
+                ("classify" | "witness", _) => return Err(bad("trivial or non-trivial")),
+                ("theorem5" | "verify-consensus", "holds") => Expectation::Holds,
+                ("theorem5" | "verify-consensus", _) => return Err(bad("holds")),
+                ("sched", "pass") => Expectation::Pass,
+                ("sched", "violation") => Expectation::Violation,
+                ("sched", _) => return Err(bad("pass or violation")),
+                _ => {
+                    return Err(err(
+                        line.no,
+                        col_of(line.text, word),
+                        format!("{kind} queries do not take an expectation"),
+                    ))
+                }
+            });
+        } else if kind == "sched" {
+            // Sched settings pass through to the checker (which
+            // validates them); last write wins, like the checker.
+            kvs.retain(|(k, _)| k != key);
+            kvs.push((key.to_owned(), value.to_owned()));
+        } else {
+            return Err(err(
+                line.no,
+                col_of(line.text, word),
+                format!("unknown setting {key:?} for a {kind} query"),
+            ));
+        }
+    }
+    if kind == "sched" && !kvs.iter().any(|(k, _)| k == "target") {
+        return Err(err(
+            line.no,
+            col_of(line.text, kind),
+            "sched queries need a target= setting",
+        ));
+    }
+    kvs.sort();
+    Ok(ScenarioQuery {
+        kind: kind.to_owned(),
+        words: kvs,
+        expect,
+        line: line.no,
+    })
+}
+
+fn parse_type_decl(
+    ty_line: &Line<'_>,
+    all_lines: &[&str],
+    rest: &mut std::iter::Peekable<std::vec::IntoIter<Line<'_>>>,
+) -> Result<(TypeDecl, wfc_spec::FiniteType), ParseError> {
+    let mut words = ty_line.text.split_whitespace();
+    if words.next() != Some("type") {
+        return Err(err(ty_line.no, 1, "expected a `type` declaration"));
+    }
+    let family = words.next().ok_or_else(|| {
+        err(
+            ty_line.no,
+            ty_line.text.len() + 1,
+            "missing type family; expected builtin, shift, mpr or fsm",
+        )
+    })?;
+    match family {
+        "builtin" => {
+            let name = words
+                .next()
+                .ok_or_else(|| err(ty_line.no, ty_line.text.len() + 1, "missing builtin name"))?;
+            if let Some(extra) = words.next() {
+                return Err(err(
+                    ty_line.no,
+                    col_of(ty_line.text, extra),
+                    format!("unexpected word {extra:?} after the builtin name"),
+                ));
+            }
+            let resolved = builtin(name).ok_or_else(|| {
+                err(
+                    ty_line.no,
+                    col_of(ty_line.text, name),
+                    format!(
+                        "unknown builtin {name:?}; known: register2, test_and_set, queue, \
+                         stack, swap, fetch_and_add, compare_and_swap, sticky_bit, \
+                         consensus, mute, one_use_bit"
+                    ),
+                )
+            })?;
+            Ok((
+                TypeDecl::Builtin {
+                    name: canonical_builtin_name(name),
+                },
+                resolved,
+            ))
+        }
+        "shift" | "mpr" => {
+            let (param_key, max, build): (_, usize, fn(usize, usize) -> wfc_spec::FiniteType) =
+                if family == "shift" {
+                    ("w", 8, canonical::shift_register)
+                } else {
+                    ("k", 8, canonical::mpr)
+                };
+            let mut param = None;
+            let mut ports = 2usize;
+            for word in words {
+                let (key, value) = split_kv(word, ty_line.no, ty_line.text)?;
+                let n = parse_u64(key, value, ty_line.no, ty_line.text)? as usize;
+                if key == param_key {
+                    if !(1..=max).contains(&n) {
+                        return Err(err(
+                            ty_line.no,
+                            col_of(ty_line.text, value),
+                            format!("{param_key}={n} is out of range (1..={max})"),
+                        ));
+                    }
+                    param = Some(n);
+                } else if key == "ports" {
+                    if !(2..=8).contains(&n) {
+                        return Err(err(
+                            ty_line.no,
+                            col_of(ty_line.text, value),
+                            format!("ports={n} is out of range (2..=8)"),
+                        ));
+                    }
+                    ports = n;
+                } else {
+                    return Err(err(
+                        ty_line.no,
+                        col_of(ty_line.text, word),
+                        format!(
+                            "unknown {family} parameter {key:?}; expected {param_key} or ports"
+                        ),
+                    ));
+                }
+            }
+            let param = param.ok_or_else(|| {
+                err(
+                    ty_line.no,
+                    ty_line.text.len() + 1,
+                    format!("missing {param_key}= parameter for {family}"),
+                )
+            })?;
+            let resolved = build(param, ports);
+            let decl = if family == "shift" {
+                TypeDecl::Shift { w: param, ports }
+            } else {
+                TypeDecl::Mpr { k: param, ports }
+            };
+            Ok((decl, resolved))
+        }
+        "fsm" => {
+            if let Some(extra) = words.next() {
+                return Err(err(
+                    ty_line.no,
+                    col_of(ty_line.text, extra),
+                    format!("unexpected word {extra:?} after `type fsm`"),
+                ));
+            }
+            parse_fsm_block(ty_line.no, all_lines, rest)
+        }
+        other => Err(err(
+            ty_line.no,
+            col_of(ty_line.text, other),
+            format!("unknown type family {other:?}; expected builtin, shift, mpr or fsm"),
+        )),
+    }
+}
+
+/// Collects the raw lines of a `type fsm … end` block (the block is
+/// taken verbatim from the source, comments and blank lines included,
+/// so `wfc-spec` line numbers map one-to-one), parses it, and enforces
+/// the scenario language's determinism requirements.
+fn parse_fsm_block(
+    fsm_line_no: usize,
+    all_lines: &[&str],
+    rest: &mut std::iter::Peekable<std::vec::IntoIter<Line<'_>>>,
+) -> Result<(TypeDecl, wfc_spec::FiniteType), ParseError> {
+    // Find the `end` sentinel among the significant lines; the block
+    // body is everything between, taken from the raw source.
+    let mut end_no = None;
+    while let Some(line) = rest.peek() {
+        if line.text.trim() == "end" {
+            end_no = Some(line.no);
+            rest.next();
+            break;
+        }
+        rest.next();
+    }
+    let end_no =
+        end_no.ok_or_else(|| err(fsm_line_no, 1, "`type fsm` block is missing its `end`"))?;
+    let block: Vec<&str> = all_lines[fsm_line_no..end_no - 1].to_vec();
+    let block_text = block.join("\n");
+    let ty = wfc_spec::text::parse_type(&block_text).map_err(|e| match e {
+        wfc_spec::text::ParseTypeError::Syntax { line, message } => {
+            err(fsm_line_no + line, 1, message)
+        }
+        other => err(fsm_line_no, 1, other.to_string()),
+    })?;
+    check_fsm_determinism(&block, fsm_line_no)?;
+    check_fsm_reachability(&block, fsm_line_no)?;
+    let canonical = wfc_spec::text::format_type(&ty);
+    Ok((TypeDecl::Fsm { canonical }, ty))
+}
+
+/// Rejects a second transition for any `(state, port, invocation)` key
+/// (nondeterminism is legal in `wfc-spec`, but scenarios require
+/// deterministic machines — Theorem 5's hypothesis). Ports overlap when
+/// equal or when either is the oblivious `*`.
+fn check_fsm_determinism(block: &[&str], fsm_line_no: usize) -> Result<(), ParseError> {
+    let mut seen: Vec<(String, String, String)> = Vec::new();
+    for (off, raw) in block.iter().enumerate() {
+        let mut words = raw.split_whitespace();
+        if words.next() != Some("delta") {
+            continue;
+        }
+        let (Some(state), Some(port), Some(inv)) = (words.next(), words.next(), words.next())
+        else {
+            continue; // malformed delta lines were already rejected by parse_type
+        };
+        let overlap = |a: &str, b: &str| a == b || a == "*" || b == "*";
+        if let Some((_, p, _)) = seen
+            .iter()
+            .find(|(s, p, i)| s == state && i == inv && overlap(p, port))
+        {
+            return Err(err(
+                fsm_line_no + off + 1,
+                col_of(raw, state),
+                format!(
+                    "non-deterministic transition: ({state}, port {port}, {inv}) already has \
+                     a transition (port {p}); scenario types must be deterministic"
+                ),
+            ));
+        }
+        seen.push((state.to_owned(), port.to_owned(), inv.to_owned()));
+    }
+    Ok(())
+}
+
+/// Requires every declared state to be reachable from the
+/// first-declared (initial) state through the transition graph.
+fn check_fsm_reachability(block: &[&str], fsm_line_no: usize) -> Result<(), ParseError> {
+    let mut states: Vec<&str> = Vec::new();
+    let mut states_line = (0usize, "");
+    let mut edges: Vec<(&str, &str)> = Vec::new();
+    for (off, raw) in block.iter().enumerate() {
+        let mut words = raw.split_whitespace();
+        match words.next() {
+            Some("states") => {
+                states = words.collect();
+                states_line = (fsm_line_no + off + 1, raw);
+            }
+            Some("delta") => {
+                let src = words.next();
+                let dst = words.clone().skip_while(|w| *w != "->").nth(1);
+                if let (Some(src), Some(dst)) = (src, dst) {
+                    edges.push((src, dst));
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(&init) = states.first() else {
+        return Ok(()); // no states line: parse_type already rejected it
+    };
+    let mut reached = vec![init];
+    let mut frontier = vec![init];
+    while let Some(s) = frontier.pop() {
+        for &(src, dst) in &edges {
+            if src == s && !reached.contains(&dst) {
+                reached.push(dst);
+                frontier.push(dst);
+            }
+        }
+    }
+    if let Some(orphan) = states.iter().find(|s| !reached.contains(s)) {
+        return Err(err(
+            states_line.0,
+            col_of(states_line.1, orphan),
+            format!(
+                "state {orphan:?} is unreachable from the initial state {init:?}; scenario \
+                 FSMs must not declare dead states"
+            ),
+        ));
+    }
+    Ok(())
+}

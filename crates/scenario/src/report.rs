@@ -1,0 +1,75 @@
+//! The `wfc-scenario/v1` result-document schema and its validator
+//! (consumed by `report --check`).
+
+use wfc_obs::json::Json;
+
+/// The schema identifier carried by every scenario result document.
+pub const SCHEMA: &str = "wfc-scenario/v1";
+
+fn expect_str(doc: &Json, field: &str) -> Result<(), String> {
+    match doc.get(field) {
+        Some(Json::Str(_)) => Ok(()),
+        Some(_) => Err(format!("`{field}` is not a string")),
+        None => Err(format!("missing `{field}`")),
+    }
+}
+
+fn expect_bool(doc: &Json, field: &str) -> Result<(), String> {
+    match doc.get(field) {
+        Some(Json::Bool(_)) => Ok(()),
+        Some(_) => Err(format!("`{field}` is not a bool")),
+        None => Err(format!("missing `{field}`")),
+    }
+}
+
+/// Validates a `wfc-scenario/v1` result document: schema header, the
+/// scenario identity fields, a well-formed `queries` array (each entry
+/// carrying `kind`, `expect`, `pass`, `result`), and the invariant that
+/// the top-level `pass` is the conjunction of the per-query ones.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_scenario_json(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema is {s:?}, expected {SCHEMA:?}")),
+        None => return Err("missing `schema`".to_owned()),
+    }
+    expect_str(doc, "scenario")?;
+    expect_str(doc, "type")?;
+    expect_str(doc, "canonical")?;
+    match doc.get("protocol") {
+        Some(Json::Str(_) | Json::Null) => {}
+        Some(_) => return Err("`protocol` is neither a string nor null".to_owned()),
+        None => return Err("missing `protocol`".to_owned()),
+    }
+    expect_bool(doc, "pass")?;
+    let queries = doc
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array `queries`")?;
+    if queries.is_empty() {
+        return Err("`queries` is empty".to_owned());
+    }
+    let mut all_pass = true;
+    for (i, q) in queries.iter().enumerate() {
+        let at = |m: String| format!("queries[{i}]: {m}");
+        expect_str(q, "kind").map_err(at)?;
+        let at = |m: String| format!("queries[{i}]: {m}");
+        expect_bool(q, "pass").map_err(at)?;
+        match q.get("expect") {
+            Some(Json::Str(_) | Json::Null) => {}
+            _ => return Err(format!("queries[{i}]: missing or mistyped `expect`")),
+        }
+        match q.get("result") {
+            Some(Json::Obj(_)) => {}
+            _ => return Err(format!("queries[{i}]: missing or non-object `result`")),
+        }
+        all_pass &= q.get("pass") == Some(&Json::Bool(true));
+    }
+    if (doc.get("pass") == Some(&Json::Bool(true))) != all_pass {
+        return Err("top-level `pass` disagrees with the per-query verdicts".to_owned());
+    }
+    Ok(())
+}

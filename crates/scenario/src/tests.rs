@@ -1,0 +1,304 @@
+use wfc_obs::json::Json;
+
+use crate::*;
+
+const SHIFT2: &str = "\
+# the worked example from the README
+scenario shift-w2
+type shift w=2 ports=2
+query classify expect=non-trivial
+query verify-consensus expect=holds
+";
+
+#[test]
+fn parses_and_canonicalizes_the_worked_example() {
+    let sc = parse_scenario(SHIFT2).unwrap();
+    assert_eq!(sc.name, "shift-w2");
+    assert_eq!(sc.ty, TypeDecl::Shift { w: 2, ports: 2 });
+    assert_eq!(sc.resolved.name(), "shift2");
+    assert_eq!(sc.queries.len(), 2);
+    assert_eq!(
+        sc.canonical_text(),
+        "scenario shift-w2\ntype shift w=2 ports=2\nquery classify expect=non-trivial\n\
+         query verify-consensus expect=holds\n"
+    );
+    // The canonical text re-parses to the same scenario (fixed point).
+    let again = parse_scenario(&sc.canonical_text()).unwrap();
+    assert_eq!(again.canonical_text(), sc.canonical_text());
+}
+
+#[test]
+fn respelled_scenarios_canonicalize_equally() {
+    // Alias, implicit ports, comments, blank lines, word order.
+    let respelled = "\n\
+# same scenario, spelled differently
+scenario shift-w2
+
+type shift w=2
+query classify expect=non-trivial
+query verify-consensus expect=holds
+";
+    let a = parse_scenario(SHIFT2).unwrap();
+    let b = parse_scenario(respelled).unwrap();
+    assert_eq!(a.canonical_text(), b.canonical_text());
+
+    let tas_a = parse_scenario("scenario t\ntype builtin tas\nquery classify\n").unwrap();
+    let tas_b = parse_scenario("scenario t\ntype builtin test_and_set\nquery classify\n").unwrap();
+    assert_eq!(tas_a.canonical_text(), tas_b.canonical_text());
+}
+
+#[test]
+fn sched_words_sort_and_dedup_into_canonical_form() {
+    let sc = parse_scenario(
+        "scenario s\ntype builtin register2\n\
+         query sched mode=dfs target=srsw budget=100 budget=50 expect=pass\n",
+    )
+    .unwrap();
+    assert_eq!(
+        sc.canonical_text(),
+        "scenario s\ntype builtin register2\n\
+         query sched budget=50 mode=dfs target=srsw expect=pass\n"
+    );
+    let lowered = sc.lower();
+    assert_eq!(
+        lowered,
+        vec![LoweredQuery::Sched {
+            spec_text: "srsw budget=50 mode=dfs".to_owned()
+        }]
+    );
+}
+
+#[test]
+fn scenario_budgets_flow_into_sched_specs_without_clobbering() {
+    let sc = parse_scenario(
+        "scenario s\ntype builtin register2\nbudget schedules=777 steps=88\n\
+         query sched target=srsw\nquery sched target=srsw budget=5\n",
+    )
+    .unwrap();
+    let lowered = sc.lower();
+    assert_eq!(
+        lowered[0],
+        LoweredQuery::Sched {
+            spec_text: "srsw budget=777 steps=88".to_owned()
+        }
+    );
+    assert_eq!(
+        lowered[1],
+        LoweredQuery::Sched {
+            spec_text: "srsw budget=5 steps=88".to_owned()
+        }
+    );
+}
+
+#[test]
+fn fsm_blocks_parse_and_normalize() {
+    let text = "\
+scenario sticky
+type fsm
+type sticky2 ports 2
+states bot zero one
+invocations w0 w1
+responses r0 r1
+
+# once set, the bit never changes
+delta bot * w0 -> zero r0
+delta bot * w1 -> one r1
+delta zero * w0 -> zero r0
+delta zero * w1 -> zero r0
+delta one * w0 -> one r1
+delta one * w1 -> one r1
+end
+query classify expect=non-trivial
+";
+    let sc = parse_scenario(text).unwrap();
+    assert_eq!(sc.resolved.name(), "sticky2");
+    assert!(sc.resolved.is_deterministic());
+    // The canonical text embeds the format_type rendering and re-parses.
+    let again = parse_scenario(&sc.canonical_text()).unwrap();
+    assert_eq!(again.canonical_text(), sc.canonical_text());
+}
+
+#[test]
+fn unknown_operation_in_fsm_is_a_typed_error_with_position() {
+    let text = "\
+scenario bad
+type fsm
+type t ports 1
+states s
+invocations i
+responses r
+delta s 0 mystery -> s r
+end
+query classify
+";
+    let e = parse_scenario(text).unwrap_err();
+    // The delta line is file line 7.
+    assert_eq!(e.line, 7, "{e}");
+    assert!(e.message.contains("mystery"), "{e}");
+}
+
+#[test]
+fn non_deterministic_transition_is_rejected_with_position() {
+    let text = "\
+scenario bad
+type fsm
+type t ports 1
+states s u
+invocations i
+responses r
+delta s 0 i -> u r
+delta u 0 i -> u r
+delta s * i -> s r
+end
+query classify
+";
+    let e = parse_scenario(text).unwrap_err();
+    assert_eq!(e.line, 9, "{e}");
+    assert_eq!(e.col, 7, "{e}");
+    assert!(e.message.contains("non-deterministic"), "{e}");
+}
+
+#[test]
+fn unreachable_state_is_rejected_with_position() {
+    let text = "\
+scenario bad
+type fsm
+type t ports 1
+states s orphan
+invocations i
+responses r
+delta s 0 i -> s r
+delta orphan 0 i -> orphan r
+end
+query classify
+";
+    let e = parse_scenario(text).unwrap_err();
+    assert_eq!(e.line, 4, "{e}");
+    assert_eq!(e.col, 10, "{e}");
+    assert!(e.message.contains("unreachable"), "{e}");
+}
+
+#[test]
+fn bad_budget_words_are_rejected_with_position() {
+    let e = parse_scenario("scenario b\ntype builtin mute\nbudget zoom=3\nquery classify\n")
+        .unwrap_err();
+    assert_eq!((e.line, e.col), (3, 8), "{e}");
+    assert!(e.message.contains("unknown budget key"), "{e}");
+
+    let e = parse_scenario("scenario b\ntype builtin mute\nbudget configs=lots\nquery classify\n")
+        .unwrap_err();
+    assert_eq!(e.line, 3, "{e}");
+    assert!(e.message.contains("not a number"), "{e}");
+
+    let e = parse_scenario("scenario b\ntype builtin mute\nbudget\nquery classify\n").unwrap_err();
+    assert!(e.message.contains("empty `budget`"), "{e}");
+}
+
+#[test]
+fn unknown_names_and_kinds_are_rejected_with_position() {
+    let e = parse_scenario("scenario b\ntype builtin nonesuch\nquery classify\n").unwrap_err();
+    assert_eq!((e.line, e.col), (2, 14), "{e}");
+    assert!(e.message.contains("unknown builtin"), "{e}");
+
+    let e = parse_scenario("scenario b\ntype builtin mute\nquery frobnicate\n").unwrap_err();
+    assert_eq!((e.line, e.col), (3, 7), "{e}");
+    assert!(e.message.contains("unknown query kind"), "{e}");
+
+    let e =
+        parse_scenario("scenario b\ntype builtin mute\nquery classify expect=holds\n").unwrap_err();
+    assert!(e.message.contains("trivial or non-trivial"), "{e}");
+
+    let e = parse_scenario("scenario b\ntype builtin mute\nquery sched mode=dfs\n").unwrap_err();
+    assert!(e.message.contains("target="), "{e}");
+
+    let e = parse_scenario("scenario b\ntype shift w=9\nquery classify\n").unwrap_err();
+    assert!(e.message.contains("out of range"), "{e}");
+}
+
+#[test]
+fn directive_order_is_enforced() {
+    let e = parse_scenario("scenario b\ntype builtin mute\nquery classify\nbudget configs=5\n")
+        .unwrap_err();
+    assert!(e.message.contains("precede"), "{e}");
+    let e = parse_scenario("scenario b\ntype builtin mute\n").unwrap_err();
+    assert!(e.message.contains("no queries"), "{e}");
+    let e = parse_scenario("type builtin mute\nquery classify\n").unwrap_err();
+    assert!(e.message.contains("scenario NAME"), "{e}");
+}
+
+#[test]
+fn expectations_check_result_documents() {
+    let trivial = Json::obj(vec![("classification", Json::Str("trivial".to_owned()))]);
+    assert!(Expectation::Trivial.check("classify", &trivial));
+    assert!(!Expectation::NonTrivial.check("classify", &trivial));
+
+    let no_witness = Json::obj(vec![("witness", Json::Null)]);
+    assert!(Expectation::Trivial.check("witness", &no_witness));
+
+    let holds = Json::obj(vec![("holds", Json::Bool(true))]);
+    assert!(Expectation::Holds.check("theorem5", &holds));
+    assert!(!Expectation::Holds.check("theorem5", &Json::obj(vec![])));
+
+    let pass = Json::obj(vec![("verdict", Json::Str("pass".to_owned()))]);
+    assert!(Expectation::Pass.check("sched", &pass));
+    assert!(Expectation::Violation.check(
+        "sched",
+        &Json::obj(vec![("verdict", Json::Str("violation".to_owned()))])
+    ));
+}
+
+#[test]
+fn result_docs_assemble_and_validate() {
+    let sc = parse_scenario(SHIFT2).unwrap();
+    let results = vec![
+        Json::obj(vec![(
+            "classification",
+            Json::Str("non-trivial".to_owned()),
+        )]),
+        Json::obj(vec![("holds", Json::Bool(true))]),
+    ];
+    let doc = sc.result_doc(&results);
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    assert_eq!(doc.get("pass"), Some(&Json::Bool(true)));
+    validate_scenario_json(&doc).unwrap();
+
+    // An expectation failure is data, not an error — and flips `pass`.
+    let results = vec![
+        Json::obj(vec![("classification", Json::Str("trivial".to_owned()))]),
+        Json::obj(vec![("holds", Json::Bool(true))]),
+    ];
+    let doc = sc.result_doc(&results);
+    assert_eq!(doc.get("pass"), Some(&Json::Bool(false)));
+    validate_scenario_json(&doc).unwrap();
+
+    // The validator catches a forged top-level verdict.
+    let mut forged = doc.clone();
+    if let Json::Obj(pairs) = &mut forged {
+        for (k, v) in pairs.iter_mut() {
+            if k == "pass" {
+                *v = Json::Bool(true);
+            }
+        }
+    }
+    assert!(validate_scenario_json(&forged).is_err());
+}
+
+#[test]
+fn builtins_resolve_to_the_canonical_instances() {
+    for name in [
+        "register2",
+        "test_and_set",
+        "queue",
+        "stack",
+        "swap",
+        "fetch_and_add",
+        "compare_and_swap",
+        "sticky_bit",
+        "consensus",
+        "mute",
+        "one_use_bit",
+    ] {
+        assert!(builtin(name).is_some(), "{name}");
+    }
+    assert!(builtin("nonesuch").is_none());
+}

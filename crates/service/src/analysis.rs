@@ -235,6 +235,15 @@ fn cas2(i: &[bool]) -> ConsensusSystem {
 fn sticky2(i: &[bool]) -> ConsensusSystem {
     wfc_consensus::sticky_consensus_system(i)
 }
+fn shift2_2(i: &[bool]) -> ConsensusSystem {
+    wfc_consensus::shift2_consensus_system([i[0], i[1]])
+}
+fn mpr2_2(i: &[bool]) -> ConsensusSystem {
+    wfc_consensus::mpr2_consensus_system([i[0], i[1]])
+}
+fn cas_announce3(i: &[bool]) -> ConsensusSystem {
+    wfc_consensus::cas_announce_consensus_system(i)
+}
 
 /// Looks up the consensus implementation registered for a type, by the
 /// canonical naming convention of `wfc_spec::canonical` (`queue1x2`,
@@ -257,8 +266,28 @@ pub fn protocol_for_type(ty: &FiniteType) -> Option<ProtocolEntry> {
         entry("cas (register-free)", cas2)
     } else if name == "sticky_bit" {
         entry("sticky+registers", sticky2)
+    } else if name == "shift2" {
+        entry("shift2+registers", shift2_2)
+    } else if name == "mpr2" {
+        entry("mpr2+registers", mpr2_2)
     } else {
         None
+    }
+}
+
+/// Looks up a consensus implementation by **protocol name** rather than
+/// by type — the override a scenario's `protocol NAME` directive selects
+/// when the default type-keyed registry entry is not the implementation
+/// under study (e.g. the 3-process `cas_announce` stress protocol for
+/// the `compare_and_swap` type).
+pub fn protocol_by_name(name: &str) -> Option<ProtocolEntry> {
+    match name {
+        "cas_announce" => Some(ProtocolEntry {
+            label: "cas+announce registers",
+            n: 3,
+            build: cas_announce3,
+        }),
+        _ => None,
     }
 }
 
@@ -268,10 +297,20 @@ fn require_protocol(ty: &FiniteType) -> Result<ProtocolEntry, QueryError> {
             "no consensus protocol is registered for type `{}`; exploration \
              queries support the canonical zoo protocols (test_and_set, \
              queue*, stack*, swap*, fetch_and_add*, compare_and_swap*, \
-             sticky_bit)",
+             sticky_bit, shift2, mpr2)",
             ty.name()
         ))
     })
+}
+
+fn resolve_protocol(
+    ty: &FiniteType,
+    over: Option<ProtocolEntry>,
+) -> Result<ProtocolEntry, QueryError> {
+    match over {
+        Some(p) => Ok(p),
+        None => require_protocol(ty),
+    }
 }
 
 fn depths_json(depths: &[usize]) -> Json {
@@ -417,14 +456,22 @@ fn witness(ty: &Arc<FiniteType>, opts: &ExploreOptions) -> Result<Json, QueryErr
     ]))
 }
 
-fn access_bounds(ty: &Arc<FiniteType>, opts: &ExploreOptions) -> Result<Json, QueryError> {
-    let p = require_protocol(ty)?;
+fn access_bounds(
+    ty: &Arc<FiniteType>,
+    opts: &ExploreOptions,
+    over: Option<ProtocolEntry>,
+) -> Result<Json, QueryError> {
+    let p = resolve_protocol(ty, over)?;
     let bounds = wfc_core::access_bounds(p.n, p.build, opts).map_err(from_explorer)?;
     Ok(bounds_json(ty, p.label, p.n, &bounds))
 }
 
-fn theorem5(ty: &Arc<FiniteType>, opts: &ExploreOptions) -> Result<Json, QueryError> {
-    let p = require_protocol(ty)?;
+fn theorem5(
+    ty: &Arc<FiniteType>,
+    opts: &ExploreOptions,
+    over: Option<ProtocolEntry>,
+) -> Result<Json, QueryError> {
+    let p = resolve_protocol(ty, over)?;
     if !ty.is_deterministic() {
         return Err(QueryError::Unsupported(format!(
             "type `{}` is nondeterministic; derive its one-use bits from a \
@@ -448,8 +495,12 @@ fn theorem5(ty: &Arc<FiniteType>, opts: &ExploreOptions) -> Result<Json, QueryEr
     ]))
 }
 
-fn verify_consensus(ty: &Arc<FiniteType>, opts: &ExploreOptions) -> Result<Json, QueryError> {
-    let p = require_protocol(ty)?;
+fn verify_consensus(
+    ty: &Arc<FiniteType>,
+    opts: &ExploreOptions,
+    over: Option<ProtocolEntry>,
+) -> Result<Json, QueryError> {
+    let p = resolve_protocol(ty, over)?;
     let verdict =
         wfc_consensus::verify_consensus_protocol(p.n, p.build, opts).map_err(from_explorer)?;
     let mut fields = vec![
@@ -488,15 +539,38 @@ pub fn run_query(
     ty: &Arc<FiniteType>,
     opts: &ExploreOptions,
 ) -> Result<Json, QueryError> {
+    run_query_with_protocol(kind, ty, opts, None)
+}
+
+/// [`run_query`] with an optional protocol override for the exploration
+/// queries (`access-bounds`, `theorem5`, `verify-consensus`) — the hook
+/// a scenario's `protocol NAME` directive uses. With `None` this **is**
+/// `run_query`: both paths run the same code, so overridden and default
+/// runs stay byte-identical per protocol choice.
+///
+/// # Errors
+///
+/// As [`run_query`].
+pub fn run_query_with_protocol(
+    kind: QueryKind,
+    ty: &Arc<FiniteType>,
+    opts: &ExploreOptions,
+    protocol: Option<ProtocolEntry>,
+) -> Result<Json, QueryError> {
     match kind {
         QueryKind::Classify => classify(ty),
         QueryKind::Witness => witness(ty, opts),
-        QueryKind::AccessBounds => access_bounds(ty, opts),
-        QueryKind::Theorem5 => theorem5(ty, opts),
-        QueryKind::VerifyConsensus => verify_consensus(ty, opts),
+        QueryKind::AccessBounds => access_bounds(ty, opts, protocol),
+        QueryKind::Theorem5 => theorem5(ty, opts, protocol),
+        QueryKind::VerifyConsensus => verify_consensus(ty, opts, protocol),
         QueryKind::Sched => Err(QueryError::Unsupported(
             "sched queries take a fixture spec, not a type; use run_sched \
              (or run_query_text, which dispatches on the kind)"
+                .to_owned(),
+        )),
+        QueryKind::Scenario => Err(QueryError::Unsupported(
+            "scenario queries take a scenario file, not a type; use \
+             run_scenario (or run_query_text, which dispatches on the kind)"
                 .to_owned(),
         )),
         QueryKind::Stats => Err(QueryError::Unsupported(
@@ -537,6 +611,9 @@ pub fn run_query_text_with(
 ) -> Result<Json, QueryError> {
     if kind == QueryKind::Sched {
         return run_sched_with(&parse_sched_spec(type_text)?, cancel, wall);
+    }
+    if kind == QueryKind::Scenario {
+        return crate::scenario::run_scenario_text_with(type_text, options, cancel, wall);
     }
     if kind == QueryKind::Stats {
         return Err(QueryError::Unsupported(

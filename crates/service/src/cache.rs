@@ -71,6 +71,19 @@ pub fn sched_cache_key(canonical_spec: &str) -> Hash128 {
     h.finish()
 }
 
+/// The cache identity of a `scenario` query: the protocol version, the
+/// kind, and the scenario's canonical text. Like `sched`, budgets travel
+/// inside the text (the `budget` directive participates in
+/// canonicalization), so `QueryOptions` does not contribute; respelled
+/// but canonically equal files land on the same line.
+pub fn scenario_cache_key(canonical_scenario: &str) -> Hash128 {
+    let mut h = Hasher128::new();
+    h.write_str(PROTO);
+    h.write_str(QueryKind::Scenario.as_str());
+    h.write_str(canonical_scenario);
+    h.finish()
+}
+
 struct Shard {
     map: HashMap<u128, (Arc<Json>, u64)>,
     tick: u64,

@@ -71,20 +71,24 @@ mod conn;
 pub mod loadgen;
 mod poller;
 pub mod repl_link;
+pub mod scenario;
 pub mod server;
 pub mod stats;
 pub mod wire;
 
 pub use analysis::{
-    explore_options, parse_query_type, parse_sched_spec, run_query, run_query_text,
-    run_query_text_with, run_sched, run_sched_with, QueryError,
+    explore_options, parse_query_type, parse_sched_spec, protocol_by_name, run_query,
+    run_query_text, run_query_text_with, run_query_with_protocol, run_sched, run_sched_with,
+    QueryError,
 };
 pub use batch::BatchConfig;
 pub use cache::{
-    cache_key, sched_cache_key, validate_cache_json, CacheOutcome, ResultCache, CACHE_SCHEMA,
+    cache_key, scenario_cache_key, sched_cache_key, validate_cache_json, CacheOutcome, ResultCache,
+    CACHE_SCHEMA,
 };
 pub use client::Client;
 pub use repl_link::ReplConfig;
+pub use scenario::{run_scenario_text, run_scenario_text_with, run_scenario_with};
 pub use server::{accept_backoff, serve, ServeConfig, ServerHandle, WorkerGate};
 pub use stats::{validate_stats_json, STATS_SCHEMA};
 pub use wire::{

@@ -65,7 +65,7 @@ use crate::analysis::{
 use wfc_spec::stage::Stage;
 
 use crate::batch::{BatchConfig, Batcher, Entry, JobQueue, Submit};
-use crate::cache::{cache_key, sched_cache_key, CacheOutcome, ResultCache};
+use crate::cache::{cache_key, scenario_cache_key, sched_cache_key, CacheOutcome, ResultCache};
 use crate::conn::ConnShared;
 use crate::poller::{fd_of, wait, Readiness, Waker};
 use crate::repl_link::{dialer_loop, disabled_status, ReplConfig, ReplRuntime, ReplShared};
@@ -1002,6 +1002,27 @@ fn compute_entry(
                 .map(|(value, how)| (value, how, key, spec.target.clone()))
                 .map_err(|e| as_deadline(e, started, config))
         })
+    } else if entry.kind == QueryKind::Scenario {
+        // A scenario request carries a whole scenario file. Its cache
+        // identity is the canonical text — respelled but canonically
+        // equal files share a cache line, exactly like sched specs.
+        // Request-level budgets deliberately do NOT apply: a cached
+        // document must be a pure function of the key, so a scenario's
+        // exploration budgets come only from its own `budget` directive
+        // (which is part of the canonical text, hence of the key).
+        // Threads ride along — they never change result bytes.
+        let scenario_options = QueryOptions::default().with_threads(options.threads);
+        wfc_scenario::parse_scenario(&entry.type_text)
+            .map_err(|e| QueryError::Parse(e.to_string()))
+            .and_then(|sc| {
+                let key = scenario_cache_key(&sc.canonical_text());
+                cache
+                    .get_or_compute(key, entry.kind, &sc.name, || {
+                        crate::scenario::run_scenario_with(&sc, &scenario_options, token, wall)
+                    })
+                    .map(|(value, how)| (value, how, key, sc.name.clone()))
+                    .map_err(|e| as_deadline(e, started, config))
+            })
     } else {
         parse_query_type(&entry.type_text).and_then(|ty| {
             let key = cache_key(entry.kind, &ty, &options);

@@ -225,6 +225,11 @@ pub enum QueryKind {
     /// the `wfc-sched` model checker. The request's `type` field carries
     /// a sched spec line (`<target> [key=value…]`), not a type.
     Sched,
+    /// A full `wfc-scenario` file: the request's `type` field carries the
+    /// scenario text, and the result is a `wfc-scenario/v1` document.
+    /// Cached under the scenario's canonical text, so respelled but
+    /// canonically equal files share a cache line.
+    Scenario,
     /// Live server introspection: a `wfc-stats/v1` snapshot of registry
     /// metrics, per-stage latency histograms, connection/worker/batch
     /// state and the flight-recorder tail. Answered inline on the IO
@@ -235,13 +240,14 @@ pub enum QueryKind {
 
 impl QueryKind {
     /// Every query kind, in a fixed order (for tests and smoke scripts).
-    pub const ALL: [QueryKind; 7] = [
+    pub const ALL: [QueryKind; 8] = [
         QueryKind::Classify,
         QueryKind::Witness,
         QueryKind::AccessBounds,
         QueryKind::Theorem5,
         QueryKind::VerifyConsensus,
         QueryKind::Sched,
+        QueryKind::Scenario,
         QueryKind::Stats,
     ];
 
@@ -254,6 +260,7 @@ impl QueryKind {
             QueryKind::Theorem5 => "theorem5",
             QueryKind::VerifyConsensus => "verify-consensus",
             QueryKind::Sched => "sched",
+            QueryKind::Scenario => "scenario",
             QueryKind::Stats => "stats",
         }
     }

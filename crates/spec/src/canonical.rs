@@ -424,6 +424,99 @@ pub fn marked_ring(m: usize) -> FiniteType {
     b.build().expect("marked ring type is well-formed")
 }
 
+/// A `w`-bit shift register (Aspnes 2025: consensus number exactly `w`).
+///
+/// States are the `2^w` bit strings, most-significant bit first.
+/// Invocations `{shl, shr}` perform a logical shift — `shl` drops the
+/// leading bit and inserts `0` on the right, `shr` drops the trailing
+/// bit and inserts `0` on the left — and return the **new** contents as
+/// the response. There is no separate read: the only way to observe the
+/// register is to shift it, which is exactly what caps the consensus
+/// number at the width. At `w = 1` both operations always yield `"0"`,
+/// so the type is *trivial* (responses are a function of the invocation
+/// alone — Section 5.1/5.2) and sits at level 1; at `w = 2` the order
+/// of a `shl`/`shr` race is recoverable from the responses, giving
+/// consensus number 2. Initialize to any bit string, e.g. `"01"`.
+pub fn shift_register(w: usize, ports: usize) -> FiniteType {
+    assert!((1..=8).contains(&w), "shift register width must be 1..=8");
+    let mut b = TypeBuilder::new(format!("shift{w}"), ports);
+    let name_of = |v: usize| -> String {
+        (0..w)
+            .rev()
+            .map(|i| if v >> i & 1 == 1 { '1' } else { '0' })
+            .collect()
+    };
+    let mask = (1usize << w) - 1;
+    let states: Vec<_> = (0..=mask).map(|v| b.state(&name_of(v))).collect();
+    let shl = b.invocation("shl");
+    let shr = b.invocation("shr");
+    let resps: Vec<_> = (0..=mask).map(|v| b.response(&name_of(v))).collect();
+    for v in 0..=mask {
+        let left = (v << 1) & mask;
+        let right = v >> 1;
+        b.oblivious_transition(states[v], shl, states[left], resps[left]);
+        b.oblivious_transition(states[v], shr, states[right], resps[right]);
+    }
+    b.build().expect("shift register type is well-formed")
+}
+
+/// The Mostéfaoui–Perrin–Raynal `k`-sliding-window register (the
+/// "simple object that spans the whole consensus hierarchy"; consensus
+/// number exactly `k`).
+///
+/// `write0`/`write1` append a value (response `ok`); `read` returns the
+/// window of the last `≤ k` written values, oldest first, as a
+/// `"⟨…⟩"` response. At `k = 1` the object behaves like a plain
+/// register (consensus number 1); at `k = 2` the window preserves the
+/// order of the first two writes, so two processes can agree on who
+/// wrote first. Initialize to `"⟨⟩"` (nothing written yet).
+pub fn mpr(k: usize, ports: usize) -> FiniteType {
+    assert!((1..=8).contains(&k), "mpr window size must be 1..=8");
+    let mut b = TypeBuilder::new(format!("mpr{k}"), ports);
+    // Enumerate all windows of length 0..=k over {0, 1}, oldest first.
+    let mut windows: Vec<Vec<usize>> = vec![vec![]];
+    let mut layer: Vec<Vec<usize>> = vec![vec![]];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for c in &layer {
+            for v in 0..2 {
+                let mut c2 = c.clone();
+                c2.push(v);
+                next.push(c2);
+            }
+        }
+        windows.extend(next.iter().cloned());
+        layer = next;
+    }
+    let name_of = |c: &[usize]| {
+        let inner: Vec<String> = c.iter().map(|v| v.to_string()).collect();
+        format!("⟨{}⟩", inner.join(","))
+    };
+    let states: Vec<_> = windows.iter().map(|c| b.state(&name_of(c))).collect();
+    let read = b.invocation("read");
+    let writes: Vec<_> = (0..2).map(|v| b.invocation(&format!("write{v}"))).collect();
+    let window_resps: Vec<_> = windows.iter().map(|c| b.response(&name_of(c))).collect();
+    let ok = b.response("ok");
+    let index_of = |c: &[usize]| {
+        windows
+            .iter()
+            .position(|x| x == c)
+            .expect("window enumerated")
+    };
+    for (i, c) in windows.iter().enumerate() {
+        b.oblivious_transition(states[i], read, states[i], window_resps[i]);
+        for (v, &write) in writes.iter().enumerate() {
+            let mut c2 = c.clone();
+            c2.push(v);
+            if c2.len() > k {
+                c2.remove(0);
+            }
+            b.oblivious_transition(states[i], write, states[index_of(&c2)], ok);
+        }
+    }
+    b.build().expect("mpr type is well-formed")
+}
+
 /// Every deterministic type in the zoo, for exhaustive catalog tests.
 /// All are built with `ports` ports where the constructor allows it.
 pub fn deterministic_zoo(ports: usize) -> Vec<FiniteType> {
@@ -440,6 +533,8 @@ pub fn deterministic_zoo(ports: usize) -> Vec<FiniteType> {
         consensus(ports),
         mute(ports),
         constant_responder(ports),
+        shift_register(2, ports),
+        mpr(2, ports),
     ]
 }
 
@@ -574,6 +669,73 @@ mod tests {
         let (resps, _) = t.run(bot, PortId::new(0), &[w1, w0, w0]);
         let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
         assert_eq!(names, ["1", "1", "1"], "first write sticks");
+    }
+
+    #[test]
+    fn shift_register_shifts_and_returns_new_contents() {
+        let t = shift_register(2, 2);
+        assert!(t.is_deterministic());
+        assert!(t.is_oblivious());
+        let init = t.state_id("01").unwrap();
+        let shl = t.invocation_id("shl").unwrap();
+        let shr = t.invocation_id("shr").unwrap();
+        let port = PortId::new(0);
+        // "01" —shl→ "10" (drop leading 0, insert 0 on the right).
+        let out = t.step(init, port, shl);
+        assert_eq!(t.state_name(out.next), "10");
+        assert_eq!(t.response_name(out.resp), "10");
+        // "10" —shr→ "01" (drop trailing 0, insert 0 on the left).
+        let out2 = t.step(out.next, port, shr);
+        assert_eq!(t.state_name(out2.next), "01");
+        assert_eq!(t.response_name(out2.resp), "01");
+        // "01" —shr→ "00": the set bit falls off the right edge.
+        let out3 = t.step(init, port, shr);
+        assert_eq!(t.state_name(out3.next), "00");
+        assert_eq!(t.response_name(out3.resp), "00");
+    }
+
+    #[test]
+    fn one_bit_shift_register_is_trivial() {
+        // Both shifts always produce "0": responses are a function of
+        // the invocation alone, so shift1 is trivial (Section 5.1/5.2)
+        // and its consensus number is 1 — the w = 1 case of Aspnes's
+        // "consensus number equals width".
+        let t = shift_register(1, 2);
+        let port = PortId::new(0);
+        for q in t.states() {
+            for i in t.invocations() {
+                let out = t.step(q, port, i);
+                assert_eq!(t.response_name(out.resp), "0");
+                assert_eq!(t.state_name(out.next), "0");
+            }
+        }
+        assert!(is_trivial(&t).unwrap());
+        assert!(is_trivial_oblivious(&t).unwrap());
+        // Width 2 is already non-trivial: a shl/shr race is observable.
+        assert!(!is_trivial(&shift_register(2, 2)).unwrap());
+    }
+
+    #[test]
+    fn mpr_window_keeps_the_last_k_values_oldest_first() {
+        let t = mpr(2, 2);
+        assert!(t.is_deterministic());
+        assert!(t.is_oblivious());
+        assert_eq!(t.state_count(), 7, "windows of length 0..=2 over {{0,1}}");
+        let empty = t.state_id("⟨⟩").unwrap();
+        let w0 = t.invocation_id("write0").unwrap();
+        let w1 = t.invocation_id("write1").unwrap();
+        let read = t.invocation_id("read").unwrap();
+        let (resps, end) = t.run(empty, PortId::new(0), &[read, w0, w1, read, w1, read]);
+        let names: Vec<_> = resps.iter().map(|&r| t.response_name(r)).collect();
+        assert_eq!(names, ["⟨⟩", "ok", "ok", "⟨0,1⟩", "ok", "⟨1,1⟩"]);
+        assert_eq!(t.state_name(end), "⟨1,1⟩");
+    }
+
+    #[test]
+    fn mpr_is_non_trivial_at_every_window_size() {
+        for k in 1..=3 {
+            assert!(!is_trivial(&mpr(k, 2)).unwrap(), "mpr{k}");
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! wfc access-bounds <TYPE-FILE>   Section 4.2 bounds (D, r_b, w_b) as JSON
 //! wfc theorem5 <TYPE-FILE>        full Theorem 5 certificate as JSON
 //! wfc sched <TARGET> [key=value…] model-check a register fixture (wfc-sched)
+//! wfc scenario run <FILE>         run one scenario file (direct or --addr)
+//! wfc scenario check <PATH>…      run scenarios, assert every expectation
+//! wfc scenario list <PATH>…       parse scenarios and print their shape
 //! wfc serve [flags]               run the analysis server
 //! wfc query <KIND> <TYPE-FILE> --addr HOST:PORT
 //!                                 ask a running server for any analysis
@@ -50,7 +53,7 @@ use wfc_spec::FiniteType;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | repl | regular | broken | repl_broken)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n            [--batch-size N] [--batch-delay-us N] [--batch-adaptive on|off]\n            [--max-connections N] [--flight-capacity N]\n            [--anomaly-threshold-ms N]\n            [--node-id N --data-dir DIR [--peer ID=HOST:PORT ...]\n             [--compact-threshold N]]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched)\n  wfc loadgen --addr HOST:PORT [--connections N] [--pipeline N]\n              [--duration-ms N] [--rate N] [--mode closed|open|both]\n              [--out FILE]\n  wfc stats --addr HOST:PORT [--json]\n  wfc top --addr HOST:PORT [--interval-ms N] [--iterations N]\n  wfc cluster-status --addr HOST:PORT [--json]\n\n  `query`, `stats`, `sched --addr`, and `cluster-status` accept --addr\n  repeatedly plus --retries N: addresses are tried in rotation with a\n  capped exponential backoff between passes.\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
+        "usage:\n  wfc classify <TYPE-FILE>\n  wfc witness <TYPE-FILE>\n  wfc show <TYPE-FILE>\n  wfc catalog\n  wfc zoo\n  wfc type <NAME>\n  wfc access-bounds <TYPE-FILE> [CONTROL-FLAGS]\n  wfc theorem5 <TYPE-FILE> [CONTROL-FLAGS]\n  wfc sched <TARGET> [mode=dfs|preempt|pct] [seed=N] [runs=N] [depth=N]\n            [preemptions=N] [budget=N] [steps=N] [sleep=on|off]\n            [replay=SCHEDULE] [CONTROL-FLAGS] [--addr HOST:PORT]\n    (TARGET: srsw | seqlock | t4 | mrsw | repl | regular | broken | repl_broken)\n  wfc scenario run <FILE> [--addr HOST:PORT] [CONTROL-FLAGS]\n  wfc scenario check <FILE-OR-DIR>... [CONTROL-FLAGS]\n  wfc scenario list <FILE-OR-DIR>...\n    (scenario files use the wfc-scenario language; directories are\n     swept for *.scn, sorted by name)\n  wfc serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n            [--queue-capacity N] [--cache-capacity N] [--timeout-ms N]\n            [--batch-size N] [--batch-delay-us N] [--batch-adaptive on|off]\n            [--max-connections N] [--flight-capacity N]\n            [--anomaly-threshold-ms N]\n            [--node-id N --data-dir DIR [--peer ID=HOST:PORT ...]\n             [--compact-threshold N]]\n  wfc query <KIND> <TYPE-FILE> --addr HOST:PORT [CONTROL-FLAGS]\n    (KIND: classify | witness | access-bounds | theorem5 | verify-consensus | sched | scenario)\n  wfc loadgen --addr HOST:PORT [--connections N] [--pipeline N]\n              [--duration-ms N] [--rate N] [--mode closed|open|both]\n              [--out FILE]\n  wfc stats --addr HOST:PORT [--json]\n  wfc top --addr HOST:PORT [--interval-ms N] [--iterations N]\n  wfc cluster-status --addr HOST:PORT [--json]\n\n  `query`, `stats`, `sched --addr`, and `cluster-status` accept --addr\n  repeatedly plus --retries N: addresses are tried in rotation with a\n  capped exponential backoff between passes.\n\n  CONTROL-FLAGS (uniform across analysis subcommands):\n    --budget-configs N    explorer configuration budget (alias: --max-configs)\n    --budget-depth N      explorer depth budget (alias: --max-depth)\n    --budget-schedules N  sched schedule budget (= spec `budget=N`)\n    --budget-steps N      sched per-execution step cap (= spec `steps=N`)\n    --timeout-ms N        wall-clock deadline for direct runs\n    --threads N           explorer workers"
     );
     ExitCode::from(2)
 }
@@ -862,6 +865,152 @@ fn cmd_sched(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     }
 }
 
+/// Expands a `wfc scenario` path argument: a file stands for itself, a
+/// directory for its `*.scn` files sorted by name (so `check` output is
+/// deterministic across filesystems).
+fn scenario_files(path: &str) -> Result<Vec<std::path::PathBuf>, Box<dyn Error>> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if !meta.is_dir() {
+        return Ok(vec![path.into()]);
+    }
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "scn"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("`{path}` contains no .scn scenario files").into());
+    }
+    Ok(files)
+}
+
+/// `scenario run`: one file to its `wfc-scenario/v1` document, direct
+/// (the same engine the server workers run) or served with `--addr`.
+/// The exit code reflects the document's `pass` verdict.
+fn cmd_scenario_run(path: &str, flags: &Flags) -> Result<ExitCode, Box<dyn Error>> {
+    let control = ControlFlags::parse(flags)?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if flags.get("--addr").is_some() {
+        return served_query(
+            QueryKind::Scenario,
+            &src,
+            &QueryOptions::default(),
+            flags,
+            "wfc scenario run",
+        );
+    }
+    let doc = wfc_service::run_scenario_text_with(
+        &src,
+        &control.options,
+        CancelToken::NONE,
+        control.wall(),
+    )?;
+    println!("{}", doc.render());
+    Ok(match doc.get("pass") {
+        Some(Json::Bool(true)) => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    })
+}
+
+/// `scenario check`: run every scenario and assert every expectation —
+/// one line per scenario, non-zero exit if anything failed. This is the
+/// one-command paper-claims regression over `scenarios/`.
+fn cmd_scenario_check(paths: &[String], flags: &Flags) -> Result<ExitCode, Box<dyn Error>> {
+    let control = ControlFlags::parse(flags)?;
+    let mut total = 0usize;
+    let mut failed = 0usize;
+    for arg in paths {
+        for file in scenario_files(arg)? {
+            total += 1;
+            let shown = file.display();
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read `{shown}`: {e}"))?;
+            let doc = match wfc_service::run_scenario_text_with(
+                &src,
+                &control.options,
+                CancelToken::NONE,
+                control.wall(),
+            ) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    failed += 1;
+                    println!("FAIL {shown}: {e}");
+                    continue;
+                }
+            };
+            let name = doc.get("scenario").and_then(Json::as_str).unwrap_or("?");
+            let queries = doc.get("queries").and_then(Json::as_arr).unwrap_or(&[]);
+            if doc.get("pass") == Some(&Json::Bool(true)) {
+                println!("ok   {name} ({} queries) — {shown}", queries.len());
+                continue;
+            }
+            failed += 1;
+            println!("FAIL {name} — {shown}");
+            for q in queries {
+                if q.get("pass") != Some(&Json::Bool(true)) {
+                    println!(
+                        "     query {} expected {}, result disagrees",
+                        q.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                        q.get("expect").and_then(Json::as_str).unwrap_or("(none)"),
+                    );
+                }
+            }
+        }
+    }
+    println!("{total} scenario(s), {failed} failed");
+    Ok(if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `scenario list`: parse (but do not run) scenarios and print their
+/// shape — name, resolved type, protocol, query kinds.
+fn cmd_scenario_list(paths: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    for arg in paths {
+        for file in scenario_files(arg)? {
+            let shown = file.display();
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read `{shown}`: {e}"))?;
+            let sc = wfc_scenario::parse_scenario(&src).map_err(|e| format!("{shown}: {e}"))?;
+            let kinds: Vec<&str> = sc.queries.iter().map(|q| q.kind.as_str()).collect();
+            println!(
+                "{:<20} type={:<18} protocol={:<14} queries={}",
+                sc.name,
+                sc.resolved.name(),
+                sc.protocol.as_deref().unwrap_or("-"),
+                kinds.join(","),
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_scenario(rest: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let usage = "`wfc scenario` wants run|check|list; see `wfc` usage";
+    let (sub, rest) = rest.split_first().ok_or(usage)?;
+    let split = rest
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(rest.len());
+    let (paths, flag_args) = rest.split_at(split);
+    let flags = Flags::parse(flag_args)?;
+    match sub.as_str() {
+        "run" => match paths {
+            [path] => cmd_scenario_run(path, &flags),
+            _ => Err("`wfc scenario run` wants exactly one FILE".into()),
+        },
+        "check" if !paths.is_empty() => cmd_scenario_check(paths, &flags),
+        "check" => Err("`wfc scenario check` wants at least one FILE or DIR".into()),
+        "list" if !paths.is_empty() => cmd_scenario_list(paths),
+        "list" => Err("`wfc scenario list` wants at least one FILE or DIR".into()),
+        _ => Err(usage.into()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<ExitCode, Box<dyn Error>> = match args.as_slice() {
@@ -884,6 +1033,7 @@ fn main() -> ExitCode {
             cmd_direct_query(QueryKind::Theorem5, path, rest).map(|()| ExitCode::SUCCESS)
         }
         [cmd, rest @ ..] if cmd == "sched" => cmd_sched(rest),
+        [cmd, rest @ ..] if cmd == "scenario" => cmd_scenario(rest),
         [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest).map(|()| ExitCode::SUCCESS),
         [cmd, rest @ ..] if cmd == "loadgen" => cmd_loadgen(rest),
         [cmd, rest @ ..] if cmd == "stats" => cmd_stats(rest),

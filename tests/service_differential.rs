@@ -41,12 +41,13 @@ fn served_results_are_byte_identical_to_direct_calls() {
         })
         .unwrap();
         let mut client = Client::connect(handle.addr()).unwrap();
-        // `sched` takes a fixture spec, not a type text; it gets its own
-        // differential test below. `stats` is live introspection with no
-        // direct-call counterpart; `tests/service_stats.rs` covers it.
+        // `sched` takes a fixture spec and `scenario` a scenario file,
+        // not a type text; each gets its own differential test below.
+        // `stats` is live introspection with no direct-call counterpart;
+        // `tests/service_stats.rs` covers it.
         for kind in QueryKind::ALL
             .into_iter()
-            .filter(|k| !matches!(k, QueryKind::Sched | QueryKind::Stats))
+            .filter(|k| !matches!(k, QueryKind::Sched | QueryKind::Scenario | QueryKind::Stats))
         {
             let direct = wfc_service::run_query_text(kind, &tas, &options)
                 .unwrap_or_else(|e| panic!("direct {kind} failed: {e}"))
@@ -280,6 +281,114 @@ fn served_sched_results_are_byte_identical_to_direct_calls() {
             assert_eq!(result.render(), direct, "cached sched bytes differ");
         }
         other => panic!("unexpected repeat response {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// The `scenario` query kind: a served scenario file returns the same
+/// bytes as the direct `run_scenario_text` call, a repeat is served
+/// from cache, and a respelled-but-canonically-equal file (alias
+/// spelling, comments, implicit defaults, reordered words) lands on the
+/// same cache line.
+#[test]
+fn served_scenario_results_are_byte_identical_to_direct_calls() {
+    let handle = serve(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let options = QueryOptions::default();
+    let text = "\
+scenario tas-check
+type builtin test_and_set
+query classify expect=non-trivial
+query witness expect=non-trivial
+";
+    let direct = wfc_service::run_scenario_text(text, &options)
+        .expect("direct scenario run")
+        .render();
+    assert!(
+        direct.contains("\"schema\":\"wfc-scenario/v1\""),
+        "{direct}"
+    );
+    assert!(direct.contains("\"pass\":true"), "{direct}");
+    match client.query(QueryKind::Scenario, text, &options).unwrap() {
+        Response::Ok { cached, result, .. } => {
+            assert!(!cached, "first scenario query must compute fresh");
+            assert_eq!(result.render(), direct, "served scenario bytes differ");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // A respelled file — alias `tas`, comments, blank lines, the same
+    // queries — canonicalizes identically, so it must hit the cache and
+    // return the exact same document.
+    let respelled = "\
+# same scenario, spelled differently
+scenario tas-check
+
+type builtin tas
+query classify expect=non-trivial
+query witness expect=non-trivial
+";
+    match client
+        .query(QueryKind::Scenario, respelled, &options)
+        .unwrap()
+    {
+        Response::Ok { cached, result, .. } => {
+            assert!(cached, "equal canonical scenarios must share a cache line");
+            assert_eq!(result.render(), direct, "cached scenario bytes differ");
+        }
+        other => panic!("unexpected repeat response {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Malformed scenario files come back as structured `parse-error`
+/// frames whose message carries the parser's line/column diagnostic —
+/// for each class of error the language rejects: unknown query kinds,
+/// bad budget words, non-deterministic FSM transitions, and unreachable
+/// FSM states.
+#[test]
+fn scenario_parse_errors_are_structured_on_the_wire() {
+    let handle = serve(local_config()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let options = QueryOptions::default();
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "unknown query kind",
+            "scenario b\ntype builtin tas\nquery frobnicate\n",
+            "unknown query kind",
+        ),
+        (
+            "bad budget word",
+            "scenario b\ntype builtin tas\nbudget zoom=3\nquery classify\n",
+            "unknown budget key",
+        ),
+        (
+            "non-deterministic fsm",
+            "scenario b\ntype fsm\ntype t ports 1\nstates s u\ninvocations i\n\
+             responses r\ndelta s 0 i -> u r\ndelta u 0 i -> u r\n\
+             delta s * i -> s r\nend\nquery classify\n",
+            "non-deterministic",
+        ),
+        (
+            "unreachable fsm state",
+            "scenario b\ntype fsm\ntype t ports 1\nstates s orphan\ninvocations i\n\
+             responses r\ndelta s 0 i -> s r\ndelta orphan 0 i -> orphan r\n\
+             end\nquery classify\n",
+            "unreachable",
+        ),
+    ];
+    for (what, text, needle) in cases {
+        match client.query(QueryKind::Scenario, text, &options).unwrap() {
+            Response::Error { code, message, .. } => {
+                assert_eq!(code, "parse-error", "{what}");
+                assert!(message.contains(needle), "{what}: {message}");
+                assert!(message.contains("line "), "{what} names a line: {message}");
+                assert!(
+                    message.contains("column "),
+                    "{what} names a column: {message}"
+                );
+            }
+            other => panic!("{what}: unexpected {other:?}"),
+        }
     }
     handle.shutdown();
 }

@@ -304,3 +304,38 @@ fn disabled_observability_costs_nothing() {
     assert!(u64_at(&doc, &["server", "requests_accepted"]) >= 4);
     handle.shutdown();
 }
+
+/// Scenario queries ride the existing pipeline end to end: `wfc top`
+/// and the stats surface need no changes for them, and with
+/// observability off a served scenario adds **zero** registry entries —
+/// the same zero-cost-when-off contract every other kind honors.
+#[test]
+fn scenario_queries_add_no_registry_entries_with_obs_off() {
+    let _obs = ObsSession::with_obs(false);
+    let handle = serve(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let text = "\
+scenario stats-probe
+type builtin tas
+query classify expect=non-trivial
+query witness expect=non-trivial
+";
+    match client
+        .query(QueryKind::Scenario, text, &QueryOptions::default())
+        .unwrap()
+    {
+        Response::Ok { result, .. } => {
+            assert_eq!(result.get("pass"), Some(&Json::Bool(true)));
+        }
+        other => panic!("unexpected scenario response {other:?}"),
+    }
+    let doc = fetch_stats(&mut client);
+    for section in ["counters", "gauges", "histograms", "stages"] {
+        assert_eq!(
+            doc.get(section).and_then(Json::as_obj).map(<[_]>::len),
+            Some(0),
+            "`{section}` must stay empty after a scenario query with obs off"
+        );
+    }
+    handle.shutdown();
+}
