@@ -8,10 +8,10 @@
 //! scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use wfc_obs::metrics::Registry;
+use wfc_waitfree::ResultCell;
 
 /// Applies `f` to every item of `items` on up to `threads` workers,
 /// returning the results in item order.
@@ -38,10 +38,10 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
-    // Per-item mutexed slots: claimed exactly once via the cursor, so
-    // locks are never contended; `Mutex` (unlike `OnceLock`) asks only
-    // `R: Send` of the result type.
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    // Per-item write-once cells: the cursor claims each item exactly
+    // once, so each slot has a unique writer and the wait-free
+    // `set`/`take` protocol needs only `R: Send`.
+    let slots: Vec<ResultCell<R>> = items.iter().map(|_| ResultCell::new()).collect();
     let cursor = AtomicUsize::new(0);
     let workers = threads.min(items.len());
     std::thread::scope(|s| {
@@ -53,7 +53,7 @@ where
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
                     claims += 1;
-                    *slots[i].lock().expect("result slot poisoned") = Some(f(item));
+                    slots[i].set(f(item));
                 }
                 if let Some(t0) = started {
                     let reg = Registry::global();
@@ -65,12 +65,8 @@ where
         }
     });
     slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every slot filled by a worker")
-        })
+        .iter()
+        .map(|slot| slot.take().expect("every slot filled by a worker"))
         .collect()
 }
 

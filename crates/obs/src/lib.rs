@@ -204,7 +204,16 @@ mod tests {
         assert!(snap.counters.is_empty(), "{:?}", snap.counters);
         assert!(snap.gauges.is_empty(), "{:?}", snap.gauges);
         assert!(snap.histograms.is_empty(), "{:?}", snap.histograms);
+        // The disabled drain is lock-free: one relaxed load decides
+        // there is nothing pending, and the span registry lock is
+        // never taken.
+        let locks_before = span::registry_locks();
         assert!(span::drain().is_empty());
+        assert_eq!(
+            span::registry_locks(),
+            locks_before,
+            "a disabled drain must not touch the registry lock"
+        );
         set_enabled(was);
     }
 

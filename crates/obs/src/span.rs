@@ -4,10 +4,29 @@
 //! A span is opened with [`enter`] (or the [`span!`](crate::span) macro)
 //! and records its wall-clock duration into the *current thread's*
 //! buffer when the returned [`SpanGuard`] drops — no cross-thread
-//! synchronisation on the hot path. Buffers flush into a global
-//! collector when their thread exits (scoped explorer workers exit
-//! before their spawner resumes) and when [`drain`] runs on the calling
-//! thread.
+//! synchronisation on the hot path. Buffers flush when their thread
+//! exits (scoped explorer workers exit before their spawner resumes)
+//! and when [`drain`] runs on the calling thread.
+//!
+//! ## The wait-free flush path
+//!
+//! A flush used to append into a global `Mutex<Vec<_>>` collector;
+//! it now publishes through a `wfc-waitfree` snapshot channel (a triple
+//! buffer of boxed batches). Each thread owns one publisher; the global
+//! registry holds the matching subscribers and is locked only twice per
+//! thread lifetime on the producer side — once to register, never again
+//! — so a flush is a single wait-free publication regardless of how
+//! many threads flush or drain concurrently.
+//!
+//! The triple buffer is *lossy* (a reader sees the latest snapshot, not
+//! every one), so publications are **cumulative**: every flush
+//! publishes the thread's full record list, and the drainer remembers
+//! per-slot how many records it has already consumed. An overwritten
+//! intermediate snapshot is then harmless — the surviving one is a
+//! superset. A global [`PENDING`] counter (published minus consumed)
+//! lets a drain with nothing to collect return after one relaxed load,
+//! without touching the registry lock at all — the disabled path of the
+//! zero-cost contract.
 //!
 //! ## The deterministic merge rule
 //!
@@ -21,8 +40,11 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use wfc_waitfree::{snapshot, SnapshotPublisher, SnapshotSubscriber};
 
 /// One closed span, as buffered per thread.
 #[derive(Clone, Debug)]
@@ -32,28 +54,109 @@ struct SpanRecord {
     dur_ns: u64,
 }
 
-static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+/// The drainer's half of one thread's snapshot channel.
+struct RegEntry {
+    sub: SnapshotSubscriber<Vec<SpanRecord>>,
+    /// How many records of the cumulative batch are already merged.
+    consumed: usize,
+    /// Set by the publishing thread after its final flush; the entry is
+    /// pruned at the next drain.
+    retired: Arc<AtomicBool>,
+}
 
-struct LocalBuf(Vec<SpanRecord>);
+static REGISTRY: Mutex<Vec<RegEntry>> = Mutex::new(Vec::new());
+
+/// Records published but not yet consumed by a drain, summed over all
+/// slots. A relaxed zero here proves a drain has nothing to collect.
+static PENDING: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(test)]
+static REGISTRY_LOCKS: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<RegEntry>> {
+    #[cfg(test)]
+    REGISTRY_LOCKS.fetch_add(1, Ordering::Relaxed);
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// How many times the registry lock has been taken (zero-cost tests
+/// assert a disabled drain leaves this unchanged).
+#[cfg(test)]
+pub(crate) fn registry_locks() -> usize {
+    REGISTRY_LOCKS.load(Ordering::Relaxed)
+}
+
+/// Published-but-unconsumed record count (tests use it to wait for
+/// worker flushes, which land in thread-local destructors).
+#[cfg(test)]
+pub(crate) fn pending_records() -> usize {
+    PENDING.load(Ordering::Relaxed)
+}
+
+/// This thread's span buffer and (once it has flushed) its publisher.
+struct LocalBuf {
+    records: Vec<SpanRecord>,
+    /// Prefix of `records` already published (and counted in PENDING).
+    published: usize,
+    slot: Option<Slot>,
+}
+
+struct Slot {
+    publisher: SnapshotPublisher<Vec<SpanRecord>>,
+    retired: Arc<AtomicBool>,
+}
+
+impl LocalBuf {
+    /// Publishes the cumulative record list. Wait-free except for the
+    /// first flush of the thread's lifetime, which registers the
+    /// subscriber half with the drainer.
+    fn flush(&mut self) {
+        if self.records.len() == self.published {
+            return;
+        }
+        let slot = self.slot.get_or_insert_with(|| {
+            let (publisher, sub) = snapshot(Vec::new);
+            let retired = Arc::new(AtomicBool::new(false));
+            registry().push(RegEntry {
+                sub,
+                consumed: 0,
+                retired: Arc::clone(&retired),
+            });
+            Slot { publisher, retired }
+        });
+        // Count before publishing: a racing drain may then see PENDING
+        // overshoot and take nothing (it retries later), but can never
+        // consume records before they are counted — so PENDING never
+        // underflows.
+        PENDING.fetch_add(self.records.len() - self.published, Ordering::Relaxed);
+        let records = &self.records;
+        slot.publisher.publish_with(|batch| {
+            batch.clear();
+            batch.extend_from_slice(records);
+        });
+        self.published = self.records.len();
+    }
+}
 
 impl Drop for LocalBuf {
     fn drop(&mut self) {
-        flush_records(std::mem::take(&mut self.0));
+        self.flush();
+        if let Some(slot) = &self.slot {
+            // Release: the final publication above is ordered before
+            // the retirement flag a pruning drain acquires.
+            slot.retired.store(true, Ordering::Release);
+        }
     }
 }
 
 thread_local! {
-    static BUF: RefCell<LocalBuf> = const { RefCell::new(LocalBuf(Vec::new())) };
-}
-
-fn flush_records(mut records: Vec<SpanRecord>) {
-    if records.is_empty() {
-        return;
-    }
-    COLLECTOR
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .append(&mut records);
+    static BUF: RefCell<LocalBuf> = const {
+        RefCell::new(LocalBuf {
+            records: Vec::new(),
+            published: 0,
+            slot: None,
+        })
+    };
 }
 
 /// An open span; records its duration on drop. Inert (and free) when
@@ -75,7 +178,7 @@ impl Drop for SpanGuard {
             // A thread-local at destruction time (thread teardown) would
             // panic on access; spans are only opened from live code, so
             // plain access is fine.
-            BUF.with(|b| b.borrow_mut().0.push(rec));
+            BUF.with(|b| b.borrow_mut().records.push(rec));
         }
     }
 }
@@ -116,19 +219,57 @@ pub struct SpanStat {
     /// Number of records merged into this aggregate.
     pub count: u64,
     /// Sum of durations, nanoseconds.
-    pub total_ns: u64,
-    /// Shortest single duration, nanoseconds.
     pub min_ns: u64,
-    /// Longest single duration, nanoseconds.
+    /// Shortest single duration, nanoseconds.
     pub max_ns: u64,
+    /// Longest single duration, nanoseconds.
+    pub total_ns: u64,
 }
 
-/// Flushes the calling thread's buffer, takes every collected record,
+/// Refreshes every registered slot, collecting records past each slot's
+/// consumed watermark; prunes slots whose thread has retired. `discard`
+/// skips the collection (for [`reset`]) but still advances watermarks.
+fn collect(records: &mut Vec<SpanRecord>, discard: bool) {
+    let mut reg = registry();
+    reg.retain_mut(|entry| {
+        // Load retirement *before* refreshing: if the flag is already
+        // set, the publisher's final flush happened before it (release/
+        // acquire), so the refresh below observes the complete batch
+        // and pruning loses nothing.
+        let retired = entry.retired.load(Ordering::Acquire);
+        entry.sub.refresh();
+        let consumed = entry.consumed;
+        let len = entry.sub.with(|batch| {
+            // `min` guards the invariant defensively; cumulative
+            // publication means a batch never shrinks.
+            let from = consumed.min(batch.len());
+            if !discard {
+                records.extend_from_slice(&batch[from..]);
+            }
+            batch.len()
+        });
+        if len > consumed {
+            PENDING.fetch_sub(len - consumed, Ordering::Relaxed);
+        }
+        entry.consumed = len;
+        !retired
+    });
+}
+
+/// Flushes the calling thread's buffer, takes every published record,
 /// and merges them into per-`(name, label)` aggregates sorted by that
 /// key — the deterministic merge rule (see the module docs).
+///
+/// With nothing recorded anywhere (in particular, whenever observability
+/// is disabled) this is one thread-local check and one relaxed load —
+/// no lock is taken.
 pub fn drain() -> Vec<SpanStat> {
-    BUF.with(|b| flush_records(std::mem::take(&mut b.borrow_mut().0)));
-    let records = std::mem::take(&mut *COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()));
+    BUF.with(|b| b.borrow_mut().flush());
+    if PENDING.load(Ordering::Relaxed) == 0 {
+        return Vec::new();
+    }
+    let mut records = Vec::new();
+    collect(&mut records, false);
     let mut merged: BTreeMap<(String, String), SpanStat> = BTreeMap::new();
     for r in records {
         merged
@@ -151,10 +292,21 @@ pub fn drain() -> Vec<SpanStat> {
     merged.into_values().collect()
 }
 
-/// Discards the calling thread's buffer and every collected record.
+/// Discards the calling thread's unpublished records and every
+/// published-but-undrained record.
 pub fn reset() {
-    BUF.with(|b| b.borrow_mut().0.clear());
-    COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        // Keep the already-published prefix: the cumulative batch must
+        // never shrink below a drainer's consumed watermark. The prefix
+        // is never delivered again — the watermark is already past it.
+        let published = b.published;
+        b.records.truncate(published);
+    });
+    if PENDING.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    collect(&mut Vec::new(), true);
 }
 
 #[cfg(test)]
@@ -174,13 +326,11 @@ mod tests {
                 });
             }
         });
-        // Worker thread-locals flushed at thread exit; nothing buffered
-        // on the main thread yet. The flush runs in a thread-local
-        // destructor, which the platform may complete *after* the scope
-        // join observes thread exit — wait for all 12 records to land.
+        // Worker buffers publish in thread-local destructors, which the
+        // platform may complete *after* the scope join observes thread
+        // exit — wait for all 12 records to be pending.
         for _ in 0..1000 {
-            let landed = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()).len();
-            if landed >= 12 {
+            if pending_records() >= 12 {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
@@ -205,5 +355,46 @@ mod tests {
             let _g = enter_if(false, "t.inert", String::new());
         }
         assert!(drain().is_empty());
+    }
+
+    /// Repeated flush/drain cycles on one thread deliver every record
+    /// exactly once — the cumulative-batch watermark bookkeeping.
+    #[test]
+    fn incremental_drains_deliver_each_record_once() {
+        let _l = crate::tests::test_lock();
+        reset();
+        for round in 0..3u32 {
+            {
+                let _g = enter("t.incremental", format!("round={round}"));
+            }
+            let stats = drain();
+            assert_eq!(stats.len(), 1, "{stats:?}");
+            assert_eq!(stats[0].label, format!("round={round}"));
+            assert_eq!(stats[0].count, 1, "no re-delivery from earlier rounds");
+        }
+        assert!(drain().is_empty());
+    }
+
+    /// `reset` discards unpublished and published records alike, and a
+    /// thread keeps working after it.
+    #[test]
+    fn reset_discards_published_and_unpublished_records() {
+        let _l = crate::tests::test_lock();
+        reset();
+        {
+            let _g = enter("t.reset.published", String::new());
+        }
+        let _ = drain(); // force a publish cycle so the slot exists
+        {
+            let _g = enter("t.reset.unpublished", String::new());
+        }
+        reset();
+        assert!(drain().is_empty(), "reset discarded everything");
+        {
+            let _g = enter("t.reset.after", String::new());
+        }
+        let stats = drain();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "t.reset.after");
     }
 }

@@ -40,7 +40,6 @@ impl<T: Copy + Send + 'static, P: CellProvider> SeqLockCell<T, P> {
 
     /// Atomically replaces the value.
     pub fn store(&self, value: T) {
-        wfc_obs::counter!("registers.cell.stores");
         // Acquire the write side: CAS the counter from even to odd.
         let mut seq = self.seq.load_relaxed();
         loop {
@@ -63,7 +62,6 @@ impl<T: Copy + Send + 'static, P: CellProvider> SeqLockCell<T, P> {
 
     /// Atomically loads the value.
     pub fn load(&self) -> T {
-        wfc_obs::counter!("registers.cell.loads");
         loop {
             let before = self.seq.load_acquire();
             if !before.is_multiple_of(2) {

@@ -39,6 +39,11 @@ pub trait RawAtomicUsize: Send + Sync {
     /// Returns the previous value as `Ok` on success, `Err` on failure
     /// (spurious failure allowed).
     fn cas_weak_acquire(&self, current: usize, new: usize) -> Result<usize, usize>;
+    /// Unconditional atomic exchange with acquire-release ordering;
+    /// returns the previous value. Unlike a CAS loop this cannot fail or
+    /// retry, which is what makes the triple buffer's index handoff
+    /// wait-free (`wfc-waitfree`, DESIGN §2.15).
+    fn swap_acq_rel(&self, value: usize) -> usize;
 }
 
 /// A shared atomic `bool` cell.
@@ -114,6 +119,10 @@ impl RawAtomicUsize for AtomicUsize {
     #[inline]
     fn cas_weak_acquire(&self, current: usize, new: usize) -> Result<usize, usize> {
         self.compare_exchange_weak(current, new, Ordering::Acquire, Ordering::Relaxed)
+    }
+    #[inline]
+    fn swap_acq_rel(&self, value: usize) -> usize {
+        self.swap(value, Ordering::AcqRel)
     }
 }
 

@@ -502,8 +502,20 @@ impl Decider for DfsDecider<'_> {
                 }
                 let mut alt_prefix = self.taken.clone();
                 alt_prefix.push(alt as u8);
-                self.siblings.push((alt_prefix, sibling_sleep.clone()));
-                sibling_sleep.push((alt, pending[alt].expect("alt is enabled")));
+                // The sibling's sleep set holds at the state *after* its
+                // prefix, whose final step is `alt` itself — so entries
+                // dependent on `alt`'s access must wake now, exactly as
+                // the `retain` below wakes sleepers when `chosen` runs.
+                // Keeping them asleep prunes subtrees that were never
+                // covered (the bug the `triple_broken` fixture exposed).
+                let alt_acc = pending[alt].expect("alt is enabled");
+                let woken: Vec<(usize, Access)> = sibling_sleep
+                    .iter()
+                    .copied()
+                    .filter(|&(t, a)| t != alt && a.independent(alt_acc))
+                    .collect();
+                self.siblings.push((alt_prefix, woken));
+                sibling_sleep.push((alt, alt_acc));
             }
         }
         let acc = pending[chosen].expect("chosen is enabled");

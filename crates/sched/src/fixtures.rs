@@ -11,6 +11,15 @@
 //! new/old inversion an atomic register forbids, and `broken` writes its
 //! value as two independent words with no seqlock validation, so a
 //! reader overlapping the write observes a torn value.
+//!
+//! The `ring` / `triple` / `cell` trio model-checks the `wfc-waitfree`
+//! primitives — the *fixture-before-hot-path* rule: each primitive's
+//! unmodified generic code runs here over [`SchedProvider`] and must
+//! survive exhaustive DFS before it is allowed to replace a mutex in
+//! the engine. Each has a hand-rolled `_broken` twin with a planted
+//! algorithmic bug (premature index publication, a non-atomic
+//! publish swap, state-before-payload) that the checker must catch
+//! with a replayable counterexample.
 
 use std::sync::{Arc, Mutex};
 
@@ -78,6 +87,44 @@ pub const ALL: &[Fixture] = &[
         expect_violation: true,
     },
     Fixture {
+        name: "ring",
+        summary: "wfc-waitfree SPSC ring (capacity 1): 2 pushes vs 2 blocking pops, FIFO intact",
+        threads: 2,
+        expect_violation: false,
+    },
+    Fixture {
+        name: "ring_broken",
+        summary: "planted ring bug: tail published before the slot write, pop sees a ghost",
+        threads: 2,
+        expect_violation: true,
+    },
+    Fixture {
+        name: "triple",
+        summary: "wfc-waitfree triple buffer: 2 publishes vs a refreshing reader, snapshots stable",
+        threads: 2,
+        expect_violation: false,
+    },
+    Fixture {
+        name: "triple_broken",
+        summary:
+            "planted triple-buffer bug: publish by load+store, writer reclaims the reader's front",
+        threads: 2,
+        expect_violation: true,
+    },
+    Fixture {
+        name: "cell",
+        summary: "wfc-waitfree write-once cell: set(7) vs a polling take, handoff exactly once",
+        threads: 2,
+        expect_violation: false,
+    },
+    Fixture {
+        name: "cell_broken",
+        summary:
+            "planted cell bug: state published before the payload, take returns the placeholder",
+        threads: 2,
+        expect_violation: true,
+    },
+    Fixture {
         name: "regular",
         summary: "MRSW *regular* bit vs the atomic spec: new/old inversion across readers",
         threads: 3,
@@ -108,6 +155,12 @@ pub fn build(name: &str) -> Option<Builder> {
         "mrsw" => Some(Box::new(build_mrsw)),
         "repl" => Some(Box::new(|| build_repl(true))),
         "repl_broken" => Some(Box::new(|| build_repl(false))),
+        "ring" => Some(Box::new(build_ring)),
+        "ring_broken" => Some(Box::new(build_ring_broken)),
+        "triple" => Some(Box::new(build_triple)),
+        "triple_broken" => Some(Box::new(build_triple_broken)),
+        "cell" => Some(Box::new(build_cell)),
+        "cell_broken" => Some(Box::new(build_cell_broken)),
         "regular" => Some(Box::new(build_regular)),
         "broken" => Some(Box::new(build_broken)),
         _ => None,
@@ -425,6 +478,293 @@ fn build_repl(cas: bool) -> Execution {
                         ));
                     }
                 }
+            }
+            None
+        }),
+    }
+}
+
+/// `ring`: the `wfc-waitfree` SPSC ring at capacity 1 — the tightest
+/// configuration, where every push after the first must wait for the
+/// matching pop and the head/tail protocol is exercised end to end.
+/// The producer pushes 1 then 2 (retrying while full); the consumer
+/// pops twice (retrying while empty). FIFO at capacity 1 means the
+/// consumer must observe exactly `[1, 2]` — a stale or premature slot
+/// read shows up as a ghost value.
+fn build_ring() -> Execution {
+    let (mut p, mut c) = wfc_waitfree::ring::<usize, SchedProvider>(1, 0);
+    let popped: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let producer = Box::new(move || {
+        for v in [1usize, 2] {
+            let mut v = v;
+            // A full-ring retry re-reads only `head`, so the scheduler's
+            // spin detector can park this thread until the pop lands.
+            while let Err(back) = p.push(v) {
+                v = back;
+            }
+        }
+    }) as Box<dyn FnOnce() + Send>;
+    let consumer = {
+        let popped = Arc::clone(&popped);
+        Box::new(move || {
+            for _ in 0..2 {
+                let v = loop {
+                    if let Some(v) = c.pop() {
+                        break v;
+                    }
+                };
+                lock(&popped).push(v);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![producer, consumer],
+        check: Box::new(move || {
+            let popped = lock(&popped);
+            if popped[..] != [1, 2] {
+                return Some(format!(
+                    "FIFO violated: the consumer popped {popped:?}, the producer pushed [1, 2]"
+                ));
+            }
+            None
+        }),
+    }
+}
+
+/// `ring_broken`: the ring's planted bug, hand-rolled over shim cells —
+/// the producer publishes the new `tail` *before* writing the slot, so
+/// a pop scheduled into that window returns whatever the slot held
+/// previously (the initial 0, or the prior value on a wrapped lap).
+fn build_ring_broken() -> Execution {
+    let slot = Arc::new(Cell::new(0usize));
+    let head = Arc::new(<shim::AtomicUsize as RawAtomicUsize>::new(0));
+    let tail = Arc::new(<shim::AtomicUsize as RawAtomicUsize>::new(0));
+    let popped: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let producer = {
+        let (slot, head, tail) = (Arc::clone(&slot), Arc::clone(&head), Arc::clone(&tail));
+        Box::new(move || {
+            let (mut own, mut seen) = (0usize, 0usize);
+            for v in [1usize, 2] {
+                while own - seen == 1 {
+                    seen = head.load_acquire();
+                }
+                // The planted bug: index published before the payload.
+                tail.store_release(own + 1);
+                slot.store(v);
+                own += 1;
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let consumer = {
+        let popped = Arc::clone(&popped);
+        Box::new(move || {
+            let (mut own, mut seen) = (0usize, 0usize);
+            for _ in 0..2 {
+                while seen == own {
+                    seen = tail.load_acquire();
+                }
+                let v = slot.load();
+                own += 1;
+                head.store_release(own);
+                lock(&popped).push(v);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![producer, consumer],
+        check: Box::new(move || {
+            let popped = lock(&popped);
+            if popped[..] != [1, 2] {
+                return Some(format!(
+                    "pop observed {popped:?}, but [1, 2] was pushed: \
+                     the tail index was published before the slot write"
+                ));
+            }
+            None
+        }),
+    }
+}
+
+/// `triple`: the `wfc-waitfree` triple buffer. The writer publishes 1
+/// then 2; the reader waits for the first snapshot, double-reads it
+/// (two reads without a refresh must agree — snapshot stability, the
+/// permutation invariant made observable), then takes one non-blocking
+/// second look. Every snapshot must be a published value (never the
+/// initial 0) and snapshots must be monotone — the lossy buffer may
+/// skip 1, but can never resurrect it after 2.
+fn build_triple() -> Execution {
+    let (mut w, mut r) = wfc_waitfree::triple_buffer::<usize, SchedProvider>(0);
+    let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let unstable: Arc<Mutex<Option<(usize, usize)>>> = Arc::new(Mutex::new(None));
+    let writer = Box::new(move || {
+        w.publish(1);
+        w.publish(2);
+    }) as Box<dyn FnOnce() + Send>;
+    let reader = {
+        let (seen, unstable) = (Arc::clone(&seen), Arc::clone(&unstable));
+        Box::new(move || {
+            // A failed refresh is a single load of the state word, so
+            // the wait parks cleanly under the spin detector.
+            while !r.refresh() {}
+            let a = r.read();
+            let a2 = r.read();
+            if a != a2 {
+                lock(&unstable).get_or_insert((a, a2));
+            }
+            lock(&seen).push(a);
+            if r.refresh() {
+                lock(&seen).push(r.read());
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![writer, reader],
+        check: Box::new(move || {
+            if let Some((a, b)) = *lock(&unstable) {
+                return Some(format!(
+                    "snapshot changed underfoot: read {a}, then {b}, with no refresh in between"
+                ));
+            }
+            let seen = lock(&seen);
+            if seen.contains(&0) {
+                return Some(format!(
+                    "a refreshed snapshot returned the initial value: saw {seen:?}"
+                ));
+            }
+            if seen.windows(2).any(|w| w[1] < w[0]) {
+                return Some(format!("snapshots went backwards: saw {seen:?}"));
+            }
+            None
+        }),
+    }
+}
+
+/// `triple_broken`: the triple buffer's planted bug, hand-rolled over
+/// shim cells — the writer publishes with a *load then store* instead
+/// of one atomic swap. A reader refresh scheduled into that window
+/// hands its front buffer to the state word, but the writer's stale
+/// `load` result still names that buffer as the next back buffer: the
+/// writer reclaims the buffer the reader is holding, and the reader's
+/// double-read sees it change underfoot.
+fn build_triple_broken() -> Execution {
+    const FRESH: usize = 0b100;
+    const IDX: usize = 0b011;
+    let bufs = Arc::new([Cell::new(0usize), Cell::new(0usize), Cell::new(0usize)]);
+    let state = Arc::new(<shim::AtomicUsize as RawAtomicUsize>::new(1));
+    let unstable: Arc<Mutex<Option<(usize, usize)>>> = Arc::new(Mutex::new(None));
+    let writer = {
+        let (bufs, state) = (Arc::clone(&bufs), Arc::clone(&state));
+        Box::new(move || {
+            let mut back = 2usize;
+            for v in [1usize, 2, 3] {
+                bufs[back].store(v);
+                // The planted bug: publish is not a single swap.
+                let old = state.load_acquire();
+                state.store_release(back | FRESH);
+                back = old & IDX;
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = {
+        let (bufs, state) = (Arc::clone(&bufs), Arc::clone(&state));
+        let unstable = Arc::clone(&unstable);
+        Box::new(move || {
+            while state.load_acquire() & FRESH == 0 {}
+            // Trade the reader's front buffer (index 0) for the middle.
+            let front = state.swap_acq_rel(0) & IDX;
+            let a = bufs[front].load();
+            let b = bufs[front].load();
+            if a != b {
+                lock(&unstable).get_or_insert((a, b));
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![writer, reader],
+        check: Box::new(move || {
+            lock(&unstable).map(|(a, b)| {
+                format!(
+                    "snapshot changed underfoot: read {a}, then {b}, with no refresh in \
+                     between — the writer reclaimed the reader's front buffer"
+                )
+            })
+        }),
+    }
+}
+
+/// `cell`: the `wfc-waitfree` write-once cell. The setter stores 7; the
+/// taker polls `take` until it succeeds. The handoff must deliver
+/// exactly the set value — the placeholder 0 escaping would mean the
+/// payload was not ordered before the FULL publication.
+fn build_cell() -> Execution {
+    let cell = Arc::new(wfc_waitfree::WriteOnce::<usize, SchedProvider>::new(0));
+    let taken: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let setter = {
+        let cell = Arc::clone(&cell);
+        Box::new(move || cell.set(7)) as Box<dyn FnOnce() + Send>
+    };
+    let taker = {
+        let taken = Arc::clone(&taken);
+        Box::new(move || {
+            // An empty-cell `take` is a single load of the state word.
+            let v = loop {
+                if let Some(v) = cell.take() {
+                    break v;
+                }
+            };
+            lock(&taken).push(v);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![setter, taker],
+        check: Box::new(move || {
+            let taken = lock(&taken);
+            if taken[..] != [7] {
+                return Some(format!("take returned {taken:?}, but [7] was set"));
+            }
+            None
+        }),
+    }
+}
+
+/// `cell_broken`: the write-once cell's planted bug, hand-rolled over
+/// shim cells — the setter publishes the FULL state *before* writing
+/// the payload, so a take scheduled into that window claims the cell
+/// and walks away with the placeholder.
+fn build_cell_broken() -> Execution {
+    const FULL: usize = 2;
+    const TAKEN: usize = 3;
+    let state = Arc::new(<shim::AtomicUsize as RawAtomicUsize>::new(0));
+    let slot = Arc::new(Cell::new(0usize));
+    let taken: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let setter = {
+        let (state, slot) = (Arc::clone(&state), Arc::clone(&slot));
+        Box::new(move || {
+            // The planted bug: state published before the payload.
+            state.store_release(FULL);
+            slot.store(7);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let taker = {
+        let taken = Arc::clone(&taken);
+        Box::new(move || {
+            let v = loop {
+                if state.load_acquire() == FULL && state.swap_acq_rel(TAKEN) == FULL {
+                    break slot.load();
+                }
+            };
+            lock(&taken).push(v);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Execution {
+        threads: vec![setter, taker],
+        check: Box::new(move || {
+            let taken = lock(&taken);
+            if taken[..] != [7] {
+                return Some(format!(
+                    "take returned {taken:?}, but [7] was set: \
+                     the FULL state was published before the payload"
+                ));
             }
             None
         }),

@@ -114,6 +114,13 @@ impl RawAtomicUsize for AtomicUsize {
             }
         })
     }
+    fn swap_acq_rel(&self, value: usize) -> usize {
+        self.0.perform(AccessKind::Write, |v, _| {
+            let old = *v;
+            *v = value;
+            (old, true)
+        })
+    }
 }
 
 /// The shim atomic `bool` ([`RawAtomicBool`] under the scheduler).

@@ -56,6 +56,41 @@ fn sleep_sets_preserve_violations() {
     }
 }
 
+/// Regression for a sleep-set soundness bug: a deferred sibling branch
+/// used to inherit sleepers *dependent* on the sibling's own access, so
+/// subtrees that were never covered got pruned as if they were. The
+/// `triple_broken` fixture is the witness — its violation needs the
+/// writer to run again right after the reader's swap, which is exactly
+/// the continuation the stale sleep entry suppressed. With the wake
+/// rule applied at branch time, pruning and plain DFS agree on every
+/// `wfc-waitfree` fixture.
+#[test]
+fn sleep_sets_wake_dependent_sleepers_in_sibling_branches() {
+    for fixture in fixtures::ALL {
+        if !matches!(
+            fixture.name,
+            "ring" | "ring_broken" | "triple" | "triple_broken" | "cell" | "cell_broken"
+        ) {
+            continue;
+        }
+        let mut build = fixtures::build(fixture.name).unwrap();
+        let with = explore(&exhaustive(true), &mut build).unwrap();
+        let without = explore(&exhaustive(false), &mut build).unwrap();
+        assert_eq!(
+            with.counterexample.is_some(),
+            fixture.expect_violation,
+            "{} with sleep sets",
+            fixture.name
+        );
+        assert_eq!(
+            without.counterexample.is_some(),
+            fixture.expect_violation,
+            "{} without sleep sets",
+            fixture.name
+        );
+    }
+}
+
 /// The planted bug is found, and its schedule replays to the same
 /// violation, byte for byte, twice.
 #[test]

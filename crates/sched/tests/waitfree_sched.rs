@@ -1,0 +1,66 @@
+//! Acceptance tests for the `wfc-waitfree` fixture family: each
+//! primitive's real algorithm passes exhaustive DFS completely, and
+//! each planted-bug twin is caught with a schedule that replays to the
+//! identical violation, deterministically.
+
+use wfc_sched::{explore, fixtures, replay, Mode, SchedOptions};
+
+fn exhaustive() -> SchedOptions {
+    SchedOptions::default().with_mode(Mode::Exhaustive { sleep_sets: true })
+}
+
+/// The three real primitives: every interleaving enumerated, none
+/// violating — the fixture-before-hot-path gate for the span, pool,
+/// and service refactors that use them.
+#[test]
+fn waitfree_primitives_pass_exhaustively() {
+    for name in ["ring", "triple", "cell"] {
+        let mut build = fixtures::build(name).unwrap();
+        let found = explore(&exhaustive(), &mut build).unwrap();
+        assert!(found.complete, "{name}: exhaustive DFS must cover the tree");
+        assert!(
+            found.counterexample.is_none(),
+            "{name}: unexpected violation: {:?}",
+            found.counterexample
+        );
+        assert!(found.schedules > 0, "{name}: explored nothing");
+    }
+}
+
+/// The three planted-bug twins: each reordered publication is found,
+/// and its schedule replays — twice — to the same violation message the
+/// search reported. The expected message fragments are the ones the CI
+/// smoke job greps for.
+#[test]
+fn waitfree_planted_bugs_are_caught_and_replayable() {
+    let cases = [
+        (
+            "ring_broken",
+            "tail index was published before the slot write",
+        ),
+        ("triple_broken", "snapshot changed underfoot"),
+        ("cell_broken", "FULL state was published before the payload"),
+    ];
+    for (name, expected) in cases {
+        let mut build = fixtures::build(name).unwrap();
+        let found = explore(&exhaustive(), &mut build).unwrap();
+        let cx = found
+            .counterexample
+            .unwrap_or_else(|| panic!("{name}: planted bug not found"));
+        assert!(
+            cx.message.contains(expected),
+            "{name}: message {:?} lacks {expected:?}",
+            cx.message
+        );
+        assert!(!cx.schedule.is_empty(), "{name}: empty schedule");
+
+        let once = replay(&cx.schedule, &mut build).unwrap();
+        let twice = replay(&cx.schedule, &mut build).unwrap();
+        assert_eq!(once, twice, "{name}: replay must be deterministic");
+        assert_eq!(
+            once.violation.as_deref(),
+            Some(cx.message.as_str()),
+            "{name}: replay must reproduce the search's violation"
+        );
+    }
+}

@@ -419,7 +419,7 @@ mod tests {
     }
 
     fn conn() -> Arc<ConnShared> {
-        Arc::new(ConnShared::new())
+        Arc::new(ConnShared::new(1))
     }
 
     #[test]

@@ -2,13 +2,38 @@
 //! (which owns the socket and performs the actual nonblocking writes)
 //! and the workers (which only *queue* rendered response frames).
 //!
-//! Workers never touch a socket: enqueueing appends pre-framed bytes to
-//! an outbound buffer under a short lock and the IO loop drains it when
-//! `poll(2)` says the peer can absorb more. That is what lets responses
-//! to pipelined requests complete out of order without per-connection
-//! threads, and what keeps a slow-reading client from ever blocking a
-//! worker.
+//! Workers never touch a socket — and since the wait-free refactor they
+//! never touch a lock on this path either. Each registered producer
+//! thread (the IO thread and every worker) renders its response frame
+//! into bytes on its own stack and pushes the boxed frame onto its own
+//! bounded SPSC ring ([`wfc_waitfree::BoxRing`]); the IO thread is the
+//! sole consumer of every ring and absorbs frames into the outbound
+//! byte buffer when it next flushes. A worker's enqueue is therefore
+//! wait-free: one ring push and one flag store, never blocked behind a
+//! peer's enqueue or behind the IO thread mid-`write(2)`.
+//!
+//! Two fallbacks keep the fast path honest:
+//!
+//! * a **spill queue** (plain `Mutex<VecDeque>`) absorbs pushes from
+//!   unregistered threads (tests, future callers) and overflow when a
+//!   ring is full. Per-producer FIFO order survives the detour: a
+//!   producer routes to the spill whenever `has_spill` is raised, and
+//!   the flag only clears once the spill has fully drained — so a
+//!   producer never has an older frame in the spill while pushing a
+//!   newer one onto its ring;
+//! * the **lost-wakeup handshake** on `has_output`: producers push,
+//!   *then* store the flag (`SeqCst`); the flusher swaps the flag to
+//!   `false` *before* draining. If the swap observes the store, the
+//!   acquire side of the RMW makes the push visible to the drain; if
+//!   the store lands after the swap, the flag is simply up again and
+//!   the IO loop (nudged by the existing self-pipe waker) flushes once
+//!   more. Either way no frame is stranded.
+//!
+//! That is what lets responses to pipelined requests complete out of
+//! order without per-connection threads, and what keeps a slow-reading
+//! client from ever blocking a worker.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::{self, Write as _};
 use std::net::TcpStream;
@@ -17,9 +42,37 @@ use std::sync::Mutex;
 
 use wfc_obs::json::Json;
 use wfc_spec::stage::Stage;
+use wfc_waitfree::BoxRing;
 
 use crate::stats::RequestTrace;
 use crate::wire::write_frame;
+
+/// Slots per producer ring. Small on purpose: the ring only has to
+/// cover the IO thread's inter-flush window, and overflow degrades to
+/// the spill queue, not to loss.
+const RING_CAPACITY: usize = 64;
+
+thread_local! {
+    /// The ring index this thread pushes to, on every connection.
+    /// Registered once at thread start by the server wiring; threads
+    /// that never register use the spill queue.
+    static PRODUCER_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Claims ring `slot` for the calling thread on every [`ConnShared`].
+/// The server registers the IO thread as slot 0 and worker `i` as slot
+/// `i + 1`; each slot must belong to exactly one thread, which is what
+/// makes the per-slot rings single-producer.
+pub(crate) fn register_producer(slot: usize) {
+    PRODUCER_SLOT.with(|s| s.set(Some(slot)));
+}
+
+/// One rendered response: the framed bytes plus the request trace that
+/// rides to the flush watermark with them.
+struct Frame {
+    bytes: Vec<u8>,
+    trace: Option<Box<RequestTrace>>,
+}
 
 #[derive(Default)]
 struct OutBuf {
@@ -38,42 +91,70 @@ struct OutBuf {
 
 /// Shared per-connection response channel. See the module docs.
 pub(crate) struct ConnShared {
+    /// One SPSC ring per registered producer thread; the IO thread is
+    /// the only consumer.
+    rings: Vec<BoxRing<Frame>>,
+    /// Overflow and unregistered-thread fallback.
+    spill: Mutex<VecDeque<Box<Frame>>>,
+    /// Raised (under the spill lock) while the spill may hold frames;
+    /// producers route to the spill whenever it is up, which preserves
+    /// their FIFO order across the detour.
+    has_spill: AtomicBool,
+    /// The IO-thread-only staging buffer frames are absorbed into.
     outbound: Mutex<OutBuf>,
     has_output: AtomicBool,
     closed: AtomicBool,
 }
 
 impl ConnShared {
-    pub(crate) fn new() -> ConnShared {
+    /// A channel for `producers` registered threads (slots
+    /// `0..producers`); pushes from other threads spill.
+    pub(crate) fn new(producers: usize) -> ConnShared {
         ConnShared {
+            rings: (0..producers.max(1))
+                .map(|_| BoxRing::new(RING_CAPACITY))
+                .collect(),
+            spill: Mutex::new(VecDeque::new()),
+            has_spill: AtomicBool::new(false),
             outbound: Mutex::new(OutBuf::default()),
             has_output: AtomicBool::new(false),
             closed: AtomicBool::new(false),
         }
     }
 
-    /// Frames `doc` and appends it to the outbound buffer. A no-op once
-    /// the connection closed — late worker responses to a departed peer
-    /// are dropped, matching the old frontend's failed-write behavior.
+    /// Renders `doc` into a framed byte vector; `None` drops an
+    /// over-`MAX_FRAME` response, like a dead peer.
+    fn render(doc: &Json) -> Option<Vec<u8>> {
+        let mut bytes = Vec::new();
+        // Vec<u8> as Write is infallible; the only error is an
+        // over-MAX_FRAME response, which leaves `bytes` empty.
+        let _ = write_frame(&mut bytes, doc);
+        if bytes.is_empty() {
+            None
+        } else {
+            Some(bytes)
+        }
+    }
+
+    /// Frames `doc` and queues it for the IO thread. A no-op once the
+    /// connection closed — late worker responses to a departed peer are
+    /// dropped, matching the old frontend's failed-write behavior.
     pub(crate) fn enqueue_json(&self, doc: &Json) {
         if self.closed.load(Ordering::SeqCst) {
             return;
         }
-        let mut out = self.outbound.lock().unwrap();
-        let before = out.bytes.len();
-        // Vec<u8> as Write is infallible; the only error is an
-        // over-MAX_FRAME response, which is dropped like a dead peer.
-        let _ = write_frame(&mut out.bytes, doc);
-        out.enqueued_total += (out.bytes.len() - before) as u64;
-        self.has_output.store(true, Ordering::SeqCst);
+        let Some(bytes) = Self::render(doc) else {
+            return;
+        };
+        self.push_frame(Frame { bytes, trace: None });
     }
 
     /// [`enqueue_json`](ConnShared::enqueue_json) for a traced request:
-    /// stamps `ResponseEnqueued` and parks the trace on the buffer's
-    /// byte watermark, to be completed when the frame's last byte is
-    /// actually written. Hands the trace back untouched if the response
-    /// could not be queued (connection closed, frame oversized) so the
-    /// caller can finalize it as dropped.
+    /// stamps `ResponseEnqueued` and sends the trace along with the
+    /// frame; the flush that writes the frame's last byte completes it.
+    /// Hands the trace back untouched if the response could not be
+    /// queued (connection closed, frame oversized) so the caller can
+    /// finalize it as dropped.
     pub(crate) fn enqueue_json_traced(
         &self,
         doc: &Json,
@@ -82,32 +163,89 @@ impl ConnShared {
         if self.closed.load(Ordering::SeqCst) {
             return Some(trace);
         }
-        let mut out = self.outbound.lock().unwrap();
-        let before = out.bytes.len();
-        let _ = write_frame(&mut out.bytes, doc);
-        let appended = (out.bytes.len() - before) as u64;
-        out.enqueued_total += appended;
-        if appended == 0 {
+        let Some(bytes) = Self::render(doc) else {
             return Some(trace); // over-MAX_FRAME response: dropped
-        }
+        };
         trace.stamp(Stage::ResponseEnqueued);
-        let watermark = out.enqueued_total;
-        out.pending_traces.push_back((watermark, trace));
-        self.has_output.store(true, Ordering::SeqCst);
+        self.push_frame(Frame {
+            bytes,
+            trace: Some(trace),
+        });
         None
     }
 
-    /// Whether buffered response bytes are waiting for the socket.
+    /// Queues one rendered frame: ring on the fast path, spill on
+    /// overflow or from unregistered threads, then the `has_output`
+    /// handshake (see the module docs for the lost-wakeup argument).
+    fn push_frame(&self, frame: Frame) {
+        let mut frame = Box::new(frame);
+        let slot = PRODUCER_SLOT
+            .with(Cell::get)
+            .filter(|&s| s < self.rings.len());
+        match slot {
+            // The spill check keeps per-producer FIFO: while this
+            // producer may still have frames in the spill, newer frames
+            // must follow them there, not jump the queue via the ring.
+            Some(s) if !self.has_spill.load(Ordering::SeqCst) => {
+                // Safety: `register_producer` gives each slot to exactly
+                // one thread, so this thread is ring `s`'s only producer.
+                if let Err(back) = unsafe { self.rings[s].push(frame) } {
+                    frame = back;
+                    self.spill_push(frame);
+                }
+            }
+            _ => self.spill_push(frame),
+        }
+        self.has_output.store(true, Ordering::SeqCst);
+    }
+
+    fn spill_push(&self, frame: Box<Frame>) {
+        wfc_obs::counter!("service.conn.spilled");
+        let mut spill = self.spill.lock().unwrap();
+        spill.push_back(frame);
+        // Under the lock, so it cannot race the flusher's clear: the
+        // flag is only lowered while the spill is observably empty.
+        self.has_spill.store(true, Ordering::SeqCst);
+    }
+
+    /// Moves every queued frame into the outbound byte buffer,
+    /// assigning watermarks in absorption order. IO thread only (it is
+    /// the sole ring consumer).
+    fn absorb(&self, out: &mut OutBuf) {
+        fn absorb_frame(out: &mut OutBuf, frame: Frame) {
+            out.bytes.extend_from_slice(&frame.bytes);
+            out.enqueued_total += frame.bytes.len() as u64;
+            if let Some(trace) = frame.trace {
+                out.pending_traces.push_back((out.enqueued_total, trace));
+            }
+        }
+        for ring in &self.rings {
+            // Safety: absorb runs on the IO thread only — the single
+            // consumer of every ring.
+            while let Some(frame) = unsafe { ring.pop() } {
+                absorb_frame(out, *frame);
+            }
+        }
+        if self.has_spill.load(Ordering::SeqCst) {
+            let mut spill = self.spill.lock().unwrap();
+            while let Some(frame) = spill.pop_front() {
+                absorb_frame(out, *frame);
+            }
+            self.has_spill.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether queued response bytes are waiting for the socket.
     pub(crate) fn has_output(&self) -> bool {
         self.has_output.load(Ordering::SeqCst)
     }
 
-    /// Writes buffered bytes until the buffer empties or the socket
-    /// pushes back. Returns `Ok(true)` when fully flushed, `Ok(false)`
-    /// on `WouldBlock` (the IO loop then polls for writability).
-    /// Traces whose response's last byte just left are moved into
-    /// `completed` with their `BytesFlushed` stamp taken; the caller
-    /// (the IO thread) finalizes them.
+    /// Absorbs queued frames, then writes buffered bytes until the
+    /// buffer empties or the socket pushes back. Returns `Ok(true)`
+    /// when fully flushed, `Ok(false)` on `WouldBlock` (the IO loop
+    /// then polls for writability). Traces whose response's last byte
+    /// just left are moved into `completed` with their `BytesFlushed`
+    /// stamp taken; the caller (the IO thread) finalizes them.
     ///
     /// # Errors
     ///
@@ -117,7 +255,11 @@ impl ConnShared {
         stream: &mut TcpStream,
         completed: &mut Vec<RequestTrace>,
     ) -> io::Result<bool> {
+        // Claim the wake before draining — a producer whose push this
+        // drain misses re-raises the flag after it (module docs).
+        self.has_output.swap(false, Ordering::SeqCst);
         let mut out = self.outbound.lock().unwrap();
+        self.absorb(&mut out);
         let result = loop {
             if out.pos >= out.bytes.len() {
                 break Ok(true);
@@ -148,22 +290,27 @@ impl ConnShared {
         if result.as_ref().is_ok_and(|flushed_all| *flushed_all) {
             out.bytes.clear();
             out.pos = 0;
-            self.has_output.store(false, Ordering::SeqCst);
-        } else if out.pos > 256 * 1024 {
-            // Reclaim large written prefixes so a persistently slow
-            // reader doesn't pin already-delivered bytes forever.
-            let pos = out.pos;
-            out.bytes.drain(..pos);
-            out.pos = 0;
+        } else {
+            if out.pos > 256 * 1024 {
+                // Reclaim large written prefixes so a persistently slow
+                // reader doesn't pin already-delivered bytes forever.
+                let pos = out.pos;
+                out.bytes.drain(..pos);
+                out.pos = 0;
+            }
+            // Bytes remain: keep the flag up so the IO loop retries
+            // (its interest set includes POLLOUT while output pends).
+            self.has_output.store(true, Ordering::SeqCst);
         }
         result
     }
 
-    /// Takes every trace still awaiting its flush watermark — the
-    /// connection-teardown path, where those responses will never be
-    /// delivered.
+    /// Takes every trace still awaiting its flush watermark — including
+    /// those still riding in the rings — the connection-teardown path,
+    /// where those responses will never be delivered. IO thread only.
     pub(crate) fn take_pending_traces(&self) -> Vec<RequestTrace> {
         let mut out = self.outbound.lock().unwrap();
+        self.absorb(&mut out);
         out.pending_traces.drain(..).map(|(_, t)| *t).collect()
     }
 
@@ -180,6 +327,7 @@ impl ConnShared {
 impl std::fmt::Debug for ConnShared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConnShared")
+            .field("producers", &self.rings.len())
             .field("closed", &self.is_closed())
             .finish_non_exhaustive()
     }

@@ -474,6 +474,9 @@ fn io_loop(
     config: &ServeConfig,
     mut repl: Option<ReplRuntime>,
 ) {
+    // The IO thread produces on ring slot 0 of every connection (its
+    // own inline answers: stats, busy, bad-request, repl frames).
+    crate::conn::register_producer(0);
     let mut conns: Vec<Conn> = Vec::new();
     let mut batcher = Batcher::new(config.batch);
     let mut consecutive_accept_errors: u32 = 0;
@@ -555,7 +558,9 @@ fn io_loop(
                         conns.push(Conn {
                             stream,
                             inbuf: FrameBuffer::new(),
-                            shared: Arc::new(ConnShared::new()),
+                            // Slot 0 is the IO thread, slots 1.. are
+                            // the workers — the registered producers.
+                            shared: Arc::new(ConnShared::new(1 + config.workers.max(1))),
                             closing: false,
                             write_blocked: false,
                             dead: false,
@@ -933,6 +938,9 @@ fn worker_loop(
     config: &ServeConfig,
     repl: Option<&ReplShared>,
 ) {
+    // Worker `idx` produces on ring slot `idx + 1` of every connection
+    // (slot 0 is the IO thread's).
+    crate::conn::register_producer(idx + 1);
     while let Some(batch) = queue.pop() {
         for entry in batch {
             compute_entry(
